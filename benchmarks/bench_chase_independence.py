@@ -1,0 +1,98 @@
+"""E6 + E12: Theorem 6.1 (chase independence) and Lemma 3.10 (FDs)."""
+
+import pytest
+
+from repro.core.exact import exact_parallel_spdb, exact_sequential_spdb
+from repro.core.fd import check_all_fds
+from repro.core.chase import run_chase
+from repro.core.policies import standard_policies
+from repro.core.semantics import sample_spdb
+from repro.core.translate import translate
+from repro.measures.empirical import ks_critical_value, ks_two_sample
+from repro.workloads import paper
+from repro.workloads.generators import (base_instance,
+                                        random_discrete_program)
+
+
+class TestE6ExactIndependence:
+    def test_policy_battery_earthquake(self, benchmark,
+                                       earthquake_program,
+                                       earthquake_instance):
+        reference = exact_sequential_spdb(earthquake_program,
+                                          earthquake_instance)
+
+        def battery():
+            return [exact_sequential_spdb(earthquake_program,
+                                          earthquake_instance,
+                                          policy=policy)
+                    for policy in standard_policies()]
+
+        results = benchmark(battery)
+        for pdb in results:
+            assert pdb.allclose(reference)
+
+    def test_parallel_vs_sequential_earthquake(self, benchmark,
+                                               earthquake_program,
+                                               earthquake_instance):
+        reference = exact_sequential_spdb(earthquake_program,
+                                          earthquake_instance)
+        parallel = benchmark(lambda: exact_parallel_spdb(
+            earthquake_program, earthquake_instance))
+        assert parallel.allclose(reference)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_programs(self, benchmark, seed):
+        program = random_discrete_program(3, 3, seed=seed)
+        instance = base_instance(2)
+        reference = exact_sequential_spdb(program, instance)
+
+        def battery():
+            results = [exact_sequential_spdb(program, instance,
+                                             policy=policy)
+                       for policy in standard_policies()[:4]]
+            results.append(exact_parallel_spdb(program, instance))
+            return results
+
+        for pdb in benchmark(battery):
+            assert pdb.allclose(reference)
+
+
+class TestE6ContinuousIndependence:
+    def test_heights_ks_across_policies(self, benchmark,
+                                        heights_program):
+        instance = paper.example_3_5_instance(
+            moments={"NL": (180.0, 30.0)}, persons_per_country=1)
+        policies = standard_policies()[:2]
+
+        def collect():
+            samples = []
+            for index, policy in enumerate(policies):
+                pdb = sample_spdb(heights_program, instance, n=600,
+                                  rng=50 + index, policy=policy)
+                samples.append(pdb.values_of(
+                    lambda D: [f.args[1]
+                               for f in D.facts_of("PHeight")]))
+            return samples
+
+        first, second = benchmark(collect)
+        assert ks_two_sample(first, second) < \
+            ks_critical_value(len(first), len(second), alpha=0.001)
+
+
+class TestE12FdInvariant:
+    def test_fds_hold_over_many_chases(self, benchmark,
+                                       earthquake_program,
+                                       earthquake_instance):
+        translated = translate(earthquake_program)
+
+        def chase_batch():
+            outputs = []
+            for seed in range(20):
+                run = run_chase(translated, earthquake_instance,
+                                rng=seed)
+                assert run.terminated
+                outputs.append(run.instance)
+            return outputs
+
+        for instance in benchmark(chase_batch):
+            assert check_all_fds(translated, instance)

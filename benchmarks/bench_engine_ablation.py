@@ -1,0 +1,79 @@
+"""E13: engine ablations.
+
+Two ablations called out in DESIGN.md §4:
+
+* applicability maintenance - incremental (delta) engine vs naive
+  recomputation per chase step;
+* Datalog fixpoint - semi-naive vs naive evaluation.
+
+Both pairs are asserted equivalent; the benchmark quantifies the gap.
+"""
+
+import pytest
+
+from repro.core.chase import run_chase
+from repro.engine.seminaive import naive_fixpoint, seminaive_fixpoint
+from repro.workloads.generators import (chain_instance, chain_program,
+                                        earthquake_city_instance,
+                                        random_graph_instance,
+                                        transitive_closure_program)
+from repro.workloads.paper import example_3_4_program
+
+
+class TestE13Applicability:
+    @pytest.mark.parametrize("engine", ["incremental", "naive"])
+    def test_chase_engine_comparison(self, benchmark, engine):
+        program = example_3_4_program()
+        instance = earthquake_city_instance(12, 4, seed=0)
+
+        def chase():
+            return run_chase(program, instance, rng=0, engine=engine)
+
+        run = benchmark(chase)
+        assert run.terminated
+
+    def test_engines_identical_output(self, benchmark):
+        program = example_3_4_program()
+        instance = earthquake_city_instance(6, 3, seed=1)
+
+        def both():
+            a = run_chase(program, instance, rng=5,
+                          engine="incremental")
+            b = run_chase(program, instance, rng=5, engine="naive")
+            return a, b
+
+        a, b = benchmark(both)
+        assert a.instance == b.instance
+
+
+class TestE13DatalogFixpoint:
+    @pytest.mark.parametrize("engine", ["seminaive", "naive"])
+    def test_transitive_closure(self, benchmark, engine):
+        program = transitive_closure_program()
+        graph = random_graph_instance(30, 90, seed=2)
+        fixpoint = seminaive_fixpoint if engine == "seminaive" \
+            else naive_fixpoint
+
+        result = benchmark(lambda: fixpoint(program, graph))
+        assert result.facts_of("Path")
+
+    @pytest.mark.parametrize("engine", ["seminaive", "naive"])
+    def test_long_chain(self, benchmark, engine):
+        program = chain_program(30)
+        instance = chain_instance(40)
+        fixpoint = seminaive_fixpoint if engine == "seminaive" \
+            else naive_fixpoint
+
+        result = benchmark(lambda: fixpoint(program, instance))
+        assert len(result.facts_of("T30")) == 40
+
+    def test_fixpoints_agree(self, benchmark):
+        program = transitive_closure_program()
+        graph = random_graph_instance(15, 40, seed=3)
+
+        def both():
+            return (seminaive_fixpoint(program, graph),
+                    naive_fixpoint(program, graph))
+
+        a, b = benchmark(both)
+        assert a == b

@@ -1,0 +1,74 @@
+"""E1 + E2: Example 1.1 - G0, G'0, Gε under both semantics.
+
+Asserts the paper's exact outcome tables and the ε→0 (dis)continuity,
+and times exact inference on the micro-programs.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_close_map
+from repro.core.semantics import exact_spdb
+from repro.workloads import paper
+
+EPSILONS = [0.5, 0.25, 0.125, 0.0625, 1e-3]
+
+
+class TestE1Outcomes:
+    def test_g0_grohe(self, benchmark):
+        program = paper.example_1_1_g0()
+        pdb = benchmark(lambda: exact_spdb(program))
+        assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_GROHE)
+
+    def test_g0_barany(self, benchmark):
+        program = paper.example_1_1_g0()
+        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_BARANY)
+
+    def test_g0_prime_grohe_equals_g0(self, benchmark):
+        program = paper.example_1_1_g0_prime()
+        pdb = benchmark(lambda: exact_spdb(program))
+        assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_GROHE)
+
+    def test_g0_prime_barany(self, benchmark):
+        program = paper.example_1_1_g0_prime()
+        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        assert_close_map(dict(pdb.worlds()),
+                         paper.G0_PRIME_EXPECTED_BARANY)
+
+
+class TestE2EpsilonSweep:
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_g_eps_exact_values(self, benchmark, epsilon):
+        program = paper.example_1_1_g_eps(epsilon)
+        pdb = benchmark(lambda: exact_spdb(program))
+        assert_close_map(dict(pdb.worlds()),
+                         paper.g_eps_expected(epsilon))
+
+    def test_continuity_of_new_semantics(self, benchmark):
+        limit = exact_spdb(paper.example_1_1_g0())
+
+        def sweep():
+            distances = []
+            for epsilon in EPSILONS:
+                pdb = exact_spdb(paper.example_1_1_g_eps(epsilon))
+                distances.append(pdb.tv_distance(limit))
+            return distances
+
+        distances = benchmark(sweep)
+        # TV(Gε, G0) = ε/2 under our semantics: vanishes with ε.
+        for epsilon, distance in zip(EPSILONS, distances):
+            assert distance == pytest.approx(epsilon / 2, abs=1e-9)
+
+    def test_discontinuity_of_original_semantics(self, benchmark):
+        limit = exact_spdb(paper.example_1_1_g0(), semantics="barany")
+
+        def sweep():
+            return [exact_spdb(paper.example_1_1_g_eps(epsilon),
+                               semantics="barany").tv_distance(limit)
+                    for epsilon in EPSILONS]
+
+        distances = benchmark(sweep)
+        # Bounded away from 0: the limit outcome differs by TV 1/2.
+        for distance in distances:
+            assert distance >= 0.25
+        assert distances[-1] == pytest.approx(0.5, abs=1e-3)

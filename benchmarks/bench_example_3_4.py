@@ -1,0 +1,59 @@
+"""E4: Example 3.4 (earthquake/burglary/alarm) - exact, MC, scaling."""
+
+import pytest
+
+from repro.core.chase import run_chase
+from repro.core.semantics import exact_spdb, sample_spdb
+from repro.pdb.facts import Fact
+from repro.workloads import paper
+from repro.workloads.generators import earthquake_city_instance
+
+
+class TestE4Exact:
+    def test_exact_inference_two_cities(self, benchmark,
+                                        earthquake_program,
+                                        earthquake_instance):
+        pdb = benchmark(lambda: exact_spdb(earthquake_program,
+                                           earthquake_instance))
+        assert pdb.marginal(Fact("Alarm", ("house-1",))) == \
+            pytest.approx(paper.alarm_probability_closed_form(0.03))
+        assert pdb.marginal(Fact("Alarm", ("biz-1",))) == \
+            pytest.approx(paper.alarm_probability_closed_form(0.01))
+        assert pdb.total_mass() == pytest.approx(1.0)
+
+    def test_exact_inference_parallel_chase(self, benchmark,
+                                            earthquake_program,
+                                            earthquake_instance):
+        reference = exact_spdb(earthquake_program, earthquake_instance)
+        pdb = benchmark(lambda: exact_spdb(
+            earthquake_program, earthquake_instance, parallel=True))
+        assert pdb.allclose(reference)
+
+
+class TestE4MonteCarlo:
+    def test_sampling_agreement(self, benchmark, earthquake_program,
+                                earthquake_instance):
+        exact = exact_spdb(earthquake_program, earthquake_instance)
+
+        def sample():
+            return sample_spdb(earthquake_program, earthquake_instance,
+                               n=2000, rng=0)
+
+        sampled = benchmark(sample)
+        f = Fact("Alarm", ("house-1",))
+        assert abs(sampled.marginal(f) - exact.marginal(f)) < 0.03
+
+
+class TestE4Scaling:
+    @pytest.mark.parametrize("n_cities", [5, 20, 50])
+    def test_chase_scaling(self, benchmark, earthquake_program,
+                           n_cities):
+        instance = earthquake_city_instance(n_cities, 4, seed=1)
+
+        def chase():
+            return run_chase(earthquake_program, instance, rng=0)
+
+        run = benchmark(chase)
+        assert run.terminated
+        # Every unit gets a burglary sample: facts grow with the grid.
+        assert len(run.instance.facts_of("Burglary")) == n_cities * 4

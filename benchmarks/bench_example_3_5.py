@@ -1,0 +1,71 @@
+"""E5: Example 3.5 (continuous heights) - sampling and query layer."""
+
+import pytest
+
+from repro.core.semantics import sample_spdb
+from repro.distributions import Normal
+from repro.measures.empirical import (ks_critical_value, ks_statistic,
+                                      summarize)
+from repro.query.aggregates import Aggregate, agg_avg
+from repro.query.lifted import expected_aggregate
+from repro.query.relalg import scan
+from repro.workloads import paper
+from repro.workloads.generators import heights_instance
+
+
+class TestE5Moments:
+    def test_sampling_matches_moments(self, benchmark, heights_program):
+        instance = paper.example_3_5_instance(
+            moments={"NL": (183.8, 49.0)}, persons_per_country=4)
+
+        def sample():
+            return sample_spdb(heights_program, instance, n=600, rng=0)
+
+        pdb = benchmark(sample)
+        values = pdb.values_of(
+            lambda D: [f.args[1] for f in D.facts_of("PHeight")])
+        summary = summarize(values)
+        assert summary.mean_within(183.8)
+        assert abs(summary.variance - 49.0) < 6.0
+
+    def test_ks_against_generating_normal(self, benchmark,
+                                          heights_program):
+        instance = paper.example_3_5_instance(
+            moments={"PE": (165.2, 36.0)}, persons_per_country=2)
+        normal = Normal()
+
+        def pipeline():
+            pdb = sample_spdb(heights_program, instance, n=800, rng=1)
+            values = pdb.values_of(
+                lambda D: [f.args[1] for f in D.facts_of("PHeight")])
+            return values, ks_statistic(
+                values, lambda x: normal.cdf((165.2, 36.0), x))
+
+        values, stat = benchmark(pipeline)
+        assert stat < ks_critical_value(len(values), alpha=0.001)
+
+
+class TestE5QueryLayer:
+    def test_expected_average_height(self, benchmark, heights_program):
+        instance = paper.example_3_5_instance(persons_per_country=2)
+        pdb = sample_spdb(heights_program, instance, n=800, rng=2)
+        query = Aggregate(scan("PHeight", "p", "cm"), (),
+                          {"m": agg_avg("cm")})
+        value = benchmark(lambda: expected_aggregate(pdb, query))
+        assert abs(value - (183.8 + 165.2) / 2) < 1.5
+
+
+class TestE5Scaling:
+    @pytest.mark.parametrize("n_countries,n_persons",
+                             [(2, 10), (10, 10), (10, 50)])
+    def test_sampling_throughput(self, benchmark, heights_program,
+                                 n_countries, n_persons):
+        instance = heights_instance(n_countries, n_persons, seed=0)
+
+        def sample():
+            return sample_spdb(heights_program, instance, n=20, rng=3)
+
+        pdb = benchmark(sample)
+        expected_heights = n_countries * n_persons
+        assert all(len(D.facts_of("PHeight")) == expected_heights
+                   for D in pdb.worlds)

@@ -1,0 +1,80 @@
+"""E10: the chase as stochastic kernel + Markov process (Prop. 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chase import chase_markov_process, run_chase
+from repro.core.parallel import parallel_markov_process
+from repro.core.semantics import exact_spdb
+from repro.measures.discrete import DiscreteMeasure
+from repro.measures.markov import empirical_final_distribution
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+
+
+class TestE10KernelConsistency:
+    def test_kernel_paths_match_direct_chase(self, benchmark):
+        program = paper.example_1_1_g0()
+        process = chase_markov_process(program)
+
+        def run_both():
+            results = []
+            for seed in range(10):
+                path = process.sample_path(
+                    Instance.empty(), np.random.default_rng(seed), 50)
+                run = run_chase(program,
+                                rng=np.random.default_rng(seed),
+                                max_steps=50)
+                results.append((path, run))
+            return results
+
+        for path, run in benchmark(run_both):
+            assert path.absorbed and run.terminated
+            assert path.final == run.instance
+
+    def test_process_absorption_matches_exact_spdb(self, benchmark):
+        program = paper.example_1_1_g0()
+        process = chase_markov_process(program)
+        exact = exact_spdb(program, keep_aux=True)
+
+        def estimate():
+            return empirical_final_distribution(
+                process, Instance.empty(), np.random.default_rng(0),
+                max_steps=50, n=1500)
+
+        empirical, truncated = benchmark(estimate)
+        assert truncated == 0.0
+        reference = DiscreteMeasure(dict(exact.worlds()))
+        assert empirical.tv_distance(reference) < 0.06
+
+    def test_parallel_process_agrees(self, benchmark):
+        program = paper.example_1_1_g0()
+        process = parallel_markov_process(program)
+        exact = exact_spdb(program, keep_aux=True)
+
+        def estimate():
+            return empirical_final_distribution(
+                process, Instance.empty(), np.random.default_rng(1),
+                max_steps=20, n=1500)
+
+        empirical, truncated = benchmark(estimate)
+        assert truncated == 0.0
+        reference = DiscreteMeasure(dict(exact.worlds()))
+        assert empirical.tv_distance(reference) < 0.06
+
+    def test_stability_semantics(self, benchmark):
+        # Absorbed paths are "stable": constant from absorption on
+        # (the paper's stable-at-i device of Section 4.2).
+        program = paper.example_1_1_g0()
+        process = chase_markov_process(program)
+
+        def sample_paths():
+            return [process.sample_path(Instance.empty(),
+                                        np.random.default_rng(seed), 50)
+                    for seed in range(20)]
+
+        for path in benchmark(sample_paths):
+            index = path.stable_index()
+            assert index is not None
+            tail = path.states[index:]
+            assert all(state == tail[0] for state in tail)

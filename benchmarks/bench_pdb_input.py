@@ -1,0 +1,69 @@
+"""E11: probabilistic input databases (Theorems 4.8/5.5, second parts)."""
+
+import pytest
+
+from repro.core.semantics import apply_to_pdb, exact_spdb
+from repro.measures.discrete import DiscreteMeasure
+from repro.pdb.database import DiscretePDB
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+
+
+def uncertain_city_input():
+    """An uncertain input: Napa's burglary rate is itself uncertain."""
+    low = Instance.of(Fact("City", ("Napa", 0.01)),
+                      Fact("House", ("h", "Napa")))
+    high = Instance.of(Fact("City", ("Napa", 0.2)),
+                       Fact("House", ("h", "Napa")))
+    return DiscretePDB(DiscreteMeasure({low: 0.6, high: 0.4}))
+
+
+class TestE11PdbInput:
+    def test_output_is_input_mixture(self, benchmark,
+                                     earthquake_program):
+        input_pdb = uncertain_city_input()
+
+        def apply():
+            return apply_to_pdb(earthquake_program, input_pdb)
+
+        output = benchmark(apply)
+        expected = (0.6 * paper.alarm_probability_closed_form(0.01)
+                    + 0.4 * paper.alarm_probability_closed_form(0.2))
+        assert output.marginal(Fact("Alarm", ("h",))) == \
+            pytest.approx(expected)
+        assert output.total_mass() == pytest.approx(1.0)
+
+    def test_parallel_agrees_on_pdb_input(self, benchmark,
+                                          earthquake_program):
+        input_pdb = uncertain_city_input()
+        reference = apply_to_pdb(earthquake_program, input_pdb)
+        parallel = benchmark(lambda: apply_to_pdb(
+            earthquake_program, input_pdb, parallel=True))
+        assert parallel.allclose(reference)
+
+    def test_subprobabilistic_input_passthrough(self, benchmark):
+        program = paper.example_1_1_g0()
+        world = Instance.empty()
+        input_pdb = DiscretePDB(DiscreteMeasure({world: 0.8}), err=0.2)
+
+        output = benchmark(lambda: apply_to_pdb(program, input_pdb))
+        assert output.err_mass() == pytest.approx(0.2)
+        assert output.total_mass() == pytest.approx(0.8)
+        # Conditional world probabilities match the Dirac-input run.
+        reference = exact_spdb(program)
+        for world_, probability in reference.worlds():
+            assert output.prob_of_instance(world_) == \
+                pytest.approx(0.8 * probability)
+
+    def test_input_worlds_scaling(self, benchmark, earthquake_program):
+        # Mixture over many input worlds (per-world exact inference).
+        worlds = {}
+        for index in range(8):
+            rate = 0.01 + 0.02 * index
+            worlds[Instance.of(Fact("City", ("c", round(rate, 3))),
+                               Fact("House", ("h", "c")))] = 1 / 8
+        input_pdb = DiscretePDB(DiscreteMeasure(worlds))
+        output = benchmark(lambda: apply_to_pdb(earthquake_program,
+                                                input_pdb))
+        assert output.total_mass() == pytest.approx(1.0)

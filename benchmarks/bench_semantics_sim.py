@@ -1,0 +1,64 @@
+"""E3: Section 6.2 - H vs H' and the mutual semantics simulations."""
+
+import pytest
+
+from benchmarks.conftest import assert_close_map
+from repro.core.barany import to_barany_simulation, to_grohe_simulation
+from repro.core.semantics import exact_spdb
+from repro.workloads import paper
+
+
+class TestE3HPrograms:
+    def test_h_under_ours(self, benchmark):
+        program = paper.section_6_2_h()
+        pdb = benchmark(lambda: exact_spdb(program))
+        assert_close_map(dict(pdb.worlds()), paper.H_EXPECTED_GROHE)
+
+    def test_h_under_barany(self, benchmark):
+        program = paper.section_6_2_h()
+        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        assert_close_map(dict(pdb.worlds()), paper.H_EXPECTED_BARANY)
+
+    def test_h_prime_simulates(self, benchmark):
+        program = paper.section_6_2_h_prime()
+        pdb = benchmark(
+            lambda: exact_spdb(program).project(["R", "S"]))
+        assert_close_map(dict(pdb.worlds()),
+                         paper.H_PRIME_EXPECTED_RESTRICTED)
+
+
+class TestE3GeneralSimulations:
+    @pytest.mark.parametrize("name,maker", [
+        ("G0", paper.example_1_1_g0),
+        ("G0'", paper.example_1_1_g0_prime),
+        ("H", paper.section_6_2_h),
+    ])
+    def test_barany_in_grohe(self, benchmark, name, maker):
+        program = maker()
+        visible = program.relations()
+        target = exact_spdb(program, semantics="barany") \
+            .project(visible)
+
+        def simulate():
+            return exact_spdb(to_grohe_simulation(program)) \
+                .project(visible)
+
+        simulated = benchmark(simulate)
+        assert simulated.allclose(target)
+
+    @pytest.mark.parametrize("name,maker", [
+        ("G0", paper.example_1_1_g0),
+        ("H", paper.section_6_2_h),
+    ])
+    def test_grohe_in_barany(self, benchmark, name, maker):
+        program = maker()
+        visible = program.relations()
+        target = exact_spdb(program).project(visible)
+
+        def simulate():
+            rewritten, _registry = to_barany_simulation(program)
+            return exact_spdb(rewritten, semantics="barany") \
+                .project(visible)
+
+        simulated = benchmark(simulate)
+        assert simulated.allclose(target)

@@ -1,0 +1,99 @@
+"""E7 + E8: Theorem 6.3 (weak acyclicity) and Section 6.3 cycles."""
+
+import pytest
+
+from repro.core.chase import run_chase
+from repro.core.termination import (analyze_termination,
+                                    estimate_termination_probability,
+                                    weakly_acyclic)
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+from repro.workloads.generators import random_discrete_program
+
+
+class TestE7StaticAnalysis:
+    def test_paper_programs_classified(self, benchmark):
+        programs = [paper.example_1_1_g0(), paper.example_3_4_program(),
+                    paper.example_3_5_program(), paper.section_6_2_h(),
+                    paper.section_6_2_h_prime()]
+
+        def analyze_all():
+            return [analyze_termination(p) for p in programs]
+
+        for report in benchmark(analyze_all):
+            assert report.weakly_acyclic
+
+    def test_cycles_detected_and_classified(self, benchmark):
+        def analyze():
+            return (analyze_termination(
+                        paper.continuous_feedback_program()),
+                    analyze_termination(paper.discrete_cycle_program()))
+
+        continuous, discrete = benchmark(analyze)
+        assert not continuous.weakly_acyclic
+        assert continuous.continuous_cycle
+        assert not discrete.weakly_acyclic
+        assert not discrete.continuous_cycle
+
+    @pytest.mark.parametrize("n_rules", [5, 20, 60])
+    def test_analysis_scaling(self, benchmark, n_rules):
+        program = random_discrete_program(n_rules, n_rules,
+                                          seed=n_rules)
+        assert benchmark(lambda: weakly_acyclic(program))
+
+
+class TestE7TerminationGuarantee:
+    def test_weakly_acyclic_chases_terminate(self, benchmark,
+                                             earthquake_program,
+                                             earthquake_instance):
+        assert weakly_acyclic(earthquake_program)
+
+        def chase_batch():
+            return [run_chase(earthquake_program, earthquake_instance,
+                              rng=seed, max_steps=5000).terminated
+                    for seed in range(10)]
+
+        assert all(benchmark(chase_batch))
+
+
+class TestE8CycleBehaviour:
+    def test_continuous_cycle_never_terminates(self, benchmark):
+        program = paper.continuous_feedback_program()
+        seed_db = Instance.of(Fact("Seed", (0,)))
+
+        def estimate():
+            return estimate_termination_probability(
+                program, seed_db, n_runs=20, max_steps=300, rng=0)
+
+        result = benchmark(estimate)
+        assert result.probability == 0.0
+
+    @pytest.mark.parametrize("budget,minimum", [(10, 0.6), (2000, 0.97)])
+    def test_discrete_cycle_ast_convergence(self, benchmark, budget,
+                                            minimum):
+        program = paper.discrete_cycle_program(1.0)
+
+        def estimate():
+            return estimate_termination_probability(
+                program, paper.trigger_instance(), n_runs=150,
+                max_steps=budget, rng=1)
+
+        result = benchmark(estimate)
+        assert result.probability >= minimum
+
+    def test_flip_walk_terminates_geometric_steps(self, benchmark):
+        program = paper.discrete_feedback_program(0.5)
+        instance = paper.seed_instance(chain_length=40)
+
+        def estimate():
+            return estimate_termination_probability(
+                program, instance, n_runs=150, max_steps=1000, rng=2)
+
+        result = benchmark(estimate)
+        assert result.probability == 1.0
+        # Each Reach sample adds ~2 chase steps (sample + companion),
+        # plus the walk advances geometrically: E[samples] ≈ 2.
+        expected_samples = paper.random_walk_expected_steps(0.5, 40)
+        assert result.mean_steps_when_terminated == \
+            pytest.approx(2 * expected_samples, rel=0.2)

@@ -1,0 +1,37 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Every benchmark both *asserts* its experiment's reproduced values
+(so ``pytest benchmarks/`` doubles as a reproduction check) and *times*
+the pipeline via pytest-benchmark.  EXPERIMENTS.md indexes the files by
+experiment id (E1-E14 of DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import paper
+
+
+def assert_close_map(actual: dict, expected: dict,
+                     tolerance: float = 1e-9) -> None:
+    keys = set(actual) | set(expected)
+    for key in keys:
+        a = actual.get(key, 0.0)
+        e = expected.get(key, 0.0)
+        assert abs(a - e) <= tolerance, f"{key!r}: {a} vs {e}"
+
+
+@pytest.fixture
+def earthquake_program():
+    return paper.example_3_4_program()
+
+
+@pytest.fixture
+def earthquake_instance():
+    return paper.example_3_4_instance()
+
+
+@pytest.fixture
+def heights_program():
+    return paper.example_3_5_program()

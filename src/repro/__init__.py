@@ -1,0 +1,83 @@
+"""repro: Generative Datalog with continuous distributions.
+
+A faithful, executable reproduction of
+
+    Grohe, Kaminski, Katoen, Lindner.
+    *Generative Datalog with Continuous Distributions.*  PODS 2020.
+
+The package implements the full pipeline of the paper: GDatalog syntax
+(Section 3), the translation to existential Datalog (3.A/3.B), rule
+applicability and measurable-selection chase policies (Section 3.3),
+the sequential probabilistic chase as a Markov process (Section 4), the
+parallel chase (Section 5), exact and Monte-Carlo output SPDBs, the
+Bárány-semantics simulations (Section 6.2), and termination analysis
+(Section 6.3) - plus the substrates all of this stands on: probabilistic
+databases (Section 2.3), parameterized distributions (Definition 2.1),
+discrete measures and stochastic kernels (Section 2.1), a deterministic
+Datalog engine, and a relational-algebra/aggregate query layer
+(Fact 2.6).
+
+Quickstart
+----------
+
+>>> import repro
+>>> program = repro.Program.parse('''
+...     Earthquake(c, Flip<0.1>) :- City(c, r).
+... ''')
+>>> D0 = repro.Instance.of(repro.Fact("City", ("Napa", 0.03)))
+>>> pdb = repro.exact_spdb(program, D0)
+>>> round(pdb.marginal(repro.Fact("Earthquake", ("Napa", 1))), 3)
+0.1
+"""
+
+from repro.core import (Atom, ChasePolicy, ChaseRun,
+                        ConstrainedProgram, Const, ExistentialProgram,
+                        Firing, FirstPolicy, LastPolicy, PriorityPolicy,
+                        Program, RandomTerm, RandomTiePolicy,
+                        RejectionResult, RoundRobinPolicy, Rule,
+                        TerminationReport, Var, analyze_termination,
+                        apply_to_pdb, atom, chase_markov_process,
+                        chase_outputs, chase_step_kernel,
+                        condition_by_rejection, condition_exact,
+                        exact_spdb, likelihood_weighting,
+                        normalize_program, observe,
+                        parallel_markov_process, program_to_source,
+                        run_chase, run_parallel_chase, sample_spdb,
+                        spdb_mass_report, standard_policies,
+                        to_barany_simulation, to_grohe_simulation,
+                        translate, translate_barany, weakly_acyclic)
+from repro.distributions import (DEFAULT_REGISTRY, DistributionRegistry,
+                                 ParameterizedDistribution)
+from repro.errors import (ChaseError, DistributionError, MeasureError,
+                          ParseError, ReproError, SchemaError,
+                          UnsupportedProgramError, ValidationError)
+from repro.measures import DiscreteMeasure, Kernel, MarkovProcess
+from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
+                       Instance, Interval, MonteCarloPDB, Schema,
+                       relation)
+from repro.pdb.weighted import WeightedPDB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom", "ChaseError", "ChasePolicy", "ChaseRun",
+    "ConstrainedProgram", "Const", "RejectionResult",
+    "condition_by_rejection", "condition_exact", "likelihood_weighting",
+    "observe", "program_to_source", "WeightedPDB",
+    "CountingEvent", "DEFAULT_REGISTRY", "DiscreteMeasure", "DiscretePDB",
+    "DistributionError", "DistributionRegistry", "Event",
+    "ExistentialProgram", "Fact", "FactSet", "Firing", "FirstPolicy",
+    "Instance", "Interval", "Kernel", "LastPolicy", "MarkovProcess",
+    "MeasureError", "MonteCarloPDB", "ParameterizedDistribution",
+    "ParseError", "PriorityPolicy", "Program", "RandomTerm",
+    "RandomTiePolicy", "ReproError", "RoundRobinPolicy", "Rule",
+    "Schema", "SchemaError", "TerminationReport",
+    "UnsupportedProgramError", "ValidationError", "Var",
+    "analyze_termination", "apply_to_pdb", "atom",
+    "chase_markov_process", "chase_outputs", "chase_step_kernel",
+    "exact_spdb", "normalize_program", "parallel_markov_process",
+    "relation", "run_chase", "run_parallel_chase", "sample_spdb",
+    "spdb_mass_report", "standard_policies", "to_barany_simulation",
+    "to_grohe_simulation", "translate", "translate_barany",
+    "weakly_acyclic", "__version__",
+]

@@ -1,0 +1,132 @@
+"""Atoms of GDatalog (Definition 3.2).
+
+An atom ``R(t_1, ..., t_n)`` pairs a relation symbol with a term tuple.
+Random atoms contain at least one random term and may only head rules
+over the intensional schema; deterministic atoms contain only variables
+and constants.  Ground atoms (all constants) coincide with facts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.terms import Const, RandomTerm, Term, Var, as_term, \
+    substitute
+from repro.errors import ValidationError
+from repro.pdb.facts import Fact
+from repro.pdb.schema import Schema
+
+
+class Atom:
+    """An atom: relation symbol applied to terms."""
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Iterable[Term]):
+        if not relation:
+            raise ValidationError("atom relation name must be non-empty")
+        self.relation = relation
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise ValidationError(
+                f"atom {relation!r} must have at least one term")
+        for term in self.terms:
+            if not isinstance(term, Term):
+                raise ValidationError(f"not a term: {term!r}")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def is_random(self) -> bool:
+        """Whether any argument is a random term."""
+        return any(t.is_random() for t in self.terms)
+
+    def random_positions(self) -> tuple[int, ...]:
+        """Indices of random-term arguments."""
+        return tuple(i for i, t in enumerate(self.terms) if t.is_random())
+
+    def random_terms(self) -> tuple[RandomTerm, ...]:
+        return tuple(t for t in self.terms if isinstance(t, RandomTerm))
+
+    def variables(self) -> Iterator[Var]:
+        """All variables, including those inside random-term parameters."""
+        for term in self.terms:
+            yield from term.variables()
+
+    def variable_set(self) -> frozenset[Var]:
+        return frozenset(self.variables())
+
+    def is_ground(self) -> bool:
+        return all(isinstance(t, Const) for t in self.terms)
+
+    # -- grounding -----------------------------------------------------------
+
+    def ground(self, binding: dict[Var, Any]) -> Fact:
+        """The fact obtained by applying a valuation (deterministic atoms).
+
+        This is the paper's ``f_φ̂`` head-instantiation map restricted to
+        deterministic atoms; random atoms are grounded by the chase via
+        the Datalog-with-existentials translation.
+        """
+        if self.is_random():
+            raise ValidationError(
+                f"cannot ground random atom {self!r} by substitution")
+        return Fact(self.relation,
+                    tuple(substitute(t, binding) for t in self.terms))
+
+    def to_fact(self) -> Fact:
+        """The fact denoted by a ground atom."""
+        return self.ground({})
+
+    # -- identity ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Atom)
+                and self.relation == other.relation
+                and self.terms == other.terms)
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_against(self, schema: Schema, intensional: bool) -> None:
+        """Check Definition 3.2's constraints against a schema.
+
+        Constants must lie in their attribute domains; random terms are
+        only allowed if the atom is intensional and the distribution's
+        sample space embeds into the attribute domain.
+        """
+        relation_schema = schema.get(self.relation)
+        if relation_schema is None:
+            return  # schema-free program: nothing to check
+        if relation_schema.arity != self.arity:
+            raise ValidationError(
+                f"atom {self!r} has arity {self.arity}, relation declares "
+                f"{relation_schema.arity}")
+        for position, term in enumerate(self.terms):
+            domain = relation_schema.domains[position]
+            if isinstance(term, Const) and not domain.contains(term.value):
+                raise ValidationError(
+                    f"constant {term.value!r} outside domain {domain} at "
+                    f"position {position} of {self!r}")
+            if isinstance(term, RandomTerm):
+                if not intensional or relation_schema.extensional:
+                    raise ValidationError(
+                        f"random term in extensional atom {self!r}")
+
+
+def atom(relation: str, *term_specs: Any) -> Atom:
+    """Convenience constructor coercing specs via :func:`as_term`.
+
+    >>> atom("R", "x", 1)
+    R(x, 1)
+    """
+    return Atom(relation, tuple(as_term(spec) for spec in term_specs))

@@ -1,0 +1,203 @@
+"""Conditioning the generative output on constraints (PPDL, §7).
+
+The paper reproduces only the *generative* half of Probabilistic
+Programming Datalog; the second half of [3] conditions the generated
+distribution on logical constraints, and the paper's conclusion flags
+the continuous case as delicate (conditioning on measure-zero events
+invites the Borel-Kolmogorov paradox).  This module implements the
+unambiguous part as an extension:
+
+* **Exact conditioning** for discrete programs: restrict-and-normalize
+  the enumerated SPDB on a *positive-probability* event.  Error mass is
+  conditioned away (we condition on "the chase terminates AND the event
+  holds" - the only meaningful reading on instances).
+* **Rejection sampling** for arbitrary programs: sample worlds, keep
+  those satisfying the event.  Sound whenever the event has positive
+  probability; for continuous programs this limits constraints to
+  "thick" events (interval conditions, counting events), exactly the
+  boundary the paper draws.  Zero acceptance raises with a pointer to
+  the measure-zero discussion rather than silently looping.
+* :class:`ConstrainedProgram` - a generative program packaged with
+  constraint events, mirroring [3]'s PPDL = GDatalog + constraints.
+
+Constraints are :class:`repro.pdb.events.Event` objects or Boolean
+relational queries (non-empty answer = satisfied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.chase import DEFAULT_MAX_STEPS, _as_rng, run_chase
+from repro.core.exact import DEFAULT_MAX_DEPTH, DEFAULT_SUPPORT_TOLERANCE
+from repro.core.policies import ChasePolicy
+from repro.core.program import Program
+from repro.core.semantics import _translated_for, exact_spdb
+from repro.core.translate import ExistentialProgram
+from repro.errors import MeasureError
+from repro.pdb.database import DiscretePDB, MonteCarloPDB
+from repro.pdb.events import Event
+from repro.pdb.instances import Instance
+
+ConstraintLike = Event | Callable[[Instance], bool]
+
+
+def _as_predicate(constraint: ConstraintLike,
+                  ) -> Callable[[Instance], bool]:
+    if isinstance(constraint, Event):
+        return constraint.contains
+    if callable(constraint):
+        return constraint
+    raise TypeError(f"not a constraint: {constraint!r}")
+
+
+def _conjunction(constraints: Sequence[ConstraintLike],
+                 ) -> Callable[[Instance], bool]:
+    predicates = [_as_predicate(c) for c in constraints]
+    return lambda instance: all(p(instance) for p in predicates)
+
+
+def condition_exact(program: Program | ExistentialProgram,
+                    instance: Instance | None,
+                    constraints: Sequence[ConstraintLike],
+                    *,
+                    semantics: str = "grohe",
+                    policy: ChasePolicy | None = None,
+                    max_depth: int = DEFAULT_MAX_DEPTH,
+                    tolerance: float = DEFAULT_SUPPORT_TOLERANCE,
+                    keep_aux: bool = False) -> DiscretePDB:
+    """Exact posterior PDB of a discrete program given constraints.
+
+    Raises :class:`repro.errors.MeasureError` if the constraint
+    conjunction has probability zero under the program's output -
+    including the measure-zero case the paper warns about.
+
+    >>> posterior = condition_exact(
+    ...     Program.parse('''
+    ...         A(Flip<0.5>) :- true.
+    ...         B(Flip<0.5>) :- true.
+    ...     '''), None,
+    ...     [lambda D: any(f.args == (1,) for f in D.facts_of("A"))])
+    >>> posterior.total_mass()
+    1.0
+    """
+    prior = exact_spdb(program, instance, semantics=semantics,
+                       policy=policy, max_depth=max_depth,
+                       tolerance=tolerance, keep_aux=keep_aux)
+    satisfied = _conjunction(constraints)
+    try:
+        return prior.condition(satisfied)
+    except MeasureError:
+        raise MeasureError(
+            "constraints have probability zero under the program "
+            "output; conditioning is undefined (cf. the paper's "
+            "Borel-Kolmogorov discussion, Section 7)") from None
+
+
+@dataclass(frozen=True)
+class RejectionResult:
+    """Posterior sample with acceptance accounting.
+
+    ``posterior`` holds the accepted worlds; ``acceptance_rate`` is the
+    fraction of *terminating* runs that satisfied the constraints (the
+    Monte-Carlo estimate of the constraint probability);
+    ``n_truncated`` counts budget-truncated runs (excluded from both).
+    """
+
+    posterior: MonteCarloPDB
+    n_proposed: int
+    n_accepted: int
+    n_truncated: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        terminated = self.n_proposed - self.n_truncated
+        if terminated == 0:
+            return 0.0
+        return self.n_accepted / terminated
+
+
+def condition_by_rejection(program: Program | ExistentialProgram,
+                           instance: Instance | None,
+                           constraints: Sequence[ConstraintLike],
+                           n: int = 1000,
+                           *,
+                           semantics: str = "grohe",
+                           policy: ChasePolicy | None = None,
+                           rng: np.random.Generator | int | None = None,
+                           max_steps: int = DEFAULT_MAX_STEPS,
+                           keep_aux: bool = False) -> RejectionResult:
+    """Rejection-sample the posterior given constraints.
+
+    Works for continuous programs; requires the constraints to have
+    positive probability (zero accepted samples raises).  The posterior
+    is an ordinary :class:`MonteCarloPDB`, so the whole query layer
+    applies to it.
+    """
+    translated = _translated_for(program, semantics)
+    rng = _as_rng(rng)
+    satisfied = _conjunction(constraints)
+    visible = translated.visible_relations()
+    accepted: list[Instance] = []
+    truncated = 0
+    for _ in range(n):
+        run = run_chase(translated, instance, policy, rng,
+                        max_steps=max_steps)
+        if not run.terminated:
+            truncated += 1
+            continue
+        world = run.instance if keep_aux \
+            else run.instance.restrict(visible)
+        if satisfied(world):
+            accepted.append(world)
+    if not accepted:
+        raise MeasureError(
+            f"no accepted samples in {n} proposals; the constraints "
+            "have (near-)zero probability - conditioning on "
+            "measure-zero events is undefined in this semantics "
+            "(paper, Section 7)")
+    return RejectionResult(MonteCarloPDB(accepted), n, len(accepted),
+                           truncated)
+
+
+class ConstrainedProgram:
+    """PPDL-style package: a generative program plus constraints.
+
+    The generative part is a GDatalog program; the constraints condition
+    its output SPDB.  ``exact`` is available for discrete programs,
+    ``sample`` (rejection) for all programs.
+    """
+
+    def __init__(self, program: Program,
+                 constraints: Sequence[ConstraintLike] = ()):
+        self.program = program
+        self.constraints = tuple(constraints)
+
+    def observe(self, constraint: ConstraintLike) -> "ConstrainedProgram":
+        """A new package with one more constraint."""
+        return ConstrainedProgram(self.program,
+                                  self.constraints + (constraint,))
+
+    def exact(self, instance: Instance | None = None,
+              **kwargs) -> DiscretePDB:
+        """Exact posterior (discrete programs)."""
+        return condition_exact(self.program, instance,
+                               self.constraints, **kwargs)
+
+    def sample(self, instance: Instance | None = None, n: int = 1000,
+               **kwargs) -> RejectionResult:
+        """Rejection-sampled posterior (any program)."""
+        return condition_by_rejection(self.program, instance,
+                                      self.constraints, n, **kwargs)
+
+    def prior(self, instance: Instance | None = None,
+              **kwargs) -> DiscretePDB:
+        """The unconditioned output SPDB (discrete programs)."""
+        return exact_spdb(self.program, instance, **kwargs)
+
+    def __repr__(self) -> str:
+        return (f"ConstrainedProgram({len(self.program)} rules, "
+                f"{len(self.constraints)} constraints)")

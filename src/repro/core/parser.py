@@ -1,0 +1,322 @@
+"""Parser for the textual GDatalog surface syntax.
+
+The grammar mirrors the paper's notation, ASCII-fied:
+
+.. code-block:: text
+
+    program  := (rule)*
+    rule     := atom ( ":-" | "<-" | "←" ) body "." | atom "."
+    body     := "true" | "⊤" | atom ("," atom)*
+    atom     := RELATION "(" term ("," term)* ")"
+    term     := VARIABLE | constant | DIST "<" param ("," param)* ">"
+    param    := VARIABLE | constant
+    constant := NUMBER | STRING | "true" | "false"
+
+Conventions: relation and distribution names start with an uppercase
+letter, variables with a lowercase letter or underscore.  Distribution
+names are resolved against a :class:`DistributionRegistry`; a name in
+angle-bracket position that is not registered is a parse error.  Both
+``%`` and ``#`` start line comments.  The paper's examples parse
+directly, e.g.::
+
+    Earthquake(c, Flip<0.1>) :- City(c, r).
+    Unit(h, c) :- House(h, c).
+    PHeight(p, Normal<mu, sigma2>) :- PCountry(p, c), CMoments(c, mu, sigma2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.atoms import Atom
+from repro.core.rules import Rule
+from repro.core.terms import Const, RandomTerm, Term, Var
+from repro.distributions.registry import DistributionRegistry
+from repro.errors import ParseError
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_PUNCT = {
+    "(": "LPAREN", ")": "RPAREN", ",": "COMMA", ".": "DOT",
+    "<": "LANGLE", ">": "RANGLE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on illegal characters."""
+    line = 1
+    column = 1
+    index = 0
+    n = len(text)
+    while index < n:
+        ch = text[index]
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while index < n and text[index] != "\n":
+                index += 1
+            continue
+        start_column = column
+        if text.startswith(":-", index):
+            yield Token("ARROW", ":-", line, start_column)
+            index += 2
+            column += 2
+            continue
+        if text.startswith("<-", index):
+            yield Token("ARROW", "<-", line, start_column)
+            index += 2
+            column += 2
+            continue
+        if ch == "←":
+            yield Token("ARROW", ch, line, start_column)
+            index += 1
+            column += 1
+            continue
+        if ch == "⊤":
+            yield Token("TOP", ch, line, start_column)
+            index += 1
+            column += 1
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, start_column)
+            index += 1
+            column += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < n and text[index] != quote:
+                if text[index] == "\n":
+                    raise ParseError("unterminated string literal",
+                                     line, start_column)
+                if text[index] == "\\" and index + 1 < n:
+                    index += 1
+                    column += 1
+                chars.append(text[index])
+                index += 1
+                column += 1
+            if index >= n:
+                raise ParseError("unterminated string literal",
+                                 line, start_column)
+            index += 1
+            column += 1
+            yield Token("STRING", "".join(chars), line, start_column)
+            continue
+        if ch.isdigit() or (ch in "+-" and index + 1 < n
+                            and (text[index + 1].isdigit()
+                                 or text[index + 1] == ".")):
+            begin = index
+            index += 1
+            column += 1
+            while index < n and (text[index].isdigit()
+                                 or text[index] in ".eE"
+                                 or (text[index] in "+-"
+                                     and text[index - 1] in "eE")):
+                index += 1
+                column += 1
+            yield Token("NUMBER", text[begin:index], line, start_column)
+            continue
+        if ch.isalpha() or ch == "_":
+            begin = index
+            while index < n and (text[index].isalnum()
+                                 or text[index] in "_'"):
+                index += 1
+                column += 1
+            yield Token("NAME", text[begin:index], line, start_column)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    yield Token("EOF", "", line, column)
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, text: str, registry: DistributionRegistry):
+        self.tokens = list(tokenize(text))
+        self.position = 0
+        self.registry = registry
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                token.line, token.column)
+        return self.advance()
+
+    def accept(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while self.current.kind != "EOF":
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom(allow_random=True)
+        body: list[Atom] = []
+        if self.accept("ARROW"):
+            if self.accept("TOP") is None:
+                if self.current.kind == "NAME" \
+                        and self.current.text == "true" \
+                        and self.tokens[self.position + 1].kind == "DOT":
+                    self.advance()
+                else:
+                    body.append(self.parse_atom(allow_random=False))
+                    while self.accept("COMMA"):
+                        body.append(self.parse_atom(allow_random=False))
+        self.expect("DOT")
+        return Rule(head, body)
+
+    def parse_atom(self, allow_random: bool) -> Atom:
+        name_token = self.expect("NAME")
+        name = name_token.text
+        if not name[:1].isupper():
+            raise ParseError(
+                f"relation names start uppercase, got {name!r}",
+                name_token.line, name_token.column)
+        self.expect("LPAREN")
+        terms = [self.parse_term(allow_random)]
+        while self.accept("COMMA"):
+            terms.append(self.parse_term(allow_random))
+        self.expect("RPAREN")
+        return Atom(name, terms)
+
+    def parse_term(self, allow_random: bool) -> Term:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Const(_parse_number(token))
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.text)
+        if token.kind == "NAME":
+            self.advance()
+            text = token.text
+            if text == "true":
+                return Const(1)
+            if text == "false":
+                return Const(0)
+            if text[:1].isupper():
+                # A distribution term Name<...> or an error.
+                if self.current.kind != "LANGLE":
+                    raise ParseError(
+                        f"uppercase name {text!r} in term position must be "
+                        "a distribution with <...> parameters",
+                        token.line, token.column)
+                if not allow_random:
+                    raise ParseError(
+                        f"random term {text!r}<...> not allowed in rule "
+                        "bodies (Definition 3.3)",
+                        token.line, token.column)
+                return self.parse_random_term(token)
+            return Var(text)
+        raise ParseError(
+            f"expected a term, found {token.kind} ({token.text!r})",
+            token.line, token.column)
+
+    def parse_random_term(self, name_token: Token) -> RandomTerm:
+        # Distribution names may carry primes (Flip'); map to registry
+        # aliases (Flip' -> FlipPrime) for the paper's Example 1.1.
+        name = name_token.text.replace("'", "Prime")
+        if name not in self.registry:
+            raise ParseError(
+                f"unknown distribution {name_token.text!r}",
+                name_token.line, name_token.column)
+        distribution = self.registry[name]
+        self.expect("LANGLE")
+        params: list[Term] = []
+        if self.current.kind != "RANGLE":
+            params.append(self.parse_param())
+            while self.accept("COMMA"):
+                params.append(self.parse_param())
+        self.expect("RANGLE")
+        return RandomTerm(distribution, params)
+
+    def parse_param(self) -> Term:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Const(_parse_number(token))
+        if token.kind == "STRING":
+            self.advance()
+            return Const(token.text)
+        if token.kind == "NAME":
+            self.advance()
+            if token.text == "true":
+                return Const(1)
+            if token.text == "false":
+                return Const(0)
+            if token.text[:1].isupper():
+                raise ParseError(
+                    "distribution parameters must be constants or "
+                    f"variables, got {token.text!r}",
+                    token.line, token.column)
+            return Var(token.text)
+        raise ParseError(
+            f"expected a parameter, found {token.kind} ({token.text!r})",
+            token.line, token.column)
+
+
+def _parse_number(token: Token):
+    text = token.text
+    try:
+        if any(c in text for c in ".eE"):
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise ParseError(f"bad number literal {text!r}",
+                         token.line, token.column) from None
+
+
+def parse_program(text: str,
+                  registry: DistributionRegistry) -> list[Rule]:
+    """Parse program text into rules (see module docstring)."""
+    return _Parser(text, registry).parse_program()
+
+
+def parse_rule(text: str, registry: DistributionRegistry) -> Rule:
+    """Parse a single rule (must consume all input)."""
+    rules = parse_program(text, registry)
+    if len(rules) != 1:
+        raise ParseError(f"expected exactly one rule, found {len(rules)}")
+    return rules[0]

@@ -1,0 +1,190 @@
+"""Top-level semantics API: programs to (sub-)probabilistic databases.
+
+This module ties the pipeline together (Theorems 4.8 / 5.5 / 6.1):
+
+* :func:`exact_spdb` - the exact output SPDB of a *discrete* program,
+  by sequential or parallel chase-tree enumeration, under either
+  semantics ("grohe" = this paper, "barany" = [3] via Section 6.2);
+* :func:`sample_spdb` - the Monte-Carlo output SPDB of any program
+  (the only option for continuous programs);
+* :func:`apply_to_pdb` - a program applied to a probabilistic *input*
+  database (the second halves of Theorems 4.8/5.5): the output is the
+  mixture over input worlds of per-world outputs;
+* :func:`spdb_mass_report` - the Figure-1 bookkeeping: instance mass
+  vs ``err`` mass as a function of the step/depth budget.
+
+Auxiliary relations (``Result#i`` / ``Sample#ψ``) are projected away by
+default (Remark 4.9); pass ``keep_aux=True`` to inspect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chase import DEFAULT_MAX_STEPS, _as_rng, run_chase
+from repro.core.exact import (DEFAULT_MAX_DEPTH,
+                              DEFAULT_SUPPORT_TOLERANCE,
+                              exact_parallel_spdb, exact_sequential_spdb)
+from repro.core.parallel import run_parallel_chase
+from repro.core.policies import ChasePolicy
+from repro.core.program import Program
+from repro.core.translate import (ExistentialProgram, translate,
+                                  translate_barany)
+from repro.errors import ValidationError
+from repro.pdb.database import DiscretePDB, MonteCarloPDB, mixture_pdb
+from repro.pdb.instances import Instance
+
+
+def _translated_for(program: Program | ExistentialProgram,
+                    semantics: str) -> ExistentialProgram:
+    if isinstance(program, ExistentialProgram):
+        return program
+    if semantics == "grohe":
+        return translate(program)
+    if semantics == "barany":
+        return translate_barany(program)
+    raise ValidationError(
+        f"unknown semantics {semantics!r}; use 'grohe' or 'barany'")
+
+
+def exact_spdb(program: Program | ExistentialProgram,
+               instance: Instance | None = None,
+               *,
+               semantics: str = "grohe",
+               parallel: bool = False,
+               policy: ChasePolicy | None = None,
+               max_depth: int = DEFAULT_MAX_DEPTH,
+               tolerance: float = DEFAULT_SUPPORT_TOLERANCE,
+               keep_aux: bool = False) -> DiscretePDB:
+    """Exact output SPDB of a discrete program.
+
+    By Theorem 6.1 the result is independent of ``parallel`` and
+    ``policy`` - parameters exposed precisely so that tests and
+    benchmarks can *verify* that independence.
+
+    >>> g0 = Program.parse('''
+    ...     R(Flip<0.5>) :- true.
+    ...     R(Flip<0.5>) :- true.
+    ... ''')
+    >>> pdb = exact_spdb(g0)
+    >>> pdb.support_size()   # {R(0)}, {R(1)}, {R(0), R(1)}
+    3
+    """
+    translated = _translated_for(program, semantics)
+    if parallel:
+        return exact_parallel_spdb(translated, instance,
+                                   max_depth=max_depth,
+                                   tolerance=tolerance, keep_aux=keep_aux)
+    return exact_sequential_spdb(translated, instance, policy,
+                                 max_depth=max_depth, tolerance=tolerance,
+                                 keep_aux=keep_aux)
+
+
+def sample_spdb(program: Program | ExistentialProgram,
+                instance: Instance | None = None,
+                n: int = 1000,
+                *,
+                semantics: str = "grohe",
+                parallel: bool = False,
+                policy: ChasePolicy | None = None,
+                rng: np.random.Generator | int | None = None,
+                max_steps: int = DEFAULT_MAX_STEPS,
+                keep_aux: bool = False) -> MonteCarloPDB:
+    """Monte-Carlo output SPDB: ``n`` independent chase runs.
+
+    Works for continuous programs (where it is the only representation)
+    and discrete ones (where it converges to :func:`exact_spdb`).
+    Budget-truncated runs are counted as ``err`` mass.
+    """
+    translated = _translated_for(program, semantics)
+    rng = _as_rng(rng)
+    visible = translated.visible_relations()
+    worlds: list[Instance] = []
+    truncated = 0
+    for _ in range(n):
+        if parallel:
+            run = run_parallel_chase(translated, instance, rng,
+                                     max_steps=max_steps)
+        else:
+            run = run_chase(translated, instance, policy, rng,
+                            max_steps=max_steps)
+        if not run.terminated:
+            truncated += 1
+            continue
+        world = run.instance if keep_aux \
+            else run.instance.restrict(visible)
+        worlds.append(world)
+    return MonteCarloPDB(worlds, truncated)
+
+
+def apply_to_pdb(program: Program | ExistentialProgram,
+                 input_pdb: DiscretePDB,
+                 *,
+                 semantics: str = "grohe",
+                 parallel: bool = False,
+                 policy: ChasePolicy | None = None,
+                 max_depth: int = DEFAULT_MAX_DEPTH,
+                 tolerance: float = DEFAULT_SUPPORT_TOLERANCE,
+                 keep_aux: bool = False) -> DiscretePDB:
+    """Apply a discrete program to a probabilistic input database.
+
+    Theorem 4.8 (second part): with an SPDB as input, the program
+    defines an SPDB as output.  Operationally the output measure is the
+    mixture, over input worlds ``D_0`` with weight ``P(D_0)``, of the
+    per-world output SPDBs; input error mass passes through unchanged.
+    """
+    translated = _translated_for(program, semantics)
+    components = []
+    for world, weight in input_pdb.worlds():
+        output = exact_spdb(translated, world, parallel=parallel,
+                            policy=policy, max_depth=max_depth,
+                            tolerance=tolerance, keep_aux=keep_aux)
+        components.append((weight, output))
+    mixed = mixture_pdb(components)
+    return DiscretePDB(mixed.measure, mixed.err + input_pdb.err_mass())
+
+
+@dataclass(frozen=True)
+class MassReport:
+    """Figure-1 bookkeeping: where the unit of probability mass went.
+
+    ``instance_mass`` is carried by finite (stable) chase paths -
+    these map into the instance space ``D`` under ``lim-inst``;
+    ``err_mass`` is carried by paths that were still alive at the
+    budget - the stand-in for infinite paths, mapped to ``err``.
+    The two always sum to 1 (up to float tolerance).
+    """
+
+    budget: int
+    instance_mass: float
+    err_mass: float
+
+    @property
+    def total(self) -> float:
+        return self.instance_mass + self.err_mass
+
+
+def spdb_mass_report(program: Program | ExistentialProgram,
+                     instance: Instance | None = None,
+                     budgets: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+                     *,
+                     semantics: str = "grohe",
+                     policy: ChasePolicy | None = None,
+                     tolerance: float = DEFAULT_SUPPORT_TOLERANCE,
+                     ) -> list[MassReport]:
+    """Mass accounting across depth budgets (experiment E9).
+
+    For terminating programs the err mass drops to 0 once the budget
+    exceeds the tree height; for almost-surely-non-terminating programs
+    it stays near 1 for every budget.
+    """
+    translated = _translated_for(program, semantics)
+    reports = []
+    for budget in budgets:
+        pdb = exact_sequential_spdb(translated, instance, policy,
+                                    max_depth=budget, tolerance=tolerance)
+        reports.append(MassReport(budget, pdb.total_mass(),
+                                  pdb.err_mass()))
+    return reports

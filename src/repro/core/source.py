@@ -1,0 +1,88 @@
+"""Serialization of programs back to parseable surface syntax.
+
+``repr()`` on rules uses the paper's mathematical notation (``←``,
+``⊤``) for readability; this module instead emits text that
+:mod:`repro.core.parser` accepts, so programs round-trip:
+
+    parse(to_source(program)) == program
+
+Limitations (by design): internal relations created by translation or
+normalization contain ``#`` and cannot be re-parsed — serializing them
+raises.  Variables named by the library (``y#…``) are likewise
+internal-only.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import Const, RandomTerm, Term, Var
+from repro.errors import ValidationError
+
+
+def _valid_relation(name: str) -> str:
+    if not name or not name[0].isupper() or \
+            not all(c.isalnum() or c in "_'" for c in name):
+        raise ValidationError(
+            f"relation {name!r} has no surface syntax (internal?)")
+    return name
+
+
+def _valid_variable(name: str) -> str:
+    if not name or not (name[0].islower() or name[0] == "_") or \
+            not all(c.isalnum() or c in "_'" for c in name):
+        raise ValidationError(
+            f"variable {name!r} has no surface syntax (internal?)")
+    return name
+
+
+def constant_to_source(value) -> str:
+    """Render a constant value as a literal token."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise ValidationError(f"constant {value!r} has no surface syntax")
+
+
+def term_to_source(term: Term) -> str:
+    """Render one term."""
+    if isinstance(term, Var):
+        return _valid_variable(term.name)
+    if isinstance(term, Const):
+        return constant_to_source(term.value)
+    if isinstance(term, RandomTerm):
+        name = _valid_relation(term.distribution.name)
+        params = ", ".join(term_to_source(p) for p in term.params)
+        return f"{name}<{params}>"
+    raise ValidationError(f"unknown term {term!r}")
+
+
+def atom_to_source(atom: Atom) -> str:
+    """Render one atom."""
+    name = _valid_relation(atom.relation)
+    inner = ", ".join(term_to_source(t) for t in atom.terms)
+    return f"{name}({inner})"
+
+
+def rule_to_source(rule: Rule) -> str:
+    """Render one rule, ``.``-terminated."""
+    head = atom_to_source(rule.head)
+    if not rule.body:
+        return f"{head} :- true."
+    body = ", ".join(atom_to_source(a) for a in rule.body)
+    return f"{head} :- {body}."
+
+
+def program_to_source(program: Program) -> str:
+    """Render a whole program, one rule per line.
+
+    >>> program = Program.parse("R(Flip<0.5>) :- true.")
+    >>> Program.parse(program_to_source(program)) == program
+    True
+    """
+    return "\n".join(rule_to_source(rule) for rule in program.rules)

@@ -1,0 +1,165 @@
+"""Terms of GDatalog (Definition 3.1).
+
+Three kinds of terms appear in atoms:
+
+* :class:`Var` - a variable from the countably infinite set ``V``;
+* :class:`Const` - a constant from the attribute domains;
+* :class:`RandomTerm` - ``ψ⟨θ⟩`` where ``ψ`` is a parameterized
+  distribution and ``θ`` a tuple of constants and variables admitting a
+  valuation into ``Θ_ψ``.
+
+Variables and constants are the *deterministic* terms; a random term
+may only occur in intensional rule heads (enforced by
+:mod:`repro.core.rules`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.distributions.base import ParameterizedDistribution
+from repro.errors import ValidationError
+from repro.ordering import value_sort_key
+from repro.pdb.facts import normalize_value
+
+
+class Term:
+    """Base class of all terms."""
+
+    def is_random(self) -> bool:
+        return False
+
+    def variables(self) -> Iterator["Var"]:
+        """Variables occurring in this term."""
+        return iter(())
+
+
+class Var(Term):
+    """A variable.  Identified by name; hashable and orderable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValidationError(f"invalid variable name {name!r}")
+        self.name = name
+
+    def variables(self) -> Iterator["Var"]:
+        yield self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __lt__(self, other: "Var") -> bool:
+        return self.name < other.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Const(Term):
+    """A constant value (normalized like fact arguments)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = normalize_value(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+    def __lt__(self, other: "Const") -> bool:
+        return value_sort_key(self.value) < value_sort_key(other.value)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class RandomTerm(Term):
+    """``ψ⟨p_1, ..., p_m⟩``: sample from ``ψ`` at the given parameters.
+
+    The parameters are deterministic terms (constants or variables to be
+    bound by the rule body).  Nesting random terms is not part of the
+    language.
+    """
+
+    __slots__ = ("distribution", "params")
+
+    def __init__(self, distribution: ParameterizedDistribution,
+                 params: Iterable[Term]):
+        self.distribution = distribution
+        self.params = tuple(params)
+        for param in self.params:
+            if isinstance(param, RandomTerm):
+                raise ValidationError(
+                    "random terms cannot be nested inside parameters")
+            if not isinstance(param, (Var, Const)):
+                raise ValidationError(
+                    f"random-term parameter must be a term: {param!r}")
+        arity = distribution.param_arity
+        if arity >= 0 and len(self.params) != arity:
+            raise ValidationError(
+                f"distribution {distribution.name} expects {arity} "
+                f"parameter(s), got {len(self.params)}")
+        # If all parameters are constants, validate membership in Θ_ψ now;
+        # variable parameters are validated per-valuation during the chase.
+        if all(isinstance(p, Const) for p in self.params):
+            distribution.validate_params(
+                tuple(p.value for p in self.params))
+
+    def is_random(self) -> bool:
+        return True
+
+    def variables(self) -> Iterator[Var]:
+        for param in self.params:
+            yield from param.variables()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RandomTerm)
+                and self.distribution.name == other.distribution.name
+                and self.params == other.params)
+
+    def __hash__(self) -> int:
+        return hash(("RandomTerm", self.distribution.name, self.params))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"{self.distribution.name}<{inner}>"
+
+
+def as_term(value: Any) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings that look like lowercase identifiers become variables (the
+    surface-syntax convention); everything else becomes a constant.  Use
+    explicit :class:`Var`/:class:`Const` when the convention is wrong
+    (e.g. a lowercase string constant).
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value[:1].islower() and \
+            value.replace("_", "").isalnum():
+        return Var(value)
+    return Const(value)
+
+
+def substitute(term: Term, binding: dict[Var, Any]) -> Any:
+    """Apply a valuation to a deterministic term, yielding a value.
+
+    Raises if the term is random (random terms are resolved by the
+    chase, not by substitution) or the variable is unbound.
+    """
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        try:
+            return binding[term]
+        except KeyError:
+            raise ValidationError(f"unbound variable {term!r}") from None
+    raise ValidationError(f"cannot substitute into random term {term!r}")

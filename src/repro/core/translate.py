@@ -1,0 +1,299 @@
+"""Translation of GDatalog programs to existential Datalog (Section 3.2).
+
+Every random rule ``φ_i`` with head ``R(x_1..x_n, ψ⟨p_1..p_m⟩)`` is
+replaced by the pair
+
+.. code-block:: text
+
+    (3.A)  ∃y: R_i(x_1..x_n, p_1..p_m, y) ← φ_{i,b}(x̄)
+    (3.B)  R(x_1.., y, ..x_n)             ← φ_{i,b}(x̄), R_i(x_1..x_n, p_1..p_m, y)
+
+where ``R_i`` is a fresh auxiliary relation *per rule* - this is the
+paper's semantics, under which each probabilistic rule samples at most
+once per valuation.  :func:`translate_barany` instead keys the
+auxiliary relation by the *(distribution name, parameter tuple)* -
+``Sample_ψ(p̄, y)`` shared across rules - which reproduces the original
+semantics of Bárány et al. as characterized in Section 6.2 ("they tie
+samples to the (name of) the distribution").
+
+The random term may occupy any head position; auxiliary relations store
+the carried (non-random) head values first, then the parameters, then
+the sampled value last - so the induced functional dependency
+(Section 3.5) is always "all columns but the last determine the last".
+
+Auxiliary relation names contain ``#`` which the surface syntax cannot
+produce, so they can never collide with user relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import math
+
+from repro.core.atoms import Atom
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import RandomTerm, Term, Var, substitute
+from repro.distributions.base import ParameterizedDistribution
+from repro.errors import ValidationError
+from repro.pdb.facts import Fact
+
+#: Prefix of per-rule auxiliary relations (this paper's semantics).
+RESULT_PREFIX = "Result#"
+#: Prefix of per-distribution auxiliary relations (Bárány semantics).
+SAMPLE_PREFIX = "Sample#"
+
+
+def is_aux_relation(name: str) -> bool:
+    """Whether a relation name is translation-generated."""
+    return name.startswith(RESULT_PREFIX) or name.startswith(SAMPLE_PREFIX)
+
+
+class TranslatedRule:
+    """Base class of rules in a translated program ``Ĝ``."""
+
+    __slots__ = ("index", "body", "origin")
+
+    def __init__(self, index: int, body: tuple[Atom, ...],
+                 origin: Rule | None):
+        self.index = index
+        self.body = body
+        self.origin = origin
+
+    def is_existential(self) -> bool:
+        raise NotImplementedError
+
+
+class DetRule(TranslatedRule):
+    """A deterministic rule of ``Ĝ``: fires by adding its ground head."""
+
+    __slots__ = ("head",)
+
+    def __init__(self, index: int, head: Atom, body: tuple[Atom, ...],
+                 origin: Rule | None):
+        super().__init__(index, body, origin)
+        self.head = head
+
+    def is_existential(self) -> bool:
+        return False
+
+    def head_fact(self, binding: dict[Var, Any]) -> Fact:
+        return self.head.ground(binding)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body) or "⊤"
+        return f"[{self.index}] {self.head!r} ← {body}"
+
+
+class ExtRule(TranslatedRule):
+    """An existential rule (3.A) of ``Ĝ``.
+
+    ``prefix_terms`` are the auxiliary relation's deterministic columns:
+    the carried head terms followed by the distribution parameters.  The
+    existential variable fills the final column.
+    """
+
+    __slots__ = ("aux_relation", "prefix_terms", "n_carried",
+                 "distribution")
+
+    def __init__(self, index: int, aux_relation: str,
+                 prefix_terms: tuple[Term, ...], n_carried: int,
+                 distribution: ParameterizedDistribution,
+                 body: tuple[Atom, ...], origin: Rule | None):
+        super().__init__(index, body, origin)
+        self.aux_relation = aux_relation
+        self.prefix_terms = prefix_terms
+        self.n_carried = n_carried
+        self.distribution = distribution
+
+    def is_existential(self) -> bool:
+        return True
+
+    def prefix_values(self, binding: dict[Var, Any]) -> tuple:
+        """Ground the deterministic columns under a body valuation."""
+        return tuple(substitute(term, binding)
+                     for term in self.prefix_terms)
+
+    def param_values(self, prefix: tuple) -> tuple:
+        """Extract the distribution parameters from a ground prefix."""
+        return prefix[self.n_carried:]
+
+    def aux_fact(self, prefix: tuple, sampled: Any) -> Fact:
+        """The auxiliary fact ``R_i(prefix, sampled)``."""
+        return Fact(self.aux_relation, prefix + (sampled,))
+
+    def aux_atom(self, existential: Var) -> Atom:
+        """The auxiliary atom with the existential variable as last term."""
+        return Atom(self.aux_relation,
+                    self.prefix_terms + (existential,))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body) or "⊤"
+        cols = ", ".join(repr(t) for t in self.prefix_terms)
+        return (f"[{self.index}] ∃y: {self.aux_relation}({cols}, y) "
+                f"← {body}   ~{self.distribution.name}")
+
+
+@dataclass(frozen=True)
+class AuxInfo:
+    """Metadata of one auxiliary relation."""
+
+    distribution: ParameterizedDistribution
+    n_carried: int
+    arity: int  # prefix length + 1
+
+
+class ExistentialProgram:
+    """A translated program ``Ĝ`` with its auxiliary-relation metadata.
+
+    ``semantics`` records which translation produced it (``"grohe"`` for
+    this paper's per-rule auxiliaries, ``"barany"`` for the
+    per-distribution auxiliaries of Section 6.2).
+    """
+
+    def __init__(self, source: Program, rules: Sequence[TranslatedRule],
+                 aux_info: dict[str, AuxInfo], semantics: str):
+        self.source = source
+        self.rules = tuple(rules)
+        self.aux_info = dict(aux_info)
+        self.semantics = semantics
+        self.aux_relations = frozenset(aux_info)
+
+    def existential_rules(self) -> tuple[ExtRule, ...]:
+        return tuple(r for r in self.rules if isinstance(r, ExtRule))
+
+    def deterministic_rules(self) -> tuple[DetRule, ...]:
+        return tuple(r for r in self.rules if isinstance(r, DetRule))
+
+    def visible_relations(self) -> tuple[str, ...]:
+        """The original program's relations (auxiliaries excluded)."""
+        return self.source.relations()
+
+    def is_discrete(self) -> bool:
+        return all(info.distribution.is_discrete
+                   for info in self.aux_info.values())
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        lines = [repr(rule) for rule in self.rules]
+        return (f"ExistentialProgram[{self.semantics}](\n  "
+                + "\n  ".join(lines) + "\n)")
+
+
+def _fresh_existential_var(rule: Rule, tag: str) -> Var:
+    """A variable name unused in the rule (``y#`` cannot be parsed)."""
+    used = {v.name for v in rule.body_variable_set()}
+    used.update(v.name for v in rule.head.variable_set())
+    candidate = f"y#{tag}"
+    while candidate in used:
+        candidate += "'"
+    return Var(candidate)
+
+
+def _split_random_head(rule: Rule) -> tuple[int, RandomTerm,
+                                            tuple[Term, ...]]:
+    """Random position, random term, and carried (other) head terms."""
+    position, random_term = rule.single_random_term()
+    carried = tuple(term for i, term in enumerate(rule.head.terms)
+                    if i != position)
+    return position, random_term, carried
+
+
+def _companion_head(rule: Rule, position: int, existential: Var) -> Atom:
+    """The (3.B) head: the original head with ``y`` at the random slot."""
+    terms = list(rule.head.terms)
+    terms[position] = existential
+    return Atom(rule.head.relation, terms)
+
+
+def translate(program: Program) -> ExistentialProgram:
+    """This paper's translation ``G ↦ Ĝ`` (per-rule auxiliaries)."""
+    source = program
+    if not program.is_normal_form():
+        # Normalization helpers (Split#...) are implementation detail;
+        # keep the original program as the visible-schema source.
+        program = program.normalized()
+    rules: list[TranslatedRule] = []
+    aux_info: dict[str, AuxInfo] = {}
+    for source_index, rule in enumerate(program.rules):
+        index = len(rules)
+        if not rule.is_random():
+            rules.append(DetRule(index, rule.head, rule.body, rule))
+            continue
+        position, random_term, carried = _split_random_head(rule)
+        aux_relation = f"{RESULT_PREFIX}{source_index}"
+        prefix_terms = carried + random_term.params
+        ext = ExtRule(index, aux_relation, prefix_terms, len(carried),
+                      random_term.distribution, rule.body, rule)
+        rules.append(ext)
+        aux_info[aux_relation] = AuxInfo(
+            random_term.distribution, len(carried),
+            len(prefix_terms) + 1)
+        existential = _fresh_existential_var(rule, str(source_index))
+        companion_body = rule.body + (ext.aux_atom(existential),)
+        rules.append(DetRule(len(rules),
+                             _companion_head(rule, position, existential),
+                             companion_body, rule))
+    return ExistentialProgram(source, rules, aux_info, "grohe")
+
+
+def translate_barany(program: Program) -> ExistentialProgram:
+    """The Section 6.2 translation matching Bárány et al.'s semantics.
+
+    Samples are keyed by (distribution name, parameter tuple): all rules
+    using ``ψ`` share the auxiliary relation ``Sample#ψ/m`` whose columns
+    are the ``m`` parameters plus the sampled value.  Renaming a
+    distribution (``Flip`` → ``Flip'``) therefore changes program
+    behaviour - exactly the phenomenon of Example 1.1.
+    """
+    source = program
+    if not program.is_normal_form():
+        program = program.normalized()
+    rules: list[TranslatedRule] = []
+    aux_info: dict[str, AuxInfo] = {}
+    for rule in program.rules:
+        index = len(rules)
+        if not rule.is_random():
+            rules.append(DetRule(index, rule.head, rule.body, rule))
+            continue
+        position, random_term, _carried = _split_random_head(rule)
+        distribution = random_term.distribution
+        arity_tag = len(random_term.params)
+        aux_relation = f"{SAMPLE_PREFIX}{distribution.name}#{arity_tag}"
+        prefix_terms = tuple(random_term.params)
+        ext = ExtRule(index, aux_relation, prefix_terms, 0,
+                      distribution, rule.body, rule)
+        rules.append(ext)
+        existing = aux_info.get(aux_relation)
+        if existing is not None and \
+                existing.distribution.name != distribution.name:
+            raise ValidationError(
+                f"auxiliary relation clash for {aux_relation}")
+        aux_info[aux_relation] = AuxInfo(distribution, 0,
+                                         len(prefix_terms) + 1)
+        existential = _fresh_existential_var(rule, distribution.name)
+        companion_body = rule.body + (ext.aux_atom(existential),)
+        rules.append(DetRule(len(rules),
+                             _companion_head(rule, position, existential),
+                             companion_body, rule))
+    return ExistentialProgram(source, rules, aux_info, "barany")
+
+
+def validate_params_in_theta(ext: ExtRule, params: tuple) -> tuple:
+    """Check a ground parameter tuple lies in ``Θ_ψ``.
+
+    Definition 3.1 demands valuations map parameters into the parameter
+    space; a violating binding at chase time is a semantic error in the
+    program/data and raises :class:`repro.errors.DistributionError`
+    with rule context.
+    """
+    validated = ext.distribution.validate_params(params)
+    for value in validated:
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValidationError(
+                f"non-finite parameter {value!r} for rule {ext!r}")
+    return validated

@@ -1,0 +1,196 @@
+"""Parameterized distributions (Definition 2.1).
+
+A parameterized distribution ``ψ`` consists of a base measure space -
+either a Euclidean space with Lebesgue measure or a discrete space with
+counting measure - and a density family ``ψ⟨θ⟩`` over a parameter space
+``Θ_ψ``, with ``∫ ψ⟨θ⟩ dµ = 1`` for every ``θ``.
+
+:class:`ParameterizedDistribution` captures exactly this structure:
+
+* ``is_discrete`` selects the base-measure kind;
+* :meth:`validate_params` decides membership in ``Θ_ψ`` (raising
+  :class:`repro.errors.DistributionError` otherwise - the paper requires
+  valuations mapping into ``Θ_ψ``, Definition 3.1);
+* :meth:`density` is ``ψ⟨θ⟩(x)`` - a pmf for discrete, pdf for
+  continuous distributions;
+* :meth:`sample` draws from ``P_ψ⟨θ⟩`` (Eq. 2.A) using numpy;
+* discrete distributions enumerate their support, possibly lazily with
+  an explicit *truncation*: :meth:`truncated_support` returns pairs
+  covering at least ``1 - tolerance`` of the mass, enabling exact chase
+  enumeration with the residue tracked as error mass.
+
+Fact 2.3's conditions (continuity in θ, identifiability) are documented
+per distribution; :meth:`distinct_parameters` operationalizes
+identifiability, which the Bárány-style semantics (§6.2) relies on when
+keying samples by parameter values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.measures.discrete import DiscreteMeasure
+
+
+class ParameterizedDistribution:
+    """Abstract base for parameterized distributions.
+
+    Subclasses define class attributes ``name`` (the symbolic name used
+    in programs, e.g. ``"Flip"``), ``param_arity`` and ``is_discrete``,
+    and implement the per-θ behaviour.
+    """
+
+    #: Symbolic name used in program text (``ψ⟨θ⟩`` is ``Name<θ>``).
+    name: str = "?"
+    #: Number of parameters (length of θ tuples).
+    param_arity: int = 0
+    #: Discrete (counting base measure) vs continuous (Lebesgue).
+    is_discrete: bool = True
+
+    # -- parameter space Θ_ψ ---------------------------------------------------
+
+    def validate_params(self, params: Sequence[Any]) -> tuple:
+        """Check ``params ∈ Θ_ψ``; return the normalized tuple.
+
+        Subclasses override :meth:`_check_params`; this wrapper enforces
+        arity and converts to a canonical tuple of floats/values.
+        """
+        params = tuple(params)
+        if len(params) != self.param_arity:
+            raise DistributionError(
+                f"{self.name} expects {self.param_arity} parameter(s), "
+                f"got {len(params)}")
+        return self._check_params(params)
+
+    def _check_params(self, params: tuple) -> tuple:
+        raise NotImplementedError
+
+    def distinct_parameters(self, first: tuple, second: tuple) -> bool:
+        """Whether two parameter tuples induce different measures.
+
+        Definition 2.1 / Fact 2.3 require the family to be identifiable
+        (θ ≠ θ' ⇒ P_ψ⟨θ⟩ ≠ P_ψ⟨θ'⟩); all built-in families are, so the
+        default compares normalized tuples.
+        """
+        return self.validate_params(first) != self.validate_params(second)
+
+    # -- density and sampling -----------------------------------------------------
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        """``ψ⟨θ⟩(x)``: pmf (discrete) or pdf (continuous)."""
+        raise NotImplementedError
+
+    def log_density(self, params: Sequence[Any], x: Any) -> float:
+        """``log ψ⟨θ⟩(x)`` (−inf outside the support)."""
+        d = self.density(params, x)
+        if d <= 0.0:
+            return float("-inf")
+        return float(np.log(d))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> Any:
+        """Draw one value from ``P_ψ⟨θ⟩``."""
+        raise NotImplementedError
+
+    def sample_many(self, params: Sequence[Any], rng: np.random.Generator,
+                    n: int) -> list:
+        """Draw ``n`` iid values (subclasses may vectorize)."""
+        return [self.sample(params, rng) for _ in range(n)]
+
+    # -- moments (used by tests and examples; optional) ----------------------------
+
+    def mean(self, params: Sequence[Any]) -> float:
+        raise NotImplementedError(f"{self.name} does not expose a mean")
+
+    def variance(self, params: Sequence[Any]) -> float:
+        raise NotImplementedError(f"{self.name} does not expose a variance")
+
+    # -- discrete support ------------------------------------------------------------
+
+    def support(self, params: Sequence[Any]) -> Iterator[Any]:
+        """Iterate the support (discrete only; possibly infinite)."""
+        raise DistributionError(
+            f"{self.name} is continuous; its support is uncountable")
+
+    def support_is_finite(self, params: Sequence[Any]) -> bool:
+        """Whether :meth:`support` terminates for these parameters."""
+        return False
+
+    def truncated_support(self, params: Sequence[Any],
+                          tolerance: float = 1e-12,
+                          max_points: int = 100_000,
+                          ) -> tuple[list[tuple[Any, float]], float]:
+        """``([(value, mass), ...], residue)`` covering mass ≥ 1−tolerance.
+
+        For finite-support distributions the residue is 0.  For infinite
+        discrete supports (Poisson, Geometric) enumeration stops once
+        the accumulated mass reaches ``1 - tolerance`` (or at
+        ``max_points``); the uncovered ``residue`` is reported so exact
+        inference can move it to error mass instead of silently
+        renormalizing.
+        """
+        if not self.is_discrete:
+            raise DistributionError(
+                f"{self.name} is continuous; exact enumeration requires "
+                "a discrete distribution")
+        params = self.validate_params(params)
+        pairs: list[tuple[Any, float]] = []
+        accumulated = 0.0
+        for value in self.support(params):
+            mass = self.density(params, value)
+            if mass > 0.0:
+                pairs.append((value, mass))
+                accumulated += mass
+            if accumulated >= 1.0 - tolerance:
+                break
+            if len(pairs) >= max_points:
+                break
+        return pairs, max(1.0 - accumulated, 0.0)
+
+    def measure(self, params: Sequence[Any],
+                tolerance: float = 1e-12) -> DiscreteMeasure:
+        """``P_ψ⟨θ⟩`` as a (possibly sub-probability) discrete measure."""
+        pairs, _residue = self.truncated_support(params, tolerance)
+        return DiscreteMeasure(dict(pairs))
+
+    # -- continuous CDF (optional; used by KS tests) -------------------------------------
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        """The CDF of ``P_ψ⟨θ⟩`` where available."""
+        raise NotImplementedError(f"{self.name} does not expose a CDF")
+
+    def __repr__(self) -> str:
+        kind = "discrete" if self.is_discrete else "continuous"
+        return f"<{self.name} ({kind}, {self.param_arity} params)>"
+
+
+def require(condition: bool, distribution_name: str, message: str) -> None:
+    """Raise :class:`DistributionError` unless ``condition`` holds."""
+    if not condition:
+        raise DistributionError(f"{distribution_name}: {message}")
+
+
+def as_float(value: Any, distribution_name: str, role: str) -> float:
+    """Coerce a parameter to float, rejecting non-numeric values."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        result = float(value)
+        if np.isnan(result):
+            raise DistributionError(
+                f"{distribution_name}: {role} must not be NaN")
+        return result
+    raise DistributionError(
+        f"{distribution_name}: {role} must be numeric, got {value!r}")
+
+
+def as_int(value: Any, distribution_name: str, role: str) -> int:
+    """Coerce a parameter to int, rejecting fractional values."""
+    f = as_float(value, distribution_name, role)
+    if not float(f).is_integer():
+        raise DistributionError(
+            f"{distribution_name}: {role} must be an integer, got {value!r}")
+    return int(f)

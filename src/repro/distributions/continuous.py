@@ -1,0 +1,341 @@
+"""Continuous parameterized distributions (Lebesgue base measure).
+
+These are the point of the paper: rule heads may sample from absolutely
+continuous laws such as ``Normal⟨µ, σ²⟩``.  Example 2.2 displays the
+normal density (with a typographical error - the exponent denominator
+is missing the factor 2; we implement the correct density
+
+    Normal⟨µ, σ²⟩(x) = exp(−(x−µ)² / (2σ²)) / sqrt(2πσ²)
+
+and record the erratum in EXPERIMENTS.md).  All families expose exact
+densities, CDFs where classical closed forms exist (for KS testing),
+moments and vectorizable numpy samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.distributions.base import (ParameterizedDistribution, as_float,
+                                      require)
+
+
+def _as_real(x: Any) -> float | None:
+    """Value as float if it is a real number, else None."""
+    if isinstance(x, bool):
+        return float(x)
+    if isinstance(x, (int, float)):
+        return float(x)
+    return None
+
+
+class Normal(ParameterizedDistribution):
+    """Normal distribution parameterized by mean and *variance*.
+
+    ``Θ = R × R_{>0}`` (Example 2.2): the second parameter is σ², not σ,
+    matching the paper's ``Normal⟨µ, σ²⟩`` notation.
+    """
+
+    name = "Normal"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        mu = as_float(params[0], self.name, "mean")
+        var = as_float(params[1], self.name, "variance")
+        require(var > 0.0, self.name, f"variance must be > 0: {var}")
+        return (mu, var)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        mu, var = self.validate_params(params)
+        value = _as_real(x)
+        if value is None:
+            return 0.0
+        return float(math.exp(-(value - mu) ** 2 / (2.0 * var))
+                     / math.sqrt(2.0 * math.pi * var))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        mu, var = self.validate_params(params)
+        return float(rng.normal(mu, math.sqrt(var)))
+
+    def sample_many(self, params: Sequence[Any],
+                    rng: np.random.Generator, n: int) -> list:
+        mu, var = self.validate_params(params)
+        return rng.normal(mu, math.sqrt(var), size=n).tolist()
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        mu, var = self.validate_params(params)
+        return 0.5 * (1.0 + math.erf((x - mu) / math.sqrt(2.0 * var)))
+
+    def mean(self, params: Sequence[Any]) -> float:
+        mu, _var = self.validate_params(params)
+        return mu
+
+    def variance(self, params: Sequence[Any]) -> float:
+        _mu, var = self.validate_params(params)
+        return var
+
+
+class LogNormal(ParameterizedDistribution):
+    """Log-normal: ``exp(Z)`` with ``Z ~ Normal⟨µ, σ²⟩``.
+
+    ``Θ = R × R_{>0}``.  Included because the introduction motivates
+    continuous PDBs with real-world log-normal phenomena [29].
+    """
+
+    name = "LogNormal"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        mu = as_float(params[0], self.name, "log-mean")
+        var = as_float(params[1], self.name, "log-variance")
+        require(var > 0.0, self.name, f"log-variance must be > 0: {var}")
+        return (mu, var)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        mu, var = self.validate_params(params)
+        value = _as_real(x)
+        if value is None or value <= 0.0:
+            return 0.0
+        return float(math.exp(-(math.log(value) - mu) ** 2 / (2.0 * var))
+                     / (value * math.sqrt(2.0 * math.pi * var)))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        mu, var = self.validate_params(params)
+        return float(rng.lognormal(mu, math.sqrt(var)))
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        mu, var = self.validate_params(params)
+        if x <= 0.0:
+            return 0.0
+        return 0.5 * (1.0 + math.erf(
+            (math.log(x) - mu) / math.sqrt(2.0 * var)))
+
+    def mean(self, params: Sequence[Any]) -> float:
+        mu, var = self.validate_params(params)
+        return math.exp(mu + var / 2.0)
+
+    def variance(self, params: Sequence[Any]) -> float:
+        mu, var = self.validate_params(params)
+        return (math.exp(var) - 1.0) * math.exp(2.0 * mu + var)
+
+
+class Exponential(ParameterizedDistribution):
+    """Exponential with rate λ: ``ψ⟨λ⟩(x) = λ e^{−λx}`` on ``x >= 0``.
+
+    ``Θ = R_{>0}``.  (The conclusion of the paper names exponential
+    distributions as a natural application.)
+    """
+
+    name = "Exponential"
+    param_arity = 1
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        rate = as_float(params[0], self.name, "rate")
+        require(rate > 0.0, self.name, f"rate must be > 0: {rate}")
+        return (rate,)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        (rate,) = self.validate_params(params)
+        value = _as_real(x)
+        if value is None or value < 0.0:
+            return 0.0
+        return float(rate * math.exp(-rate * value))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        (rate,) = self.validate_params(params)
+        return float(rng.exponential(1.0 / rate))
+
+    def sample_many(self, params: Sequence[Any],
+                    rng: np.random.Generator, n: int) -> list:
+        (rate,) = self.validate_params(params)
+        return rng.exponential(1.0 / rate, size=n).tolist()
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        (rate,) = self.validate_params(params)
+        if x <= 0.0:
+            return 0.0
+        return 1.0 - math.exp(-rate * x)
+
+    def mean(self, params: Sequence[Any]) -> float:
+        (rate,) = self.validate_params(params)
+        return 1.0 / rate
+
+    def variance(self, params: Sequence[Any]) -> float:
+        (rate,) = self.validate_params(params)
+        return 1.0 / (rate * rate)
+
+
+class Uniform(ParameterizedDistribution):
+    """Continuous uniform on ``[low, high]`` with ``low < high``."""
+
+    name = "Uniform"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        low = as_float(params[0], self.name, "low")
+        high = as_float(params[1], self.name, "high")
+        require(low < high, self.name, f"need low < high: {low}, {high}")
+        return (low, high)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        low, high = self.validate_params(params)
+        value = _as_real(x)
+        if value is None or not low <= value <= high:
+            return 0.0
+        return 1.0 / (high - low)
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        low, high = self.validate_params(params)
+        return float(rng.uniform(low, high))
+
+    def sample_many(self, params: Sequence[Any],
+                    rng: np.random.Generator, n: int) -> list:
+        low, high = self.validate_params(params)
+        return rng.uniform(low, high, size=n).tolist()
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        low, high = self.validate_params(params)
+        if x <= low:
+            return 0.0
+        if x >= high:
+            return 1.0
+        return (x - low) / (high - low)
+
+    def mean(self, params: Sequence[Any]) -> float:
+        low, high = self.validate_params(params)
+        return (low + high) / 2.0
+
+    def variance(self, params: Sequence[Any]) -> float:
+        low, high = self.validate_params(params)
+        return (high - low) ** 2 / 12.0
+
+
+class Gamma(ParameterizedDistribution):
+    """Gamma with shape ``k > 0`` and rate ``λ > 0``.
+
+    ``ψ⟨k, λ⟩(x) = λ^k x^{k−1} e^{−λx} / Γ(k)`` on ``x > 0``.
+    """
+
+    name = "Gamma"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        shape = as_float(params[0], self.name, "shape")
+        rate = as_float(params[1], self.name, "rate")
+        require(shape > 0.0, self.name, f"shape must be > 0: {shape}")
+        require(rate > 0.0, self.name, f"rate must be > 0: {rate}")
+        return (shape, rate)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        shape, rate = self.validate_params(params)
+        value = _as_real(x)
+        if value is None or value <= 0.0:
+            return 0.0
+        log_density = (shape * math.log(rate)
+                       + (shape - 1.0) * math.log(value)
+                       - rate * value - math.lgamma(shape))
+        return float(math.exp(log_density))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        shape, rate = self.validate_params(params)
+        return float(rng.gamma(shape, 1.0 / rate))
+
+    def mean(self, params: Sequence[Any]) -> float:
+        shape, rate = self.validate_params(params)
+        return shape / rate
+
+    def variance(self, params: Sequence[Any]) -> float:
+        shape, rate = self.validate_params(params)
+        return shape / (rate * rate)
+
+
+class Beta(ParameterizedDistribution):
+    """Beta on ``[0, 1]`` with shape parameters ``α, β > 0``."""
+
+    name = "Beta"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        alpha = as_float(params[0], self.name, "alpha")
+        beta = as_float(params[1], self.name, "beta")
+        require(alpha > 0.0, self.name, f"alpha must be > 0: {alpha}")
+        require(beta > 0.0, self.name, f"beta must be > 0: {beta}")
+        return (alpha, beta)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        alpha, beta = self.validate_params(params)
+        value = _as_real(x)
+        if value is None or not 0.0 < value < 1.0:
+            return 0.0
+        log_norm = (math.lgamma(alpha + beta) - math.lgamma(alpha)
+                    - math.lgamma(beta))
+        return float(math.exp(log_norm + (alpha - 1.0) * math.log(value)
+                              + (beta - 1.0) * math.log(1.0 - value)))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        alpha, beta = self.validate_params(params)
+        return float(rng.beta(alpha, beta))
+
+    def mean(self, params: Sequence[Any]) -> float:
+        alpha, beta = self.validate_params(params)
+        return alpha / (alpha + beta)
+
+    def variance(self, params: Sequence[Any]) -> float:
+        alpha, beta = self.validate_params(params)
+        total = alpha + beta
+        return alpha * beta / (total * total * (total + 1.0))
+
+
+class Laplace(ParameterizedDistribution):
+    """Laplace (double exponential) with location µ and scale b > 0."""
+
+    name = "Laplace"
+    param_arity = 2
+    is_discrete = False
+
+    def _check_params(self, params: tuple) -> tuple:
+        loc = as_float(params[0], self.name, "location")
+        scale = as_float(params[1], self.name, "scale")
+        require(scale > 0.0, self.name, f"scale must be > 0: {scale}")
+        return (loc, scale)
+
+    def density(self, params: Sequence[Any], x: Any) -> float:
+        loc, scale = self.validate_params(params)
+        value = _as_real(x)
+        if value is None:
+            return 0.0
+        return float(math.exp(-abs(value - loc) / scale) / (2.0 * scale))
+
+    def sample(self, params: Sequence[Any],
+               rng: np.random.Generator) -> float:
+        loc, scale = self.validate_params(params)
+        return float(rng.laplace(loc, scale))
+
+    def cdf(self, params: Sequence[Any], x: float) -> float:
+        loc, scale = self.validate_params(params)
+        if x < loc:
+            return 0.5 * math.exp((x - loc) / scale)
+        return 1.0 - 0.5 * math.exp(-(x - loc) / scale)
+
+    def mean(self, params: Sequence[Any]) -> float:
+        loc, _scale = self.validate_params(params)
+        return loc
+
+    def variance(self, params: Sequence[Any]) -> float:
+        _loc, scale = self.validate_params(params)
+        return 2.0 * scale * scale

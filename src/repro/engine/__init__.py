@@ -1,0 +1,13 @@
+"""Deterministic Datalog engine: matching, naive/semi-naive fixpoints."""
+
+from repro.engine.matching import (FactSource, IndexedSource, ScanSource,
+                                   atom_pattern, body_holds, match_atoms,
+                                   match_atoms_with_pinned)
+from repro.engine.seminaive import (evaluate_datalog, naive_fixpoint,
+                                    seminaive_fixpoint)
+
+__all__ = [
+    "FactSource", "IndexedSource", "ScanSource", "atom_pattern",
+    "body_holds", "evaluate_datalog", "match_atoms",
+    "match_atoms_with_pinned", "naive_fixpoint", "seminaive_fixpoint",
+]

@@ -1,0 +1,245 @@
+"""Conjunctive matching: evaluating rule bodies against instances.
+
+A rule body is a conjunctive query; evaluating it in an instance ``D``
+enumerates all valuations ``ā`` with ``D ⊨ φ_b(ā)`` - one half of the
+applicability condition (Section 3.3).  This module provides:
+
+* :class:`FactSource` - the lookup interface (pattern ``(v_1, None,
+  v_3)`` means positions 1 and 3 are bound);
+* :class:`ScanSource` - naive per-relation scans (baseline engine);
+* :class:`IndexedSource` - lazily-built hash indexes per bound-position
+  signature, with incremental maintenance as the chase adds facts;
+* :func:`match_atoms` - backtracking join with a greedy most-bound-first
+  atom order.
+
+Bindings are plain ``{Var: value}`` dictionaries; iteration order of
+solutions is deterministic given a deterministic source order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.terms import Const, Var
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+Binding = dict[Var, Any]
+
+
+class FactSource:
+    """Lookup interface over a collection of facts."""
+
+    def candidates(self, relation: str,
+                   pattern: tuple) -> Iterable[Fact]:
+        """Facts of ``relation`` matching the partially-bound pattern.
+
+        ``pattern`` has one entry per position: a concrete value (must
+        match exactly) or ``None`` (wildcard).  Implementations may
+        over-approximate (return supersets); :func:`match_atoms`
+        re-checks every candidate.
+        """
+        raise NotImplementedError
+
+    def relation_size(self, relation: str) -> int:
+        """Number of facts in a relation (join-ordering heuristic)."""
+        raise NotImplementedError
+
+
+class ScanSource(FactSource):
+    """Naive source: filter full relation scans (reference engine)."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+
+    def candidates(self, relation: str, pattern: tuple) -> Iterable[Fact]:
+        for f in self.instance.facts_of(relation):
+            if _matches_pattern(f, pattern):
+                yield f
+
+    def relation_size(self, relation: str) -> int:
+        return len(self.instance.facts_of(relation))
+
+
+class IndexedSource(FactSource):
+    """Hash-indexed source with incremental fact insertion.
+
+    Indexes are built lazily per ``(relation, bound-position signature)``
+    and kept up to date by :meth:`add_fact`, so a chase can reuse one
+    source across steps.  The fact population is mutable here; chase
+    code pairs it with the immutable :class:`Instance` it mirrors.
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts_by_relation: dict[str, list[Fact]] = {}
+        self._fact_set: set[Fact] = set()
+        # (relation, signature) -> {key values -> [facts]}
+        self._indexes: dict[tuple[str, tuple[int, ...]],
+                            dict[tuple, list[Fact]]] = {}
+        for f in facts:
+            self.add_fact(f)
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._fact_set
+
+    def __len__(self) -> int:
+        return len(self._fact_set)
+
+    def add_fact(self, f: Fact) -> bool:
+        """Insert a fact; returns False if it was already present."""
+        if f in self._fact_set:
+            return False
+        self._fact_set.add(f)
+        self._facts_by_relation.setdefault(f.relation, []).append(f)
+        # Maintain only the indexes already materialized for the relation.
+        for (relation, signature), index in self._indexes.items():
+            if relation == f.relation:
+                key = tuple(f.args[i] for i in signature)
+                index.setdefault(key, []).append(f)
+        return True
+
+    def facts_of(self, relation: str) -> Sequence[Fact]:
+        return self._facts_by_relation.get(relation, ())
+
+    def candidates(self, relation: str, pattern: tuple) -> Iterable[Fact]:
+        signature = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not signature:
+            return self.facts_of(relation)
+        index = self._ensure_index(relation, signature)
+        key = tuple(pattern[i] for i in signature)
+        return index.get(key, ())
+
+    def relation_size(self, relation: str) -> int:
+        return len(self._facts_by_relation.get(relation, ()))
+
+    def _ensure_index(self, relation: str, signature: tuple[int, ...],
+                      ) -> dict[tuple, list[Fact]]:
+        index_key = (relation, signature)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for f in self._facts_by_relation.get(relation, ()):
+                key = tuple(f.args[i] for i in signature)
+                index.setdefault(key, []).append(f)
+            self._indexes[index_key] = index
+        return index
+
+
+def _matches_pattern(f: Fact, pattern: tuple) -> bool:
+    if len(f.args) != len(pattern):
+        return False
+    return all(expected is None or value == expected
+               for value, expected in zip(f.args, pattern))
+
+
+def atom_pattern(atom: Atom, binding: Binding) -> tuple | None:
+    """The lookup pattern of an atom under a partial binding.
+
+    Returns None if the atom's arity disagrees with its terms (cannot
+    happen for validated programs) - kept total for safety.
+    """
+    pattern: list[Any] = []
+    for term in atom.terms:
+        if isinstance(term, Const):
+            pattern.append(term.value)
+        elif isinstance(term, Var):
+            pattern.append(binding.get(term))
+        else:  # random terms never occur in bodies (validated)
+            pattern.append(None)
+    return tuple(pattern)
+
+
+def _extend_binding(atom: Atom, f: Fact,
+                    binding: Binding) -> Binding | None:
+    """Unify an atom with a fact under a binding; None on clash.
+
+    Handles repeated variables (``R(x, x)``) and constants.
+    """
+    if f.relation != atom.relation or len(f.args) != len(atom.terms):
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, f.args):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+        else:
+            return None
+    return extended
+
+
+_UNBOUND = object()
+
+
+def _bound_count(atom: Atom, binding: Binding) -> tuple[int, int]:
+    """Join-order key: (-#bound positions, arity) - most bound first."""
+    bound = 0
+    for term in atom.terms:
+        if isinstance(term, Const) or (isinstance(term, Var)
+                                       and term in binding):
+            bound += 1
+    return (-bound, len(atom.terms))
+
+
+def match_atoms(atoms: Sequence[Atom], source: FactSource,
+                binding: Binding | None = None) -> Iterator[Binding]:
+    """Enumerate all bindings satisfying the conjunction of atoms.
+
+    Backtracking join: at each step the atom with the most bound
+    positions (ties: smaller relation) is matched next, restricting the
+    search via :meth:`FactSource.candidates`.
+
+    >>> D = Instance.of(Fact("E", (1, 2)), Fact("E", (2, 3)))
+    >>> from repro.core.atoms import atom
+    >>> body = [atom("E", "x", "y"), atom("E", "y", "z")]
+    >>> sorted((b[Var("x")], b[Var("z")])
+    ...        for b in match_atoms(body, ScanSource(D)))
+    [(1, 3)]
+    """
+    if binding is None:
+        binding = {}
+    if not atoms:
+        yield dict(binding)
+        return
+    remaining = list(atoms)
+    remaining.sort(key=lambda a: (_bound_count(a, binding),
+                                  source.relation_size(a.relation)))
+    chosen = remaining.pop(0)
+    pattern = atom_pattern(chosen, binding)
+    for f in source.candidates(chosen.relation, pattern):
+        extended = _extend_binding(chosen, f, binding)
+        if extended is not None:
+            yield from match_atoms(remaining, source, extended)
+
+
+def match_atoms_with_pinned(atoms: Sequence[Atom], source: FactSource,
+                            pinned_index: int, pinned_fact: Fact,
+                            ) -> Iterator[Binding]:
+    """Match a body with one atom pinned to a specific fact.
+
+    The workhorse of incremental (semi-naive) applicability: when a new
+    fact arrives, new body valuations must use it in at least one atom
+    position; enumerating per pinned position visits each new valuation.
+    Deduplication is the caller's job (a valuation may use the new fact
+    at several positions).
+    """
+    pinned_atom = atoms[pinned_index]
+    seed = _extend_binding(pinned_atom, pinned_fact, {})
+    if seed is None:
+        return
+    rest = [a for i, a in enumerate(atoms) if i != pinned_index]
+    yield from match_atoms(rest, source, seed)
+
+
+def body_holds(atoms: Sequence[Atom], source: FactSource,
+               binding: Binding) -> bool:
+    """Whether the (fully or partially bound) body has any solution."""
+    for _ in match_atoms(atoms, source, binding):
+        return True
+    return False

@@ -1,0 +1,166 @@
+"""Loading and saving programs and instances.
+
+File formats:
+
+* **Program files** (``.gdl``): the textual GDatalog syntax of
+  :mod:`repro.core.parser`.
+* **Instance CSV**: one file per relation; each row is one fact.  A
+  value parses as int, then float, then stays a string; the literals
+  ``true``/``false`` become 1/0.  No header by default (facts are
+  positional, like Datalog).
+* **Instance JSON**: ``{"Relation": [[v, ...], ...], ...}`` - the same
+  shape :meth:`repro.pdb.instances.Instance.from_dict` accepts.
+
+These helpers power the command-line interface (:mod:`repro.cli`) and
+are handy for the examples.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.core.program import Program
+from repro.distributions.registry import DistributionRegistry
+from repro.errors import SchemaError
+from repro.ordering import tuple_sort_key
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+def parse_value(text: str) -> Any:
+    """Parse one CSV cell into a fact value.
+
+    >>> parse_value("3"), parse_value("0.5"), parse_value("Napa")
+    (3, 0.5, 'Napa')
+    """
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "true":
+        return 1
+    if lowered == "false":
+        return 0
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def render_value(value: Any) -> str:
+    """Render a fact value as a CSV cell (inverse of parse_value)."""
+    return str(value)
+
+
+def load_program(path: str | Path,
+                 registry: DistributionRegistry | None = None) -> Program:
+    """Parse a ``.gdl`` program file."""
+    text = Path(path).read_text(encoding="utf-8")
+    return Program.parse(text, registry=registry)
+
+
+def save_program(program: Program, path: str | Path) -> None:
+    """Write a program in parseable surface syntax."""
+    from repro.core.source import program_to_source
+    Path(path).write_text(program_to_source(program) + "\n",
+                          encoding="utf-8")
+
+
+def load_relation_csv(path: str | Path, relation: str,
+                      skip_header: bool = False) -> list[Fact]:
+    """Read one relation's facts from a CSV file."""
+    facts: list[Fact] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        for index, row in enumerate(reader):
+            if index == 0 and skip_header:
+                continue
+            if not row:
+                continue
+            facts.append(Fact(relation,
+                              tuple(parse_value(cell) for cell in row)))
+    return facts
+
+
+def load_instance_csv(paths: Mapping[str, str | Path],
+                      skip_header: bool = False) -> Instance:
+    """Build an instance from ``{relation: csv_path}``.
+
+    >>> # load_instance_csv({"City": "city.csv", "House": "house.csv"})
+    """
+    facts: list[Fact] = []
+    for relation, path in paths.items():
+        facts.extend(load_relation_csv(path, relation, skip_header))
+    return Instance(facts)
+
+
+def save_instance_csv(instance: Instance, directory: str | Path) -> \
+        dict[str, Path]:
+    """Write one CSV per relation into ``directory``.
+
+    Returns ``{relation: written path}``.  Rows are canonically sorted
+    so output is deterministic.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    for relation in instance.relations():
+        path = directory / f"{relation}.csv"
+        rows = sorted(instance.tuples_of(relation), key=tuple_sort_key)
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for row in rows:
+                writer.writerow([render_value(v) for v in row])
+        written[relation] = path
+    return written
+
+
+def load_instance_json(path: str | Path) -> Instance:
+    """Read an instance from JSON (``{relation: [rows...]}``)."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise SchemaError("instance JSON must be an object of arrays")
+    return Instance.from_dict(
+        {relation: [tuple(row) for row in rows]
+         for relation, rows in payload.items()})
+
+
+def save_instance_json(instance: Instance, path: str | Path) -> None:
+    """Write an instance to JSON (sorted, deterministic)."""
+    payload = {relation: [list(row) for row in
+                          sorted(instance.tuples_of(relation),
+                                 key=tuple_sort_key)]
+               for relation in instance.relations()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def parse_relation_spec(spec: str) -> tuple[str, str]:
+    """Split a CLI ``Relation=path.csv`` argument."""
+    if "=" not in spec:
+        raise SchemaError(
+            f"expected RELATION=path.csv, got {spec!r}")
+    relation, _, path = spec.partition("=")
+    if not relation or not path:
+        raise SchemaError(f"malformed relation spec {spec!r}")
+    return relation, path
+
+
+def load_instance_args(specs: Iterable[str],
+                       skip_header: bool = False) -> Instance:
+    """Build an instance from CLI specs (CSV and/or one JSON file)."""
+    facts: list[Fact] = []
+    for spec in specs:
+        if spec.endswith(".json") and "=" not in spec:
+            facts.extend(load_instance_json(spec).facts)
+            continue
+        relation, path = parse_relation_spec(spec)
+        facts.extend(load_relation_csv(path, relation, skip_header))
+    return Instance(facts)

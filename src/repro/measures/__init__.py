@@ -1,0 +1,33 @@
+"""Measure-theoretic substrate: discrete measures, kernels, processes.
+
+Computational counterparts of Section 2.1: finitely-supported measures
+with push-forwards and products, stochastic kernels with composition,
+Markov processes (Fact B.9) with absorption analysis, and empirical
+statistics for continuous outputs.
+"""
+
+from repro.measures.discrete import MASS_TOLERANCE, DiscreteMeasure, \
+    mixture
+from repro.measures.empirical import (MomentSummary, chi_square_statistic,
+                                      empirical_cdf, frequencies_close,
+                                      ks_critical_value, ks_statistic,
+                                      ks_two_sample, summarize)
+from repro.measures.kernels import (ComposedKernel, DiscreteKernel,
+                                    FunctionKernel, IdentityKernel, Kernel,
+                                    ProductKernel, SamplerKernel,
+                                    push_forward_measure, sample_discrete)
+from repro.measures.markov import (MarkovProcess, PathResult,
+                                   absorption_distribution,
+                                   empirical_final_distribution,
+                                   iterate_distribution, sample_chain)
+
+__all__ = [
+    "ComposedKernel", "DiscreteKernel", "DiscreteMeasure",
+    "FunctionKernel", "IdentityKernel", "Kernel", "MASS_TOLERANCE",
+    "MarkovProcess", "MomentSummary", "PathResult", "ProductKernel",
+    "SamplerKernel", "absorption_distribution", "chi_square_statistic",
+    "empirical_cdf", "empirical_final_distribution", "frequencies_close",
+    "iterate_distribution", "ks_critical_value", "ks_statistic",
+    "ks_two_sample", "mixture", "push_forward_measure", "sample_chain",
+    "sample_discrete", "summarize",
+]

@@ -1,0 +1,232 @@
+"""Discrete (sub-)probability measures as explicit mass functions.
+
+These are the computational stand-in for the paper's measures on
+standard Borel spaces whenever the support is countable and effectively
+finite: output distributions of exact chase enumeration, distributions
+of discrete parameterized distributions over a truncated support, and
+push-forwards of either along queries.
+
+A :class:`DiscreteMeasure` maps hashable points to non-negative masses.
+Probability measures have total mass 1; *sub*-probability measures
+(mass <= 1) arise from the paper's SPDB construction (Definition 2.7),
+where the deficit is the probability of the error event / lost mass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import MeasureError
+from repro.ordering import value_sort_key
+
+#: Tolerance used when checking mass constraints.
+MASS_TOLERANCE = 1e-9
+
+
+class DiscreteMeasure:
+    """A finitely-supported measure ``point -> mass >= 0``.
+
+    The class is immutable in spirit: all operations return new
+    measures.  Zero-mass points are dropped on construction.
+    """
+
+    __slots__ = ("_masses",)
+
+    def __init__(self, masses: Mapping[Hashable, float] | None = None):
+        cleaned: Dict[Hashable, float] = {}
+        for point, mass in (masses or {}).items():
+            mass = float(mass)
+            if mass < -MASS_TOLERANCE:
+                raise MeasureError(
+                    f"negative mass {mass!r} for point {point!r}")
+            if mass > 0.0:
+                cleaned[point] = cleaned.get(point, 0.0) + mass
+        self._masses = cleaned
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def dirac(cls, point: Hashable) -> "DiscreteMeasure":
+        """The Dirac (point) measure at ``point``."""
+        return cls({point: 1.0})
+
+    @classmethod
+    def uniform(cls, points: Iterable[Hashable]) -> "DiscreteMeasure":
+        points = list(points)
+        if not points:
+            raise MeasureError("uniform measure needs at least one point")
+        mass = 1.0 / len(points)
+        result: Dict[Hashable, float] = {}
+        for point in points:
+            result[point] = result.get(point, 0.0) + mass
+        return cls(result)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[Hashable]) -> "DiscreteMeasure":
+        """The empirical measure of a sample sequence."""
+        counts: Dict[Hashable, int] = {}
+        total = 0
+        for sample in samples:
+            counts[sample] = counts.get(sample, 0) + 1
+            total += 1
+        if total == 0:
+            raise MeasureError("empirical measure of an empty sample")
+        return cls({point: count / total for point, count in counts.items()})
+
+    @classmethod
+    def zero(cls) -> "DiscreteMeasure":
+        """The zero measure (empty support, mass 0)."""
+        return cls({})
+
+    # -- basic queries -------------------------------------------------------
+
+    def mass(self, point: Hashable) -> float:
+        """The mass of a single point."""
+        return self._masses.get(point, 0.0)
+
+    def __getitem__(self, point: Hashable) -> float:
+        return self.mass(point)
+
+    def __contains__(self, point: Hashable) -> bool:
+        return point in self._masses
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._masses)
+
+    def __len__(self) -> int:
+        return len(self._masses)
+
+    def items(self) -> Iterable[tuple[Hashable, float]]:
+        return self._masses.items()
+
+    def support(self) -> frozenset:
+        return frozenset(self._masses)
+
+    def sorted_points(self) -> list:
+        """Support in the canonical value order (deterministic)."""
+        return sorted(self._masses, key=value_sort_key)
+
+    def total_mass(self) -> float:
+        return math.fsum(self._masses.values())
+
+    def deficit(self) -> float:
+        """``1 - total mass``: the sub-probability deficit (>= 0 if SPM)."""
+        return 1.0 - self.total_mass()
+
+    def is_probability(self, tolerance: float = 1e-6) -> bool:
+        return abs(self.total_mass() - 1.0) <= tolerance
+
+    def is_subprobability(self, tolerance: float = 1e-6) -> bool:
+        return self.total_mass() <= 1.0 + tolerance
+
+    def measure_of(self, event: Callable[[Any], bool]) -> float:
+        """Mass of ``{x : event(x)}``."""
+        return math.fsum(mass for point, mass in self._masses.items()
+                         if event(point))
+
+    def expectation(self, f: Callable[[Any], float]) -> float:
+        """``∫ f dµ`` (support is finite, so this is a finite sum)."""
+        return math.fsum(mass * f(point)
+                         for point, mass in self._masses.items())
+
+    # -- transformations -----------------------------------------------------
+
+    def push_forward(self, f: Callable[[Any], Hashable]) -> "DiscreteMeasure":
+        """The push-forward measure ``µ ∘ f⁻¹`` (Section 2.1.2).
+
+        Mass is preserved: ``(µ ∘ f⁻¹)(Y) = µ(f⁻¹(Y))``.
+        """
+        result: Dict[Hashable, float] = {}
+        for point, mass in self._masses.items():
+            image = f(point)
+            result[image] = result.get(image, 0.0) + mass
+        return DiscreteMeasure(result)
+
+    def restrict(self, event: Callable[[Any], bool]) -> "DiscreteMeasure":
+        """The restriction ``µ|_E`` (unnormalized)."""
+        return DiscreteMeasure({point: mass
+                                for point, mass in self._masses.items()
+                                if event(point)})
+
+    def condition(self, event: Callable[[Any], bool]) -> "DiscreteMeasure":
+        """The conditional probability measure ``µ( · | E)``."""
+        restricted = self.restrict(event)
+        total = restricted.total_mass()
+        if total <= 0.0:
+            raise MeasureError("conditioning on a null event")
+        return restricted.scale(1.0 / total)
+
+    def scale(self, factor: float) -> "DiscreteMeasure":
+        """``factor * µ`` - e.g. Definition 2.7's ``αP``."""
+        if factor < 0:
+            raise MeasureError("scaling factor must be non-negative")
+        return DiscreteMeasure({point: mass * factor
+                                for point, mass in self._masses.items()})
+
+    def add(self, other: "DiscreteMeasure") -> "DiscreteMeasure":
+        """The sum measure ``µ + ν`` (used for mixtures)."""
+        result = dict(self._masses)
+        for point, mass in other._masses.items():
+            result[point] = result.get(point, 0.0) + mass
+        return DiscreteMeasure(result)
+
+    def product(self, other: "DiscreteMeasure") -> "DiscreteMeasure":
+        """The product measure ``µ ⊗ ν`` on pairs (Section 2.1.3)."""
+        result: Dict[Hashable, float] = {}
+        for p, pm in self._masses.items():
+            for q, qm in other._masses.items():
+                result[(p, q)] = result.get((p, q), 0.0) + pm * qm
+        return DiscreteMeasure(result)
+
+    def normalize(self) -> "DiscreteMeasure":
+        """Rescale to total mass 1 (error on the zero measure)."""
+        total = self.total_mass()
+        if total <= 0.0:
+            raise MeasureError("cannot normalize the zero measure")
+        return self.scale(1.0 / total)
+
+    # -- comparison -----------------------------------------------------------
+
+    def tv_distance(self, other: "DiscreteMeasure") -> float:
+        """Total-variation distance ``sup_E |µ(E) − ν(E)|``.
+
+        For finitely-supported measures this equals half the L1 distance
+        of the mass functions plus half the absolute mass difference.
+        """
+        points = set(self._masses) | set(other._masses)
+        l1 = math.fsum(abs(self.mass(p) - other.mass(p)) for p in points)
+        return 0.5 * l1
+
+    def allclose(self, other: "DiscreteMeasure",
+                 tolerance: float = 1e-9) -> bool:
+        """Whether both measures agree pointwise up to ``tolerance``."""
+        points = set(self._masses) | set(other._masses)
+        return all(abs(self.mass(p) - other.mass(p)) <= tolerance
+                   for p in points)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DiscreteMeasure)
+                and self._masses == other._masses)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._masses.items()))
+
+    def __repr__(self) -> str:
+        if len(self._masses) > 6:
+            return (f"DiscreteMeasure(<{len(self._masses)} points, "
+                    f"mass {self.total_mass():.6g}>)")
+        inner = ", ".join(f"{point!r}: {mass:.6g}"
+                          for point, mass in sorted(
+                              self._masses.items(),
+                              key=lambda kv: value_sort_key(kv[0])))
+        return f"DiscreteMeasure({{{inner}}})"
+
+
+def mixture(components: Iterable[tuple[float, DiscreteMeasure]],
+            ) -> DiscreteMeasure:
+    """The mixture ``Σ w_i µ_i`` of weighted measures."""
+    result = DiscreteMeasure.zero()
+    for weight, component in components:
+        result = result.add(component.scale(weight))
+    return result

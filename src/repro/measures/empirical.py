@@ -1,0 +1,140 @@
+"""Empirical summaries and statistical distances for continuous outputs.
+
+Continuous GDatalog programs produce output measures with no finite
+representation; the library represents them through samples.  This
+module provides the statistics used by tests and benchmarks to compare
+such empirical measures against each other and against closed-form
+references: moments, empirical CDFs, the Kolmogorov-Smirnov statistic,
+and simple two-sample tests.  Only numpy is required; scipy (if
+installed) is used by the test suite for reference p-values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MomentSummary:
+    """First two moments of a sample with standard errors."""
+
+    n: int
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def mean_standard_error(self) -> float:
+        if self.n <= 1:
+            return float("inf")
+        return self.std / math.sqrt(self.n)
+
+    def mean_within(self, expected: float, z: float = 4.0) -> bool:
+        """Whether ``expected`` lies within ``z`` standard errors."""
+        return abs(self.mean - expected) <= z * self.mean_standard_error
+
+
+def summarize(samples: Iterable[float]) -> MomentSummary:
+    """Compute :class:`MomentSummary` of a numeric sample."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        return MomentSummary(0, float("nan"), float("nan"))
+    variance = float(data.var(ddof=1)) if data.size > 1 else 0.0
+    return MomentSummary(int(data.size), float(data.mean()), variance)
+
+
+def empirical_cdf(samples: Sequence[float]) -> Callable[[float], float]:
+    """The empirical CDF of a numeric sample as a callable."""
+    data = np.sort(np.asarray(samples, dtype=float))
+    n = data.size
+
+    def cdf(x: float) -> float:
+        return float(np.searchsorted(data, x, side="right")) / n
+
+    return cdf
+
+
+def ks_statistic(samples: Sequence[float],
+                 cdf: Callable[[float], float]) -> float:
+    """One-sample Kolmogorov-Smirnov statistic against a reference CDF.
+
+    ``sup_x |F_n(x) - F(x)|`` evaluated at the sample points (where the
+    supremum of the difference with a continuous CDF is attained).
+    """
+    data = np.sort(np.asarray(samples, dtype=float))
+    n = data.size
+    if n == 0:
+        return 1.0
+    reference = np.asarray([cdf(x) for x in data])
+    upper = np.abs(np.arange(1, n + 1) / n - reference)
+    lower = np.abs(reference - np.arange(0, n) / n)
+    return float(max(upper.max(), lower.max()))
+
+
+def ks_two_sample(first: Sequence[float], second: Sequence[float]) -> float:
+    """Two-sample KS statistic ``sup_x |F_n(x) - G_m(x)|``."""
+    a = np.sort(np.asarray(first, dtype=float))
+    b = np.sort(np.asarray(second, dtype=float))
+    if a.size == 0 or b.size == 0:
+        return 1.0
+    points = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, points, side="right") / a.size
+    cdf_b = np.searchsorted(b, points, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_critical_value(n: int, m: int | None = None,
+                      alpha: float = 0.001) -> float:
+    """Asymptotic KS critical value at level ``alpha``.
+
+    One-sample if ``m`` is None, else two-sample.  Uses the classical
+    ``c(α) · sqrt((n+m)/(n·m))`` approximation.
+    """
+    c_alpha = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    if m is None:
+        return c_alpha / math.sqrt(n)
+    return c_alpha * math.sqrt((n + m) / (n * m))
+
+
+def chi_square_statistic(observed_counts: Sequence[float],
+                         expected_probabilities: Sequence[float],
+                         ) -> float:
+    """Pearson χ² statistic of observed counts vs expected probabilities."""
+    observed = np.asarray(observed_counts, dtype=float)
+    expected_probs = np.asarray(expected_probabilities, dtype=float)
+    total = observed.sum()
+    expected = expected_probs * total
+    mask = expected > 0
+    if not mask.all() and observed[~mask].sum() > 0:
+        return float("inf")
+    return float(((observed[mask] - expected[mask]) ** 2
+                  / expected[mask]).sum())
+
+
+def frequencies_close(samples: Sequence, probabilities: dict,
+                      tolerance_sigmas: float = 5.0) -> bool:
+    """Whether sampled frequencies match expected point probabilities.
+
+    Each point's frequency must lie within ``tolerance_sigmas`` binomial
+    standard deviations of its expected probability.  Robust and
+    dependency-free; used by distribution sampling tests.
+    """
+    n = len(samples)
+    if n == 0:
+        return False
+    counts: dict = {}
+    for sample in samples:
+        counts[sample] = counts.get(sample, 0) + 1
+    for point, probability in probabilities.items():
+        sigma = math.sqrt(max(probability * (1 - probability) / n, 1e-12))
+        frequency = counts.get(point, 0) / n
+        if abs(frequency - probability) > tolerance_sigmas * sigma + 1e-9:
+            return False
+    return True

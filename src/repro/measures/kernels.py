@@ -1,0 +1,220 @@
+"""Stochastic kernels: measurable families of probability measures.
+
+Section 2.1.2: a (sub-)stochastic kernel ``κ`` from ``(X, 𝒳)`` to
+``(Y, 𝒴)`` assigns each point ``x`` a (sub-)probability measure
+``κ(x, ·)``, measurably in ``x``.  The paper's central technical result
+(Propositions 4.6/5.3) is that chase steps are such kernels.
+
+Computationally a kernel is realized by two capabilities:
+
+* :meth:`Kernel.sample` - draw ``y ~ κ(x, ·)`` using a numpy RNG (this
+  is all a Markov-process simulation needs);
+* :meth:`Kernel.distribution` - for *discrete* kernels, the explicit
+  :class:`repro.measures.discrete.DiscreteMeasure` ``κ(x, ·)`` (this is
+  what exact chase enumeration consumes).
+
+The combinators mirror the textbook constructions: identity kernel ``ι``
+(Section 2.1.2), composition (Chapman-Kolmogorov), products (the
+independence structure of parallel chase steps, Definition 5.1), and
+kernels induced by deterministic measurable functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import MeasureError
+from repro.measures.discrete import DiscreteMeasure
+
+
+class Kernel:
+    """A stochastic kernel, exposed through sampling.
+
+    Subclasses must implement :meth:`sample`; kernels with computable
+    discrete conditionals additionally implement :meth:`distribution`.
+    """
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        """Draw one point from ``κ(x, ·)``."""
+        raise NotImplementedError
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        """The measure ``κ(x, ·)`` when it is finitely supported."""
+        raise MeasureError(
+            f"{type(self).__name__} has no finitely-supported conditional")
+
+    def has_distribution(self) -> bool:
+        """Whether :meth:`distribution` is available."""
+        return False
+
+    # -- combinators -------------------------------------------------------
+
+    def then(self, other: "Kernel") -> "Kernel":
+        """Kernel composition: first this kernel, then ``other``."""
+        return ComposedKernel(self, other)
+
+    def product(self, other: "Kernel") -> "Kernel":
+        """The product kernel on pairs, sampling independently."""
+        return ProductKernel([self, other])
+
+
+class IdentityKernel(Kernel):
+    """The identity kernel ``ι(x, E) = [x ∈ E]`` (Section 2.1.2)."""
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        return x
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        return DiscreteMeasure.dirac(x)
+
+    def has_distribution(self) -> bool:
+        return True
+
+
+class FunctionKernel(Kernel):
+    """The deterministic kernel ``κ(x, ·) = δ_{f(x)}`` of a function ``f``.
+
+    This is the kernel form of a push-forward: composing a measure with
+    a :class:`FunctionKernel` computes ``µ ∘ f⁻¹``.
+    """
+
+    def __init__(self, f: Callable[[Any], Any]):
+        self.f = f
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        return self.f(x)
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        return DiscreteMeasure.dirac(self.f(x))
+
+    def has_distribution(self) -> bool:
+        return True
+
+
+class DiscreteKernel(Kernel):
+    """A kernel given by an explicit map ``x -> DiscreteMeasure``."""
+
+    def __init__(self, conditional: Callable[[Any], DiscreteMeasure]):
+        self.conditional = conditional
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        return sample_discrete(self.conditional(x), rng)
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        return self.conditional(x)
+
+    def has_distribution(self) -> bool:
+        return True
+
+
+class SamplerKernel(Kernel):
+    """A kernel given only by a sampler ``(x, rng) -> y``.
+
+    This is the general continuous case, where no finite representation
+    of the conditional measure exists.
+    """
+
+    def __init__(self, sampler: Callable[[Any, np.random.Generator], Any]):
+        self.sampler = sampler
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        return self.sampler(x, rng)
+
+
+class ComposedKernel(Kernel):
+    """``(κ₁ ; κ₂)(x, ·)``: run ``κ₁``, feed the result into ``κ₂``.
+
+    For discrete kernels the conditional is the Chapman-Kolmogorov sum
+    ``Σ_y κ₁(x, {y}) κ₂(y, ·)``.
+    """
+
+    def __init__(self, first: Kernel, second: Kernel):
+        self.first = first
+        self.second = second
+
+    def sample(self, x: Any, rng: np.random.Generator) -> Any:
+        return self.second.sample(self.first.sample(x, rng), rng)
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        inner = self.first.distribution(x)
+        result: dict[Hashable, float] = {}
+        for mid, mass in inner.items():
+            outer = self.second.distribution(mid)
+            for point, conditional_mass in outer.items():
+                result[point] = (result.get(point, 0.0)
+                                 + mass * conditional_mass)
+        return DiscreteMeasure(result)
+
+    def has_distribution(self) -> bool:
+        return self.first.has_distribution() and \
+            self.second.has_distribution()
+
+
+class ProductKernel(Kernel):
+    """Independent product of kernels: ``κ(x, ·) = ⊗_i κ_i(x, ·)``.
+
+    This encodes the paper's implicit independence assumption for
+    parallel chase steps (remark under Definition 5.1): all firing rules
+    sample independently, and by Fubini the order does not matter.
+    """
+
+    def __init__(self, kernels: Sequence[Kernel]):
+        self.kernels = tuple(kernels)
+        if not self.kernels:
+            raise MeasureError("product of zero kernels")
+
+    def sample(self, x: Any, rng: np.random.Generator) -> tuple:
+        return tuple(kernel.sample(x, rng) for kernel in self.kernels)
+
+    def distribution(self, x: Any) -> DiscreteMeasure:
+        result = DiscreteMeasure.dirac(())
+        for kernel in self.kernels:
+            component = kernel.distribution(x)
+            next_result: dict[Hashable, float] = {}
+            for prefix, prefix_mass in result.items():
+                for point, point_mass in component.items():
+                    key = prefix + (point,)
+                    next_result[key] = (next_result.get(key, 0.0)
+                                        + prefix_mass * point_mass)
+            result = DiscreteMeasure(next_result)
+        return result
+
+    def has_distribution(self) -> bool:
+        return all(kernel.has_distribution() for kernel in self.kernels)
+
+
+def sample_discrete(measure: DiscreteMeasure,
+                    rng: np.random.Generator) -> Any:
+    """Draw one point from a finitely-supported (sub-)probability measure.
+
+    If the measure is a strict sub-probability, the deficit is treated
+    as an error event and ``None`` is returned with that probability -
+    the sampling counterpart of the paper's ``err`` element.
+    """
+    points = measure.sorted_points()
+    if not points:
+        return None
+    masses = np.array([measure.mass(point) for point in points])
+    total = masses.sum()
+    if total > 1.0 + 1e-9:
+        raise MeasureError(f"not a sub-probability measure (mass {total})")
+    u = rng.random() * max(total, 1.0)
+    cumulative = 0.0
+    for point, mass in zip(points, masses):
+        cumulative += mass
+        if u < cumulative:
+            return point
+    return None if total < 1.0 - 1e-12 else points[-1]
+
+
+def push_forward_measure(measure: DiscreteMeasure,
+                         kernel: Kernel) -> DiscreteMeasure:
+    """``µκ(E) = ∫ κ(x, E) µ(dx)`` for discrete ``µ`` and ``κ``."""
+    result: dict[Hashable, float] = {}
+    for point, mass in measure.items():
+        conditional = kernel.distribution(point)
+        for image, conditional_mass in conditional.items():
+            result[image] = result.get(image, 0.0) + mass * conditional_mass
+    return DiscreteMeasure(result)

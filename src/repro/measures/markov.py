@@ -1,0 +1,194 @@
+"""Discrete-time Markov processes built from kernels (Fact B.9).
+
+Kolmogorov's theorem guarantees that an initial distribution plus a
+sequence of stochastic kernels determines a Markov process; the paper
+uses this (Corollaries 4.7/5.4) to interpret chase trees as Markov
+processes over the space of database instances, whose path measure is
+then pushed forward along ``lim-inst`` to obtain the output SPDB.
+
+This module realizes the operational side of that construction:
+
+* :class:`MarkovProcess` - initial distribution (or point) + transition
+  kernel; supports sampling finite path prefixes and running until
+  absorption;
+* :func:`iterate_distribution` - for discrete kernels, the exact
+  distribution after ``n`` steps (matrix-free forward iteration);
+* stability detection (the paper's "stable at i": the path repeats its
+  state forever once an absorbing state is reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.measures.discrete import DiscreteMeasure
+from repro.measures.kernels import Kernel, push_forward_measure, \
+    sample_discrete
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A sampled path prefix of a Markov process.
+
+    ``states`` holds the visited states ``(x_0, ..., x_k)``.  If the
+    process reached an absorbing state, ``absorbed`` is True and ``x_k``
+    is the absorbing state; otherwise the path was truncated by the step
+    budget - the operational analogue of an infinite path, which the
+    paper maps to the error element ``err`` (Section 4.2).
+    """
+
+    states: tuple
+    absorbed: bool
+
+    @property
+    def final(self) -> Any:
+        return self.states[-1]
+
+    @property
+    def steps(self) -> int:
+        return len(self.states) - 1
+
+    def stable_index(self) -> int | None:
+        """The paper's "stable at i": first index from which the path is
+        constant - only meaningful (non-None) for absorbed paths."""
+        if not self.absorbed:
+            return None
+        index = len(self.states) - 1
+        while index > 0 and self.states[index - 1] == self.states[index]:
+            index -= 1
+        return index
+
+
+class MarkovProcess:
+    """A time-homogeneous Markov process with explicit absorption test.
+
+    Parameters
+    ----------
+    kernel:
+        The transition kernel (``step_app`` for the sequential chase,
+        ``step_App`` for the parallel chase).
+    is_absorbing:
+        Predicate marking absorbing states.  For chases these are the
+        instances with no applicable rule, where the kernel behaves as
+        the identity kernel (Section 4.3).
+    """
+
+    def __init__(self, kernel: Kernel,
+                 is_absorbing: Callable[[Any], bool] | None = None):
+        self.kernel = kernel
+        self.is_absorbing = is_absorbing or (lambda state: False)
+
+    def sample_path(self, initial: Any, rng: np.random.Generator,
+                    max_steps: int) -> PathResult:
+        """Sample a path prefix of at most ``max_steps`` transitions.
+
+        Stops early on absorption.  The resulting :class:`PathResult`
+        distinguishes absorbed ("terminating run") from truncated
+        ("potentially non-terminating run") prefixes.
+        """
+        states = [initial]
+        state = initial
+        for _ in range(max_steps):
+            if self.is_absorbing(state):
+                return PathResult(tuple(states), absorbed=True)
+            state = self.kernel.sample(state, rng)
+            states.append(state)
+        absorbed = self.is_absorbing(state)
+        return PathResult(tuple(states), absorbed=absorbed)
+
+    def sample_final(self, initial: Any, rng: np.random.Generator,
+                     max_steps: int) -> tuple[Any, bool]:
+        """Like :meth:`sample_path` but keeping only the final state.
+
+        Returns ``(state, absorbed)``; memory use is O(1) in path
+        length, which matters for long chases.
+        """
+        state = initial
+        for _ in range(max_steps):
+            if self.is_absorbing(state):
+                return state, True
+            state = self.kernel.sample(state, rng)
+        return state, self.is_absorbing(state)
+
+    def sample_many(self, initial: Any, rng: np.random.Generator,
+                    max_steps: int, n: int) -> Iterator[tuple[Any, bool]]:
+        """Yield ``n`` independent ``(final_state, absorbed)`` draws."""
+        for _ in range(n):
+            yield self.sample_final(initial, rng, max_steps)
+
+
+def iterate_distribution(initial: DiscreteMeasure, kernel: Kernel,
+                         steps: int,
+                         is_absorbing: Callable[[Any], bool] | None = None,
+                         ) -> DiscreteMeasure:
+    """Exact state distribution after ``steps`` transitions.
+
+    Absorbing states (if given) are frozen: their mass is carried
+    through unchanged, matching the identity-kernel behaviour of
+    ``step_app`` on instances with no applicable rules.
+    """
+    is_absorbing = is_absorbing or (lambda state: False)
+    current = initial
+    for _ in range(steps):
+        moving = current.restrict(lambda s: not is_absorbing(s))
+        frozen = current.restrict(is_absorbing)
+        if len(moving) == 0:
+            return current
+        current = frozen.add(push_forward_measure(moving, kernel))
+    return current
+
+
+def absorption_distribution(initial: DiscreteMeasure, kernel: Kernel,
+                            is_absorbing: Callable[[Any], bool],
+                            max_steps: int,
+                            ) -> tuple[DiscreteMeasure, float]:
+    """Distribution over absorbing states reached within ``max_steps``.
+
+    Returns ``(measure over absorbed states, escaping mass)`` where the
+    escaping mass belongs to paths still alive after the budget - the
+    mass the paper's semantics assigns to ``err`` in the limit.  The
+    pair is a sub-probability decomposition: measure mass + escaping
+    mass = initial mass.
+    """
+    final = iterate_distribution(initial, kernel, max_steps, is_absorbing)
+    absorbed = final.restrict(is_absorbing)
+    return absorbed, final.total_mass() - absorbed.total_mass()
+
+
+def empirical_final_distribution(process: MarkovProcess, initial: Any,
+                                 rng: np.random.Generator, max_steps: int,
+                                 n: int) -> tuple[DiscreteMeasure, float]:
+    """Monte-Carlo estimate of the absorption distribution.
+
+    Returns ``(empirical measure over absorbed states, estimated
+    non-termination probability)``.
+    """
+    absorbed_states: list[Any] = []
+    truncated = 0
+    for state, absorbed in process.sample_many(initial, rng, max_steps, n):
+        if absorbed:
+            absorbed_states.append(state)
+        else:
+            truncated += 1
+    if not absorbed_states:
+        return DiscreteMeasure.zero(), truncated / n
+    empirical = DiscreteMeasure.from_samples(absorbed_states)
+    return empirical.scale(len(absorbed_states) / n), truncated / n
+
+
+def sample_chain(initial_measure: DiscreteMeasure, kernels: Iterable[Kernel],
+                 rng: np.random.Generator) -> list[Any]:
+    """Sample one path of an inhomogeneous chain (Fact B.9 form).
+
+    ``kernels`` gives the per-step transition kernels ``κ_1, κ_2, ...``;
+    the returned list is ``[x_0, x_1, ..., x_n]``.
+    """
+    state = sample_discrete(initial_measure, rng)
+    states = [state]
+    for kernel in kernels:
+        state = kernel.sample(state, rng)
+        states.append(state)
+    return states

@@ -1,0 +1,75 @@
+"""Canonical total order over the mixed-type values stored in facts.
+
+The paper's measurable selections (Lemma 3.6) must be *functions* of the
+database instance.  Operationally this requires a deterministic way to
+order applicable pairs, facts and valuations even when attribute values
+mix booleans, integers, floats and strings.  Python refuses to compare
+``1 < "a"``, so we define an explicit sort key:
+
+* every value maps to a tuple ``(type_rank, comparable_payload)``;
+* numbers (bool/int/float) share a rank and compare numerically, so the
+  order is compatible with numeric equality (``1 == 1.0 == True``);
+* strings come after numbers, ``None`` before everything else;
+* tuples compare lexicographically through recursive keys.
+
+The resulting order is total on all values the library stores in facts
+and is used by chase policies, canonical instance serialization, and the
+deterministic iteration order of exact inference.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Rank assigned to each family of value types.  Lower rank sorts first.
+_RANK_NONE = 0
+_RANK_NUMBER = 1
+_RANK_STRING = 2
+_RANK_TUPLE = 3
+_RANK_OTHER = 4
+
+
+def value_sort_key(value: Any) -> tuple:
+    """Return a sort key making heterogeneous fact values totally ordered.
+
+    >>> sorted([3, "b", 1.5, "a", None], key=value_sort_key)
+    [None, 1.5, 3, 'a', 'b']
+    """
+    if value is None:
+        return (_RANK_NONE,)
+    if isinstance(value, bool):
+        # bool is a subclass of int; fold it into the numeric rank so that
+        # True == 1 sorts consistently with the integer 1.
+        return (_RANK_NUMBER, float(value))
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, float(value))
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    if isinstance(value, tuple):
+        return (_RANK_TUPLE, tuple(value_sort_key(item) for item in value))
+    # Fall back to the repr: deterministic for the value types we accept.
+    return (_RANK_OTHER, repr(value))
+
+
+def tuple_sort_key(values: tuple) -> tuple:
+    """Sort key for a tuple of fact values (lexicographic)."""
+    return tuple(value_sort_key(value) for value in values)
+
+
+def canonical_repr(value: Any) -> str:
+    """A stable textual form of a value, used for hashing policies.
+
+    Floats are rendered with ``repr`` (shortest round-trip form) so equal
+    floats always produce equal text.
+    """
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, bool):
+        return "n:" + repr(float(value))
+    if isinstance(value, (int, float)):
+        return "n:" + repr(float(value))
+    if value is None:
+        return "none"
+    if isinstance(value, tuple):
+        return "t:(" + ",".join(canonical_repr(item) for item in value) + ")"
+    return "o:" + repr(value)

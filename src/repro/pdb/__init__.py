@@ -1,0 +1,32 @@
+"""Probabilistic-database substrate: facts, instances, events, PDBs.
+
+The computational realization of Section 2.3's standard PDBs: finite
+set instances over standard-Borel attribute domains, the counting-event
+generators of the instance σ-algebra, and exact/Monte-Carlo
+(sub-)probabilistic databases.
+"""
+
+from repro.pdb.database import (ERR, DiscretePDB, MonteCarloPDB, PDBBase,
+                                mixture_pdb)
+from repro.pdb.domains import (ANY, BOOL, INT, NAT, REAL, STRING, UNIT,
+                               Domain, FiniteDomain, IntervalDomain)
+from repro.pdb.events import (AndEvent, AnyValue, AtLeastEvent, Condition,
+                              ContainsFactEvent, CountingEvent, Equals,
+                              Event, FactSet, FactSetUnion, Interval,
+                              NotCondition, NotEvent, OneOf, OrEvent,
+                              PredicateEvent, TrueEvent, single_fact_set)
+from repro.pdb.facts import Fact, fact, normalize_value, sorted_facts
+from repro.pdb.instances import Instance
+from repro.pdb.schema import RelationSchema, Schema, relation
+
+__all__ = [
+    "ANY", "BOOL", "INT", "NAT", "REAL", "STRING", "UNIT",
+    "AndEvent", "AnyValue", "AtLeastEvent", "Condition",
+    "ContainsFactEvent", "CountingEvent", "DiscretePDB", "Domain", "ERR",
+    "Equals", "Event", "Fact", "FactSet", "FactSetUnion", "FiniteDomain",
+    "Instance", "Interval", "IntervalDomain", "MonteCarloPDB",
+    "NotCondition", "NotEvent", "OneOf", "OrEvent", "PDBBase",
+    "PredicateEvent", "RelationSchema", "Schema", "TrueEvent", "fact",
+    "mixture_pdb", "normalize_value", "relation", "single_fact_set",
+    "sorted_facts",
+]

@@ -1,0 +1,203 @@
+"""Attribute domains (standard Borel spaces) for relation schemas.
+
+The paper's framework of standard probabilistic databases assumes every
+attribute domain is a standard Borel space (Section 2.3).  The library
+models the domains it actually needs computationally:
+
+* :data:`REAL` - the real line with its Borel sets,
+* :data:`INT` - the integers with the discrete sigma-algebra,
+* :data:`NAT` - the non-negative integers,
+* :data:`STRING` - a countable set of strings,
+* :data:`BOOL` - the two-point space,
+* :class:`FiniteDomain` - an explicit finite set of constants,
+* :class:`IntervalDomain` - a real interval (e.g. ``[0, 1]`` for biases).
+
+Domains serve two purposes: validating constants in atoms
+(Definition 3.2) and typing the positions where a random term's sample
+space ``X_psi`` must embed into the attribute domain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.errors import SchemaError
+
+
+class Domain:
+    """An attribute domain: a named standard Borel space of values.
+
+    Subclasses override :meth:`contains` to describe membership, and
+    :meth:`is_superset_of` to decide whether a distribution whose sample
+    space is ``other`` may occupy a position typed with this domain.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is a point of this domain."""
+        raise NotImplementedError
+
+    def is_superset_of(self, other: "Domain") -> bool:
+        """Conservative check that ``other`` embeds into this domain."""
+        return self is other
+
+    def is_discrete(self) -> bool:
+        """Whether the domain is countable (counting-measure base)."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _RealDomain(Domain):
+    """The real line (Lebesgue base measure)."""
+
+    def contains(self, value: Any) -> bool:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and math.isfinite(float(value)))
+
+    def is_superset_of(self, other: Domain) -> bool:
+        return isinstance(other, (_RealDomain, _IntDomain, _NatDomain,
+                                  _BoolDomain, IntervalDomain))
+
+    def is_discrete(self) -> bool:
+        return False
+
+
+class _IntDomain(Domain):
+    """The integers."""
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return True
+        if isinstance(value, int):
+            return True
+        return isinstance(value, float) and float(value).is_integer()
+
+    def is_superset_of(self, other: Domain) -> bool:
+        return isinstance(other, (_IntDomain, _NatDomain, _BoolDomain))
+
+
+class _NatDomain(_IntDomain):
+    """The non-negative integers."""
+
+    def contains(self, value: Any) -> bool:
+        return super().contains(value) and float(value) >= 0
+
+    def is_superset_of(self, other: Domain) -> bool:
+        return isinstance(other, (_NatDomain, _BoolDomain))
+
+
+class _StringDomain(Domain):
+    """A countable set of strings."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+    def is_superset_of(self, other: Domain) -> bool:
+        if isinstance(other, _StringDomain):
+            return True
+        return (isinstance(other, FiniteDomain)
+                and all(isinstance(v, str) for v in other.values))
+
+
+class _BoolDomain(Domain):
+    """The two-point space {0, 1} (accepts Python bools and 0/1)."""
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return True
+        return isinstance(value, (int, float)) and float(value) in (0.0, 1.0)
+
+    def is_superset_of(self, other: Domain) -> bool:
+        return isinstance(other, _BoolDomain)
+
+
+class _AnyDomain(Domain):
+    """The untyped domain: accepts every value.
+
+    Used when a schema is inferred rather than declared; corresponds to a
+    large standard Borel space containing all value types as summands.
+    """
+
+    def contains(self, value: Any) -> bool:
+        return True
+
+    def is_superset_of(self, other: Domain) -> bool:
+        return True
+
+    def is_discrete(self) -> bool:
+        return False
+
+
+class FiniteDomain(Domain):
+    """An explicit finite set of admissible constants."""
+
+    def __init__(self, name: str, values: Iterable[Any]):
+        super().__init__(name)
+        self.values = frozenset(values)
+        if not self.values:
+            raise SchemaError(f"finite domain {name!r} must be non-empty")
+
+    def contains(self, value: Any) -> bool:
+        return value in self.values
+
+    def is_superset_of(self, other: Domain) -> bool:
+        if isinstance(other, FiniteDomain):
+            return other.values <= self.values
+        return False
+
+    def __repr__(self) -> str:
+        return f"FiniteDomain({self.name}, {sorted(map(repr, self.values))})"
+
+
+class IntervalDomain(Domain):
+    """A real interval ``[low, high]`` (closed; endpoints may be infinite)."""
+
+    def __init__(self, name: str, low: float, high: float):
+        super().__init__(name)
+        if not low <= high:
+            raise SchemaError(f"interval domain {name!r}: low > high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        return self.low <= float(value) <= self.high
+
+    def is_superset_of(self, other: Domain) -> bool:
+        if isinstance(other, IntervalDomain):
+            return self.low <= other.low and other.high <= self.high
+        if isinstance(other, _BoolDomain):
+            return self.low <= 0.0 and self.high >= 1.0
+        return False
+
+    def is_discrete(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"IntervalDomain({self.name}, {self.low}, {self.high})"
+
+
+#: The real line.
+REAL = _RealDomain("real")
+#: The integers.
+INT = _IntDomain("int")
+#: The non-negative integers.
+NAT = _NatDomain("nat")
+#: Strings.
+STRING = _StringDomain("string")
+#: Booleans / {0, 1}.
+BOOL = _BoolDomain("bool")
+#: The untyped domain accepting every value.
+ANY = _AnyDomain("any")
+#: The unit interval, the parameter space of ``Flip``.
+UNIT = IntervalDomain("unit", 0.0, 1.0)

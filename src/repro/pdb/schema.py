@@ -1,0 +1,158 @@
+"""Relational schemas: relation symbols with typed attribute tuples.
+
+A *database schema* ``S`` assigns each relation symbol an arity and, per
+attribute, a domain (Section 2.3).  GDatalog distinguishes an
+*extensional* schema ``E`` (input relations, never in rule heads of the
+generative part) and an *intensional* schema ``I`` (derived relations,
+possibly with random attributes) - Definition 3.2.
+
+Schemas in this library may be *declared* (explicit domains, strict
+validation) or *inferred* (every position typed :data:`repro.pdb.domains.ANY`).
+The translation to existential Datalog (Section 3.2) extends the schema
+with auxiliary result relations; :meth:`Schema.extended` produces that
+extension without mutating the original.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.pdb.domains import ANY, Domain
+
+
+class RelationSchema:
+    """A single relation symbol: name, arity and attribute domains."""
+
+    __slots__ = ("name", "domains", "extensional")
+
+    def __init__(self, name: str, domains: Iterable[Domain],
+                 extensional: bool = False):
+        self.name = name
+        self.domains = tuple(domains)
+        self.extensional = extensional
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.domains:
+            raise SchemaError(f"relation {name!r} must have arity >= 1")
+
+    @property
+    def arity(self) -> int:
+        return len(self.domains)
+
+    def validate_tuple(self, values: tuple) -> None:
+        """Raise :class:`SchemaError` unless ``values`` fits this relation."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects arity {self.arity}, "
+                f"got tuple of length {len(values)}")
+        for position, (domain, value) in enumerate(zip(self.domains, values)):
+            if not domain.contains(value):
+                raise SchemaError(
+                    f"value {value!r} not in domain {domain} at position "
+                    f"{position} of relation {self.name!r}")
+
+    def __repr__(self) -> str:
+        kind = "ext" if self.extensional else "int"
+        doms = ", ".join(str(d) for d in self.domains)
+        return f"RelationSchema({self.name}[{kind}]({doms}))"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelationSchema)
+                and self.name == other.name
+                and self.domains == other.domains
+                and self.extensional == other.extensional)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domains, self.extensional))
+
+
+class Schema:
+    """A collection of :class:`RelationSchema` objects, keyed by name.
+
+    The schema is immutable; extension operations return new schemas.
+    Iterating a schema yields relation names in sorted order so that all
+    downstream constructions are deterministic.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation {relation.name!r}")
+            self._relations[relation.name] = relation
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int],
+                     extensional: Iterable[str] = ()) -> "Schema":
+        """Build an untyped schema from a ``name -> arity`` mapping."""
+        extensional_set = set(extensional)
+        return cls(
+            RelationSchema(name, [ANY] * arity,
+                           extensional=name in extensional_set)
+            for name, arity in arities.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def get(self, name: str) -> RelationSchema | None:
+        return self._relations.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    @property
+    def extensional_names(self) -> tuple[str, ...]:
+        return tuple(name for name in self.relation_names
+                     if self._relations[name].extensional)
+
+    @property
+    def intensional_names(self) -> tuple[str, ...]:
+        return tuple(name for name in self.relation_names
+                     if not self._relations[name].extensional)
+
+    def extended(self, relations: Iterable[RelationSchema]) -> "Schema":
+        """A new schema with ``relations`` added (names must be fresh)."""
+        return Schema(list(self._relations.values()) + list(relations))
+
+    def restricted(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only the named relations."""
+        keep = set(names)
+        missing = keep - set(self._relations)
+        if missing:
+            raise SchemaError(f"unknown relations {sorted(missing)!r}")
+        return Schema(rel for name, rel in self._relations.items()
+                      if name in keep)
+
+    def validate_fact(self, relation: str, values: tuple) -> None:
+        """Validate a fact's relation name and value tuple."""
+        self[relation].validate_tuple(values)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Schema)
+                and self._relations == other._relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.values()))
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self.relation_names)})"
+
+
+def relation(name: str, *domains: Domain,
+             extensional: bool = False) -> RelationSchema:
+    """Convenience constructor: ``relation("R", REAL, STRING)``."""
+    return RelationSchema(name, domains, extensional=extensional)

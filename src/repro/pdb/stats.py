@@ -1,0 +1,138 @@
+"""Summary statistics of (sub-)probabilistic databases.
+
+Convenience analyses on top of the PDB representations: world-level
+entropy, most-probable world (MAP), expected instance size, complete
+fact-marginal tables, and per-relation summaries.  All functions work
+on both exact and Monte-Carlo PDBs through the common interface
+(estimates in the latter case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MeasureError
+from repro.measures.discrete import DiscreteMeasure
+from repro.pdb.database import DiscretePDB, MonteCarloPDB, PDBBase
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+def world_entropy(pdb: DiscretePDB, base: float = 2.0) -> float:
+    """Shannon entropy of the world distribution (exact PDBs).
+
+    The error event counts as one more outcome when it has mass, so the
+    value is the entropy of the full sub-probability decomposition.
+    """
+    masses = [probability for _, probability in pdb.worlds()
+              if probability > 0.0]
+    if pdb.err_mass() > 0.0:
+        masses.append(pdb.err_mass())
+    if not masses:
+        raise MeasureError("entropy of an empty PDB")
+    return -sum(p * math.log(p, base) for p in masses)
+
+
+def map_world(pdb: DiscretePDB) -> tuple[Instance, float]:
+    """The most probable world and its probability (ties: canonical).
+
+    Raises if the PDB has no instance mass at all.
+    """
+    worlds = pdb.worlds()
+    if not worlds:
+        raise MeasureError("MAP of a PDB with no instance mass")
+    return max(worlds, key=lambda pair: (pair[1],
+                                         pair[0].canonical_text()))
+
+
+def expected_size(pdb: PDBBase) -> float:
+    """Expected number of facts in a drawn world."""
+    return pdb.expectation(len)
+
+
+def fact_marginals(pdb: PDBBase,
+                   relations: tuple[str, ...] | None = None,
+                   ) -> dict[Fact, float]:
+    """Marginal probability of every fact appearing in any world.
+
+    Restricted to ``relations`` when given.  For exact PDBs the values
+    are exact; for Monte-Carlo PDBs they are frequencies.
+    """
+    if isinstance(pdb, DiscretePDB):
+        totals: dict[Fact, float] = {}
+        for world, probability in pdb.worlds():
+            for fact in world.facts:
+                if relations is None or fact.relation in relations:
+                    totals[fact] = totals.get(fact, 0.0) + probability
+        return totals
+    if isinstance(pdb, MonteCarloPDB):
+        counts: dict[Fact, int] = {}
+        for world in pdb.worlds:
+            for fact in world.facts:
+                if relations is None or fact.relation in relations:
+                    counts[fact] = counts.get(fact, 0) + 1
+        return {fact: count / pdb.n_runs
+                for fact, count in counts.items()}
+    raise TypeError(f"not a PDB: {pdb!r}")
+
+
+def size_distribution(pdb: DiscretePDB) -> DiscreteMeasure:
+    """Exact distribution of the instance size ``|D|``."""
+    return pdb.push_distribution(len)
+
+
+@dataclass(frozen=True)
+class RelationSummary:
+    """Per-relation view of a PDB's output."""
+
+    relation: str
+    expected_cardinality: float
+    min_cardinality: int
+    max_cardinality: int
+    certain_facts: int  # marginal == 1 (up to tolerance)
+
+
+def relation_summary(pdb: PDBBase, relation: str,
+                     tolerance: float = 1e-9) -> RelationSummary:
+    """Cardinality and certainty profile of one output relation."""
+    def cardinality(world: Instance) -> int:
+        return len(world.facts_of(relation))
+
+    if isinstance(pdb, DiscretePDB):
+        worlds = [world for world, _ in pdb.worlds()]
+    elif isinstance(pdb, MonteCarloPDB):
+        worlds = list(pdb.worlds)
+    else:
+        raise TypeError(f"not a PDB: {pdb!r}")
+    if not worlds:
+        raise MeasureError("summary of a PDB with no worlds")
+
+    marginals = fact_marginals(pdb, relations=(relation,))
+    total = pdb.total_mass()
+    certain = sum(1 for probability in marginals.values()
+                  if probability >= total - tolerance)
+    return RelationSummary(
+        relation,
+        pdb.expectation(cardinality),
+        min(cardinality(world) for world in worlds),
+        max(cardinality(world) for world in worlds),
+        certain)
+
+
+def summarize_pdb(pdb: PDBBase) -> str:
+    """A human-readable multi-line summary of a PDB."""
+    lines = []
+    if isinstance(pdb, DiscretePDB):
+        lines.append(f"exact PDB: {pdb.support_size()} worlds, "
+                     f"mass {pdb.total_mass():.6g}, "
+                     f"err {pdb.err_mass():.6g}")
+        lines.append(f"entropy: {world_entropy(pdb):.4f} bits")
+        world, probability = map_world(pdb)
+        lines.append(f"MAP world (p={probability:.6g}): "
+                     f"{world.canonical_text()}")
+    elif isinstance(pdb, MonteCarloPDB):
+        lines.append(f"Monte-Carlo PDB: {len(pdb.worlds)} worlds, "
+                     f"{pdb.truncated} truncated")
+    lines.append(f"expected size: {expected_size(pdb):.4f} facts")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Relational algebra, aggregates, and their lifting to PDBs."""
+
+from repro.query.aggregates import (Aggregate, AggregateFunction, agg_avg,
+                                    agg_count, agg_max, agg_min, agg_sum,
+                                    agg_var, aggregate_value)
+from repro.query.lifted import (aggregate_distribution,
+                                answer_probabilities, boolean_probability,
+                                expected_aggregate, query_distribution,
+                                statistic_distribution)
+from repro.query.relalg import (Difference, Extend, Intersection,
+                                NaturalJoin, Product, Project, Query,
+                                Relation, Rename, Scan, Select, Union,
+                                scan)
+
+__all__ = [
+    "Aggregate", "AggregateFunction", "Difference", "Extend",
+    "Intersection", "NaturalJoin", "Product", "Project", "Query",
+    "Relation", "Rename", "Scan", "Select", "Union", "agg_avg",
+    "agg_count", "agg_max", "agg_min", "agg_sum", "agg_var",
+    "aggregate_distribution", "aggregate_value", "answer_probabilities",
+    "boolean_probability", "expected_aggregate", "query_distribution",
+    "scan", "statistic_distribution",
+]

@@ -1,0 +1,144 @@
+"""Text and DOT renderings of chase trees and position graphs.
+
+Figure 1 of the paper depicts the sequential chase tree with its
+finite paths mapping into instances and infinite paths mapping to
+``err``.  This module renders the library's explicit
+:class:`repro.core.exact.ChaseNode` trees in that spirit:
+
+* :func:`format_chase_tree` - indented text, one node per line, with
+  branch probabilities, new facts, and leaf/truncation markers;
+* :func:`chase_tree_to_dot` - Graphviz DOT source for the same tree;
+* :func:`position_graph_to_dot` - the weak-acyclicity position graph
+  (special edges dashed), matching Section 6.3's analysis.
+
+Pure-text output only (no drawing dependencies); the DOT strings can
+be fed to Graphviz outside this environment.
+"""
+
+from __future__ import annotations
+
+from repro.core.exact import ChaseNode
+from repro.core.translate import ExistentialProgram
+from repro.core.termination import position_graph
+from repro.pdb.facts import Fact
+
+
+def _new_facts(parent: ChaseNode, child: ChaseNode) -> list[Fact]:
+    return sorted(child.instance.facts - parent.instance.facts,
+                  key=Fact.sort_key)
+
+
+def format_chase_tree(root: ChaseNode, max_nodes: int = 200) -> str:
+    """Indented text rendering of a (bounded) chase tree.
+
+    >>> from repro.core.exact import enumerate_chase_tree
+    >>> from repro.core.program import Program
+    >>> tree = enumerate_chase_tree(Program.parse("R(Flip<0.5>) :- true."))
+    >>> print(format_chase_tree(tree))  # doctest: +ELLIPSIS
+    (p=1.000000) ...
+    """
+    lines: list[str] = []
+    emitted = 0
+
+    def walk(node: ChaseNode, parent: ChaseNode | None,
+             depth: int) -> None:
+        nonlocal emitted
+        if emitted >= max_nodes:
+            return
+        emitted += 1
+        indent = "  " * depth
+        if parent is None:
+            label = node.instance.canonical_text()
+        else:
+            added = ", ".join(repr(f) for f in _new_facts(parent, node))
+            label = f"+{{{added}}}" if added else "(no new facts)"
+        suffix = ""
+        if node.truncated:
+            suffix = "  [truncated -> err]"
+        elif node.is_leaf():
+            suffix = "  [leaf]"
+        elif node.firing is not None:
+            suffix = f"  fires {node.firing!r}"
+        lines.append(f"{indent}(p={node.probability:.6f}) "
+                     f"{label}{suffix}")
+        for child in node.children:
+            walk(child, node, depth + 1)
+
+    walk(root, None, 0)
+    if emitted >= max_nodes:
+        lines.append(f"... rendering capped at {max_nodes} nodes")
+    return "\n".join(lines)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def chase_tree_to_dot(root: ChaseNode, max_nodes: int = 200) -> str:
+    """Graphviz DOT source of a (bounded) chase tree.
+
+    Leaves are doublecircles (instances of the output SPDB); truncated
+    nodes are shaded (the ``err`` mass of Figure 1); edges carry the
+    branch's added facts and probability mass ratio.
+    """
+    lines = ["digraph chase_tree {", "  rankdir=TB;",
+             '  node [fontsize=10, shape=circle, label=""];']
+    counter = 0
+
+    def walk(node: ChaseNode, parent_id: int | None,
+             parent: ChaseNode | None) -> None:
+        nonlocal counter
+        if counter >= max_nodes:
+            return
+        node_id = counter
+        counter += 1
+        attributes = [f'tooltip="{_dot_escape(node.instance.canonical_text())}"']
+        if node.truncated:
+            attributes.append('style=filled, fillcolor=gray70')
+        elif node.is_leaf():
+            attributes.append("shape=doublecircle")
+        lines.append(f"  n{node_id} [{', '.join(attributes)}];")
+        if parent_id is not None and parent is not None:
+            added = ", ".join(repr(f) for f in _new_facts(parent, node))
+            ratio = node.probability / parent.probability \
+                if parent.probability > 0 else 0.0
+            lines.append(
+                f'  n{parent_id} -> n{node_id} '
+                f'[label="{_dot_escape(added)}\\n{ratio:.4g}"];')
+        for child in node.children:
+            walk(child, node_id, node)
+
+    walk(root, None, None)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def position_graph_to_dot(translated: ExistentialProgram) -> str:
+    """DOT source of the weak-acyclicity position graph.
+
+    Regular edges solid, special (existential) edges dashed and
+    labelled with a star - a cycle through a dashed edge is exactly a
+    weak-acyclicity violation (Theorem 6.3).
+    """
+    graph = position_graph(translated)
+    lines = ["digraph positions {", "  rankdir=LR;",
+             "  node [fontsize=10, shape=box];"]
+
+    def node_id(position) -> str:
+        relation, index = position
+        return f'"{_dot_escape(relation)}.{index}"'
+
+    for position in graph.nodes:
+        lines.append(f"  {node_id(position)};")
+    seen = set()
+    for source, target, data in graph.edges(data=True):
+        key = (source, target, bool(data.get("special")))
+        if key in seen:
+            continue
+        seen.add(key)
+        style = ' [style=dashed, label="*"]' if data.get("special") \
+            else ""
+        lines.append(f"  {node_id(source)} -> {node_id(target)}"
+                     f"{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Workloads: the paper's example programs and synthetic generators."""
+
+from repro.workloads import generators, paper
+
+__all__ = ["generators", "paper"]

@@ -1,0 +1,159 @@
+"""Synthetic workload generators for benchmarks and property tests.
+
+Scaling experiments need families of inputs and programs with tunable
+size.  All generators are deterministic given their seed.
+
+* :func:`earthquake_city_instance` - Example 3.4 inputs with ``n``
+  cities and ``k`` units per city (E4 scaling);
+* :func:`heights_instance` - Example 3.5 inputs with ``n`` countries ×
+  ``k`` persons (E5 scaling);
+* :func:`random_discrete_program` - random weakly-acyclic discrete
+  GDatalog programs (chase-independence and FD property tests);
+* :func:`chain_program` / :func:`chain_instance` - deterministic
+  Datalog chains (engine ablation, E13);
+* :func:`bernoulli_grid_program` - wide fan-out of independent flips
+  (parallel-chase stress).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atoms import Atom
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import Const, RandomTerm, Var
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+def earthquake_city_instance(n_cities: int, units_per_city: int,
+                             seed: int = 0) -> Instance:
+    """Example 3.4 input at scale: n cities, k houses/businesses each."""
+    rng = np.random.default_rng(seed)
+    facts = []
+    for c in range(n_cities):
+        city = f"city-{c}"
+        rate = round(float(rng.uniform(0.01, 0.2)), 4)
+        facts.append(Fact("City", (city, rate)))
+        for u in range(units_per_city):
+            if u % 2 == 0:
+                facts.append(Fact("House", (f"h-{c}-{u}", city)))
+            else:
+                facts.append(Fact("Business", (f"b-{c}-{u}", city)))
+    return Instance(facts)
+
+
+def heights_instance(n_countries: int, persons_per_country: int,
+                     seed: int = 0) -> Instance:
+    """Example 3.5 input at scale."""
+    rng = np.random.default_rng(seed)
+    facts = []
+    for c in range(n_countries):
+        country = f"country-{c}"
+        mu = round(float(rng.uniform(150.0, 190.0)), 2)
+        var = round(float(rng.uniform(20.0, 80.0)), 2)
+        facts.append(Fact("CMoments", (country, mu, var)))
+        for p in range(persons_per_country):
+            facts.append(Fact("PCountry", (f"p-{c}-{p}", country)))
+    return Instance(facts)
+
+
+def chain_program(length: int) -> Program:
+    """Deterministic chain: ``T1(x) ← T0(x)``, ..., ``Tn(x) ← Tn-1(x)``."""
+    rules = [Rule(Atom(f"T{i + 1}", (Var("x"),)),
+                  (Atom(f"T{i}", (Var("x"),)),))
+             for i in range(length)]
+    return Program(rules)
+
+
+def chain_instance(width: int) -> Instance:
+    """``width`` seed facts for :func:`chain_program`."""
+    return Instance(Fact("T0", (i,)) for i in range(width))
+
+
+def transitive_closure_program() -> Program:
+    """The classic recursive Datalog benchmark (deterministic)."""
+    return Program.parse("""
+        Path(x, y) :- Edge(x, y).
+        Path(x, z) :- Path(x, y), Edge(y, z).
+    """)
+
+
+def random_graph_instance(n_nodes: int, n_edges: int,
+                          seed: int = 0) -> Instance:
+    """A random directed graph as ``Edge`` facts."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < min(n_edges, n_nodes * (n_nodes - 1)):
+        a = int(rng.integers(n_nodes))
+        b = int(rng.integers(n_nodes))
+        if a != b:
+            edges.add((a, b))
+    return Instance(Fact("Edge", e) for e in edges)
+
+
+def bernoulli_grid_program(bias: float = 0.5) -> Program:
+    """One flip per input item: wide, flat fan-out.
+
+    ``Out(i, Flip⟨bias⟩) ← Item(i)`` - every item's flip is applicable
+    immediately, so a single parallel chase step fires them all.
+    """
+    return Program.parse(f"Out(i, Flip<{bias!r}>) :- Item(i).")
+
+
+def items_instance(n: int) -> Instance:
+    """``Item(0..n-1)`` seeds for :func:`bernoulli_grid_program`."""
+    return Instance(Fact("Item", (i,)) for i in range(n))
+
+
+def random_discrete_program(n_base_rules: int = 3,
+                            n_derived_rules: int = 3,
+                            seed: int = 0,
+                            biases: tuple[float, ...] = (0.3, 0.5, 0.7),
+                            ) -> Program:
+    """A random weakly-acyclic discrete program for property tests.
+
+    Layered construction guarantees weak acyclicity: layer-0 rules
+    sample flips from extensional data; layer-1 rules combine layer-0
+    relations deterministically or with a further flip keyed by
+    layer-0 values.  All distributions are finite-support, so exact
+    enumeration is available.
+    """
+    rng = np.random.default_rng(seed)
+    flip = DEFAULT_REGISTRY["Flip"]
+    rules: list[Rule] = []
+    x, y = Var("x"), Var("y")
+    for i in range(n_base_rules):
+        bias = float(rng.choice(biases))
+        rules.append(Rule(
+            Atom(f"L0R{i}", (x, RandomTerm(flip, (Const(bias),)))),
+            (Atom("Base", (x,)),)))
+    for j in range(n_derived_rules):
+        first = int(rng.integers(n_base_rules))
+        second = int(rng.integers(n_base_rules))
+        mode = int(rng.integers(3))
+        if mode == 0:
+            # Deterministic join of two layer-0 results.
+            rules.append(Rule(
+                Atom(f"L1R{j}", (x,)),
+                (Atom(f"L0R{first}", (x, Const(1))),
+                 Atom(f"L0R{second}", (x, Const(1))))))
+        elif mode == 1:
+            # A further flip gated on a layer-0 outcome.
+            bias = float(rng.choice(biases))
+            rules.append(Rule(
+                Atom(f"L1R{j}", (x, RandomTerm(flip, (Const(bias),)))),
+                (Atom(f"L0R{first}", (x, Const(1))),)))
+        else:
+            # Copy rule across values.
+            rules.append(Rule(
+                Atom(f"L1R{j}", (x, y)),
+                (Atom(f"L0R{first}", (x, y)),)))
+    return Program(rules)
+
+
+def base_instance(n: int) -> Instance:
+    """``Base(0..n-1)`` seeds for :func:`random_discrete_program`."""
+    return Instance(Fact("Base", (i,)) for i in range(n))

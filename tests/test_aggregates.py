@@ -1,0 +1,98 @@
+"""Tests for aggregate queries (repro.query.aggregates)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.query.aggregates import (Aggregate, agg_avg, agg_count,
+                                    agg_max, agg_min, agg_sum, agg_var,
+                                    aggregate_value)
+from repro.query.relalg import scan
+
+
+@pytest.fixture
+def heights():
+    return Instance.from_dict({
+        "Height": [("a", "NL", 180.0), ("b", "NL", 190.0),
+                   ("c", "PE", 160.0), ("d", "PE", 170.0),
+                   ("e", "PE", 165.0)],
+    })
+
+
+def height_scan():
+    return scan("Height", "person", "country", "cm")
+
+
+class TestUngroupedAggregates:
+    def test_count(self, heights):
+        q = Aggregate(height_scan(), (), {"n": agg_count()})
+        assert aggregate_value(q, heights) == 5
+
+    def test_sum_and_avg(self, heights):
+        q = Aggregate(height_scan(), (),
+                      {"total": agg_sum("cm"), "mean": agg_avg("cm")})
+        relation = q.evaluate(heights)
+        row = next(iter(relation.rows))
+        assert row[relation.column_index("total")] == \
+            pytest.approx(865.0)
+        assert row[relation.column_index("mean")] == pytest.approx(173.0)
+
+    def test_min_max(self, heights):
+        q = Aggregate(height_scan(), (),
+                      {"lo": agg_min("cm"), "hi": agg_max("cm")})
+        relation = q.evaluate(heights)
+        row = next(iter(relation.rows))
+        assert row[relation.column_index("lo")] == 160.0
+        assert row[relation.column_index("hi")] == 190.0
+
+    def test_var(self, heights):
+        q = Aggregate(height_scan().where(country="NL"), (),
+                      {"v": agg_var("cm")})
+        assert aggregate_value(q, heights) == pytest.approx(25.0)
+
+    def test_empty_input_count_zero(self):
+        q = Aggregate(height_scan(), (), {"n": agg_count()})
+        assert aggregate_value(q, Instance.empty()) == 0
+
+    def test_empty_input_avg_errors(self):
+        q = Aggregate(height_scan(), (), {"m": agg_avg("cm")})
+        with pytest.raises(SchemaError):
+            aggregate_value(q, Instance.empty())
+
+
+class TestGroupedAggregates:
+    def test_group_by_country(self, heights):
+        q = Aggregate(height_scan(), ("country",),
+                      {"mean": agg_avg("cm")})
+        relation = q.evaluate(heights)
+        values = dict(relation.rows)
+        assert values["NL"] == pytest.approx(185.0)
+        assert values["PE"] == pytest.approx(165.0)
+
+    def test_group_count(self, heights):
+        q = Aggregate(height_scan(), ("country",), {"n": agg_count()})
+        assert dict(q.evaluate(heights).rows) == {"NL": 2, "PE": 3}
+
+    def test_group_columns_first(self, heights):
+        q = Aggregate(height_scan(), ("country",),
+                      {"n": agg_count(), "m": agg_avg("cm")})
+        assert q.evaluate(heights).columns == ("country", "n", "m")
+
+
+class TestAggregateValue:
+    def test_requires_single_row(self, heights):
+        q = Aggregate(height_scan(), ("country",), {"n": agg_count()})
+        with pytest.raises(SchemaError):
+            aggregate_value(q, heights)
+
+    def test_ambiguous_column(self, heights):
+        q = Aggregate(height_scan(), (),
+                      {"a": agg_count(), "b": agg_count()})
+        with pytest.raises(SchemaError):
+            aggregate_value(q, heights)
+        assert aggregate_value(q, heights, column="a") == 5
+
+    def test_no_aggregates_rejected(self, heights):
+        with pytest.raises(SchemaError):
+            Aggregate(height_scan(), (), {})

@@ -1,0 +1,138 @@
+"""Tests for App and its engines (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.applicability import (IncrementalApplicability,
+                                      NaiveApplicability,
+                                      applicable_pairs)
+from repro.core.chase import fire
+from repro.core.program import Program
+from repro.core.translate import translate, translate_barany
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+@pytest.fixture
+def simple_translated():
+    return translate(Program.parse("R(x, Flip<0.5>) :- B(x)."))
+
+
+class TestApplicablePairs:
+    def test_body_must_hold(self, simple_translated):
+        assert applicable_pairs(simple_translated, Instance.empty()) == []
+
+    def test_existential_firing(self, simple_translated):
+        D = Instance.of(Fact("B", (1,)))
+        firings = applicable_pairs(simple_translated, D)
+        assert len(firings) == 1
+        assert firings[0].existential
+        assert firings[0].values == (1, 0.5)
+
+    def test_head_satisfaction_disables(self, simple_translated):
+        aux = simple_translated.existential_rules()[0].aux_relation
+        D = Instance.of(Fact("B", (1,)), Fact(aux, (1, 0.5, 0)))
+        firings = applicable_pairs(simple_translated, D)
+        # The existential for B(1) is settled; only the companion rule
+        # (propagating the sample into R) remains applicable.
+        assert len(firings) == 1
+        assert not firings[0].existential
+        assert firings[0].relation == "R"
+
+    def test_det_head_satisfaction(self):
+        translated = translate(Program.parse("A(x) :- B(x)."))
+        D = Instance.of(Fact("B", (1,)), Fact("A", (1,)))
+        assert applicable_pairs(translated, D) == []
+
+    def test_projection_collapses_duplicates(self):
+        # Body variable z is projected away; one firing per head key.
+        translated = translate(Program.parse("R(x, Flip<0.5>) :- "
+                                             "S(x, z)."))
+        D = Instance.of(Fact("S", (1, "a")), Fact("S", (1, "b")))
+        firings = applicable_pairs(translated, D)
+        assert len([f for f in firings if f.existential]) == 1
+
+    def test_barany_dedupes_across_rules(self, g0):
+        translated = translate_barany(g0)
+        firings = applicable_pairs(translated, Instance.empty())
+        # Both rules share the same (distribution, params) key.
+        assert len(firings) == 1
+
+    def test_grohe_keeps_duplicate_rules_distinct(self, g0):
+        translated = translate(g0)
+        firings = applicable_pairs(translated, Instance.empty())
+        assert len(firings) == 2
+
+    def test_canonical_order(self, simple_translated):
+        D = Instance.of(Fact("B", (3,)), Fact("B", (1,)), Fact("B", (2,)))
+        firings = applicable_pairs(simple_translated, D)
+        assert [f.values[0] for f in firings] == [1, 2, 3]
+
+
+class TestIncrementalEngine:
+    def agreement_program(self):
+        return translate(Program.parse("""
+            Earthquake(c, Flip<0.1>) :- City(c, r).
+            Unit(h, c) :- House(h, c).
+            Trig(x, Flip<0.6>) :- Unit(x, c), Earthquake(c, 1).
+            Alarm(x) :- Trig(x, 1).
+        """))
+
+    def test_agrees_with_naive_along_chase(self):
+        translated = self.agreement_program()
+        D = Instance.of(Fact("City", ("n", 0.05)),
+                        Fact("House", ("h1", "n")),
+                        Fact("House", ("h2", "n")))
+        incremental = IncrementalApplicability(translated, D)
+        naive = NaiveApplicability(translated, D)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a = incremental.applicable()
+            b = naive.applicable()
+            assert a == b
+            if not a:
+                break
+            new_fact = fire(translated, a[0], rng)
+            incremental.add_fact(new_fact)
+            naive.add_fact(new_fact)
+        else:
+            pytest.fail("chase did not terminate in 30 steps")
+
+    def test_fork_isolation(self, simple_translated):
+        D = Instance.of(Fact("B", (1,)))
+        engine = IncrementalApplicability(simple_translated, D)
+        fork = engine.fork()
+        aux = simple_translated.existential_rules()[0].aux_relation
+        fork.add_fact(Fact(aux, (1, 0.5, 1)))
+        assert len(engine.applicable()) == 1
+        # fork's existential settled; companion now applicable there
+        fork_firings = fork.applicable()
+        assert all(not f.existential for f in fork_firings)
+
+    def test_duplicate_fact_ignored(self, simple_translated):
+        D = Instance.of(Fact("B", (1,)))
+        engine = IncrementalApplicability(simple_translated, D)
+        before = engine.applicable()
+        engine.add_fact(Fact("B", (1,)))
+        assert engine.applicable() == before
+
+    def test_has_applicable(self, simple_translated):
+        engine = IncrementalApplicability(simple_translated,
+                                          Instance.empty())
+        assert not engine.has_applicable()
+        engine.add_fact(Fact("B", (7,)))
+        assert engine.has_applicable()
+
+
+class TestFiringObject:
+    def test_fact_construction(self, simple_translated):
+        D = Instance.of(Fact("B", (1,)))
+        firing = applicable_pairs(simple_translated, D)[0]
+        f = firing.fact(sampled=1)
+        assert f.args == (1, 0.5, 1)
+
+    def test_sort_key_deterministic(self, simple_translated):
+        D = Instance.of(Fact("B", (2,)), Fact("B", (1,)))
+        once = applicable_pairs(simple_translated, D)
+        again = applicable_pairs(simple_translated, D)
+        assert once == again

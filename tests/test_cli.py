@@ -1,0 +1,143 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_instance_csv, save_program
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+
+
+@pytest.fixture
+def g0_file(tmp_path):
+    path = tmp_path / "g0.gdl"
+    save_program(paper.example_1_1_g0(), path)
+    return str(path)
+
+
+@pytest.fixture
+def earthquake_files(tmp_path):
+    program_path = tmp_path / "quake.gdl"
+    program_path.write_text(paper.EARTHQUAKE_PROGRAM_TEXT)
+    data = save_instance_csv(paper.example_3_4_instance(), tmp_path)
+    specs = [f"{relation}={path}" for relation, path in data.items()]
+    return str(program_path), specs
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestExactCommand:
+    def test_g0_worlds(self, g0_file):
+        code, output = run_cli(["exact", g0_file])
+        assert code == 0
+        assert "# 3 worlds" in output
+        assert "0.50000000" in output and "0.25000000" in output
+
+    def test_barany_semantics_flag(self, g0_file):
+        code, output = run_cli(["exact", g0_file,
+                                "--semantics", "barany"])
+        assert code == 0
+        assert "# 2 worlds" in output
+
+    def test_parallel_flag(self, g0_file):
+        code, output = run_cli(["exact", g0_file, "--parallel"])
+        assert code == 0
+        assert "# 3 worlds" in output
+
+    def test_top_limits_output(self, g0_file):
+        code, output = run_cli(["exact", g0_file, "--top", "1"])
+        assert code == 0
+        assert "more worlds" in output
+
+    def test_with_data(self, earthquake_files):
+        program, specs = earthquake_files
+        argv = ["exact", program]
+        for spec in specs:
+            argv += ["--data", spec]
+        code, output = run_cli(argv)
+        assert code == 0
+        assert "err" in output
+
+
+class TestSampleCommand:
+    def test_marginals_printed(self, earthquake_files):
+        program, specs = earthquake_files
+        argv = ["sample", program, "-n", "500", "--seed", "1"]
+        for spec in specs:
+            argv += ["--data", spec]
+        code, output = run_cli(argv)
+        assert code == 0
+        assert "Alarm('house-1')" in output
+        assert "500 terminated runs" in output
+
+    def test_deterministic_given_seed(self, g0_file):
+        _, first = run_cli(["sample", g0_file, "-n", "200",
+                            "--seed", "9"])
+        _, second = run_cli(["sample", g0_file, "-n", "200",
+                             "--seed", "9"])
+        assert first == second
+
+
+class TestAnalyzeCommand:
+    def test_weakly_acyclic_report(self, earthquake_files):
+        program, _ = earthquake_files
+        code, output = run_cli(["analyze", program])
+        assert code == 0
+        assert "weakly acyclic:   True" in output
+        assert "Theorem 6.3" in output
+
+    def test_continuous_cycle_report(self, tmp_path):
+        path = tmp_path / "loop.gdl"
+        save_program(paper.continuous_feedback_program(), path)
+        code, output = run_cli(["analyze", str(path)])
+        assert code == 0
+        assert "weakly acyclic:   False" in output
+        assert "almost surely non-terminating" in output
+
+    def test_discrete_cycle_report(self, tmp_path):
+        path = tmp_path / "cycle.gdl"
+        save_program(paper.discrete_cycle_program(), path)
+        code, output = run_cli(["analyze", str(path)])
+        assert code == 0
+        assert "discrete" in output and "may terminate" in output
+
+
+class TestTranslateCommand:
+    def test_shows_existential_rules(self, g0_file):
+        code, output = run_cli(["translate", g0_file])
+        assert code == 0
+        assert "Result#" in output and "∃y" in output
+
+    def test_barany_translation(self, g0_file):
+        code, output = run_cli(["translate", g0_file,
+                                "--semantics", "barany"])
+        assert code == 0
+        assert "Sample#Flip" in output
+
+
+class TestErrorPaths:
+    def test_missing_file(self):
+        code, _ = run_cli(["exact", "/nonexistent/program.gdl"])
+        assert code == 2
+
+    def test_parse_error(self, tmp_path):
+        path = tmp_path / "bad.gdl"
+        path.write_text("R(x :- B(x).")
+        code, _ = run_cli(["exact", str(path)])
+        assert code == 2
+
+    def test_continuous_exact_rejected(self, tmp_path):
+        path = tmp_path / "cont.gdl"
+        save_program(paper.example_3_5_program(), path)
+        code, _ = run_cli(["exact", str(path)])
+        assert code == 2
+
+    def test_bad_data_spec(self, g0_file):
+        code, _ = run_cli(["exact", g0_file, "--data", "nonsense"])
+        assert code == 2

@@ -1,0 +1,128 @@
+"""Tests for the conditioning extension (repro.core.constraints)."""
+
+import pytest
+
+from repro.core.constraints import (ConstrainedProgram,
+                                    condition_by_rejection,
+                                    condition_exact)
+from repro.core.program import Program
+from repro.core.semantics import exact_spdb
+from repro.errors import MeasureError
+from repro.pdb.events import ContainsFactEvent, FactSet, Interval, \
+    CountingEvent
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+
+
+@pytest.fixture
+def two_coins():
+    return Program.parse("""
+        A(Flip<0.5>) :- true.
+        B(Flip<0.5>) :- true.
+    """)
+
+
+class TestExactConditioning:
+    def test_posterior_renormalized(self, two_coins):
+        posterior = condition_exact(
+            two_coins, None, [ContainsFactEvent(Fact("A", (1,)))])
+        assert posterior.total_mass() == pytest.approx(1.0)
+        assert posterior.marginal(Fact("A", (1,))) == pytest.approx(1.0)
+        # B stays fair: independence.
+        assert posterior.marginal(Fact("B", (1,))) == pytest.approx(0.5)
+
+    def test_correlated_conditioning(self, earthquake_program,
+                                     earthquake_instance):
+        # Observing the alarm raises the burglary posterior.
+        alarm = ContainsFactEvent(Fact("Alarm", ("house-1",)))
+        posterior = condition_exact(earthquake_program,
+                                    earthquake_instance, [alarm])
+        prior = exact_spdb(earthquake_program, earthquake_instance)
+        burglary = Fact("Burglary", ("house-1", "Napa", 1))
+        assert posterior.marginal(burglary) > prior.marginal(burglary)
+
+    def test_bayes_rule_agreement(self, two_coins):
+        # P(B=1 | A=1 or B=1) = P(B=1)/P(A∪B) by inclusion-exclusion.
+        union = ContainsFactEvent(Fact("A", (1,))) | \
+            ContainsFactEvent(Fact("B", (1,)))
+        posterior = condition_exact(two_coins, None, [union])
+        assert posterior.marginal(Fact("B", (1,))) == \
+            pytest.approx(0.5 / 0.75)
+
+    def test_multiple_constraints_conjoin(self, two_coins):
+        posterior = condition_exact(
+            two_coins, None,
+            [ContainsFactEvent(Fact("A", (1,))),
+             ContainsFactEvent(Fact("B", (0,)))])
+        assert posterior.support_size() == 1
+
+    def test_zero_probability_raises(self, two_coins):
+        with pytest.raises(MeasureError, match="probability zero"):
+            condition_exact(two_coins, None,
+                            [ContainsFactEvent(Fact("A", (7,)))])
+
+
+class TestRejectionSampling:
+    def test_matches_exact_posterior(self, two_coins):
+        constraint = ContainsFactEvent(Fact("A", (1,)))
+        exact = condition_exact(two_coins, None, [constraint])
+        result = condition_by_rejection(two_coins, None, [constraint],
+                                        n=4000, rng=0)
+        assert abs(result.acceptance_rate - 0.5) < 0.03
+        estimate = result.posterior.marginal(Fact("B", (1,)))
+        assert abs(estimate - exact.marginal(Fact("B", (1,)))) < 0.04
+
+    def test_continuous_thick_event(self):
+        program = Program.parse(
+            "X(Normal<0, 1>) :- true.")
+        positive = CountingEvent(
+            FactSet("X", Interval(low=0.0)), 1)
+        result = condition_by_rejection(program, None, [positive],
+                                        n=2000, rng=1)
+        assert abs(result.acceptance_rate - 0.5) < 0.05
+        values = result.posterior.values_of(
+            lambda D: [f.args[0] for f in D.facts_of("X")])
+        assert all(v >= 0.0 for v in values)
+
+    def test_measure_zero_event_raises(self):
+        program = Program.parse("X(Normal<0, 1>) :- true.")
+        point = ContainsFactEvent(Fact("X", (0.123,)))
+        with pytest.raises(MeasureError, match="measure-zero"):
+            condition_by_rejection(program, None, [point], n=200,
+                                   rng=2)
+
+    def test_truncated_runs_excluded(self):
+        program = paper.discrete_cycle_program(1.0)
+        anything = lambda D: True
+        result = condition_by_rejection(
+            program, paper.trigger_instance(), [anything], n=300,
+            rng=3, max_steps=5)
+        assert result.n_truncated > 0
+        assert result.n_accepted + result.n_truncated <= \
+            result.n_proposed
+        assert 0.0 < result.acceptance_rate <= 1.0
+
+
+class TestConstrainedProgram:
+    def test_observe_chain(self, two_coins):
+        package = ConstrainedProgram(two_coins)
+        package = package.observe(ContainsFactEvent(Fact("A", (1,))))
+        assert len(package.constraints) == 1
+        posterior = package.exact()
+        assert posterior.marginal(Fact("A", (1,))) == pytest.approx(1.0)
+
+    def test_prior_unchanged(self, two_coins):
+        package = ConstrainedProgram(
+            two_coins, [ContainsFactEvent(Fact("A", (1,)))])
+        assert package.prior().allclose(exact_spdb(two_coins))
+
+    def test_sampling_interface(self, two_coins):
+        package = ConstrainedProgram(
+            two_coins, [ContainsFactEvent(Fact("A", (1,)))])
+        result = package.sample(n=500, rng=4)
+        assert result.posterior.marginal(Fact("A", (1,))) == 1.0
+
+    def test_repr(self, two_coins):
+        package = ConstrainedProgram(two_coins, [lambda D: True])
+        assert "2 rules" in repr(package)

@@ -1,0 +1,180 @@
+"""Tests for PDB representations (repro.pdb.database)."""
+
+import pytest
+
+from repro.errors import MeasureError
+from repro.measures.discrete import DiscreteMeasure
+from repro.pdb.database import (DiscretePDB, MonteCarloPDB, mixture_pdb)
+from repro.pdb.events import ContainsFactEvent, CountingEvent, FactSet
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+def world(*values):
+    return Instance(Fact("R", (v,)) for v in values)
+
+
+@pytest.fixture
+def pdb():
+    return DiscretePDB(DiscreteMeasure({
+        world(1): 0.25, world(0): 0.25, world(0, 1): 0.5}))
+
+
+class TestDiscretePDB:
+    def test_prob_event_object(self, pdb):
+        event = ContainsFactEvent(Fact("R", (1,)))
+        assert pdb.prob(event) == pytest.approx(0.75)
+
+    def test_prob_callable(self, pdb):
+        assert pdb.prob(lambda D: len(D) == 2) == pytest.approx(0.5)
+
+    def test_marginal(self, pdb):
+        assert pdb.marginal(Fact("R", (0,))) == pytest.approx(0.75)
+
+    def test_counting_event(self, pdb):
+        both = CountingEvent(FactSet("R", None), 2)
+        assert pdb.prob(both) == pytest.approx(0.5)
+
+    def test_err_mass_accounting(self):
+        spdb = DiscretePDB(DiscreteMeasure({world(1): 0.6}), err=0.4)
+        assert spdb.err_mass() == pytest.approx(0.4)
+        assert spdb.total_mass() == pytest.approx(0.6)
+
+    def test_super_probability_rejected(self):
+        with pytest.raises(MeasureError):
+            DiscretePDB(DiscreteMeasure({world(1): 0.8}), err=0.4)
+
+    def test_non_instance_worlds_rejected(self):
+        with pytest.raises(MeasureError):
+            DiscretePDB(DiscreteMeasure({"not an instance": 1.0}))
+
+    def test_map_worlds(self, pdb):
+        mapped = pdb.map_worlds(lambda D: D.restrict(["R"]))
+        assert mapped.total_mass() == pytest.approx(1.0)
+
+    def test_project_merges_worlds(self):
+        a = Instance.of(Fact("R", (1,)), Fact("Aux", (1,)))
+        b = Instance.of(Fact("R", (1,)), Fact("Aux", (2,)))
+        pdb = DiscretePDB(DiscreteMeasure({a: 0.5, b: 0.5}))
+        projected = pdb.project(["R"])
+        assert projected.support_size() == 1
+        assert projected.prob_of_instance(world(1)) == pytest.approx(1.0)
+
+    def test_without_relations(self):
+        a = Instance.of(Fact("R", (1,)), Fact("Aux", (1,)))
+        pdb = DiscretePDB(DiscreteMeasure({a: 1.0}))
+        cleaned = pdb.without_relations(["Aux"])
+        assert cleaned.prob_of_instance(world(1)) == pytest.approx(1.0)
+
+    def test_expectation(self, pdb):
+        assert pdb.expectation(len) == pytest.approx(
+            0.25 * 1 + 0.25 * 1 + 0.5 * 2)
+
+    def test_worlds_deterministic_order(self, pdb):
+        assert pdb.worlds() == pdb.worlds()
+
+    def test_tv_distance(self, pdb):
+        assert pdb.tv_distance(pdb) == 0.0
+        other = DiscretePDB(DiscreteMeasure({world(1): 1.0}))
+        assert pdb.tv_distance(other) == pytest.approx(0.75)
+
+    def test_tv_distance_includes_err(self):
+        a = DiscretePDB(DiscreteMeasure({world(1): 1.0}))
+        b = DiscretePDB(DiscreteMeasure({world(1): 0.5}), err=0.5)
+        assert a.tv_distance(b) == pytest.approx(0.5)
+
+    def test_allclose(self, pdb):
+        assert pdb.allclose(pdb)
+        assert not pdb.allclose(
+            DiscretePDB(DiscreteMeasure({world(1): 1.0})))
+
+    def test_condition(self, pdb):
+        conditioned = pdb.condition(lambda D: Fact("R", (1,)) in D)
+        assert conditioned.total_mass() == pytest.approx(1.0)
+        assert conditioned.prob_of_instance(world(0, 1)) == \
+            pytest.approx(0.5 / 0.75)
+
+    def test_condition_null_event(self, pdb):
+        with pytest.raises(MeasureError):
+            pdb.condition(lambda D: False)
+
+    def test_push_distribution(self, pdb):
+        sizes = pdb.push_distribution(len)
+        assert sizes.mass(1) == pytest.approx(0.5)
+        assert sizes.mass(2) == pytest.approx(0.5)
+
+    def test_deterministic_constructor(self):
+        pdb = DiscretePDB.deterministic(world(3))
+        assert pdb.prob_of_instance(world(3)) == 1.0
+
+
+class TestMonteCarloPDB:
+    def test_estimates(self):
+        worlds = [world(1)] * 30 + [world(0)] * 70
+        pdb = MonteCarloPDB(worlds)
+        assert pdb.prob(ContainsFactEvent(Fact("R", (1,)))) == \
+            pytest.approx(0.3)
+        assert pdb.marginal(Fact("R", (0,))) == pytest.approx(0.7)
+
+    def test_truncated_runs_are_err(self):
+        pdb = MonteCarloPDB([world(1)] * 8, truncated=2)
+        assert pdb.err_mass() == pytest.approx(0.2)
+        assert pdb.total_mass() == pytest.approx(0.8)
+        assert pdb.prob(lambda D: True) == pytest.approx(0.8)
+
+    def test_needs_at_least_one_run(self):
+        with pytest.raises(MeasureError):
+            MonteCarloPDB([], truncated=0)
+
+    def test_map_worlds(self):
+        pdb = MonteCarloPDB([Instance.of(Fact("R", (1,)),
+                                         Fact("Aux", (1,)))] * 5)
+        projected = pdb.project(["R"])
+        assert all(D.relations() == ("R",) for D in projected.worlds)
+
+    def test_expectation(self):
+        pdb = MonteCarloPDB([world(1), world(0, 1)])
+        assert pdb.expectation(len) == pytest.approx(1.5)
+
+    def test_standard_error(self):
+        pdb = MonteCarloPDB([world(1)] * 50 + [world(0)] * 50)
+        se = pdb.prob_standard_error(
+            ContainsFactEvent(Fact("R", (1,))))
+        assert se == pytest.approx(0.05, abs=0.01)
+
+    def test_values_of(self):
+        pdb = MonteCarloPDB([world(1, 2), world(3)])
+        values = pdb.values_of(
+            lambda D: [f.args[0] for f in D.facts_of("R")])
+        assert sorted(values) == [1, 2, 3]
+
+    def test_to_discrete(self):
+        pdb = MonteCarloPDB([world(1)] * 75 + [world(0)] * 25)
+        exact = pdb.to_discrete()
+        assert exact.prob_of_instance(world(1)) == pytest.approx(0.75)
+        assert exact.total_mass() == pytest.approx(1.0)
+
+    def test_to_discrete_with_truncation(self):
+        pdb = MonteCarloPDB([world(1)] * 50, truncated=50)
+        exact = pdb.to_discrete()
+        assert exact.err_mass() == pytest.approx(0.5)
+        assert exact.total_mass() == pytest.approx(0.5)
+
+
+class TestMixture:
+    def test_mixture_of_pdbs(self):
+        a = DiscretePDB.deterministic(world(1))
+        b = DiscretePDB.deterministic(world(0))
+        mixed = mixture_pdb([(0.3, a), (0.7, b)])
+        assert mixed.prob_of_instance(world(1)) == pytest.approx(0.3)
+
+    def test_component_err_scales(self):
+        a = DiscretePDB(DiscreteMeasure({world(1): 0.5}), err=0.5)
+        mixed = mixture_pdb([(0.5, a),
+                             (0.5, DiscretePDB.deterministic(world(0)))])
+        assert mixed.err_mass() == pytest.approx(0.25)
+
+    def test_overweight_rejected(self):
+        a = DiscretePDB.deterministic(world(1))
+        with pytest.raises(MeasureError):
+            mixture_pdb([(0.7, a), (0.7, a)])

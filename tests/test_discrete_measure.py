@@ -1,0 +1,167 @@
+"""Tests for discrete measures (repro.measures.discrete)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MeasureError
+from repro.measures.discrete import DiscreteMeasure, mixture
+
+
+def measures(max_points=5):
+    """Random sub-probability measures over small integer supports."""
+    return st.dictionaries(st.integers(0, 9),
+                           st.floats(0.0, 1.0), max_size=max_points) \
+        .map(_normalize_or_zero)
+
+
+def _normalize_or_zero(masses):
+    total = sum(masses.values())
+    if total <= 0:
+        return DiscreteMeasure.zero()
+    scale = min(1.0 / total, 1.0)
+    return DiscreteMeasure({k: v * scale for k, v in masses.items()})
+
+
+class TestConstruction:
+    def test_dirac(self):
+        m = DiscreteMeasure.dirac("x")
+        assert m.mass("x") == 1.0 and m.total_mass() == 1.0
+
+    def test_uniform(self):
+        m = DiscreteMeasure.uniform([1, 2, 3, 4])
+        assert m.mass(1) == pytest.approx(0.25)
+        assert m.is_probability()
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(MeasureError):
+            DiscreteMeasure.uniform([])
+
+    def test_from_samples(self):
+        m = DiscreteMeasure.from_samples([1, 1, 2, 2, 2, 3])
+        assert m.mass(2) == pytest.approx(0.5)
+        assert m.is_probability()
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(MeasureError):
+            DiscreteMeasure({1: -0.1})
+
+    def test_zero_masses_dropped(self):
+        m = DiscreteMeasure({1: 0.0, 2: 0.5})
+        assert 1 not in m and 2 in m
+
+    def test_duplicate_accumulation_via_add(self):
+        m = DiscreteMeasure({1: 0.3}).add(DiscreteMeasure({1: 0.2}))
+        assert m.mass(1) == pytest.approx(0.5)
+
+
+class TestQueries:
+    def test_measure_of_event(self):
+        m = DiscreteMeasure({1: 0.2, 2: 0.3, 3: 0.5})
+        assert m.measure_of(lambda x: x >= 2) == pytest.approx(0.8)
+
+    def test_expectation(self):
+        m = DiscreteMeasure({0: 0.5, 2: 0.5})
+        assert m.expectation(float) == pytest.approx(1.0)
+
+    def test_deficit(self):
+        m = DiscreteMeasure({1: 0.7})
+        assert m.deficit() == pytest.approx(0.3)
+        assert m.is_subprobability() and not m.is_probability()
+
+    def test_sorted_points(self):
+        m = DiscreteMeasure({3: 0.1, 1: 0.1, 2: 0.1})
+        assert m.sorted_points() == [1, 2, 3]
+
+
+class TestTransforms:
+    def test_push_forward_preserves_mass(self):
+        m = DiscreteMeasure({1: 0.25, 2: 0.25, 3: 0.5})
+        pushed = m.push_forward(lambda x: x % 2)
+        assert pushed.mass(1) == pytest.approx(0.75)
+        assert pushed.total_mass() == pytest.approx(m.total_mass())
+
+    def test_restrict(self):
+        m = DiscreteMeasure({1: 0.5, 2: 0.5})
+        assert m.restrict(lambda x: x == 1).total_mass() == \
+            pytest.approx(0.5)
+
+    def test_condition(self):
+        m = DiscreteMeasure({1: 0.2, 2: 0.6, 3: 0.2})
+        c = m.condition(lambda x: x != 2)
+        assert c.mass(1) == pytest.approx(0.5)
+        assert c.is_probability()
+
+    def test_condition_null_event(self):
+        with pytest.raises(MeasureError):
+            DiscreteMeasure({1: 1.0}).condition(lambda x: x == 99)
+
+    def test_scale(self):
+        m = DiscreteMeasure({1: 0.5}).scale(0.5)
+        assert m.mass(1) == pytest.approx(0.25)
+        with pytest.raises(MeasureError):
+            m.scale(-1.0)
+
+    def test_product(self):
+        a = DiscreteMeasure({0: 0.5, 1: 0.5})
+        b = DiscreteMeasure({0: 0.3, 1: 0.7})
+        p = a.product(b)
+        assert p.mass((1, 0)) == pytest.approx(0.15)
+        assert p.total_mass() == pytest.approx(1.0)
+
+    def test_normalize(self):
+        m = DiscreteMeasure({1: 0.2, 2: 0.2}).normalize()
+        assert m.is_probability()
+        with pytest.raises(MeasureError):
+            DiscreteMeasure.zero().normalize()
+
+
+class TestComparison:
+    def test_tv_distance(self):
+        a = DiscreteMeasure({1: 1.0})
+        b = DiscreteMeasure({2: 1.0})
+        assert a.tv_distance(b) == pytest.approx(1.0)
+        assert a.tv_distance(a) == 0.0
+
+    def test_allclose(self):
+        a = DiscreteMeasure({1: 0.5, 2: 0.5})
+        b = DiscreteMeasure({1: 0.5 + 1e-12, 2: 0.5 - 1e-12})
+        assert a.allclose(b)
+
+    def test_mixture(self):
+        mixed = mixture([(0.5, DiscreteMeasure.dirac(1)),
+                         (0.5, DiscreteMeasure.dirac(2))])
+        assert mixed.mass(1) == pytest.approx(0.5)
+
+
+class TestMeasureProperties:
+    @given(measures())
+    def test_mass_bounds(self, m):
+        assert -1e-9 <= m.total_mass() <= 1.0 + 1e-6
+        for point in m:
+            assert m.mass(point) > 0
+
+    @given(measures())
+    def test_push_forward_mass_invariant(self, m):
+        pushed = m.push_forward(lambda x: x // 2)
+        assert pushed.total_mass() == pytest.approx(m.total_mass())
+
+    @given(measures(), measures())
+    def test_tv_symmetry_and_bounds(self, a, b):
+        d = a.tv_distance(b)
+        assert d == pytest.approx(b.tv_distance(a))
+        assert -1e-9 <= d <= 1.0 + 1e-6
+
+    @given(measures(), measures(), measures())
+    def test_tv_triangle_inequality(self, a, b, c):
+        assert a.tv_distance(c) <= \
+            a.tv_distance(b) + b.tv_distance(c) + 1e-9
+
+    @given(measures())
+    def test_restrict_partitions_mass(self, m):
+        even = m.restrict(lambda x: x % 2 == 0)
+        odd = m.restrict(lambda x: x % 2 == 1)
+        assert even.total_mass() + odd.total_mass() == \
+            pytest.approx(m.total_mass())

@@ -1,0 +1,121 @@
+"""Tests for attribute domains and schemas (repro.pdb.domains/schema)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.pdb.domains import (ANY, BOOL, INT, NAT, REAL, STRING, UNIT,
+                               FiniteDomain, IntervalDomain)
+from repro.pdb.schema import RelationSchema, Schema, relation
+
+
+class TestDomains:
+    def test_real_accepts_numbers(self):
+        assert REAL.contains(1.5) and REAL.contains(-3)
+        assert not REAL.contains("x")
+        assert not REAL.contains(True)  # bool is not a real constant
+        assert not REAL.contains(float("inf"))
+
+    def test_int_accepts_integral(self):
+        assert INT.contains(3) and INT.contains(-2) and INT.contains(2.0)
+        assert not INT.contains(2.5) and not INT.contains("2")
+
+    def test_nat(self):
+        assert NAT.contains(0) and NAT.contains(5)
+        assert not NAT.contains(-1)
+
+    def test_string(self):
+        assert STRING.contains("abc") and not STRING.contains(3)
+
+    def test_bool(self):
+        assert BOOL.contains(True) and BOOL.contains(0) \
+            and BOOL.contains(1.0)
+        assert not BOOL.contains(2)
+
+    def test_any_accepts_everything(self):
+        for value in (1, "x", None, (1, 2), 3.5):
+            assert ANY.contains(value)
+
+    def test_finite_domain(self):
+        d = FiniteDomain("color", {"red", "green"})
+        assert d.contains("red") and not d.contains("blue")
+
+    def test_finite_domain_nonempty(self):
+        with pytest.raises(SchemaError):
+            FiniteDomain("empty", [])
+
+    def test_interval_domain(self):
+        assert UNIT.contains(0.5) and UNIT.contains(0) \
+            and UNIT.contains(1)
+        assert not UNIT.contains(1.5) and not UNIT.contains("x")
+
+    def test_interval_invalid(self):
+        with pytest.raises(SchemaError):
+            IntervalDomain("bad", 2, 1)
+
+    def test_superset_relations(self):
+        assert REAL.is_superset_of(INT)
+        assert REAL.is_superset_of(UNIT)
+        assert INT.is_superset_of(NAT)
+        assert not NAT.is_superset_of(INT)
+        assert ANY.is_superset_of(REAL)
+        assert UNIT.is_superset_of(BOOL)  # {0,1} ⊆ [0,1]
+
+    def test_discreteness(self):
+        assert INT.is_discrete() and STRING.is_discrete()
+        assert not REAL.is_discrete() and not UNIT.is_discrete()
+
+
+class TestRelationSchema:
+    def test_basics(self):
+        r = relation("City", STRING, REAL, extensional=True)
+        assert r.arity == 2 and r.extensional
+
+    def test_validate_tuple(self):
+        r = relation("City", STRING, REAL)
+        r.validate_tuple(("Napa", 0.03))
+        with pytest.raises(SchemaError):
+            r.validate_tuple(("Napa",))
+        with pytest.raises(SchemaError):
+            r.validate_tuple((3, 0.03))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([relation("R", INT), relation("S", STRING)])
+        assert "R" in schema and schema["R"].arity == 1
+        with pytest.raises(SchemaError):
+            schema["missing"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([relation("R", INT), relation("R", STRING)])
+
+    def test_from_arities(self):
+        schema = Schema.from_arities({"R": 2, "E": 1},
+                                     extensional=["E"])
+        assert schema["R"].arity == 2
+        assert schema.extensional_names == ("E",)
+        assert schema.intensional_names == ("R",)
+
+    def test_extended_and_restricted(self):
+        schema = Schema([relation("R", INT)])
+        bigger = schema.extended([relation("S", INT)])
+        assert "S" in bigger and "S" not in schema
+        smaller = bigger.restricted(["R"])
+        assert "S" not in smaller
+        with pytest.raises(SchemaError):
+            bigger.restricted(["missing"])
+
+    def test_iteration_sorted(self):
+        schema = Schema.from_arities({"Z": 1, "A": 1, "M": 1})
+        assert list(schema) == ["A", "M", "Z"]
+
+    def test_validate_fact(self):
+        schema = Schema([relation("R", INT, STRING)])
+        schema.validate_fact("R", (1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_fact("R", ("x", 1))

@@ -1,0 +1,124 @@
+"""Tests for empirical statistics (repro.measures.empirical)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measures.empirical import (MomentSummary, chi_square_statistic,
+                                      empirical_cdf, frequencies_close,
+                                      ks_critical_value, ks_statistic,
+                                      ks_two_sample, summarize)
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.variance == pytest.approx(1.0)
+        assert summary.n == 3
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.n == 0 and math.isnan(summary.mean)
+
+    def test_single_point(self):
+        summary = summarize([5.0])
+        assert summary.variance == 0.0
+        assert summary.mean_standard_error == float("inf")
+
+    def test_mean_within(self):
+        rng = np.random.default_rng(0)
+        summary = summarize(rng.normal(10.0, 2.0, size=5000))
+        assert summary.mean_within(10.0)
+        assert not summary.mean_within(10.5)
+
+
+class TestEmpiricalCdf:
+    def test_step_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(2.0) == 0.5
+        assert cdf(10.0) == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        cdf = empirical_cdf(rng.normal(size=100).tolist())
+        xs = np.linspace(-3, 3, 50)
+        values = [cdf(x) for x in xs]
+        assert values == sorted(values)
+
+
+class TestKsStatistic:
+    def test_perfect_fit_small(self):
+        rng = np.random.default_rng(2)
+        samples = rng.uniform(0, 1, size=2000).tolist()
+        stat = ks_statistic(samples, lambda x: min(max(x, 0.0), 1.0))
+        assert stat < ks_critical_value(2000, alpha=0.001)
+
+    def test_detects_wrong_distribution(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0, 1, size=2000).tolist()
+        # compare against Uniform(0, 2) CDF
+        stat = ks_statistic(samples, lambda x: min(max(x / 2, 0.0), 1.0))
+        assert stat > ks_critical_value(2000, alpha=0.001)
+
+    def test_empty_sample(self):
+        assert ks_statistic([], lambda x: 0.5) == 1.0
+
+
+class TestKsTwoSample:
+    def test_same_distribution(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=1500).tolist()
+        b = rng.normal(size=1500).tolist()
+        assert ks_two_sample(a, b) < ks_critical_value(1500, 1500,
+                                                       alpha=0.001)
+
+    def test_shifted_distribution(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0, 1, size=1500).tolist()
+        b = rng.normal(1, 1, size=1500).tolist()
+        assert ks_two_sample(a, b) > ks_critical_value(1500, 1500,
+                                                       alpha=0.001)
+
+    def test_scipy_cross_check(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=300).tolist()
+        b = rng.normal(0.2, 1.1, size=400).tolist()
+        ours = ks_two_sample(a, b)
+        theirs = scipy_stats.ks_2samp(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+class TestChiSquare:
+    def test_matching_counts(self):
+        stat = chi_square_statistic([50, 50], [0.5, 0.5])
+        assert stat == pytest.approx(0.0)
+
+    def test_impossible_observation(self):
+        assert chi_square_statistic([1, 99], [0.0, 1.0]) == float("inf")
+
+    def test_scipy_cross_check(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        observed = [30, 50, 20]
+        probabilities = [0.25, 0.5, 0.25]
+        ours = chi_square_statistic(observed, probabilities)
+        expected = [p * 100 for p in probabilities]
+        theirs = scipy_stats.chisquare(observed, expected).statistic
+        assert ours == pytest.approx(theirs)
+
+
+class TestFrequenciesClose:
+    def test_accepts_true_distribution(self):
+        rng = np.random.default_rng(7)
+        samples = rng.choice([0, 1], p=[0.3, 0.7], size=5000).tolist()
+        assert frequencies_close(samples, {0: 0.3, 1: 0.7})
+
+    def test_rejects_wrong_distribution(self):
+        samples = [1] * 1000
+        assert not frequencies_close(samples, {0: 0.5, 1: 0.5})
+
+    def test_empty_sample(self):
+        assert not frequencies_close([], {0: 1.0})

@@ -1,0 +1,130 @@
+"""Tests for measurable fact sets and counting events (repro.pdb.events)."""
+
+import pytest
+
+from repro.errors import MeasureError
+from repro.pdb.events import (AnyValue, AtLeastEvent, ContainsFactEvent,
+                              CountingEvent, Equals, FactSet, Interval,
+                              NotCondition, OneOf, PredicateEvent,
+                              TrueEvent, as_condition, single_fact_set)
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+@pytest.fixture
+def heights():
+    return Instance.of(
+        Fact("Height", ("a", 170.0)), Fact("Height", ("b", 185.0)),
+        Fact("Height", ("c", 192.5)), Fact("Other", (1,)))
+
+
+class TestConditions:
+    def test_any(self):
+        assert AnyValue().matches(42) and AnyValue().matches("x")
+
+    def test_equals_normalizes(self):
+        assert Equals(1).matches(True)
+        assert Equals(True).matches(1)
+        assert not Equals(1).matches(2)
+
+    def test_one_of(self):
+        cond = OneOf({1, 2})
+        assert cond.matches(1) and not cond.matches(3)
+
+    def test_interval_closure(self):
+        closed = Interval(0, 1)
+        assert closed.matches(0) and closed.matches(1)
+        half_open = Interval(0, 1, closed_left=False)
+        assert not half_open.matches(0) and half_open.matches(1)
+        assert not closed.matches("x")
+
+    def test_interval_rays(self):
+        ray = Interval(low=180.0)
+        assert ray.matches(185.0) and not ray.matches(170.0)
+
+    def test_interval_empty_rejected(self):
+        with pytest.raises(MeasureError):
+            Interval(2, 1)
+
+    def test_negation(self):
+        cond = NotCondition(Equals(1))
+        assert cond.matches(2) and not cond.matches(1)
+
+    def test_as_condition_coercions(self):
+        assert as_condition(None).matches("anything")
+        assert as_condition(5).matches(5)
+        assert as_condition([1, 2]).matches(2)
+        assert as_condition(Equals(3)).matches(3)
+
+
+class TestFactSet:
+    def test_membership(self, heights):
+        tall = FactSet("Height", None, Interval(low=180.0))
+        assert tall.contains(Fact("Height", ("b", 185.0)))
+        assert not tall.contains(Fact("Height", ("a", 170.0)))
+        assert not tall.contains(Fact("Other", (1,)))
+
+    def test_count_in(self, heights):
+        tall = FactSet("Height", None, Interval(low=180.0))
+        assert tall.count_in(heights) == 2
+
+    def test_arity_mismatch_never_matches(self):
+        fs = FactSet("R", None)
+        assert not fs.contains(Fact("R", (1, 2)))
+
+    def test_union_counts_each_fact_once(self, heights):
+        tall = FactSet("Height", None, Interval(low=180.0))
+        b_person = FactSet("Height", "b", None)
+        union = tall.union(b_person)
+        # b is both tall and named; counted once.
+        assert union.count_in(heights) == 2
+
+    def test_union_multi_relation(self, heights):
+        union = FactSet("Other", None).union(FactSet("Height", "a", None))
+        assert union.count_in(heights) == 2
+
+    def test_single_fact_set(self):
+        fs = single_fact_set(Fact("R", (1, "x")))
+        assert fs.contains(Fact("R", (1, "x")))
+        assert not fs.contains(Fact("R", (1, "y")))
+
+
+class TestEvents:
+    def test_counting_event(self, heights):
+        tall = FactSet("Height", None, Interval(low=180.0))
+        assert CountingEvent(tall, 2).contains(heights)
+        assert not CountingEvent(tall, 1).contains(heights)
+
+    def test_counting_event_zero(self):
+        fs = FactSet("R", None)
+        assert CountingEvent(fs, 0).contains(Instance.empty())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MeasureError):
+            CountingEvent(FactSet("R", None), -1)
+
+    def test_at_least(self, heights):
+        tall = FactSet("Height", None, Interval(low=180.0))
+        assert AtLeastEvent(tall, 1).contains(heights)
+        assert AtLeastEvent(tall, 2).contains(heights)
+        assert not AtLeastEvent(tall, 3).contains(heights)
+
+    def test_contains_fact(self, heights):
+        assert ContainsFactEvent(Fact("Other", (1,))).contains(heights)
+        assert not ContainsFactEvent(Fact("Other", (2,))).contains(heights)
+
+    def test_boolean_algebra(self, heights):
+        tall2 = CountingEvent(
+            FactSet("Height", None, Interval(low=180.0)), 2)
+        other = ContainsFactEvent(Fact("Other", (1,)))
+        assert (tall2 & other).contains(heights)
+        assert (tall2 | ~other).contains(heights)
+        assert not (~tall2).contains(heights)
+
+    def test_true_event(self, heights):
+        assert TrueEvent().contains(heights)
+        assert TrueEvent().contains(Instance.empty())
+
+    def test_predicate_event(self, heights):
+        event = PredicateEvent(lambda D: len(D) == 4, "four facts")
+        assert event.contains(heights)

@@ -1,0 +1,157 @@
+"""Tests for exact chase-tree enumeration (repro.core.exact)."""
+
+import pytest
+
+from repro.core.exact import (enumerate_chase_tree, exact_parallel_spdb,
+                              exact_sequential_spdb)
+from repro.core.policies import LastPolicy, RandomTiePolicy
+from repro.core.program import Program
+from repro.core.translate import translate
+from repro.errors import UnsupportedProgramError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+
+
+class TestSequentialExact:
+    def test_single_flip(self):
+        pdb = exact_sequential_spdb(Program.parse("R(Flip<0.3>) :- true."))
+        assert pdb.prob_of_instance(Instance.of(Fact("R", (1,)))) == \
+            pytest.approx(0.3)
+        assert pdb.prob_of_instance(Instance.of(Fact("R", (0,)))) == \
+            pytest.approx(0.7)
+        assert pdb.err_mass() == 0.0
+
+    def test_g0_worlds(self, g0):
+        pdb = exact_sequential_spdb(g0)
+        expected = paper.G0_EXPECTED_GROHE
+        for world, probability in expected.items():
+            assert pdb.prob_of_instance(world) == \
+                pytest.approx(probability)
+        assert pdb.support_size() == len(expected)
+
+    def test_deterministic_program_single_world(self):
+        program = Program.parse("A(x) :- B(x).")
+        D = Instance.of(Fact("B", (1,)))
+        pdb = exact_sequential_spdb(program, D)
+        assert pdb.support_size() == 1
+        world, probability = pdb.worlds()[0]
+        assert probability == pytest.approx(1.0)
+        assert Fact("A", (1,)) in world
+
+    def test_continuous_program_rejected(self, heights_program):
+        with pytest.raises(UnsupportedProgramError):
+            exact_sequential_spdb(heights_program)
+
+    def test_mass_conservation(self, earthquake_program,
+                               earthquake_instance):
+        pdb = exact_sequential_spdb(earthquake_program,
+                                    earthquake_instance)
+        assert pdb.total_mass() + pdb.err_mass() == pytest.approx(1.0)
+        assert pdb.err_mass() == 0.0
+
+    def test_depth_budget_moves_mass_to_err(self, g0):
+        pdb = exact_sequential_spdb(g0, max_depth=1)
+        assert pdb.err_mass() == pytest.approx(1.0)
+        pdb = exact_sequential_spdb(g0, max_depth=4)
+        assert pdb.err_mass() == pytest.approx(0.0)
+
+    def test_infinite_support_truncation_accounted(self):
+        program = Program.parse("N(Poisson<2.0>) :- true.")
+        pdb = exact_sequential_spdb(program, tolerance=1e-6,
+                                    max_depth=10)
+        assert pdb.total_mass() + pdb.err_mass() == \
+            pytest.approx(1.0, abs=1e-9)
+        assert 0.0 < pdb.err_mass() < 1e-5
+
+    def test_keep_aux_exposes_result_relations(self, g0):
+        pdb = exact_sequential_spdb(g0, keep_aux=True)
+        world, _ = pdb.worlds()[0]
+        assert any(r.startswith("Result#") for r in world.relations())
+
+    def test_variable_parameters(self):
+        program = Program.parse("Quake(c, Flip<r>) :- City(c, r).")
+        D = Instance.of(Fact("City", ("n", 0.25)))
+        pdb = exact_sequential_spdb(program, D)
+        assert pdb.marginal(Fact("Quake", ("n", 1))) == \
+            pytest.approx(0.25)
+
+
+class TestParallelExact:
+    def test_g0_equals_sequential(self, g0):
+        sequential = exact_sequential_spdb(g0)
+        parallel = exact_parallel_spdb(g0)
+        assert sequential.allclose(parallel)
+
+    def test_product_branching(self):
+        program = Program.parse("""
+            A(Flip<0.5>) :- true.
+            B(Flip<0.25>) :- true.
+        """)
+        pdb = exact_parallel_spdb(program)
+        world = Instance.of(Fact("A", (1,)), Fact("B", (1,)))
+        assert pdb.prob_of_instance(world) == pytest.approx(0.125)
+
+    def test_depth_counts_levels_not_facts(self):
+        # Parallel chase of G0 takes 2 levels; depth 2 suffices.
+        program = paper.example_1_1_g0()
+        pdb = exact_parallel_spdb(program, max_depth=2)
+        assert pdb.err_mass() == pytest.approx(0.0)
+
+    def test_mass_conservation(self, earthquake_program,
+                               earthquake_instance):
+        pdb = exact_parallel_spdb(earthquake_program,
+                                  earthquake_instance)
+        assert pdb.total_mass() + pdb.err_mass() == pytest.approx(1.0)
+
+
+class TestChaseTree:
+    def test_tree_structure_flip(self):
+        tree = enumerate_chase_tree(Program.parse("R(Flip<0.5>) :- true."))
+        # Root branches over {0, 1}; each child fires the companion.
+        assert len(tree.children) == 2
+        leaves = list(tree.leaves())
+        assert len(leaves) == 2
+        assert sum(leaf.probability for leaf in leaves) == \
+            pytest.approx(1.0)
+
+    def test_lemma_c4_no_repeated_instances(self, g0):
+        # Every instance labels at most one node of the chase tree.
+        tree = enumerate_chase_tree(g0)
+        seen = []
+        for node in tree.iter_nodes():
+            assert node.instance not in seen
+            seen.append(node.instance)
+
+    def test_leaf_mass_matches_spdb(self, g0):
+        tree = enumerate_chase_tree(g0)
+        pdb = exact_sequential_spdb(g0, keep_aux=True)
+        leaf_mass = {}
+        for leaf in tree.leaves():
+            assert not leaf.truncated
+            leaf_mass[leaf.instance] = \
+                leaf_mass.get(leaf.instance, 0.0) + leaf.probability
+        for world, probability in pdb.worlds():
+            assert leaf_mass[world] == pytest.approx(probability)
+
+    def test_truncated_nodes_marked(self):
+        program = paper.discrete_cycle_program(1.0)
+        tree = enumerate_chase_tree(program, paper.trigger_instance(),
+                                    max_depth=3, tolerance=1e-3)
+        assert any(node.truncated for node in tree.iter_nodes())
+
+    def test_probabilities_decrease_along_paths(self, g0):
+        tree = enumerate_chase_tree(g0)
+        for node in tree.iter_nodes():
+            for child in node.children:
+                assert child.probability <= node.probability + 1e-12
+
+
+class TestPolicyIndependenceSmall:
+    """Theorem 6.1 on micro-programs (full battery in its own file)."""
+
+    def test_policies_agree_on_g0(self, g0):
+        reference = exact_sequential_spdb(g0)
+        for policy in (LastPolicy(), RandomTiePolicy(5)):
+            assert exact_sequential_spdb(g0, policy=policy) \
+                .allclose(reference)

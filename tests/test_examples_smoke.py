@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts run cleanly end to end.
+
+The slower examples (`earthquake_alarm.py` scaling section,
+`bayesian_inference.py` with its 20k-run posteriors) are exercised
+manually / by the benchmark suite; here we pin the quick ones so a
+regression in the public API surfaces immediately.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300)
+
+
+@pytest.mark.parametrize("script,expected_fragments", [
+    ("quickstart.py",
+     ["Chase independence verified", "P(Incident(rack1)) = 0.020000"]),
+    ("semantics_comparison.py",
+     ["H' under ours simulates H under Barany et al. exactly",
+      "ours-in-barany OK"]),
+    ("termination_analysis.py",
+     ["continuous cycle", "instances 1.0000"]),
+])
+def test_example_runs(script, expected_fragments):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr
+    for fragment in expected_fragments:
+        assert fragment in result.stdout, \
+            f"{fragment!r} missing from {script} output"
+
+
+def test_examples_directory_complete():
+    """All advertised example scripts exist and are non-trivial."""
+    advertised = ["quickstart.py", "earthquake_alarm.py",
+                  "sensor_heights.py", "semantics_comparison.py",
+                  "termination_analysis.py", "bayesian_inference.py"]
+    for name in advertised:
+        path = EXAMPLES / name
+        assert path.exists(), name
+        text = path.read_text()
+        assert '"""' in text and "def main" in text, name

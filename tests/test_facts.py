@@ -1,0 +1,93 @@
+"""Tests for facts (repro.pdb.facts)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.pdb.facts import Fact, fact, normalize_value, sorted_facts
+
+
+class TestFactBasics:
+    def test_construction(self):
+        f = Fact("R", (1, "x"))
+        assert f.relation == "R"
+        assert f.args == (1, "x")
+        assert f.arity == 2
+
+    def test_convenience_constructor(self):
+        assert fact("R", 1, 2) == Fact("R", (1, 2))
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact("", (1,))
+
+    def test_equality_and_hash(self):
+        assert Fact("R", (1,)) == Fact("R", (1,))
+        assert hash(Fact("R", (1,))) == hash(Fact("R", (1,)))
+        assert Fact("R", (1,)) != Fact("S", (1,))
+        assert Fact("R", (1,)) != Fact("R", (2,))
+
+    def test_immutability(self):
+        f = Fact("R", (1,))
+        with pytest.raises(AttributeError):
+            f.relation = "S"
+
+    def test_repr(self):
+        assert repr(Fact("R", (1, "x"))) == "R(1, 'x')"
+
+    def test_replace(self):
+        f = Fact("R", (1, 2)).replace(1, 9)
+        assert f == Fact("R", (1, 9))
+
+
+class TestNormalization:
+    def test_bool_normalizes_to_int(self):
+        assert Fact("R", (True,)) == Fact("R", (1,))
+        assert Fact("R", (False,)) == Fact("R", (0,))
+
+    def test_normalize_value(self):
+        assert normalize_value(True) == 1
+        assert normalize_value(False) == 0
+        assert normalize_value("x") == "x"
+        assert normalize_value(1.5) == 1.5
+
+    def test_integral_float_equals_int(self):
+        # Python hashing identifies 1 and 1.0; facts inherit that.
+        assert Fact("R", (1.0,)) == Fact("R", (1,))
+
+
+class TestOrdering:
+    def test_sorted_facts_by_relation_then_args(self):
+        facts = [Fact("S", (1,)), Fact("R", (2,)), Fact("R", (1,))]
+        assert sorted_facts(facts) == \
+            [Fact("R", (1,)), Fact("R", (2,)), Fact("S", (1,))]
+
+    def test_lt_operator(self):
+        assert Fact("A", (1,)) < Fact("B", (0,))
+        assert Fact("A", (1,)) < Fact("A", (2,))
+
+    def test_mixed_type_args_sortable(self):
+        facts = [Fact("R", ("z",)), Fact("R", (3,)), Fact("R", (1.5,))]
+        ordered = sorted_facts(facts)
+        assert [f.args[0] for f in ordered] == [1.5, 3, "z"]
+
+
+value_strategy = st.one_of(
+    st.integers(-50, 50), st.floats(-10, 10, allow_nan=False),
+    st.text(max_size=4), st.booleans())
+
+
+class TestFactProperties:
+    @given(st.text(min_size=1, max_size=5),
+           st.lists(value_strategy, min_size=1, max_size=4))
+    def test_hash_consistency(self, name, args):
+        a = Fact(name, tuple(args))
+        b = Fact(name, tuple(args))
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.lists(st.tuples(st.sampled_from("RST"),
+                              st.integers(0, 5)), max_size=12))
+    def test_sorting_is_deterministic(self, spec):
+        facts = [Fact(rel, (arg,)) for rel, arg in spec]
+        assert sorted_facts(facts) == sorted_facts(list(reversed(facts)))

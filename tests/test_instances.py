@@ -1,0 +1,148 @@
+"""Tests for instances (repro.pdb.instances)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.pdb.schema import Schema
+
+
+def facts_strategy(max_size=8):
+    return st.lists(
+        st.tuples(st.sampled_from("RST"), st.integers(0, 4)),
+        max_size=max_size).map(
+            lambda spec: [Fact(rel, (arg,)) for rel, arg in spec])
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(Instance.empty()) == 0
+
+    def test_of(self):
+        D = Instance.of(Fact("R", (1,)), Fact("S", (2,)))
+        assert len(D) == 2
+
+    def test_duplicates_collapse(self):
+        D = Instance([Fact("R", (1,)), Fact("R", (1,))])
+        assert len(D) == 1
+
+    def test_from_dict(self):
+        D = Instance.from_dict({"R": [(1,), (2,)], "S": [(1, 2)]})
+        assert len(D) == 3
+        assert Fact("S", (1, 2)) in D
+
+
+class TestAccess:
+    def test_contains(self, small_instance):
+        assert Fact("R", (1, "a")) in small_instance
+        assert Fact("R", (9, "z")) not in small_instance
+
+    def test_relations_sorted(self, small_instance):
+        assert small_instance.relations() == ("R", "S")
+
+    def test_facts_of(self, small_instance):
+        assert len(small_instance.facts_of("R")) == 2
+        assert small_instance.facts_of("missing") == frozenset()
+
+    def test_tuples_of(self, small_instance):
+        assert small_instance.tuples_of("S") == frozenset({(1,)})
+
+    def test_count(self, small_instance):
+        assert small_instance.count(lambda f: f.relation == "R") == 2
+
+
+class TestAlgebra:
+    def test_add_returns_new_instance(self):
+        D = Instance.empty()
+        D2 = D.add(Fact("R", (1,)))
+        assert len(D) == 0 and len(D2) == 1
+
+    def test_add_existing_returns_self(self):
+        D = Instance.of(Fact("R", (1,)))
+        assert D.add(Fact("R", (1,))) is D
+
+    def test_add_all(self):
+        D = Instance.empty().add_all([Fact("R", (i,)) for i in range(3)])
+        assert len(D) == 3
+
+    def test_union_difference_intersection(self):
+        a = Instance.of(Fact("R", (1,)), Fact("R", (2,)))
+        b = Instance.of(Fact("R", (2,)), Fact("R", (3,)))
+        assert len(a.union(b)) == 3
+        assert a.difference(b) == Instance.of(Fact("R", (1,)))
+        assert a.intersection(b) == Instance.of(Fact("R", (2,)))
+
+    def test_restrict(self, small_instance):
+        restricted = small_instance.restrict(["R"])
+        assert restricted.relations() == ("R",)
+        assert len(restricted) == 2
+
+    def test_without_relations(self, small_instance):
+        assert small_instance.without_relations(["R"]).relations() == \
+            ("S",)
+
+    def test_issubset(self):
+        a = Instance.of(Fact("R", (1,)))
+        b = a.add(Fact("R", (2,)))
+        assert a.issubset(b) and not b.issubset(a)
+
+
+class TestIdentity:
+    def test_equality_is_set_equality(self):
+        a = Instance([Fact("R", (1,)), Fact("S", (2,))])
+        b = Instance([Fact("S", (2,)), Fact("R", (1,))])
+        assert a == b and hash(a) == hash(b)
+
+    def test_canonical_text_stable(self):
+        a = Instance([Fact("R", (1,)), Fact("S", (2,))])
+        b = Instance([Fact("S", (2,)), Fact("R", (1,))])
+        assert a.canonical_text() == b.canonical_text()
+
+    def test_immutability(self, small_instance):
+        with pytest.raises(AttributeError):
+            small_instance._facts = frozenset()
+
+    def test_usable_as_dict_key(self):
+        d = {Instance.of(Fact("R", (1,))): 0.5}
+        assert d[Instance.of(Fact("R", (1,)))] == 0.5
+
+
+class TestValidation:
+    def test_validate_against_schema(self, small_instance):
+        schema = Schema.from_arities({"R": 2, "S": 1})
+        small_instance.validate(schema)  # should not raise
+
+    def test_validate_rejects_wrong_arity(self):
+        from repro.errors import SchemaError
+        schema = Schema.from_arities({"R": 1})
+        with pytest.raises(SchemaError):
+            Instance.of(Fact("R", (1, 2))).validate(schema)
+
+
+class TestInstanceProperties:
+    @given(facts_strategy(), facts_strategy())
+    def test_union_commutes(self, fa, fb):
+        a, b = Instance(fa), Instance(fb)
+        assert a.union(b) == b.union(a)
+
+    @given(facts_strategy())
+    def test_add_all_idempotent(self, facts):
+        D = Instance(facts)
+        assert D.add_all(facts) == D
+
+    @given(facts_strategy())
+    def test_restrict_partition(self, facts):
+        D = Instance(facts)
+        kept = D.restrict(["R"])
+        dropped = D.without_relations(["R"])
+        assert kept.union(dropped) == D
+        assert len(kept) + len(dropped) == len(D)
+
+    @given(facts_strategy())
+    def test_canonical_text_injective_on_support(self, facts):
+        D = Instance(facts)
+        E = Instance(facts[:-1]) if facts else Instance.empty()
+        if D != E:
+            assert D.canonical_text() != E.canonical_text()

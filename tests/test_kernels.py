@@ -1,0 +1,130 @@
+"""Tests for stochastic kernels (repro.measures.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasureError
+from repro.measures.discrete import DiscreteMeasure
+from repro.measures.kernels import (ComposedKernel, DiscreteKernel,
+                                    FunctionKernel, IdentityKernel,
+                                    ProductKernel, SamplerKernel,
+                                    push_forward_measure, sample_discrete)
+
+
+def coin_kernel(p=0.5):
+    """x -> Bernoulli(p) shifted by x."""
+    return DiscreteKernel(
+        lambda x: DiscreteMeasure({x: 1 - p, x + 1: p}))
+
+
+class TestIdentityKernel:
+    def test_sample(self, rng):
+        assert IdentityKernel().sample("state", rng) == "state"
+
+    def test_distribution(self):
+        d = IdentityKernel().distribution(7)
+        assert d.mass(7) == 1.0
+
+
+class TestFunctionKernel:
+    def test_deterministic(self, rng):
+        k = FunctionKernel(lambda x: x * 2)
+        assert k.sample(3, rng) == 6
+        assert k.distribution(3).mass(6) == 1.0
+
+
+class TestDiscreteKernel:
+    def test_distribution(self):
+        k = coin_kernel(0.25)
+        d = k.distribution(0)
+        assert d.mass(1) == pytest.approx(0.25)
+
+    def test_sampling_matches_distribution(self, rng):
+        k = coin_kernel(0.25)
+        samples = [k.sample(0, rng) for _ in range(4000)]
+        frequency = sum(1 for s in samples if s == 1) / len(samples)
+        assert abs(frequency - 0.25) < 0.05
+
+
+class TestComposition:
+    def test_chapman_kolmogorov(self):
+        k = coin_kernel(0.5)
+        two_steps = ComposedKernel(k, k)
+        d = two_steps.distribution(0)
+        assert d.mass(0) == pytest.approx(0.25)
+        assert d.mass(1) == pytest.approx(0.5)
+        assert d.mass(2) == pytest.approx(0.25)
+
+    def test_then_chaining(self):
+        k = coin_kernel(0.5).then(coin_kernel(0.5))
+        assert k.distribution(0).total_mass() == pytest.approx(1.0)
+
+    def test_identity_is_neutral(self):
+        k = coin_kernel(0.3)
+        left = ComposedKernel(IdentityKernel(), k).distribution(0)
+        right = ComposedKernel(k, IdentityKernel()).distribution(0)
+        assert left.allclose(k.distribution(0))
+        assert right.allclose(k.distribution(0))
+
+
+class TestProductKernel:
+    def test_independent_components(self):
+        k = ProductKernel([coin_kernel(0.5), coin_kernel(0.5)])
+        d = k.distribution(0)
+        assert d.mass((0, 0)) == pytest.approx(0.25)
+        assert d.mass((1, 1)) == pytest.approx(0.25)
+        assert d.total_mass() == pytest.approx(1.0)
+
+    def test_sample_shape(self, rng):
+        k = ProductKernel([coin_kernel(), coin_kernel(), coin_kernel()])
+        result = k.sample(0, rng)
+        assert len(result) == 3
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(MeasureError):
+            ProductKernel([])
+
+
+class TestSamplerKernel:
+    def test_sampling_only(self, rng):
+        k = SamplerKernel(lambda x, r: x + r.normal())
+        value = k.sample(0.0, rng)
+        assert isinstance(value, float)
+        assert not k.has_distribution()
+        with pytest.raises(MeasureError):
+            k.distribution(0.0)
+
+
+class TestSampleDiscrete:
+    def test_dirac(self, rng):
+        assert sample_discrete(DiscreteMeasure.dirac("a"), rng) == "a"
+
+    def test_subprobability_yields_none(self):
+        m = DiscreteMeasure({1: 0.0001})
+        rng = np.random.default_rng(7)
+        results = {sample_discrete(m, rng) for _ in range(50)}
+        assert None in results
+
+    def test_super_probability_rejected(self, rng):
+        with pytest.raises(MeasureError):
+            sample_discrete(DiscreteMeasure({1: 0.9, 2: 0.9}), rng)
+
+    def test_frequencies(self):
+        m = DiscreteMeasure({1: 0.2, 2: 0.8})
+        rng = np.random.default_rng(11)
+        samples = [sample_discrete(m, rng) for _ in range(5000)]
+        frequency = sum(1 for s in samples if s == 2) / len(samples)
+        assert abs(frequency - 0.8) < 0.04
+
+
+class TestPushForward:
+    def test_measure_through_kernel(self):
+        initial = DiscreteMeasure({0: 0.5, 1: 0.5})
+        pushed = push_forward_measure(initial, coin_kernel(0.5))
+        assert pushed.mass(1) == pytest.approx(0.5)
+        assert pushed.total_mass() == pytest.approx(1.0)
+
+    def test_mass_preserved(self):
+        initial = DiscreteMeasure({0: 0.4})
+        pushed = push_forward_measure(initial, coin_kernel(0.3))
+        assert pushed.total_mass() == pytest.approx(0.4)

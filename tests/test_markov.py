@@ -1,0 +1,108 @@
+"""Tests for Markov processes (repro.measures.markov)."""
+
+import numpy as np
+import pytest
+
+from repro.measures.discrete import DiscreteMeasure
+from repro.measures.kernels import DiscreteKernel, IdentityKernel
+from repro.measures.markov import (MarkovProcess, absorption_distribution,
+                                   empirical_final_distribution,
+                                   iterate_distribution, sample_chain)
+
+
+def walk_kernel(p=0.5, absorb_at=3):
+    """A walk on {0..absorb_at}: +1 w.p. p, stay otherwise; absorbing top."""
+    def conditional(x):
+        if x >= absorb_at:
+            return DiscreteMeasure.dirac(x)
+        return DiscreteMeasure({x: 1 - p, x + 1: p})
+    return DiscreteKernel(conditional)
+
+
+class TestMarkovProcess:
+    def test_absorption(self, rng):
+        process = MarkovProcess(walk_kernel(p=1.0),
+                                is_absorbing=lambda x: x >= 3)
+        path = process.sample_path(0, rng, max_steps=10)
+        assert path.absorbed and path.final == 3
+        assert path.states == (0, 1, 2, 3)
+
+    def test_stable_index(self, rng):
+        process = MarkovProcess(walk_kernel(p=1.0),
+                                is_absorbing=lambda x: x >= 2)
+        path = process.sample_path(0, rng, max_steps=10)
+        assert path.stable_index() == 2
+
+    def test_truncation(self, rng):
+        process = MarkovProcess(walk_kernel(p=0.0),  # never moves
+                                is_absorbing=lambda x: x >= 3)
+        path = process.sample_path(0, rng, max_steps=5)
+        assert not path.absorbed
+        assert path.stable_index() is None
+
+    def test_sample_final_matches_path(self):
+        process = MarkovProcess(walk_kernel(p=1.0),
+                                is_absorbing=lambda x: x >= 3)
+        rng_a, rng_b = (np.random.default_rng(3) for _ in range(2))
+        path = process.sample_path(0, rng_a, 10)
+        final, absorbed = process.sample_final(0, rng_b, 10)
+        assert (path.final, path.absorbed) == (final, absorbed)
+
+    def test_sample_many_count(self, rng):
+        process = MarkovProcess(walk_kernel(),
+                                is_absorbing=lambda x: x >= 3)
+        results = list(process.sample_many(0, rng, 100, 25))
+        assert len(results) == 25
+
+
+class TestIterateDistribution:
+    def test_one_step(self):
+        result = iterate_distribution(DiscreteMeasure.dirac(0),
+                                      walk_kernel(0.5), 1)
+        assert result.mass(1) == pytest.approx(0.5)
+
+    def test_absorbing_mass_frozen(self):
+        result = iterate_distribution(
+            DiscreteMeasure.dirac(0), walk_kernel(1.0), 10,
+            is_absorbing=lambda x: x >= 2)
+        # Everything absorbed at 2 despite kernel pointing further.
+        assert result.mass(2) == pytest.approx(1.0)
+
+    def test_mass_conserved(self):
+        result = iterate_distribution(DiscreteMeasure.dirac(0),
+                                      walk_kernel(0.3), 7)
+        assert result.total_mass() == pytest.approx(1.0)
+
+
+class TestAbsorption:
+    def test_absorption_split(self):
+        absorbed, escaping = absorption_distribution(
+            DiscreteMeasure.dirac(0), walk_kernel(0.5), lambda x: x >= 2,
+            max_steps=3)
+        assert absorbed.total_mass() + escaping == pytest.approx(1.0)
+        # After 3 steps of a p=1/2 walk, reaching 2 has prob 1/2.
+        assert absorbed.total_mass() == pytest.approx(0.5)
+
+    def test_all_mass_eventually_absorbed(self):
+        absorbed, escaping = absorption_distribution(
+            DiscreteMeasure.dirac(0), walk_kernel(1.0), lambda x: x >= 2,
+            max_steps=10)
+        assert escaping == pytest.approx(0.0)
+
+    def test_empirical_agrees_with_exact(self):
+        process = MarkovProcess(walk_kernel(0.5),
+                                is_absorbing=lambda x: x >= 2)
+        empirical, truncated = empirical_final_distribution(
+            process, 0, np.random.default_rng(5), max_steps=3, n=4000)
+        exact, escaping = absorption_distribution(
+            DiscreteMeasure.dirac(0), walk_kernel(0.5),
+            lambda x: x >= 2, max_steps=3)
+        assert abs(truncated - escaping) < 0.05
+        assert empirical.tv_distance(exact) < 0.05
+
+
+class TestSampleChain:
+    def test_inhomogeneous_chain(self, rng):
+        kernels = [walk_kernel(1.0), IdentityKernel(), walk_kernel(1.0)]
+        states = sample_chain(DiscreteMeasure.dirac(0), kernels, rng)
+        assert states == [0, 1, 1, 2]

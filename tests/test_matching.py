@@ -1,0 +1,158 @@
+"""Tests for conjunctive matching (repro.engine.matching)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.terms import Var
+from repro.engine.matching import (IndexedSource, ScanSource,
+                                   atom_pattern, body_holds, match_atoms,
+                                   match_atoms_with_pinned)
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+@pytest.fixture
+def graph():
+    return Instance.of(Fact("E", (1, 2)), Fact("E", (2, 3)),
+                       Fact("E", (3, 4)), Fact("E", (1, 3)))
+
+
+def solutions(atoms, source, binding=None):
+    return list(match_atoms(atoms, source, binding))
+
+
+class TestScanSource:
+    def test_candidates_filtering(self, graph):
+        source = ScanSource(graph)
+        hits = list(source.candidates("E", (1, None)))
+        assert {f.args for f in hits} == {(1, 2), (1, 3)}
+
+    def test_relation_size(self, graph):
+        assert ScanSource(graph).relation_size("E") == 4
+        assert ScanSource(graph).relation_size("missing") == 0
+
+
+class TestIndexedSource:
+    def test_candidates_match_scan(self, graph):
+        indexed = IndexedSource(graph.facts)
+        scan = ScanSource(graph)
+        for pattern in [(None, None), (1, None), (None, 3), (2, 3)]:
+            a = {f.args for f in indexed.candidates("E", pattern)}
+            b = {f.args for f in scan.candidates("E", pattern)}
+            assert a == b
+
+    def test_incremental_add_updates_indexes(self, graph):
+        indexed = IndexedSource(graph.facts)
+        # Materialize an index, then insert a fact hitting it.
+        assert {f.args for f in indexed.candidates("E", (9, None))} \
+            == set()
+        assert indexed.add_fact(Fact("E", (9, 1)))
+        assert {f.args for f in indexed.candidates("E", (9, None))} \
+            == {(9, 1)}
+
+    def test_duplicate_add_returns_false(self, graph):
+        indexed = IndexedSource(graph.facts)
+        assert not indexed.add_fact(Fact("E", (1, 2)))
+
+    def test_contains_and_len(self, graph):
+        indexed = IndexedSource(graph.facts)
+        assert Fact("E", (1, 2)) in indexed
+        assert len(indexed) == 4
+
+
+class TestMatchAtoms:
+    def test_single_atom(self, graph):
+        bindings = solutions([atom("E", "x", "y")], ScanSource(graph))
+        assert len(bindings) == 4
+
+    def test_join(self, graph):
+        body = [atom("E", "x", "y"), atom("E", "y", "z")]
+        found = {(b[Var("x")], b[Var("y")], b[Var("z")])
+                 for b in solutions(body, IndexedSource(graph.facts))}
+        assert found == {(1, 2, 3), (2, 3, 4), (1, 3, 4)}
+
+    def test_repeated_variable(self):
+        D = Instance.of(Fact("R", (1, 1)), Fact("R", (1, 2)))
+        bindings = solutions([atom("R", "x", "x")], ScanSource(D))
+        assert len(bindings) == 1 and bindings[0][Var("x")] == 1
+
+    def test_constants_in_atoms(self, graph):
+        bindings = solutions([atom("E", 1, "y")], ScanSource(graph))
+        assert {b[Var("y")] for b in bindings} == {2, 3}
+
+    def test_empty_body_yields_empty_binding(self, graph):
+        assert solutions([], ScanSource(graph)) == [{}]
+
+    def test_initial_binding_restricts(self, graph):
+        bindings = solutions([atom("E", "x", "y")], ScanSource(graph),
+                             {Var("x"): 2})
+        assert len(bindings) == 1 and bindings[0][Var("y")] == 3
+
+    def test_no_solutions(self, graph):
+        assert solutions([atom("E", 4, "y")], ScanSource(graph)) == []
+
+    def test_cross_product_body(self):
+        D = Instance.of(Fact("A", (1,)), Fact("A", (2,)),
+                        Fact("B", ("x",)))
+        body = [atom("A", "a"), atom("B", "b")]
+        assert len(solutions(body, ScanSource(D))) == 2
+
+    def test_indexed_and_scan_agree(self, graph):
+        body = [atom("E", "x", "y"), atom("E", "y", "z"),
+                atom("E", "x", "z")]
+        a = solutions(body, ScanSource(graph))
+        b = solutions(body, IndexedSource(graph.facts))
+        canon = lambda bs: sorted(
+            tuple(sorted((v.name, val) for v, val in b.items()))
+            for b in bs)
+        assert canon(a) == canon(b)
+
+
+class TestPinnedMatching:
+    def test_pinned_uses_fact(self, graph):
+        body = [atom("E", "x", "y"), atom("E", "y", "z")]
+        source = IndexedSource(graph.facts)
+        pinned = list(match_atoms_with_pinned(
+            body, source, 0, Fact("E", (2, 3))))
+        assert all(b[Var("x")] == 2 and b[Var("y")] == 3
+                   for b in pinned)
+        assert len(pinned) == 1
+
+    def test_pinned_mismatch_yields_nothing(self, graph):
+        body = [atom("E", 1, "y")]
+        source = IndexedSource(graph.facts)
+        assert list(match_atoms_with_pinned(
+            body, source, 0, Fact("E", (2, 3)))) == []
+
+    def test_pinned_covers_all_new_solutions(self, graph):
+        body = [atom("E", "x", "y"), atom("E", "y", "z")]
+        source = IndexedSource(graph.facts)
+        before = {tuple(sorted((v.name, val) for v, val in b.items()))
+                  for b in match_atoms(body, source)}
+        new_fact = Fact("E", (4, 5))
+        source.add_fact(new_fact)
+        after = {tuple(sorted((v.name, val) for v, val in b.items()))
+                 for b in match_atoms(body, source)}
+        via_pinned = set()
+        for position in range(len(body)):
+            for b in match_atoms_with_pinned(body, source, position,
+                                             new_fact):
+                via_pinned.add(tuple(sorted(
+                    (v.name, val) for v, val in b.items())))
+        assert after - before <= via_pinned
+        assert via_pinned <= after
+
+
+class TestHelpers:
+    def test_atom_pattern(self):
+        pattern = atom_pattern(atom("E", "x", 3),
+                               {Var("x"): 1})
+        assert pattern == (1, 3)
+        pattern = atom_pattern(atom("E", "x", "y"), {})
+        assert pattern == (None, None)
+
+    def test_body_holds(self, graph):
+        source = ScanSource(graph)
+        assert body_holds([atom("E", "x", "y")], source, {Var("x"): 1})
+        assert not body_holds([atom("E", "x", "y")], source,
+                              {Var("x"): 4})

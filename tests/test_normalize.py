@@ -1,0 +1,89 @@
+"""Tests for multi-random-term normalization (repro.core.normalize)."""
+
+import pytest
+
+from repro.core.atoms import Atom, atom
+from repro.core.exact import exact_sequential_spdb
+from repro.core.normalize import (is_split_relation, normalize_program,
+                                  normalize_rule)
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import Const, RandomTerm, Var
+from repro.distributions.registry import DEFAULT_REGISTRY
+
+FLIP = DEFAULT_REGISTRY["Flip"]
+
+
+def two_flip_rule(p1=0.5, p2=0.25, body=()):
+    head = Atom("R", (RandomTerm(FLIP, (Const(p1),)),
+                      RandomTerm(FLIP, (Const(p2),))))
+    return Rule(head, body)
+
+
+class TestNormalizeRule:
+    def test_normal_rule_unchanged(self):
+        rule = Rule(atom("H", "x"), (atom("B", "x"),))
+        assert normalize_rule(rule, "0") == [rule]
+
+    def test_two_random_terms_three_rules(self):
+        rewritten = normalize_rule(two_flip_rule(), "7")
+        assert len(rewritten) == 3
+        split_heads = [r.head.relation for r in rewritten[:2]]
+        assert all(is_split_relation(name) for name in split_heads)
+        final = rewritten[-1]
+        assert final.head.relation == "R"
+        assert not final.head.is_random()
+
+    def test_split_rules_in_normal_form(self):
+        for rule in normalize_rule(two_flip_rule(), "1"):
+            assert rule.is_normal_form()
+
+    def test_shared_columns_include_all_params(self):
+        x = Var("x")
+        head = Atom("R", (x, RandomTerm(FLIP, (Var("p"),)),
+                          RandomTerm(FLIP, (Var("q"),))))
+        rule = Rule(head, (atom("B", "x", "p", "q"),))
+        rewritten = normalize_rule(rule, "2")
+        split_head = rewritten[0].head
+        # carried x + params p, q + the sampled term.
+        assert split_head.terms[:3] == (x, Var("p"), Var("q"))
+
+
+class TestNormalizeProgram:
+    def test_identity_on_normal_programs(self, g0):
+        assert normalize_program(g0) is g0
+
+    def test_semantics_product_of_independents(self):
+        program = Program([two_flip_rule(0.5, 0.25)])
+        pdb = exact_sequential_spdb(program)
+        from repro.pdb.facts import Fact
+        from repro.pdb.instances import Instance
+
+        def world(a, b):
+            return Instance.of(Fact("R", (a, b)))
+
+        # Independent product: P(a, b) = Flip(0.5)(a) * Flip(0.25)(b).
+        assert pdb.prob_of_instance(world(1, 1)) == pytest.approx(0.125)
+        assert pdb.prob_of_instance(world(1, 0)) == pytest.approx(0.375)
+        assert pdb.prob_of_instance(world(0, 1)) == pytest.approx(0.125)
+        assert pdb.prob_of_instance(world(0, 0)) == pytest.approx(0.375)
+        assert pdb.total_mass() == pytest.approx(1.0)
+
+    def test_split_relations_projected_from_output(self):
+        program = Program([two_flip_rule()])
+        pdb = exact_sequential_spdb(program)
+        for world, _ in pdb.worlds():
+            assert not any(is_split_relation(r)
+                           for r in world.relations())
+
+    def test_one_joint_sample_per_head_key(self):
+        # Body with projected variable: single joint sample.
+        from repro.pdb.facts import Fact
+        from repro.pdb.instances import Instance
+        rule = two_flip_rule(0.5, 0.5, body=(atom("B", "z"),))
+        program = Program([rule])
+        D = Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+        pdb = exact_sequential_spdb(program, D)
+        # Exactly one R fact in every world (not one per B binding).
+        for world, _ in pdb.worlds():
+            assert len(world.facts_of("R")) == 1

@@ -1,0 +1,93 @@
+"""Tests for the canonical value order (repro.ordering)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ordering import canonical_repr, tuple_sort_key, value_sort_key
+
+
+class TestValueSortKey:
+    def test_none_sorts_first(self):
+        values = [3, "x", None, 1.5]
+        assert sorted(values, key=value_sort_key)[0] is None
+
+    def test_numbers_before_strings(self):
+        assert sorted(["a", 2], key=value_sort_key) == [2, "a"]
+
+    def test_numeric_order(self):
+        assert sorted([3, 1.5, 2], key=value_sort_key) == [1.5, 2, 3]
+
+    def test_bool_compares_as_number(self):
+        # True == 1, so the order must place them adjacently/equal.
+        assert value_sort_key(True) == value_sort_key(1)
+        assert value_sort_key(False) == value_sort_key(0)
+
+    def test_string_order(self):
+        assert sorted(["b", "a", "c"],
+                      key=value_sort_key) == ["a", "b", "c"]
+
+    def test_tuples_after_strings(self):
+        values = [("x",), "z"]
+        assert sorted(values, key=value_sort_key) == ["z", ("x",)]
+
+    def test_nested_tuples(self):
+        values = [(2, 1), (1, 9), (1, 2)]
+        assert sorted(values, key=value_sort_key) == \
+            [(1, 2), (1, 9), (2, 1)]
+
+    def test_mixed_total_order_is_stable(self):
+        values = [None, "b", 0, 3.5, "a", (1,), True]
+        once = sorted(values, key=value_sort_key)
+        twice = sorted(once, key=value_sort_key)
+        assert once == twice
+
+
+class TestTupleSortKey:
+    def test_lexicographic(self):
+        rows = [(2, "a"), (1, "z"), (1, "a")]
+        assert sorted(rows, key=tuple_sort_key) == \
+            [(1, "a"), (1, "z"), (2, "a")]
+
+    def test_heterogeneous_rows(self):
+        rows = [("a", 1), (1, "a")]
+        ordered = sorted(rows, key=tuple_sort_key)
+        assert ordered == [(1, "a"), ("a", 1)]
+
+
+class TestCanonicalRepr:
+    def test_equal_numbers_equal_repr(self):
+        assert canonical_repr(1) == canonical_repr(1.0)
+        assert canonical_repr(True) == canonical_repr(1)
+
+    def test_string_vs_number_distinct(self):
+        assert canonical_repr("1") != canonical_repr(1)
+
+    def test_tuple_repr_contains_parts(self):
+        text = canonical_repr((1, "x"))
+        assert "n:1.0" in text and "s:x" in text
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_repr_roundtrip(self, x):
+        assert canonical_repr(x) == canonical_repr(float(repr(x)))
+
+
+class TestTotalOrderProperties:
+    scalar = st.one_of(
+        st.none(), st.booleans(), st.integers(-100, 100),
+        st.floats(-1e6, 1e6, allow_nan=False), st.text(max_size=5))
+
+    @given(st.lists(scalar, max_size=10))
+    def test_sorting_never_raises(self, values):
+        sorted(values, key=value_sort_key)
+
+    @given(scalar, scalar)
+    def test_keys_comparable_both_ways(self, a, b):
+        ka, kb = value_sort_key(a), value_sort_key(b)
+        assert (ka <= kb) or (kb <= ka)
+
+    @given(scalar, scalar, scalar)
+    def test_transitivity(self, a, b, c):
+        ka, kb, kc = (value_sort_key(v) for v in (a, b, c))
+        if ka <= kb and kb <= kc:
+            assert ka <= kc

@@ -1,0 +1,116 @@
+"""Tests for the parallel chase (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fd import check_all_fds
+from repro.core.parallel import (firing_configuration,
+                                 parallel_markov_process,
+                                 parallel_step_kernel,
+                                 run_parallel_chase)
+from repro.core.program import Program
+from repro.core.translate import translate, translate_barany
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads import paper
+from repro.workloads.generators import (bernoulli_grid_program,
+                                        items_instance)
+
+
+class TestRunParallelChase:
+    def test_wide_fanout_single_step(self):
+        # All n flips fire in one parallel step; then n companions.
+        program = bernoulli_grid_program()
+        D = items_instance(10)
+        run = run_parallel_chase(program, D, rng=0, record_trace=True)
+        assert run.terminated
+        assert run.steps == 2
+        assert len(run.instance.facts_of("Out")) == 10
+
+    def test_sequential_equivalent_instance_support(self, g0):
+        # Parallel and sequential runs both produce R-worlds from the
+        # same support {R(0)},{R(1)},{R(0),R(1)}.
+        seen = set()
+        for seed in range(40):
+            run = run_parallel_chase(g0, rng=seed)
+            assert run.terminated
+            values = frozenset(
+                f.args[0] for f in run.instance.facts_of("R"))
+            seen.add(values)
+        assert seen == {frozenset({0}), frozenset({1}),
+                        frozenset({0, 1})}
+
+    def test_fd_never_violated(self):
+        # Projected body variables must not cause double-sampling.
+        program = Program.parse("R(x, Flip<0.5>) :- S(x, z).")
+        translated = translate(program)
+        D = Instance.of(Fact("S", (1, "a")), Fact("S", (1, "b")),
+                        Fact("S", (2, "a")))
+        for seed in range(20):
+            run = run_parallel_chase(translated, D, rng=seed)
+            assert run.terminated
+            assert check_all_fds(translated, run.instance)
+            assert len(run.instance.facts_of("R")) == 2
+
+    def test_barany_shared_sample_fd(self, g0):
+        # Under the Bárány translation both rules share one auxiliary;
+        # the parallel chase must fire it exactly once.
+        translated = translate_barany(g0)
+        for seed in range(20):
+            run = run_parallel_chase(translated, rng=seed)
+            assert run.terminated
+            assert check_all_fds(translated, run.instance)
+            assert len(run.instance.facts_of("R")) == 1
+
+    def test_truncation(self):
+        program = paper.continuous_feedback_program()
+        D = Instance.of(Fact("Seed", (0,)))
+        run = run_parallel_chase(program, D, rng=1, max_steps=10)
+        assert not run.terminated
+
+    def test_earthquake_terminates(self, earthquake_program,
+                                   earthquake_instance):
+        run = run_parallel_chase(earthquake_program,
+                                 earthquake_instance, rng=3)
+        assert run.terminated
+        assert run.instance.facts_of("Unit")
+
+
+class TestFiringConfiguration:
+    def test_configuration_counts(self):
+        program = bernoulli_grid_program()
+        translated = translate(program)
+        D = items_instance(4)
+        config = firing_configuration(translated, D)
+        ext_index = translated.existential_rules()[0].index
+        assert config[ext_index] == 4
+
+    def test_empty_configuration_when_stable(self):
+        program = Program.parse("A(x) :- B(x).")
+        stable = Instance.of(Fact("B", (1,)), Fact("A", (1,)))
+        assert firing_configuration(program, stable) == {}
+
+
+class TestParallelKernel:
+    def test_step_extends_all(self):
+        program = bernoulli_grid_program()
+        kernel = parallel_step_kernel(program)
+        rng = np.random.default_rng(0)
+        D1 = kernel.sample(items_instance(5), rng)
+        # 5 aux facts in one step.
+        assert len(D1) == 10
+
+    def test_identity_on_stable(self):
+        program = Program.parse("A(x) :- B(x).")
+        kernel = parallel_step_kernel(program)
+        stable = Instance.of(Fact("B", (1,)), Fact("A", (1,)))
+        rng = np.random.default_rng(0)
+        assert kernel.sample(stable, rng) == stable
+
+    def test_markov_process_absorbs(self, g0):
+        process = parallel_markov_process(g0)
+        rng = np.random.default_rng(2)
+        path = process.sample_path(Instance.empty(), rng, 10)
+        assert path.absorbed
+        # Parallel chase of G0 finishes in 2 levels.
+        assert path.steps == 2

@@ -1,0 +1,102 @@
+"""Tests for chase policies (measurable selections, Lemma 3.6)."""
+
+import pytest
+
+from repro.core.applicability import Firing
+from repro.core.policies import (DEFAULT_POLICY, FirstPolicy, LastPolicy,
+                                 PriorityPolicy, RandomTiePolicy,
+                                 RoundRobinPolicy, standard_policies)
+from repro.errors import ChaseError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+@pytest.fixture
+def firings():
+    return [Firing(0, "R", (1,), False),
+            Firing(1, "S", (2,), True),
+            Firing(2, "T", (3,), True)]
+
+
+@pytest.fixture
+def instance():
+    return Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+
+
+class TestBasicPolicies:
+    def test_first(self, instance, firings):
+        assert FirstPolicy().select(instance, firings) == firings[0]
+
+    def test_last(self, instance, firings):
+        assert LastPolicy().select(instance, firings) == firings[-1]
+
+    def test_default_is_first(self, instance, firings):
+        assert DEFAULT_POLICY.select(instance, firings) == firings[0]
+
+    def test_empty_applicable_rejected(self, instance):
+        with pytest.raises(ChaseError):
+            FirstPolicy().select(instance, [])
+
+
+class TestPriorityPolicy:
+    def test_priority_order(self, instance, firings):
+        policy = PriorityPolicy([2, 0, 1])
+        assert policy.select(instance, firings).rule_index == 2
+
+    def test_unlisted_rules_last(self, instance, firings):
+        policy = PriorityPolicy([1])
+        assert policy.select(instance, firings).rule_index == 1
+        policy = PriorityPolicy([99])
+        # nothing listed applies: canonical order among the rest
+        assert policy.select(instance, firings) == firings[0]
+
+
+class TestRandomTiePolicy:
+    def test_deterministic_per_instance(self, instance, firings):
+        policy = RandomTiePolicy(7)
+        assert policy.select(instance, firings) == \
+            policy.select(instance, firings)
+
+    def test_function_of_instance_content(self, firings):
+        # Equal instances (set semantics) must give equal choices.
+        a = Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+        b = Instance.of(Fact("B", (2,)), Fact("B", (1,)))
+        policy = RandomTiePolicy(3)
+        assert policy.select(a, firings) == policy.select(b, firings)
+
+    def test_salts_vary_choices(self, firings):
+        # Across many instances, two salts should differ somewhere.
+        instances = [Instance.of(Fact("B", (i,))) for i in range(30)]
+        a = RandomTiePolicy(1)
+        b = RandomTiePolicy(2)
+        assert any(a.select(D, firings) != b.select(D, firings)
+                   for D in instances)
+
+    def test_spreads_over_choices(self, firings):
+        policy = RandomTiePolicy(0)
+        chosen = {policy.select(Instance.of(Fact("B", (i,))), firings)
+                  for i in range(50)}
+        assert len(chosen) == len(firings)
+
+
+class TestRoundRobinPolicy:
+    def test_rotation_by_size(self, firings):
+        policy = RoundRobinPolicy()
+        d0 = Instance.empty()
+        d1 = Instance.of(Fact("B", (1,)))
+        d2 = Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+        assert policy.select(d0, firings) == firings[0]
+        assert policy.select(d1, firings) == firings[1]
+        assert policy.select(d2, firings) == firings[2]
+
+
+class TestStandardPolicies:
+    def test_battery_composition(self):
+        battery = standard_policies()
+        assert len(battery) >= 5
+        names = {p.name for p in battery}
+        assert "first" in names and "last" in names
+
+    def test_all_select_from_applicable(self, instance, firings):
+        for policy in standard_policies():
+            assert policy.select(instance, firings) in firings

@@ -1,0 +1,72 @@
+"""Tests for the distribution registry."""
+
+import pytest
+
+from repro.distributions.discrete import Flip
+from repro.distributions.registry import (DEFAULT_REGISTRY,
+                                          DistributionRegistry,
+                                          default_registry)
+from repro.errors import DistributionError
+
+
+class TestRegistry:
+    def test_default_contains_example_2_2(self):
+        for name in ("Flip", "Binomial", "Poisson", "Normal"):
+            assert name in DEFAULT_REGISTRY
+
+    def test_default_contains_extensions(self):
+        for name in ("Exponential", "Gamma", "Beta", "Uniform",
+                     "LogNormal", "Geometric", "Categorical",
+                     "DiscreteUniform", "Laplace", "Bernoulli"):
+            assert name in DEFAULT_REGISTRY
+
+    def test_unknown_name(self):
+        with pytest.raises(DistributionError):
+            DEFAULT_REGISTRY["NoSuchDistribution"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = DistributionRegistry([Flip()])
+        with pytest.raises(DistributionError):
+            registry.register(Flip())
+
+    def test_explicit_alias_name(self):
+        registry = DistributionRegistry()
+        registry.register(Flip(), name="Coin")
+        assert "Coin" in registry and "Flip" not in registry
+
+    def test_names_sorted(self):
+        names = DEFAULT_REGISTRY.names()
+        assert list(names) == sorted(names)
+
+    def test_copy_isolated(self):
+        copy = DEFAULT_REGISTRY.copy()
+        copy.register(Flip(), name="Another")
+        assert "Another" in copy
+        assert "Another" not in DEFAULT_REGISTRY
+
+
+class TestFlipPrimeAlias:
+    """The paper's Flip' device (Example 1.1)."""
+
+    def test_alias_exists(self):
+        assert "FlipPrime" in DEFAULT_REGISTRY
+
+    def test_alias_same_law_different_name(self):
+        flip = DEFAULT_REGISTRY["Flip"]
+        prime = DEFAULT_REGISTRY["FlipPrime"]
+        assert prime.name == "FlipPrime" != flip.name
+        assert prime.density((0.3,), 1) == flip.density((0.3,), 1)
+        assert prime.mean((0.3,)) == flip.mean((0.3,))
+
+    def test_alias_delegation_complete(self):
+        prime = DEFAULT_REGISTRY["FlipPrime"]
+        assert list(prime.support((0.5,))) == [0, 1]
+        assert prime.support_is_finite((0.5,))
+        assert prime.variance((0.5,)) == pytest.approx(0.25)
+        pairs, residue = prime.truncated_support((0.5,))
+        assert dict(pairs) == {0: 0.5, 1: 0.5}
+
+    def test_fresh_default_registry_independent(self):
+        fresh = default_registry()
+        assert fresh is not DEFAULT_REGISTRY
+        assert "FlipPrime" in fresh

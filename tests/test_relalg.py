@@ -1,0 +1,135 @@
+"""Tests for the relational algebra (repro.query.relalg)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.query.relalg import Extend, Relation, scan
+
+
+@pytest.fixture
+def db():
+    return Instance.from_dict({
+        "City": [("napa", 0.03), ("davis", 0.01)],
+        "Unit": [("h1", "napa"), ("h2", "napa"), ("b1", "davis")],
+    })
+
+
+class TestRelation:
+    def test_row_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "b"], [(1,)])
+
+    def test_set_semantics(self):
+        r = Relation(["a"], [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_column_index(self):
+        r = Relation(["a", "b"], [(1, 2)])
+        assert r.column_index("b") == 1
+        with pytest.raises(SchemaError):
+            r.column_index("missing")
+
+    def test_to_instance_roundtrip(self, db):
+        r = scan("City", "name", "rate").evaluate(db)
+        back = r.to_instance("City")
+        assert back == db.restrict(["City"])
+
+    def test_canonical_hashable(self):
+        r = Relation(["a"], [(2,), (1,)])
+        s = Relation(["a"], [(1,), (2,)])
+        assert r.canonical() == s.canonical()
+        assert hash(r) == hash(s)
+
+
+class TestOperators:
+    def test_scan_default_columns(self, db):
+        r = scan("City").evaluate(db)
+        assert r.columns == ("c0", "c1")
+
+    def test_scan_missing_relation_empty(self, db):
+        assert len(scan("Nope").evaluate(db)) == 0
+
+    def test_select(self, db):
+        q = scan("City", "name", "rate").select(
+            lambda row: row["rate"] > 0.02)
+        r = q.evaluate(db)
+        assert r.rows == {("napa", 0.03)}
+
+    def test_where_equalities(self, db):
+        q = scan("Unit", "uid", "city").where(city="napa")
+        assert len(q.evaluate(db)) == 2
+
+    def test_project_dedupes(self, db):
+        q = scan("Unit", "uid", "city").project("city")
+        assert q.evaluate(db).rows == {("napa",), ("davis",)}
+
+    def test_project_reorders(self, db):
+        q = scan("City", "name", "rate").project("rate", "name")
+        assert ("rate", "name") == q.evaluate(db).columns
+
+    def test_rename(self, db):
+        q = scan("City", "name", "rate").rename(name="city")
+        assert q.evaluate(db).columns == ("city", "rate")
+
+    def test_natural_join(self, db):
+        q = scan("Unit", "uid", "city").join(
+            scan("City", "city", "rate"))
+        r = q.evaluate(db)
+        assert ("h1", "napa", 0.03) in r.rows
+        assert len(r) == 3
+
+    def test_join_no_shared_columns_is_product(self, db):
+        q = scan("City", "name", "rate").join(scan("Unit", "uid", "c"))
+        assert len(q.evaluate(db)) == 6
+
+    def test_product_requires_disjoint(self, db):
+        with pytest.raises(SchemaError):
+            scan("City", "a", "b").product(
+                scan("Unit", "a", "c")).evaluate(db)
+
+    def test_union_difference_intersect(self, db):
+        napa = scan("Unit", "uid", "city").where(city="napa")
+        davis = scan("Unit", "uid", "city").where(city="davis")
+        all_units = napa.union(davis)
+        assert len(all_units.evaluate(db)) == 3
+        assert len(napa.difference(davis).evaluate(db)) == 2
+        assert len(napa.intersect(davis).evaluate(db)) == 0
+
+    def test_set_ops_require_same_columns(self, db):
+        with pytest.raises(SchemaError):
+            scan("City", "a", "b").union(
+                scan("Unit", "x", "y")).evaluate(db)
+
+    def test_extend(self, db):
+        q = Extend(scan("City", "name", "rate"), "double",
+                   lambda row: row["rate"] * 2)
+        r = q.evaluate(db)
+        assert ("napa", 0.03, 0.06) in r.rows
+
+    def test_extend_duplicate_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            Extend(scan("City", "name", "rate"), "rate",
+                   lambda row: 0).evaluate(db)
+
+
+class TestAlgebraicIdentities:
+    def test_selection_commutes_with_union(self, db):
+        base = scan("Unit", "uid", "city")
+        predicate = lambda row: row["city"] == "napa"
+        left = base.union(base).select(predicate).evaluate(db)
+        right = base.select(predicate).union(
+            base.select(predicate)).evaluate(db)
+        assert left == right
+
+    def test_projection_after_join_on_keys(self, db):
+        joined = scan("Unit", "uid", "city").join(
+            scan("City", "city", "rate"))
+        assert joined.project("uid").evaluate(db).rows == \
+            scan("Unit", "uid", "city").project("uid").evaluate(db).rows
+
+    def test_double_rename_identity(self, db):
+        q = scan("City", "name", "rate").rename(name="n") \
+            .rename(n="name")
+        assert q.evaluate(db) == scan("City", "name", "rate").evaluate(db)

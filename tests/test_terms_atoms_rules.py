@@ -1,0 +1,170 @@
+"""Tests for GDatalog syntax objects: terms, atoms, rules."""
+
+import pytest
+
+from repro.core.atoms import Atom, atom
+from repro.core.rules import Rule, fact_rule, iter_constants
+from repro.core.terms import (Const, RandomTerm, Var, as_term,
+                              substitute)
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.errors import ValidationError
+
+FLIP = DEFAULT_REGISTRY["Flip"]
+NORMAL = DEFAULT_REGISTRY["Normal"]
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x") and Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_var_name_validation(self):
+        with pytest.raises(ValidationError):
+            Var("")
+
+    def test_const_normalization(self):
+        assert Const(True) == Const(1)
+
+    def test_random_term_structure(self):
+        term = RandomTerm(FLIP, (Const(0.5),))
+        assert term.is_random()
+        assert term.distribution.name == "Flip"
+
+    def test_random_term_arity_checked(self):
+        with pytest.raises(ValidationError):
+            RandomTerm(FLIP, (Const(0.5), Const(0.5)))
+
+    def test_random_term_constant_params_validated(self):
+        from repro.errors import DistributionError
+        with pytest.raises(DistributionError):
+            RandomTerm(FLIP, (Const(1.5),))
+
+    def test_random_term_variable_params_deferred(self):
+        # Variable parameters are validated at chase time.
+        term = RandomTerm(FLIP, (Var("p"),))
+        assert list(term.variables()) == [Var("p")]
+
+    def test_no_nested_random_terms(self):
+        inner = RandomTerm(FLIP, (Const(0.5),))
+        with pytest.raises(ValidationError):
+            RandomTerm(FLIP, (inner,))
+
+    def test_as_term_conventions(self):
+        assert as_term("x") == Var("x")
+        assert as_term("Xyz") == Const("Xyz")
+        assert as_term(3) == Const(3)
+        assert as_term(Var("q")) == Var("q")
+
+    def test_substitute(self):
+        assert substitute(Const(5), {}) == 5
+        assert substitute(Var("x"), {Var("x"): 7}) == 7
+        with pytest.raises(ValidationError):
+            substitute(Var("x"), {})
+        with pytest.raises(ValidationError):
+            substitute(RandomTerm(FLIP, (Const(0.5),)), {})
+
+
+class TestAtoms:
+    def test_construction(self):
+        a = atom("R", "x", 1)
+        assert a.relation == "R" and a.arity == 2
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            Atom("R", ())
+
+    def test_random_detection(self):
+        a = Atom("R", (Var("x"), RandomTerm(FLIP, (Const(0.5),))))
+        assert a.is_random()
+        assert a.random_positions() == (1,)
+        assert len(a.random_terms()) == 1
+
+    def test_variables_include_param_vars(self):
+        a = Atom("R", (Var("x"), RandomTerm(FLIP, (Var("p"),))))
+        assert a.variable_set() == {Var("x"), Var("p")}
+
+    def test_ground(self):
+        a = atom("R", "x", 1)
+        f = a.ground({Var("x"): "v"})
+        assert f.relation == "R" and f.args == ("v", 1)
+
+    def test_ground_random_atom_rejected(self):
+        a = Atom("R", (RandomTerm(FLIP, (Const(0.5),)),))
+        with pytest.raises(ValidationError):
+            a.ground({})
+
+    def test_to_fact(self):
+        assert atom("R", 1, 2).to_fact().args == (1, 2)
+
+    def test_is_ground(self):
+        assert atom("R", 1).is_ground()
+        assert not atom("R", "x").is_ground()
+
+
+class TestRules:
+    def test_simple_rule(self):
+        rule = Rule(atom("Head", "x"), (atom("Body", "x"),))
+        assert not rule.is_random()
+        assert rule.frontier() == (Var("x"),)
+
+    def test_empty_body_is_top(self):
+        rule = fact_rule(Atom("R", (RandomTerm(FLIP, (Const(0.5),)),)))
+        assert rule.body == ()
+        assert rule.is_random()
+
+    def test_random_body_rejected(self):
+        bad = Atom("B", (RandomTerm(FLIP, (Const(0.5),)),))
+        with pytest.raises(ValidationError):
+            Rule(atom("H", "x"), (bad, atom("C", "x")))
+
+    def test_range_restriction(self):
+        with pytest.raises(ValidationError):
+            Rule(atom("H", "x", "y"), (atom("B", "x"),))
+
+    def test_range_restriction_of_params(self):
+        head = Atom("H", (RandomTerm(FLIP, (Var("p"),)),))
+        with pytest.raises(ValidationError):
+            Rule(head, (atom("B", "x"),))
+        Rule(head, (atom("B", "p"),))  # bound: fine
+
+    def test_single_random_term(self):
+        head = Atom("H", (Var("x"), RandomTerm(FLIP, (Const(0.5),))))
+        rule = Rule(head, (atom("B", "x"),))
+        position, term = rule.single_random_term()
+        assert position == 1 and term.distribution.name == "Flip"
+
+    def test_single_random_term_rejects_deterministic(self):
+        rule = Rule(atom("H", "x"), (atom("B", "x"),))
+        with pytest.raises(ValidationError):
+            rule.single_random_term()
+
+    def test_multi_random_not_normal_form(self):
+        head = Atom("H", (RandomTerm(FLIP, (Const(0.5),)),
+                          RandomTerm(FLIP, (Const(0.5),))))
+        rule = Rule(head, ())
+        assert not rule.is_normal_form()
+
+    def test_frontier_order(self):
+        rule = Rule(atom("H", "b", "a"),
+                    (atom("B1", "a"), atom("B2", "b")))
+        assert rule.frontier() == (Var("a"), Var("b"))
+
+    def test_all_variables(self):
+        rule = Rule(atom("H", "x"), (atom("B", "x", "z"),))
+        assert rule.all_variables() == (Var("x"), Var("z"))
+
+    def test_iter_constants(self):
+        head = Atom("H", (Const(7), RandomTerm(FLIP, (Const(0.25),))))
+        rule = Rule(head, (atom("B", 3, "x"),))
+        constants = {c.value for c in iter_constants(rule)}
+        assert constants == {7, 0.25, 3}
+
+    def test_equality(self):
+        a = Rule(atom("H", "x"), (atom("B", "x"),))
+        b = Rule(atom("H", "x"), (atom("B", "x"),))
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr_contains_arrow(self):
+        rule = Rule(atom("H", "x"), (atom("B", "x"),))
+        assert "←" in repr(rule)
+        assert "⊤" in repr(fact_rule(atom("H", 1)))

@@ -1,0 +1,145 @@
+"""Tests for the Datalog-with-existentials translation (Section 3.2)."""
+
+import pytest
+
+from repro.core.program import Program
+from repro.core.translate import (DetRule, ExtRule, is_aux_relation,
+                                  translate, translate_barany)
+from repro.core.terms import Const, Var
+
+
+class TestGroheTranslation:
+    def test_deterministic_rule_passthrough(self):
+        program = Program.parse("A(x) :- B(x).")
+        translated = translate(program)
+        assert len(translated.rules) == 1
+        assert isinstance(translated.rules[0], DetRule)
+        assert translated.aux_info == {}
+
+    def test_random_rule_splits_in_two(self):
+        program = Program.parse("R(Flip<0.5>) :- true.")
+        translated = translate(program)
+        assert len(translated.rules) == 2
+        ext, det = translated.rules
+        assert isinstance(ext, ExtRule) and isinstance(det, DetRule)
+        assert ext.aux_relation.startswith("Result#")
+        assert det.head.relation == "R"
+
+    def test_per_rule_aux_relations_distinct(self, g0):
+        translated = translate(g0)
+        ext_rules = translated.existential_rules()
+        assert len(ext_rules) == 2
+        assert ext_rules[0].aux_relation != ext_rules[1].aux_relation
+
+    def test_aux_columns_layout(self):
+        # Head R(x, ψ⟨p⟩) with carried x: aux = Result#i(x, p, y).
+        program = Program.parse("R(x, Flip<p>) :- B(x, p).")
+        translated = translate(program)
+        ext = translated.existential_rules()[0]
+        assert ext.prefix_terms == (Var("x"), Var("p"))
+        assert ext.n_carried == 1
+        info = translated.aux_info[ext.aux_relation]
+        assert info.arity == 3
+
+    def test_random_term_position_preserved(self):
+        # Random term mid-head: companion head restores the position.
+        program = Program.parse("R(x, Flip<0.5>, y) :- B(x, y).")
+        translated = translate(program)
+        det = [r for r in translated.rules if isinstance(r, DetRule)][0]
+        assert det.head.relation == "R"
+        assert det.head.terms[0] == Var("x")
+        assert det.head.terms[2] == Var("y")
+        # middle term is the fresh existential variable
+        assert det.head.terms[1].name.startswith("y#")
+
+    def test_companion_body_contains_original_and_aux(self):
+        program = Program.parse("R(Flip<r>) :- City(c, r).")
+        translated = translate(program)
+        det = [r for r in translated.rules if isinstance(r, DetRule)][0]
+        relations = [a.relation for a in det.body]
+        assert "City" in relations
+        assert any(is_aux_relation(r) for r in relations)
+
+    def test_prefix_values_and_fact(self):
+        program = Program.parse("R(x, Flip<p>) :- B(x, p).")
+        translated = translate(program)
+        ext = translated.existential_rules()[0]
+        prefix = ext.prefix_values({Var("x"): "a", Var("p"): 0.5})
+        assert prefix == ("a", 0.5)
+        assert ext.param_values(prefix) == (0.5,)
+        f = ext.aux_fact(prefix, 1)
+        assert f.args == ("a", 0.5, 1)
+
+    def test_visible_relations_exclude_aux(self, g0):
+        translated = translate(g0)
+        assert "R" in translated.visible_relations()
+        assert not any(is_aux_relation(r)
+                       for r in translated.visible_relations())
+
+    def test_is_discrete(self, g0, heights_program):
+        assert translate(g0).is_discrete()
+        assert not translate(heights_program).is_discrete()
+
+    def test_normalization_applied_automatically(self):
+        from repro.core.atoms import Atom
+        from repro.core.rules import Rule
+        from repro.core.terms import RandomTerm
+        from repro.distributions.registry import DEFAULT_REGISTRY
+        flip = DEFAULT_REGISTRY["Flip"]
+        rule = Rule(Atom("R", (RandomTerm(flip, (Const(0.5),)),
+                               RandomTerm(flip, (Const(0.5),)))), ())
+        translated = translate(Program([rule]))
+        # Two random terms -> two existential rules after splitting.
+        assert len(translated.existential_rules()) == 2
+
+
+class TestBaranyTranslation:
+    def test_shared_aux_for_same_distribution(self, g0):
+        translated = translate_barany(g0)
+        ext_rules = translated.existential_rules()
+        assert len(ext_rules) == 2
+        assert ext_rules[0].aux_relation == ext_rules[1].aux_relation
+        assert ext_rules[0].aux_relation.startswith("Sample#Flip")
+
+    def test_different_names_not_shared(self, g0_prime):
+        translated = translate_barany(g0_prime)
+        ext_rules = translated.existential_rules()
+        assert ext_rules[0].aux_relation != ext_rules[1].aux_relation
+
+    def test_aux_keyed_by_params_only(self):
+        program = Program.parse("R(x, Flip<p>) :- B(x, p).")
+        translated = translate_barany(program)
+        ext = translated.existential_rules()[0]
+        assert ext.n_carried == 0
+        assert ext.prefix_terms == (Var("p"),)
+
+    def test_semantics_tags(self, g0):
+        assert translate(g0).semantics == "grohe"
+        assert translate_barany(g0).semantics == "barany"
+
+    def test_arity_disambiguation(self):
+        # Same distribution name with different parameter counts gets
+        # distinct auxiliary relations (Categorical is variadic).
+        program = Program.parse("""
+            A(Categorical<0.5, 0.5>) :- true.
+            B(Categorical<0.2, 0.3, 0.5>) :- true.
+        """)
+        translated = translate_barany(program)
+        aux_names = {r.aux_relation
+                     for r in translated.existential_rules()}
+        assert len(aux_names) == 2
+
+
+class TestAuxNaming:
+    def test_is_aux_relation(self):
+        assert is_aux_relation("Result#0")
+        assert is_aux_relation("Sample#Flip#1")
+        assert not is_aux_relation("Results")
+        assert not is_aux_relation("City")
+
+    def test_aux_names_unparseable(self):
+        from repro.core.parser import parse_program
+        from repro.distributions.registry import DEFAULT_REGISTRY
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            parse_program("Result#0(x) :- B(x).", DEFAULT_REGISTRY)

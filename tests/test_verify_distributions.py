@@ -1,0 +1,104 @@
+"""Tests for the Fact 2.3 numeric verifiers (repro.distributions.verify)."""
+
+import pytest
+
+from repro.distributions.base import ParameterizedDistribution
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.distributions.verify import (Fact23Report,
+                                        distribution_distance,
+                                        fact_2_3_report,
+                                        verify_identifiability,
+                                        verify_normalization,
+                                        verify_parameter_continuity)
+
+CATALOGUE = [
+    ("Flip", [(0.3,), (0.7,)], [0, 1]),
+    ("Binomial", [(5, 0.3), (5, 0.6)], [0, 2, 5]),
+    ("Poisson", [(1.0,), (4.0,)], [0, 2, 7]),
+    ("Geometric", [(0.4,), (0.8,)], [0, 1, 3]),
+    ("DiscreteUniform", [(0, 4), (2, 9)], [1, 3]),
+    ("Normal", [(0.0, 1.0), (2.0, 4.0)], [0.0, 1.5, -2.0]),
+    ("LogNormal", [(0.0, 0.5), (1.0, 0.25)], [0.5, 1.0, 3.0]),
+    ("Exponential", [(1.0,), (3.0,)], [0.2, 1.0, 2.5]),
+    ("Uniform", [(0.0, 1.0), (0.0, 2.0)], [0.25, 0.75]),
+    ("Gamma", [(2.0, 1.0), (3.0, 2.0)], [0.5, 1.5, 4.0]),
+    ("Beta", [(2.0, 2.0), (5.0, 1.5)], [0.2, 0.5, 0.8]),
+    ("Laplace", [(0.0, 1.0), (1.0, 2.0)], [0.0, 1.0, -1.5]),
+]
+
+
+class TestCatalogueSatisfiesFact23:
+    @pytest.mark.parametrize("name,points,values", CATALOGUE,
+                             ids=[c[0] for c in CATALOGUE])
+    def test_all_conditions(self, name, points, values):
+        distribution = DEFAULT_REGISTRY[name]
+        report = fact_2_3_report(distribution, points, values)
+        assert report.all_ok(), report
+
+
+class TestIndividualVerifiers:
+    def test_normalization_discrete(self):
+        assert verify_normalization(DEFAULT_REGISTRY["Flip"], (0.25,))
+        assert verify_normalization(DEFAULT_REGISTRY["Poisson"], (3.0,))
+
+    def test_normalization_continuous(self):
+        assert verify_normalization(DEFAULT_REGISTRY["Normal"],
+                                    (0.0, 1.0))
+
+    def test_normalization_catches_broken_density(self):
+        class Broken(ParameterizedDistribution):
+            name = "Broken"
+            param_arity = 1
+            is_discrete = True
+
+            def _check_params(self, params):
+                return params
+
+            def density(self, params, x):
+                # Deliberately unnormalized pmf.
+                return 0.4 if x in (0, 1) else 0.0
+
+            def support(self, params):
+                return iter((0, 1))
+
+            def support_is_finite(self, params):
+                return True
+
+        assert not verify_normalization(Broken(), (0.5,))
+
+    def test_continuity(self):
+        assert verify_parameter_continuity(DEFAULT_REGISTRY["Normal"],
+                                           (0.0, 1.0), 0.5)
+        assert verify_parameter_continuity(DEFAULT_REGISTRY["Flip"],
+                                           (0.5,), 1)
+
+    def test_identifiability_positive_distance(self):
+        flip = DEFAULT_REGISTRY["Flip"]
+        assert verify_identifiability(flip, (0.3,), (0.7,))
+        assert distribution_distance(flip, (0.3,), (0.7,)) == \
+            pytest.approx(0.4)
+
+    def test_identifiability_same_point_trivial(self):
+        flip = DEFAULT_REGISTRY["Flip"]
+        assert verify_identifiability(flip, (0.5,), (0.5,))
+
+    def test_tagged_distribution_not_identifiable_in_tag(self):
+        # The §6.2 tagging wrapper deliberately breaks identifiability
+        # in the tag coordinate - the verifier should notice.
+        from repro.core.barany import TaggedDistribution
+        tagged = TaggedDistribution(DEFAULT_REGISTRY["Flip"])
+        assert not verify_identifiability(tagged, (0, 0.5), (1, 0.5))
+
+    def test_continuous_distance(self):
+        normal = DEFAULT_REGISTRY["Normal"]
+        far = distribution_distance(normal, (0.0, 1.0), (5.0, 1.0))
+        near = distribution_distance(normal, (0.0, 1.0), (0.1, 1.0))
+        assert far > near > 0.0
+        assert far <= 1.0 + 1e-6
+
+
+class TestReport:
+    def test_repr_flags(self):
+        report = Fact23Report("X", True, False, True)
+        assert "FAIL" in repr(report)
+        assert not report.all_ok()

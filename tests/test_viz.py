@@ -1,0 +1,75 @@
+"""Tests for tree/graph renderings (repro.viz)."""
+
+import pytest
+
+from repro.core.exact import enumerate_chase_tree
+from repro.core.program import Program
+from repro.core.translate import translate
+from repro.viz import (chase_tree_to_dot, format_chase_tree,
+                       position_graph_to_dot)
+from repro.workloads import paper
+
+
+@pytest.fixture
+def flip_tree():
+    return enumerate_chase_tree(Program.parse("R(Flip<0.5>) :- true."))
+
+
+class TestFormatChaseTree:
+    def test_contains_probabilities_and_leaves(self, flip_tree):
+        text = format_chase_tree(flip_tree)
+        assert "p=1.000000" in text
+        assert "p=0.500000" in text
+        assert "[leaf]" in text
+
+    def test_shows_added_facts(self, flip_tree):
+        text = format_chase_tree(flip_tree)
+        assert "R(0)" in text and "R(1)" in text
+
+    def test_truncation_marker(self):
+        tree = enumerate_chase_tree(
+            paper.discrete_cycle_program(1.0), paper.trigger_instance(),
+            max_depth=2, tolerance=1e-3)
+        assert "[truncated -> err]" in format_chase_tree(tree)
+
+    def test_node_cap(self, flip_tree):
+        text = format_chase_tree(flip_tree, max_nodes=2)
+        assert "capped" in text
+
+
+class TestChaseTreeDot:
+    def test_valid_dot_structure(self, flip_tree):
+        dot = chase_tree_to_dot(flip_tree)
+        assert dot.startswith("digraph chase_tree {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # leaves
+        assert "->" in dot
+
+    def test_branch_ratio_labels(self, flip_tree):
+        dot = chase_tree_to_dot(flip_tree)
+        assert "0.5" in dot
+
+    def test_truncated_nodes_shaded(self):
+        tree = enumerate_chase_tree(
+            paper.discrete_cycle_program(1.0), paper.trigger_instance(),
+            max_depth=2, tolerance=1e-3)
+        assert "gray70" in chase_tree_to_dot(tree)
+
+
+class TestPositionGraphDot:
+    def test_special_edges_dashed(self):
+        translated = translate(paper.continuous_feedback_program())
+        dot = position_graph_to_dot(translated)
+        assert "style=dashed" in dot
+        assert "Result#" in dot
+
+    def test_deterministic_program_no_dashed(self):
+        translated = translate(Program.parse("A(x) :- B(x)."))
+        dot = position_graph_to_dot(translated)
+        assert "style=dashed" not in dot
+        assert '"A.0"' in dot and '"B.0"' in dot
+
+    def test_quotes_escaped(self, flip_tree):
+        # instance tooltips contain quotes; they must be escaped
+        dot = chase_tree_to_dot(flip_tree)
+        assert 'tooltip="' in dot

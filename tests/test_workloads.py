@@ -1,0 +1,112 @@
+"""Tests for workload constructors and generators."""
+
+import pytest
+
+from repro.core.termination import weakly_acyclic
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.pdb.facts import Fact
+from repro.workloads import paper
+from repro.workloads.generators import (base_instance,
+                                        bernoulli_grid_program,
+                                        chain_instance, chain_program,
+                                        earthquake_city_instance,
+                                        heights_instance, items_instance,
+                                        random_discrete_program,
+                                        random_graph_instance,
+                                        transitive_closure_program)
+
+
+class TestPaperWorkloads:
+    def test_g_eps_parameter_range(self):
+        with pytest.raises(ValueError):
+            paper.example_1_1_g_eps(0.0)
+        with pytest.raises(ValueError):
+            paper.example_1_1_g_eps(0.75)
+
+    def test_expected_tables_are_probabilities(self):
+        for table in (paper.G0_EXPECTED_GROHE, paper.G0_EXPECTED_BARANY,
+                      paper.H_EXPECTED_GROHE, paper.H_EXPECTED_BARANY,
+                      paper.g_eps_expected(0.25)):
+            assert sum(table.values()) == pytest.approx(1.0)
+
+    def test_earthquake_instance_shape(self):
+        instance = paper.example_3_4_instance()
+        assert len(instance.facts_of("City")) == 2
+        assert len(instance.facts_of("House")) == 1
+
+    def test_earthquake_instance_custom(self):
+        instance = paper.example_3_4_instance(
+            cities={"x": 0.5}, houses={}, businesses={"b": "x"})
+        assert len(instance.facts_of("House")) == 0
+        assert len(instance.facts_of("Business")) == 1
+
+    def test_heights_instance(self):
+        instance = paper.example_3_5_instance(persons_per_country=5)
+        assert len(instance.facts_of("PCountry")) == 10
+        assert len(instance.facts_of("CMoments")) == 2
+
+    def test_closed_form_alarm_bounds(self):
+        for rate in (0.0, 0.03, 0.5, 1.0):
+            p = paper.alarm_probability_closed_form(rate)
+            assert 0.0 <= p <= 1.0
+        assert paper.alarm_probability_closed_form(0.0) == \
+            pytest.approx(0.06)
+
+    def test_random_walk_expected_steps(self):
+        assert paper.random_walk_expected_steps(0.5, 0) == 1.0
+        assert paper.random_walk_expected_steps(0.5, 2) == 1.75
+
+    def test_seed_and_trigger_instances(self):
+        assert Fact("Seed", (0,)) in paper.seed_instance()
+        assert len(paper.seed_instance(3).facts_of("Succ")) == 3
+        assert Fact("Trigger", (5,)) in paper.trigger_instance(5)
+
+
+class TestGenerators:
+    def test_earthquake_scaling(self):
+        instance = earthquake_city_instance(4, 6, seed=1)
+        assert len(instance.facts_of("City")) == 4
+        units = len(instance.facts_of("House")) + \
+            len(instance.facts_of("Business"))
+        assert units == 24
+
+    def test_earthquake_rates_valid(self):
+        instance = earthquake_city_instance(10, 1, seed=2)
+        for f in instance.facts_of("City"):
+            assert 0.0 < f.args[1] < 1.0
+
+    def test_heights_scaling(self):
+        instance = heights_instance(3, 5, seed=0)
+        assert len(instance.facts_of("PCountry")) == 15
+
+    def test_chain_program_runs(self):
+        program = chain_program(5)
+        result = seminaive_fixpoint(program, chain_instance(3))
+        assert len(result.facts_of("T5")) == 3
+
+    def test_transitive_closure_generator(self):
+        graph = random_graph_instance(8, 12, seed=3)
+        result = seminaive_fixpoint(transitive_closure_program(), graph)
+        assert result.facts_of("Path")
+
+    def test_random_graph_no_self_loops(self):
+        graph = random_graph_instance(6, 10, seed=4)
+        for f in graph.facts_of("Edge"):
+            assert f.args[0] != f.args[1]
+
+    def test_deterministic_given_seed(self):
+        assert earthquake_city_instance(3, 2, seed=7) == \
+            earthquake_city_instance(3, 2, seed=7)
+        assert random_graph_instance(5, 8, seed=7) == \
+            random_graph_instance(5, 8, seed=7)
+
+    def test_bernoulli_grid(self):
+        program = bernoulli_grid_program(0.5)
+        assert len(program) == 1
+        assert len(items_instance(7)) == 7
+
+    def test_random_programs_weakly_acyclic(self):
+        for seed in range(20):
+            program = random_discrete_program(seed=seed)
+            assert weakly_acyclic(program)
+            assert program.is_discrete()

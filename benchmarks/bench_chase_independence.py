@@ -1,13 +1,12 @@
 """E6 + E12: Theorem 6.1 (chase independence) and Lemma 3.10 (FDs)."""
 
+from benchmarks.conftest import facade_exact
 import pytest
 
+from repro.api import compile as compile_program
 from repro.core.exact import exact_parallel_spdb, exact_sequential_spdb
 from repro.core.fd import check_all_fds
-from repro.core.chase import run_chase
 from repro.core.policies import standard_policies
-from repro.core.semantics import sample_spdb
-from repro.core.translate import translate
 from repro.measures.empirical import ks_critical_value, ks_two_sample
 from repro.workloads import paper
 from repro.workloads.generators import (base_instance,
@@ -18,13 +17,12 @@ class TestE6ExactIndependence:
     def test_policy_battery_earthquake(self, benchmark,
                                        earthquake_program,
                                        earthquake_instance):
-        reference = exact_sequential_spdb(earthquake_program,
-                                          earthquake_instance)
+        session = compile_program(earthquake_program).on(
+            earthquake_instance)
+        reference = session.exact().pdb
 
         def battery():
-            return [exact_sequential_spdb(earthquake_program,
-                                          earthquake_instance,
-                                          policy=policy)
+            return [session.exact(policy=policy).pdb
                     for policy in standard_policies()]
 
         results = benchmark(battery)
@@ -34,10 +32,11 @@ class TestE6ExactIndependence:
     def test_parallel_vs_sequential_earthquake(self, benchmark,
                                                earthquake_program,
                                                earthquake_instance):
-        reference = exact_sequential_spdb(earthquake_program,
-                                          earthquake_instance)
-        parallel = benchmark(lambda: exact_parallel_spdb(
-            earthquake_program, earthquake_instance))
+        session = compile_program(earthquake_program).on(
+            earthquake_instance)
+        reference = session.exact().pdb
+        parallel = benchmark(
+            lambda: session.exact(parallel=True).pdb)
         assert parallel.allclose(reference)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -62,13 +61,14 @@ class TestE6ContinuousIndependence:
                                         heights_program):
         instance = paper.example_3_5_instance(
             moments={"NL": (180.0, 30.0)}, persons_per_country=1)
+        compiled = compile_program(heights_program)
         policies = standard_policies()[:2]
 
         def collect():
             samples = []
             for index, policy in enumerate(policies):
-                pdb = sample_spdb(heights_program, instance, n=600,
-                                  rng=50 + index, policy=policy)
+                pdb = compiled.on(instance, seed=50 + index,
+                                  policy=policy).sample(600).pdb
                 samples.append(pdb.values_of(
                     lambda D: [f.args[1]
                                for f in D.facts_of("PHeight")]))
@@ -83,16 +83,24 @@ class TestE12FdInvariant:
     def test_fds_hold_over_many_chases(self, benchmark,
                                        earthquake_program,
                                        earthquake_instance):
-        translated = translate(earthquake_program)
+        compiled = compile_program(earthquake_program)
+        translated = compiled.translated
+        session = compiled.on(earthquake_instance, keep_aux=True)
 
         def chase_batch():
             outputs = []
             for seed in range(20):
-                run = run_chase(translated, earthquake_instance,
-                                rng=seed)
+                run = session.run(rng=seed)
                 assert run.terminated
                 outputs.append(run.instance)
             return outputs
 
         for instance in benchmark(chase_batch):
             assert check_all_fds(translated, instance)
+
+    def test_facade_exact_matches_lowlevel(self, earthquake_program,
+                                           earthquake_instance):
+        assert facade_exact(earthquake_program,
+                            earthquake_instance).allclose(
+            exact_sequential_spdb(earthquake_program.translate(),
+                                  earthquake_instance))

@@ -1,7 +1,8 @@
 """E15 (extension): conditioning — exact, rejection, likelihood weighting.
 
 The paper defers PPDL's constraint component to future work (§7); this
-harness benchmarks the reproduction's extension implementing it:
+harness benchmarks the reproduction's extension implementing it via the
+fluent facade (``session.observe(...).posterior(method=...)``):
 
 * exact conditioning vs the prior (discrete programs);
 * rejection sampling cost as a function of constraint selectivity;
@@ -11,27 +12,23 @@ harness benchmarks the reproduction's extension implementing it:
 
 import pytest
 
-from repro.core.constraints import (condition_by_rejection,
-                                    condition_exact)
-from repro.core.observe import likelihood_weighting, observe
-from repro.core.program import Program
-from repro.core.semantics import exact_spdb
+from repro.api import compile as compile_program
+from repro.core.observe import observe
 from repro.pdb.events import ContainsFactEvent
 from repro.pdb.facts import Fact
-from repro.workloads import paper
 
 
 class TestExtensionExactConditioning:
     def test_alarm_posterior(self, benchmark, earthquake_program,
                              earthquake_instance):
         alarm = ContainsFactEvent(Fact("Alarm", ("house-1",)))
+        compiled = compile_program(earthquake_program)
+        session = compiled.on(earthquake_instance)
 
-        def condition():
-            return condition_exact(earthquake_program,
-                                   earthquake_instance, [alarm])
-
-        posterior = benchmark(condition)
-        prior = exact_spdb(earthquake_program, earthquake_instance)
+        posterior = benchmark(
+            lambda: session.observe(alarm)
+            .posterior(method="exact").pdb)
+        prior = session.exact().pdb
         burglary = Fact("Burglary", ("house-1", "Napa", 1))
         # Observing the alarm strongly raises the burglary posterior.
         assert posterior.marginal(burglary) > \
@@ -44,74 +41,68 @@ class TestExtensionRejection:
                              [(0.5, 0.5), (0.1, 0.1), (0.02, 0.02)])
     def test_acceptance_tracks_selectivity(self, benchmark, bias,
                                            expected_rate):
-        program = Program.parse(f"A(Flip<{bias!r}>) :- true.")
+        compiled = compile_program(f"A(Flip<{bias!r}>) :- true.")
         constraint = ContainsFactEvent(Fact("A", (1,)))
+        session = compiled.on(seed=0).observe(constraint)
 
-        def reject():
-            return condition_by_rejection(program, None, [constraint],
-                                          n=2000, rng=0)
-
-        result = benchmark(reject)
-        assert abs(result.acceptance_rate - expected_rate) < \
+        result = benchmark(
+            lambda: session.posterior(method="rejection", n=2000))
+        assert abs(result.diagnostics["acceptance_rate"]
+                   - expected_rate) < \
             5 * (expected_rate * (1 - expected_rate) / 2000) ** 0.5 \
             + 0.01
 
 
 class TestExtensionLikelihoodWeighting:
     def test_discrete_agreement_with_exact(self, benchmark):
-        program = Program.parse("""
+        compiled = compile_program("""
             A(Flip<0.3>) :- true.
             B(Flip<0.5>) :- A(1).
         """)
-        exact = condition_exact(program, None,
-                                [ContainsFactEvent(Fact("A", (1,)))])
+        exact = compiled.on().observe(
+            ContainsFactEvent(Fact("A", (1,)))) \
+            .posterior(method="exact").pdb
+        session = compiled.on(seed=0).observe(observe("A", 1))
 
-        def weighting():
-            return likelihood_weighting(program, None,
-                                        [observe("A", 1)], n=2000,
-                                        rng=0)
-
-        result = benchmark(weighting)
-        estimate = result.posterior.prob(
-            lambda D: Fact("B", (1,)) in D)
+        result = benchmark(
+            lambda: session.posterior(method="likelihood", n=2000))
+        estimate = result.prob(lambda D: Fact("B", (1,)) in D)
         assert abs(estimate - exact.marginal(Fact("B", (1,)))) < 0.05
 
     def test_normal_normal_posterior(self, benchmark):
-        program = Program.parse("""
+        compiled = compile_program("""
             Mu(Normal<0, 1>) :- true.
             X(Normal<m, 1>) :- Mu(m).
         """)
+        session = compiled.on(seed=1).observe(observe("X", 2.0))
 
-        def weighting():
-            return likelihood_weighting(program, None,
-                                        [observe("X", 2.0)], n=4000,
-                                        rng=1)
-
-        result = benchmark(weighting)
-        mean = result.posterior.weighted_mean(
+        result = benchmark(
+            lambda: session.posterior(method="likelihood", n=4000))
+        mean = result.pdb.weighted_mean(
             lambda D: [f.args[0] for f in D.facts_of("Mu")])
         assert abs(mean - 1.0) < 0.08  # analytic posterior N(1, 1/2)
-        assert result.effective_sample_size > 400
+        assert result.diagnostics["effective_sample_size"] > 400
 
     def test_weighting_vs_rejection_same_posterior(self, benchmark):
-        program = Program.parse("""
+        compiled = compile_program("""
             A(Flip<0.2>) :- true.
             B(Flip<0.7>) :- A(1).
         """)
         constraint = ContainsFactEvent(Fact("A", (1,)))
 
         def both():
-            weighted = likelihood_weighting(
-                program, None, [observe("A", 1)], n=1500, rng=2)
-            rejected = condition_by_rejection(
-                program, None, [constraint], n=1500, rng=3)
+            weighted = compiled.on(seed=2).observe(
+                observe("A", 1)).posterior(method="likelihood",
+                                           n=1500)
+            rejected = compiled.on(seed=3).observe(
+                constraint).posterior(method="rejection", n=1500)
             return weighted, rejected
 
         weighted, rejected = benchmark(both)
         b1 = Fact("B", (1,))
-        a = weighted.posterior.prob(lambda D: b1 in D)
-        b = rejected.posterior.prob(lambda D: b1 in D)
+        a = weighted.prob(lambda D: b1 in D)
+        b = rejected.prob(lambda D: b1 in D)
         assert abs(a - b) < 0.07
         # Weighting uses every run; rejection discards ~80%.
-        assert weighted.posterior.n_worlds > \
-            rejected.posterior.n_runs * 3
+        assert weighted.pdb.n_worlds > \
+            rejected.diagnostics["n_accepted"] * 3

@@ -1,13 +1,14 @@
 """E1 + E2: Example 1.1 - G0, G'0, Gε under both semantics.
 
 Asserts the paper's exact outcome tables and the ε→0 (dis)continuity,
-and times exact inference on the micro-programs.
+and times exact inference on the micro-programs through the
+compile-once facade.
 """
 
 import pytest
 
-from benchmarks.conftest import assert_close_map
-from repro.core.semantics import exact_spdb
+from benchmarks.conftest import assert_close_map, facade_exact
+from repro.api import compile as compile_program
 from repro.workloads import paper
 
 EPSILONS = [0.5, 0.25, 0.125, 0.0625, 1e-3]
@@ -15,23 +16,25 @@ EPSILONS = [0.5, 0.25, 0.125, 0.0625, 1e-3]
 
 class TestE1Outcomes:
     def test_g0_grohe(self, benchmark):
-        program = paper.example_1_1_g0()
-        pdb = benchmark(lambda: exact_spdb(program))
+        compiled = compile_program(paper.example_1_1_g0())
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_GROHE)
 
     def test_g0_barany(self, benchmark):
-        program = paper.example_1_1_g0()
-        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        compiled = compile_program(paper.example_1_1_g0(),
+                                   semantics="barany")
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_BARANY)
 
     def test_g0_prime_grohe_equals_g0(self, benchmark):
-        program = paper.example_1_1_g0_prime()
-        pdb = benchmark(lambda: exact_spdb(program))
+        compiled = compile_program(paper.example_1_1_g0_prime())
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()), paper.G0_EXPECTED_GROHE)
 
     def test_g0_prime_barany(self, benchmark):
-        program = paper.example_1_1_g0_prime()
-        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        compiled = compile_program(paper.example_1_1_g0_prime(),
+                                   semantics="barany")
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()),
                          paper.G0_PRIME_EXPECTED_BARANY)
 
@@ -39,18 +42,18 @@ class TestE1Outcomes:
 class TestE2EpsilonSweep:
     @pytest.mark.parametrize("epsilon", EPSILONS)
     def test_g_eps_exact_values(self, benchmark, epsilon):
-        program = paper.example_1_1_g_eps(epsilon)
-        pdb = benchmark(lambda: exact_spdb(program))
+        compiled = compile_program(paper.example_1_1_g_eps(epsilon))
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()),
                          paper.g_eps_expected(epsilon))
 
     def test_continuity_of_new_semantics(self, benchmark):
-        limit = exact_spdb(paper.example_1_1_g0())
+        limit = facade_exact(paper.example_1_1_g0())
 
         def sweep():
             distances = []
             for epsilon in EPSILONS:
-                pdb = exact_spdb(paper.example_1_1_g_eps(epsilon))
+                pdb = facade_exact(paper.example_1_1_g_eps(epsilon))
                 distances.append(pdb.tv_distance(limit))
             return distances
 
@@ -60,11 +63,13 @@ class TestE2EpsilonSweep:
             assert distance == pytest.approx(epsilon / 2, abs=1e-9)
 
     def test_discontinuity_of_original_semantics(self, benchmark):
-        limit = exact_spdb(paper.example_1_1_g0(), semantics="barany")
+        limit = facade_exact(paper.example_1_1_g0(),
+                             semantics="barany")
 
         def sweep():
-            return [exact_spdb(paper.example_1_1_g_eps(epsilon),
-                               semantics="barany").tv_distance(limit)
+            return [facade_exact(paper.example_1_1_g_eps(epsilon),
+                                 semantics="barany")
+                    .tv_distance(limit)
                     for epsilon in EPSILONS]
 
         distances = benchmark(sweep)

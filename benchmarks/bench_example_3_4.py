@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.chase import run_chase
-from repro.core.semantics import exact_spdb, sample_spdb
+from repro.api import compile as compile_program
 from repro.pdb.facts import Fact
 from repro.workloads import paper
 from repro.workloads.generators import earthquake_city_instance
@@ -13,8 +12,9 @@ class TestE4Exact:
     def test_exact_inference_two_cities(self, benchmark,
                                         earthquake_program,
                                         earthquake_instance):
-        pdb = benchmark(lambda: exact_spdb(earthquake_program,
-                                           earthquake_instance))
+        compiled = compile_program(earthquake_program)
+        pdb = benchmark(
+            lambda: compiled.on(earthquake_instance).exact().pdb)
         assert pdb.marginal(Fact("Alarm", ("house-1",))) == \
             pytest.approx(paper.alarm_probability_closed_form(0.03))
         assert pdb.marginal(Fact("Alarm", ("biz-1",))) == \
@@ -24,22 +24,21 @@ class TestE4Exact:
     def test_exact_inference_parallel_chase(self, benchmark,
                                             earthquake_program,
                                             earthquake_instance):
-        reference = exact_spdb(earthquake_program, earthquake_instance)
-        pdb = benchmark(lambda: exact_spdb(
-            earthquake_program, earthquake_instance, parallel=True))
+        compiled = compile_program(earthquake_program)
+        reference = compiled.on(earthquake_instance).exact().pdb
+        pdb = benchmark(lambda: compiled.on(
+            earthquake_instance, parallel=True).exact().pdb)
         assert pdb.allclose(reference)
 
 
 class TestE4MonteCarlo:
     def test_sampling_agreement(self, benchmark, earthquake_program,
                                 earthquake_instance):
-        exact = exact_spdb(earthquake_program, earthquake_instance)
+        compiled = compile_program(earthquake_program)
+        session = compiled.on(earthquake_instance, seed=0)
+        exact = session.exact().pdb
 
-        def sample():
-            return sample_spdb(earthquake_program, earthquake_instance,
-                               n=2000, rng=0)
-
-        sampled = benchmark(sample)
+        sampled = benchmark(lambda: session.sample(2000).pdb)
         f = Fact("Alarm", ("house-1",))
         assert abs(sampled.marginal(f) - exact.marginal(f)) < 0.03
 
@@ -49,11 +48,9 @@ class TestE4Scaling:
     def test_chase_scaling(self, benchmark, earthquake_program,
                            n_cities):
         instance = earthquake_city_instance(n_cities, 4, seed=1)
+        session = compile_program(earthquake_program).on(instance)
 
-        def chase():
-            return run_chase(earthquake_program, instance, rng=0)
-
-        run = benchmark(chase)
+        run = benchmark(lambda: session.run(rng=0))
         assert run.terminated
         # Every unit gets a burglary sample: facts grow with the grid.
         assert len(run.instance.facts_of("Burglary")) == n_cities * 4

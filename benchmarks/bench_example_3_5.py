@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.semantics import sample_spdb
+from repro.api import compile as compile_program
 from repro.distributions import Normal
 from repro.measures.empirical import (ks_critical_value, ks_statistic,
                                       summarize)
@@ -17,11 +17,10 @@ class TestE5Moments:
     def test_sampling_matches_moments(self, benchmark, heights_program):
         instance = paper.example_3_5_instance(
             moments={"NL": (183.8, 49.0)}, persons_per_country=4)
+        session = compile_program(heights_program).on(instance,
+                                                      seed=0)
 
-        def sample():
-            return sample_spdb(heights_program, instance, n=600, rng=0)
-
-        pdb = benchmark(sample)
+        pdb = benchmark(lambda: session.sample(600).pdb)
         values = pdb.values_of(
             lambda D: [f.args[1] for f in D.facts_of("PHeight")])
         summary = summarize(values)
@@ -32,10 +31,12 @@ class TestE5Moments:
                                           heights_program):
         instance = paper.example_3_5_instance(
             moments={"PE": (165.2, 36.0)}, persons_per_country=2)
+        session = compile_program(heights_program).on(instance,
+                                                      seed=1)
         normal = Normal()
 
         def pipeline():
-            pdb = sample_spdb(heights_program, instance, n=800, rng=1)
+            pdb = session.sample(800).pdb
             values = pdb.values_of(
                 lambda D: [f.args[1] for f in D.facts_of("PHeight")])
             return values, ks_statistic(
@@ -48,7 +49,8 @@ class TestE5Moments:
 class TestE5QueryLayer:
     def test_expected_average_height(self, benchmark, heights_program):
         instance = paper.example_3_5_instance(persons_per_country=2)
-        pdb = sample_spdb(heights_program, instance, n=800, rng=2)
+        pdb = compile_program(heights_program).on(
+            instance, seed=2).sample(800).pdb
         query = Aggregate(scan("PHeight", "p", "cm"), (),
                           {"m": agg_avg("cm")})
         value = benchmark(lambda: expected_aggregate(pdb, query))
@@ -61,11 +63,10 @@ class TestE5Scaling:
     def test_sampling_throughput(self, benchmark, heights_program,
                                  n_countries, n_persons):
         instance = heights_instance(n_countries, n_persons, seed=0)
+        session = compile_program(heights_program).on(instance,
+                                                      seed=3)
 
-        def sample():
-            return sample_spdb(heights_program, instance, n=20, rng=3)
-
-        pdb = benchmark(sample)
+        pdb = benchmark(lambda: session.sample(20).pdb)
         expected_heights = n_countries * n_persons
         assert all(len(D.facts_of("PHeight")) == expected_heights
                    for D in pdb.worlds)

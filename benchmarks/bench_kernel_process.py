@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.chase import chase_markov_process, run_chase
+from repro.api import compile as compile_program
+from repro.core.chase import chase_markov_process
 from repro.core.parallel import parallel_markov_process
-from repro.core.semantics import exact_spdb
 from repro.measures.discrete import DiscreteMeasure
 from repro.measures.markov import empirical_final_distribution
 from repro.pdb.instances import Instance
@@ -16,15 +16,15 @@ class TestE10KernelConsistency:
     def test_kernel_paths_match_direct_chase(self, benchmark):
         program = paper.example_1_1_g0()
         process = chase_markov_process(program)
+        session = compile_program(program).on(max_steps=50,
+                                              keep_aux=True)
 
         def run_both():
             results = []
             for seed in range(10):
                 path = process.sample_path(
                     Instance.empty(), np.random.default_rng(seed), 50)
-                run = run_chase(program,
-                                rng=np.random.default_rng(seed),
-                                max_steps=50)
+                run = session.run(rng=np.random.default_rng(seed))
                 results.append((path, run))
             return results
 
@@ -35,7 +35,8 @@ class TestE10KernelConsistency:
     def test_process_absorption_matches_exact_spdb(self, benchmark):
         program = paper.example_1_1_g0()
         process = chase_markov_process(program)
-        exact = exact_spdb(program, keep_aux=True)
+        exact = compile_program(program).on(
+            keep_aux=True).exact().pdb
 
         def estimate():
             return empirical_final_distribution(
@@ -50,7 +51,8 @@ class TestE10KernelConsistency:
     def test_parallel_process_agrees(self, benchmark):
         program = paper.example_1_1_g0()
         process = parallel_markov_process(program)
-        exact = exact_spdb(program, keep_aux=True)
+        exact = compile_program(program).on(
+            keep_aux=True).exact().pdb
 
         def estimate():
             return empirical_final_distribution(

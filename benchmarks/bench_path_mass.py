@@ -3,24 +3,22 @@
 Finite (stable) chase paths carry instance mass; paths alive at the
 budget carry err mass; together they always sum to 1.  Terminating
 programs shed all err mass once the budget exceeds the tree height;
-cyclic programs retain a decaying err tail.
+cyclic programs retain a decaying err tail.  Driven through
+``Session.mass_report``.
 """
 
 import pytest
 
-from repro.core.semantics import spdb_mass_report
+from repro.api import compile as compile_program
 from repro.workloads import paper
 
 
 class TestE9MassAccounting:
     def test_terminating_program_budget_sweep(self, benchmark):
-        program = paper.example_1_1_g0()
+        session = compile_program(paper.example_1_1_g0()).on()
 
-        def sweep():
-            return spdb_mass_report(program,
-                                    budgets=(1, 2, 3, 4, 8, 16))
-
-        reports = benchmark(sweep)
+        reports = benchmark(
+            lambda: session.mass_report(budgets=(1, 2, 3, 4, 8, 16)))
         for report in reports:
             assert report.total == pytest.approx(1.0, abs=1e-9)
         assert reports[0].err_mass == pytest.approx(1.0)
@@ -31,36 +29,31 @@ class TestE9MassAccounting:
     def test_earthquake_budget_sweep(self, benchmark,
                                      earthquake_program,
                                      earthquake_instance):
-        def sweep():
-            return spdb_mass_report(earthquake_program,
-                                    earthquake_instance,
-                                    budgets=(4, 8, 32))
+        session = compile_program(earthquake_program).on(
+            earthquake_instance)
 
-        reports = benchmark(sweep)
+        reports = benchmark(
+            lambda: session.mass_report(budgets=(4, 8, 32)))
         assert reports[-1].err_mass == pytest.approx(0.0)
         assert reports[0].err_mass > 0.0
 
     def test_discrete_cycle_err_tail(self, benchmark):
-        program = paper.discrete_cycle_program(1.0)
+        session = compile_program(paper.discrete_cycle_program(1.0)) \
+            .on(paper.trigger_instance(), tolerance=1e-6)
 
-        def sweep():
-            return spdb_mass_report(program, paper.trigger_instance(),
-                                    budgets=(2, 4, 8), tolerance=1e-6)
-
-        reports = benchmark(sweep)
+        reports = benchmark(
+            lambda: session.mass_report(budgets=(2, 4, 8)))
         for report in reports:
             assert report.total == pytest.approx(1.0, abs=1e-4)
         # err decays but persists: mass of long chases.
         assert reports[0].err_mass > reports[-1].err_mass > 0.0
 
     def test_barany_same_accounting(self, benchmark):
-        program = paper.example_1_1_g0()
+        session = compile_program(paper.example_1_1_g0(),
+                                  semantics="barany").on()
 
-        def sweep():
-            return spdb_mass_report(program, budgets=(1, 2, 3, 4),
-                                    semantics="barany")
-
-        reports = benchmark(sweep)
+        reports = benchmark(
+            lambda: session.mass_report(budgets=(1, 2, 3, 4)))
         for report in reports:
             assert report.total == pytest.approx(1.0, abs=1e-9)
         # Barany chase of G0 finishes in 3 steps (one shared sample).

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.semantics import apply_to_pdb, exact_spdb
+from benchmarks.conftest import facade_exact
+from repro.api import compile as compile_program
 from repro.measures.discrete import DiscreteMeasure
 from repro.pdb.database import DiscretePDB
 from repro.pdb.facts import Fact
@@ -23,11 +24,10 @@ class TestE11PdbInput:
     def test_output_is_input_mixture(self, benchmark,
                                      earthquake_program):
         input_pdb = uncertain_city_input()
+        compiled = compile_program(earthquake_program)
 
-        def apply():
-            return apply_to_pdb(earthquake_program, input_pdb)
-
-        output = benchmark(apply)
+        output = benchmark(
+            lambda: compiled.apply_to_pdb(input_pdb).pdb)
         expected = (0.6 * paper.alarm_probability_closed_form(0.01)
                     + 0.4 * paper.alarm_probability_closed_form(0.2))
         assert output.marginal(Fact("Alarm", ("h",))) == \
@@ -37,21 +37,24 @@ class TestE11PdbInput:
     def test_parallel_agrees_on_pdb_input(self, benchmark,
                                           earthquake_program):
         input_pdb = uncertain_city_input()
-        reference = apply_to_pdb(earthquake_program, input_pdb)
-        parallel = benchmark(lambda: apply_to_pdb(
-            earthquake_program, input_pdb, parallel=True))
+        compiled = compile_program(earthquake_program)
+        reference = compiled.apply_to_pdb(input_pdb).pdb
+        parallel = benchmark(lambda: compiled.apply_to_pdb(
+            input_pdb, parallel=True).pdb)
         assert parallel.allclose(reference)
 
     def test_subprobabilistic_input_passthrough(self, benchmark):
         program = paper.example_1_1_g0()
         world = Instance.empty()
         input_pdb = DiscretePDB(DiscreteMeasure({world: 0.8}), err=0.2)
+        compiled = compile_program(program)
 
-        output = benchmark(lambda: apply_to_pdb(program, input_pdb))
+        output = benchmark(
+            lambda: compiled.apply_to_pdb(input_pdb).pdb)
         assert output.err_mass() == pytest.approx(0.2)
         assert output.total_mass() == pytest.approx(0.8)
         # Conditional world probabilities match the Dirac-input run.
-        reference = exact_spdb(program)
+        reference = facade_exact(program)
         for world_, probability in reference.worlds():
             assert output.prob_of_instance(world_) == \
                 pytest.approx(0.8 * probability)
@@ -64,6 +67,7 @@ class TestE11PdbInput:
             worlds[Instance.of(Fact("City", ("c", round(rate, 3))),
                                Fact("House", ("h", "c")))] = 1 / 8
         input_pdb = DiscretePDB(DiscreteMeasure(worlds))
-        output = benchmark(lambda: apply_to_pdb(earthquake_program,
-                                                input_pdb))
+        compiled = compile_program(earthquake_program)
+        output = benchmark(
+            lambda: compiled.apply_to_pdb(input_pdb).pdb)
         assert output.total_mass() == pytest.approx(1.0)

@@ -1,16 +1,15 @@
 """E14: scaling behaviour of the core pipelines.
 
 Chase throughput vs instance size, exact-inference tree size vs
-branching, parallel-chase fan-out, and query evaluation on PDBs.
+branching, parallel-chase fan-out, and query evaluation on PDBs - all
+driven through the compile-once facade.
 """
 
 import pytest
 
-from repro.core.chase import run_chase
+from repro.api import compile as compile_program
 from repro.core.exact import exact_sequential_spdb
-from repro.core.parallel import run_parallel_chase
 from repro.core.program import Program
-from repro.core.semantics import sample_spdb
 from repro.query.aggregates import Aggregate, agg_count
 from repro.query.lifted import aggregate_distribution
 from repro.query.relalg import scan
@@ -23,17 +22,17 @@ from repro.workloads.paper import example_3_4_program
 class TestE14ChaseScaling:
     @pytest.mark.parametrize("n_cities", [10, 40])
     def test_sequential_chase(self, benchmark, n_cities):
-        program = example_3_4_program()
         instance = earthquake_city_instance(n_cities, 4, seed=0)
-        run = benchmark(lambda: run_chase(program, instance, rng=0))
+        session = compile_program(example_3_4_program()).on(instance)
+        run = benchmark(lambda: session.run(rng=0))
         assert run.terminated
 
     @pytest.mark.parametrize("n_items", [50, 400])
     def test_parallel_fanout(self, benchmark, n_items):
-        program = bernoulli_grid_program()
         instance = items_instance(n_items)
-        run = benchmark(lambda: run_parallel_chase(program, instance,
-                                                   rng=0))
+        session = compile_program(bernoulli_grid_program()).on(
+            instance, parallel=True)
+        run = benchmark(lambda: session.run(rng=0))
         assert run.terminated and run.steps == 2
 
 
@@ -52,23 +51,23 @@ class TestE14ExactTreeScaling:
 class TestE14SamplerScaling:
     @pytest.mark.parametrize("n_samples", [100, 1000])
     def test_monte_carlo_throughput(self, benchmark, n_samples):
-        program = example_3_4_program()
         instance = earthquake_city_instance(5, 4, seed=1)
-        pdb = benchmark(lambda: sample_spdb(program, instance,
-                                            n=n_samples, rng=0))
+        session = compile_program(example_3_4_program()).on(instance,
+                                                            seed=0)
+        pdb = benchmark(lambda: session.sample(n_samples).pdb)
         assert pdb.n_runs == n_samples
 
     def test_monte_carlo_error_decay(self, benchmark):
         # Estimator error shrinks ~ 1/sqrt(n): the workhorse fact
         # behind every Monte-Carlo comparison in this suite.
-        program = Program.parse("R(Flip<0.3>) :- true.")
+        compiled = compile_program("R(Flip<0.3>) :- true.")
         from repro.pdb.facts import Fact
         f = Fact("R", (1,))
 
         def errors():
             out = []
             for n, seed in ((200, 0), (5000, 1)):
-                pdb = sample_spdb(program, n=n, rng=seed)
+                pdb = compiled.on(seed=seed).sample(n).pdb
                 out.append(abs(pdb.marginal(f) - 0.3))
             return out
 
@@ -79,9 +78,9 @@ class TestE14SamplerScaling:
 class TestE14QueryScaling:
     @pytest.mark.parametrize("n_worlds", [100, 1000])
     def test_query_over_pdb(self, benchmark, n_worlds):
-        program = example_3_4_program()
         instance = earthquake_city_instance(4, 4, seed=2)
-        pdb = sample_spdb(program, instance, n=n_worlds, rng=1)
+        pdb = compile_program(example_3_4_program()).on(
+            instance, seed=1).sample(n_worlds).pdb
         query = Aggregate(scan("Alarm", "unit"), (),
                           {"n": agg_count()})
         distribution = benchmark(

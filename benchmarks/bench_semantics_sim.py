@@ -2,27 +2,28 @@
 
 import pytest
 
-from benchmarks.conftest import assert_close_map
+from benchmarks.conftest import assert_close_map, facade_exact
+from repro.api import compile as compile_program
 from repro.core.barany import to_barany_simulation, to_grohe_simulation
-from repro.core.semantics import exact_spdb
 from repro.workloads import paper
 
 
 class TestE3HPrograms:
     def test_h_under_ours(self, benchmark):
-        program = paper.section_6_2_h()
-        pdb = benchmark(lambda: exact_spdb(program))
+        compiled = compile_program(paper.section_6_2_h())
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()), paper.H_EXPECTED_GROHE)
 
     def test_h_under_barany(self, benchmark):
-        program = paper.section_6_2_h()
-        pdb = benchmark(lambda: exact_spdb(program, semantics="barany"))
+        compiled = compile_program(paper.section_6_2_h(),
+                                   semantics="barany")
+        pdb = benchmark(lambda: compiled.on().exact().pdb)
         assert_close_map(dict(pdb.worlds()), paper.H_EXPECTED_BARANY)
 
     def test_h_prime_simulates(self, benchmark):
-        program = paper.section_6_2_h_prime()
+        compiled = compile_program(paper.section_6_2_h_prime())
         pdb = benchmark(
-            lambda: exact_spdb(program).project(["R", "S"]))
+            lambda: compiled.on().exact().pdb.project(["R", "S"]))
         assert_close_map(dict(pdb.worlds()),
                          paper.H_PRIME_EXPECTED_RESTRICTED)
 
@@ -36,11 +37,11 @@ class TestE3GeneralSimulations:
     def test_barany_in_grohe(self, benchmark, name, maker):
         program = maker()
         visible = program.relations()
-        target = exact_spdb(program, semantics="barany") \
+        target = facade_exact(program, semantics="barany") \
             .project(visible)
 
         def simulate():
-            return exact_spdb(to_grohe_simulation(program)) \
+            return facade_exact(to_grohe_simulation(program)) \
                 .project(visible)
 
         simulated = benchmark(simulate)
@@ -53,11 +54,11 @@ class TestE3GeneralSimulations:
     def test_grohe_in_barany(self, benchmark, name, maker):
         program = maker()
         visible = program.relations()
-        target = exact_spdb(program).project(visible)
+        target = facade_exact(program).project(visible)
 
         def simulate():
             rewritten, _registry = to_barany_simulation(program)
-            return exact_spdb(rewritten, semantics="barany") \
+            return facade_exact(rewritten, semantics="barany") \
                 .project(visible)
 
         simulated = benchmark(simulate)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.chase import run_chase
+from repro.api import compile as compile_program
 from repro.core.termination import (analyze_termination,
                                     estimate_termination_probability,
                                     weakly_acyclic)
@@ -19,7 +19,7 @@ class TestE7StaticAnalysis:
                     paper.section_6_2_h_prime()]
 
         def analyze_all():
-            return [analyze_termination(p) for p in programs]
+            return [compile_program(p).analyze() for p in programs]
 
         for report in benchmark(analyze_all):
             assert report.weakly_acyclic
@@ -47,11 +47,12 @@ class TestE7TerminationGuarantee:
     def test_weakly_acyclic_chases_terminate(self, benchmark,
                                              earthquake_program,
                                              earthquake_instance):
-        assert weakly_acyclic(earthquake_program)
+        compiled = compile_program(earthquake_program)
+        assert compiled.analyze().weakly_acyclic
+        session = compiled.on(earthquake_instance, max_steps=5000)
 
         def chase_batch():
-            return [run_chase(earthquake_program, earthquake_instance,
-                              rng=seed, max_steps=5000).terminated
+            return [session.run(rng=seed).terminated
                     for seed in range(10)]
 
         assert all(benchmark(chase_batch))

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import compile as compile_program
 from repro.workloads import paper
+
+
+def facade_exact(program, instance=None, semantics="grohe",
+                 **overrides):
+    """Exact SPDB through the compile-once facade (benchmark shorthand)."""
+    return compile_program(program, semantics=semantics) \
+        .on(instance, **overrides).exact().pdb
 
 
 def assert_close_map(actual: dict, expected: dict,

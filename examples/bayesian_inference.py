@@ -3,90 +3,92 @@
 
 The paper reproduces only PPDL's *generative* component and flags
 conditioning as delicate future work (§7).  This example shows the
-reproduction's extension layer doing inference three ways:
+facade's fluent conditioning surface doing inference three ways:
 
 1. **exact conditioning** (discrete): posterior diagnosis in the
-   earthquake model after observing the alarm;
+   earthquake model after observing the alarm -
+   ``session.observe(event).posterior(method="exact")``;
 2. **rejection sampling**: the same posterior from samples, plus a
-   continuous "thick" event (interval observation);
+   continuous "thick" event (interval observation) -
+   ``method="rejection"``;
 3. **likelihood weighting**: conditioning on *sample values* - sound
    even for continuous measure-zero observations, reproducing the
-   textbook Normal-Normal conjugate update through the chase.
+   textbook Normal-Normal conjugate update through the chase -
+   ``method="likelihood"``.
 
 Run:  python examples/bayesian_inference.py
 """
 
 import repro
-from repro.core.constraints import (ConstrainedProgram,
-                                    condition_by_rejection)
-from repro.core.observe import likelihood_weighting, observe
 from repro.pdb.events import ContainsFactEvent, CountingEvent, \
     FactSet, Interval
 from repro.workloads import paper
 
 
 def diagnosis_section() -> None:
-    program = paper.example_3_4_program()
+    compiled = repro.compile(paper.example_3_4_program())
     instance = paper.example_3_4_instance(
         cities={"Napa": 0.03}, houses={"h": "Napa"}, businesses={})
     alarm = ContainsFactEvent(repro.Fact("Alarm", ("h",)))
-    package = ConstrainedProgram(program, [alarm])
+    session = compiled.on(instance)
+    observed = session.observe(alarm)
 
-    prior = package.prior(instance)
-    posterior = package.exact(instance)
+    prior = session.exact()
+    posterior = observed.posterior(method="exact")
     print("Diagnosis after observing Alarm(h):")
-    for label, args in [("Burglary(h)", ("h", "Napa", 1)),
-                        ]:
-        f = repro.Fact("Burglary", args)
-        print(f"  P({label})           prior {prior.marginal(f):.4f}"
-              f"   posterior {posterior.marginal(f):.4f}")
+    burglary = repro.Fact("Burglary", ("h", "Napa", 1))
+    print(f"  P(Burglary(h))           "
+          f"prior {prior.marginal(burglary):.4f}"
+          f"   posterior {posterior.marginal(burglary):.4f}")
     quake = repro.Fact("Earthquake", ("Napa", 1))
     print(f"  P(Earthquake(Napa))  prior {prior.marginal(quake):.4f}"
           f"   posterior {posterior.marginal(quake):.4f}")
 
-    sampled = package.sample(instance, n=20_000, rng=0)
-    estimate = sampled.posterior.marginal(
-        repro.Fact("Burglary", ("h", "Napa", 1)))
+    sampled = compiled.on(instance, seed=0).observe(alarm).posterior(
+        method="rejection", n=20_000)
+    estimate = sampled.marginal(burglary)
     print(f"  rejection sampling posterior (n=20k, acceptance "
-          f"{sampled.acceptance_rate:.3f}): {estimate:.4f}")
+          f"{sampled.diagnostics['acceptance_rate']:.3f}): "
+          f"{estimate:.4f}")
 
 
 def thick_event_section() -> None:
-    program = repro.Program.parse("""
+    compiled = repro.compile("""
         Temp(s, Normal<20, 9>) :- Sensor(s).
     """)
     instance = repro.Instance.of(repro.Fact("Sensor", ("t1",)))
     hot = CountingEvent(FactSet("Temp", None, Interval(low=23.0)), 1)
-    result = condition_by_rejection(program, instance, [hot],
-                                    n=10_000, rng=1)
-    values = result.posterior.values_of(
+    result = compiled.on(instance, seed=1).observe(hot).posterior(
+        method="rejection", n=10_000)
+    values = result.pdb.values_of(
         lambda D: [f.args[1] for f in D.facts_of("Temp")])
     from repro.measures import summarize
     summary = summarize(values)
     print(f"\nConditioning on the thick event Temp >= 23 "
-          f"(P ≈ {result.acceptance_rate:.3f}):")
+          f"(P ≈ {result.diagnostics['acceptance_rate']:.3f}):")
     print(f"  E[Temp | Temp >= 23] = {summary.mean:.2f} "
           f"(truncated-normal mean 20 + 3·φ(1)/(1−Φ(1)) ≈ 24.57)")
 
 
 def conjugate_section() -> None:
-    program = repro.Program.parse("""
+    compiled = repro.compile("""
         Mu(Normal<0, 1>) :- true.
         X(Normal<m, 1>)  :- Mu(m).
     """)
     print("\nLikelihood weighting on the measure-zero observation "
           "X = 2.0:")
-    result = likelihood_weighting(program, None, [observe("X", 2.0)],
-                                  n=20_000, rng=2)
-    mean = result.posterior.weighted_mean(
+    result = compiled.on(seed=2).observe(
+        repro.observe("X", 2.0)).posterior(method="likelihood",
+                                           n=20_000)
+    mean = result.pdb.weighted_mean(
         lambda D: [f.args[0] for f in D.facts_of("Mu")])
-    second = result.posterior.expectation(
+    second = result.pdb.expectation(
         lambda D: next(iter(D.facts_of("Mu"))).args[0] ** 2)
+    ess = result.diagnostics["effective_sample_size"]
     print(f"  posterior mean(Mu) = {mean:.4f}    (analytic: 1.0)")
     print(f"  posterior var(Mu)  = {second - mean**2:.4f}  "
           f"(analytic: 0.5)")
-    print(f"  effective sample size: "
-          f"{result.effective_sample_size:.0f} / {result.n_runs}")
+    print(f"  effective sample size: {ess:.0f} / {result.n_runs}")
 
 
 def main() -> None:

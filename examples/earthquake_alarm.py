@@ -2,15 +2,16 @@
 """Example 3.4: the earthquake/burglary/alarm model of [3, Figure 3].
 
 The flagship discrete example of the GDatalog line of work.  This
-script:
+script compiles the paper's program **once** and then:
 
-* builds the paper's program and the two-city input instance,
 * computes the **exact** output SPDB by chase-tree enumeration and
   reads off per-unit alarm probabilities,
 * validates them against the closed-form expression
   ``P = 1 − (1 − p_q·p_tq)(1 − r·p_tb)``,
-* cross-checks with Monte-Carlo sampling,
-* scales the instance up and reports chase throughput.
+* cross-checks with Monte-Carlo sampling through the same session,
+* scales the instance up and reports chase throughput (every chase
+  reuses the cached translation; per-instance sessions amortize the
+  applicability bootstrap).
 
 Run:  python examples/earthquake_alarm.py
 """
@@ -21,14 +22,17 @@ import repro
 from repro.workloads import paper
 from repro.workloads.generators import earthquake_city_instance
 
+COMPILED = repro.compile(paper.example_3_4_program())
+
 
 def exact_section() -> None:
-    program = paper.example_3_4_program()
     instance = paper.example_3_4_instance(
         cities={"Napa": 0.03, "Davis": 0.01},
         houses={"house-1": "Napa", "house-2": "Napa"},
         businesses={"biz-1": "Davis"})
-    pdb = repro.exact_spdb(program, instance)
+    session = COMPILED.on(instance)
+    result = session.exact()
+    pdb = result.pdb
     print(f"Exact SPDB: {pdb.support_size()} worlds, "
           f"total mass {pdb.total_mass():.6f}")
     print(f"{'unit':10s} {'city':7s} {'exact':>10s} "
@@ -36,7 +40,7 @@ def exact_section() -> None:
     units = [("house-1", "Napa", 0.03), ("house-2", "Napa", 0.03),
              ("biz-1", "Davis", 0.01)]
     for unit, city, rate in units:
-        exact = pdb.marginal(repro.Fact("Alarm", (unit,)))
+        exact = result.marginal(repro.Fact("Alarm", (unit,)))
         closed = paper.alarm_probability_closed_form(rate)
         print(f"{unit:10s} {city:7s} {exact:10.6f} {closed:12.6f}")
         assert abs(exact - closed) < 1e-9
@@ -44,18 +48,19 @@ def exact_section() -> None:
     # Conditioning (an extension beyond the paper's generative part):
     # alarm probability given that Napa had an earthquake.
     quake = repro.Fact("Earthquake", ("Napa", 1))
-    conditioned = pdb.condition(lambda D: quake in D)
+    # observe() derives a session sharing the cached enumeration above.
+    conditioned = session.observe(
+        lambda D: quake in D).posterior(method="exact")
     p = conditioned.marginal(repro.Fact("Alarm", ("house-1",)))
     print(f"\nP(Alarm(house-1) | Earthquake(Napa)) = {p:.6f} "
           f"(vs unconditional "
-          f"{pdb.marginal(repro.Fact('Alarm', ('house-1',))):.6f})")
+          f"{result.marginal(repro.Fact('Alarm', ('house-1',))):.6f})")
 
 
 def monte_carlo_section() -> None:
-    program = paper.example_3_4_program()
-    instance = paper.example_3_4_instance()
-    exact = repro.exact_spdb(program, instance)
-    sampled = repro.sample_spdb(program, instance, n=20_000, rng=0)
+    session = COMPILED.on(paper.example_3_4_instance())
+    exact = session.exact()
+    sampled = session.sample(20_000, seed=0)
     print("\nMonte-Carlo cross-check (n=20000):")
     for unit in ("house-1", "biz-1"):
         f = repro.Fact("Alarm", (unit,))
@@ -64,14 +69,14 @@ def monte_carlo_section() -> None:
 
 
 def scaling_section() -> None:
-    program = paper.example_3_4_program()
     print("\nChase throughput while scaling the city grid:")
     print(f"{'cities':>7s} {'units':>6s} {'facts out':>10s} "
           f"{'steps':>6s} {'seconds':>8s}")
     for n_cities in (5, 20, 50):
         instance = earthquake_city_instance(n_cities, 4, seed=1)
+        session = COMPILED.on(instance, seed=0)
         start = time.perf_counter()
-        run = repro.run_chase(program, instance, rng=0)
+        run = session.run()
         elapsed = time.perf_counter() - start
         assert run.terminated
         print(f"{n_cities:7d} {n_cities * 4:6d} "

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Example 1.1 and Section 6.2: the two semantics, side by side.
 
-Reproduces the paper's semantic-comparison discussion numerically:
+Reproduces the paper's semantic-comparison discussion numerically,
+compiling each program once per semantics via ``repro.compile``:
 
 * ``G0`` / ``G'0`` / ``Gε`` under both this paper's semantics and the
   original semantics of Bárány et al. [3];
@@ -17,6 +18,10 @@ import repro
 from repro.workloads import paper
 
 
+def exact(program, semantics="grohe"):
+    return repro.compile(program, semantics=semantics).on().exact().pdb
+
+
 def show(pdb, label):
     worlds = ", ".join(f"{w.canonical_text()}: {p:.4f}"
                        for w, p in pdb.worlds())
@@ -26,13 +31,13 @@ def show(pdb, label):
 def example_1_1_section() -> None:
     print("Example 1.1 - G0 (two identical Flip<1/2> rules):")
     g0 = paper.example_1_1_g0()
-    show(repro.exact_spdb(g0), "ours:")
-    show(repro.exact_spdb(g0, semantics="barany"), "Barany et al.:")
+    show(exact(g0), "ours:")
+    show(exact(g0, semantics="barany"), "Barany et al.:")
 
     print("\nG'0 (same laws, renamed distribution Flip'):")
     g0p = paper.example_1_1_g0_prime()
-    show(repro.exact_spdb(g0p), "ours (unchanged):")
-    show(repro.exact_spdb(g0p, semantics="barany"),
+    show(exact(g0p), "ours (unchanged):")
+    show(exact(g0p, semantics="barany"),
          "Barany et al. (changed!):")
 
 
@@ -40,15 +45,15 @@ def epsilon_sweep_section() -> None:
     print("\nGε sweep: TV distance of outcome(Gε) from outcome(G0)")
     print(f"{'epsilon':>10s} {'ours':>10s} {'Barany':>10s}")
     g0 = paper.example_1_1_g0()
-    ours_limit = repro.exact_spdb(g0)
-    barany_limit = repro.exact_spdb(g0, semantics="barany")
+    ours_limit = exact(g0)
+    barany_limit = exact(g0, semantics="barany")
     for exponent in range(1, 11):
         epsilon = 2.0 ** -exponent
         if epsilon > 0.5:
             continue
         g_eps = paper.example_1_1_g_eps(epsilon)
-        ours = repro.exact_spdb(g_eps).tv_distance(ours_limit)
-        barany = repro.exact_spdb(g_eps, semantics="barany") \
+        ours = exact(g_eps).tv_distance(ours_limit)
+        barany = exact(g_eps, semantics="barany") \
             .tv_distance(barany_limit)
         print(f"{epsilon:10.6f} {ours:10.6f} {barany:10.6f}")
     print("-> ours converges to 0 (continuity); Barany et al. stays "
@@ -59,9 +64,9 @@ def h_section() -> None:
     print("\nSection 6.2 - H vs H':")
     h = paper.section_6_2_h()
     hp = paper.section_6_2_h_prime()
-    show(repro.exact_spdb(h), "H, ours:")
-    show(repro.exact_spdb(h, semantics="barany"), "H, Barany:")
-    show(repro.exact_spdb(hp).project(["R", "S"]),
+    show(exact(h), "H, ours:")
+    show(exact(h, semantics="barany"), "H, Barany:")
+    show(exact(hp).project(["R", "S"]),
          "H', ours, |{R,S}:")
     print("-> H' under ours simulates H under Barany et al. exactly.")
 
@@ -71,15 +76,14 @@ def simulation_section() -> None:
     for name, program in [("G0", paper.example_1_1_g0()),
                           ("H", paper.section_6_2_h())]:
         visible = program.relations()
-        barany = repro.exact_spdb(program, semantics="barany") \
-            .project(visible)
-        simulated = repro.exact_spdb(
+        barany = exact(program, semantics="barany").project(visible)
+        simulated = exact(
             repro.to_grohe_simulation(program)).project(visible)
         assert simulated.allclose(barany)
 
-        ours = repro.exact_spdb(program).project(visible)
+        ours = exact(program).project(visible)
         rewritten, _registry = repro.to_barany_simulation(program)
-        simulated = repro.exact_spdb(rewritten, semantics="barany") \
+        simulated = exact(rewritten, semantics="barany") \
             .project(visible)
         assert simulated.allclose(ours)
         print(f"  {name}: barany-in-ours OK, ours-in-barany OK")

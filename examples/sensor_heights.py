@@ -4,9 +4,10 @@
 The paper's motivating capability: rule heads sampling from *continuous*
 laws.  This script:
 
-* runs Example 3.5 (heights ~ Normal⟨µ, σ²⟩ per country) and verifies
-  the sampled populations match the prescribed moments and pass a
-  Kolmogorov-Smirnov test against the generating Normal;
+* runs Example 3.5 (heights ~ Normal⟨µ, σ²⟩ per country) through a
+  compiled session and verifies the sampled populations match the
+  prescribed moments and pass a Kolmogorov-Smirnov test against the
+  generating Normal;
 * builds a noisy-sensor pipeline (the introduction's motivating
   scenario) mixing discrete gating (Flip) with Gaussian measurement
   noise and Exponential lifetimes;
@@ -26,15 +27,17 @@ from repro.workloads import paper
 
 
 def heights_section() -> None:
-    program = paper.example_3_5_program()
+    compiled = repro.compile(paper.example_3_5_program())
     moments = {"NL": (183.8, 49.0), "PE": (165.2, 36.0)}
     instance = paper.example_3_5_instance(moments,
                                           persons_per_country=3)
     print("Example 3.5 program:")
-    print(program.pretty())
+    print(compiled.program.pretty())
 
-    pdb = repro.sample_spdb(program, instance, n=2000, rng=0)
-    print(f"\nSampled {pdb.n_runs} worlds, err mass {pdb.err_mass()}")
+    result = compiled.on(instance, seed=0).sample(2000)
+    pdb = result.pdb
+    print(f"\nSampled {pdb.n_runs} worlds, err mass {pdb.err_mass()} "
+          f"({result.elapsed:.2f} s, one translation)")
 
     normal = Normal()
     for country, (mu, var) in moments.items():
@@ -62,7 +65,7 @@ def heights_section() -> None:
 
 
 def sensor_section() -> None:
-    program = repro.Program.parse("""
+    compiled = repro.compile("""
         % Each sensor survives an Exponential<lambda> lifetime.
         Lifetime(s, Exponential<0.1>) :- Sensor(s, mu).
         % Sensors emit Gaussian-noise readings around the true value.
@@ -74,9 +77,8 @@ def sensor_section() -> None:
     instance = repro.Instance.from_dict({
         "Sensor": [("t1", 20.0), ("t2", 22.5), ("t3", 18.0)],
     })
-    report = repro.analyze_termination(program)
-    print(f"\nSensor pipeline: {report!r}")
-    pdb = repro.sample_spdb(program, instance, n=3000, rng=1)
+    print(f"\nSensor pipeline: {compiled.analyze()!r}")
+    pdb = compiled.on(instance, seed=1).sample(3000).pdb
 
     # Event probabilities over continuous attributes.
     hot = repro.CountingEvent(

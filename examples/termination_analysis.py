@@ -1,18 +1,19 @@
 #!/usr/bin/env python3
 """Section 6.3: termination behaviour of GDatalog programs.
 
-Demonstrates the full termination toolbox:
+Demonstrates the full termination toolbox through the facade:
 
 * static analysis - weak acyclicity of the translated program
-  (Theorem 6.3), with cycle classification by distribution kind;
+  (Theorem 6.3), with cycle classification by distribution kind,
+  served from the compiled program's cached report;
 * the paper's almost-sure non-termination argument for continuous
   special cycles, checked empirically;
 * a genuinely non-weakly-acyclic *discrete* cycle (Poisson feedback)
   that is nonetheless almost surely terminating - the open class the
   paper defers to future work;
-* Figure-1 style mass accounting: how probability mass splits between
-  instances (finite chase paths) and ``err`` (truncated paths) as the
-  depth budget grows.
+* Figure-1 style mass accounting (``session.mass_report``): how
+  probability mass splits between instances (finite chase paths) and
+  ``err`` (truncated paths) as the depth budget grows.
 
 Run:  python examples/termination_analysis.py
 """
@@ -33,7 +34,8 @@ def static_section() -> None:
         ("Flip walk (finite chain)", paper.discrete_feedback_program()),
     ]
     for name, program in cases:
-        print(f"  {name:26s} -> {repro.analyze_termination(program)!r}")
+        report = repro.compile(program).analyze()
+        print(f"  {name:26s} -> {report!r}")
 
 
 def empirical_section() -> None:
@@ -59,15 +61,15 @@ def empirical_section() -> None:
 def mass_accounting_section() -> None:
     print("\nFigure-1 mass accounting (instance mass vs err mass):")
     print("  Terminating program (G0):")
-    for report in repro.spdb_mass_report(paper.example_1_1_g0(),
-                                         budgets=(1, 2, 3, 4, 8)):
+    g0_session = repro.compile(paper.example_1_1_g0()).on()
+    for report in g0_session.mass_report(budgets=(1, 2, 3, 4, 8)):
         print(f"    depth {report.budget:2d}: instances "
               f"{report.instance_mass:.4f}  err {report.err_mass:.4f}")
     print("  Discrete Poisson cycle (non-terminating tail):")
-    for report in repro.spdb_mass_report(
-            paper.discrete_cycle_program(1.0),
-            paper.trigger_instance(), budgets=(2, 4, 8, 16),
-            tolerance=1e-6):
+    cycle_session = repro.compile(
+        paper.discrete_cycle_program(1.0)).on(
+        paper.trigger_instance(), tolerance=1e-6)
+    for report in cycle_session.mass_report(budgets=(2, 4, 8, 16)):
         print(f"    depth {report.budget:2d}: instances "
               f"{report.instance_mass:.4f}  err {report.err_mass:.4f}")
     print("  -> err mass shrinks with the budget but never quite "

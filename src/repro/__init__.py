@@ -20,16 +20,39 @@ Datalog engine, and a relational-algebra/aggregate query layer
 Quickstart
 ----------
 
+Compile once, infer many: :func:`repro.compile` caches the translation
+and every other per-program artifact; the returned
+:class:`~repro.api.CompiledProgram` binds input data via ``.on(...)``
+and answers queries through a fluent :class:`~repro.api.Session`.
+
 >>> import repro
->>> program = repro.Program.parse('''
+>>> compiled = repro.compile('''
 ...     Earthquake(c, Flip<0.1>) :- City(c, r).
 ... ''')
->>> D0 = repro.Instance.of(repro.Fact("City", ("Napa", 0.03)))
->>> pdb = repro.exact_spdb(program, D0)
->>> round(pdb.marginal(repro.Fact("Earthquake", ("Napa", 1))), 3)
+>>> data = repro.Instance.of(repro.Fact("City", ("Napa", 0.03)))
+>>> session = compiled.on(data)
+>>> result = session.exact()
+>>> round(result.marginal(repro.Fact("Earthquake", ("Napa", 1))), 3)
 0.1
+
+Monte-Carlo semantics (the only option for continuous programs) runs
+through the same session - the program is translated exactly once no
+matter how many runs you draw:
+
+>>> sampled = session.sample(2000, seed=0)
+>>> abs(sampled.marginal(
+...     repro.Fact("Earthquake", ("Napa", 1))) - 0.1) < 0.05
+True
+
+Conditioning is a fluent step: ``session.observe(event)
+.posterior(method="rejection")`` (or ``method="likelihood"`` for
+sample-level observations, ``method="exact"`` for discrete programs).
+The historical flat functions (``exact_spdb``, ``sample_spdb``,
+``run_chase``, ...) remain as deprecated delegating shims.
 """
 
+from repro.api import (DEFAULT_CONFIG, ChaseConfig, CompiledProgram,
+                       InferenceResult, Session, compile)
 from repro.core import (Atom, ChasePolicy, ChaseRun,
                         ConstrainedProgram, Const, ExistentialProgram,
                         Firing, FirstPolicy, LastPolicy, PriorityPolicy,
@@ -57,11 +80,12 @@ from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
                        relation)
 from repro.pdb.weighted import WeightedPDB
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Atom", "ChaseError", "ChasePolicy", "ChaseRun",
-    "ConstrainedProgram", "Const", "RejectionResult",
+    "Atom", "ChaseConfig", "ChaseError", "ChasePolicy", "ChaseRun",
+    "CompiledProgram", "ConstrainedProgram", "Const", "DEFAULT_CONFIG",
+    "InferenceResult", "RejectionResult", "Session", "compile",
     "condition_by_rejection", "condition_exact", "likelihood_weighting",
     "observe", "program_to_source", "WeightedPDB",
     "CountingEvent", "DEFAULT_REGISTRY", "DiscreteMeasure", "DiscretePDB",

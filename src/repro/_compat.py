@@ -1,0 +1,26 @@
+"""Deprecation machinery for the legacy flat-function API.
+
+Since the :mod:`repro.api` facade became the primary public surface,
+the historical top-level entry points (``run_chase``, ``exact_spdb``,
+``sample_spdb``, the conditioning functions, ...) live on as thin
+delegating shims.  Each shim announces itself exactly like this module
+prescribes so that tests can assert the deprecation contract uniformly.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the standard :class:`DeprecationWarning` for a legacy shim.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim
+    (warn_legacy -> shim -> caller), which is what linters and test
+    harnesses want to see.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.api - compile "
+        f"once with repro.compile(...), then infer many times through "
+        f"the returned Session)",
+        DeprecationWarning, stacklevel=3)

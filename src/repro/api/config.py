@@ -1,0 +1,143 @@
+"""The frozen chase configuration shared by every facade entry point.
+
+Historically each top-level function re-threaded the same six keyword
+arguments (``policy``, ``rng``, ``engine``, ``max_steps``,
+``semantics``, ``parallel``).  :class:`ChaseConfig` replaces that
+scatter with one validated, immutable value object that a
+:class:`repro.api.Session` carries through every inference call.
+
+Randomness is configured by ``seed`` plus the ``streams`` scheme:
+
+* ``"spawn"`` (default) - per-run child streams derived via
+  :class:`numpy.random.SeedSequence`.  Runs are statistically
+  independent *and* order-independent, which is what allows
+  ``Session.sample(n, workers=k)`` to parallelize reproducibly.
+* ``"shared"`` - one sequential generator shared by all runs, the
+  historical scheme.  The legacy shims and the CLI use it so that
+  seeded outputs stay bit-identical with earlier releases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chase import DEFAULT_MAX_STEPS
+from repro.core.exact import (DEFAULT_MAX_DEPTH,
+                              DEFAULT_SUPPORT_TOLERANCE)
+from repro.core.policies import ChasePolicy
+from repro.errors import ValidationError
+
+#: Applicability engines accepted by :func:`repro.core.chase.make_engine`.
+ENGINES = ("incremental", "naive")
+#: RNG stream schemes (see the module docstring).
+STREAMS = ("spawn", "shared")
+
+
+@dataclass(frozen=True)
+class ChaseConfig:
+    """Immutable bundle of every knob the chase pipeline exposes.
+
+    ``policy`` - measurable selection for the sequential chase
+    (None = canonical first-firing policy);
+    ``engine`` - applicability maintenance strategy;
+    ``parallel`` - parallel chase (Section 5) instead of sequential;
+    ``max_steps`` - per-run step budget for sampling;
+    ``max_depth`` / ``tolerance`` - exact-enumeration budgets;
+    ``keep_aux`` - keep translation auxiliaries in outputs
+    (Remark 4.9);
+    ``record_trace`` - attach the firing trace to single runs;
+    ``seed`` - int seed, numpy Generator, or None (fresh entropy);
+    ``streams`` - per-run ``"spawn"`` streams or the legacy
+    ``"shared"`` sequential stream.
+    """
+
+    policy: ChasePolicy | None = None
+    engine: str = "incremental"
+    parallel: bool = False
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_depth: int = DEFAULT_MAX_DEPTH
+    tolerance: float = DEFAULT_SUPPORT_TOLERANCE
+    keep_aux: bool = False
+    record_trace: bool = False
+    seed: int | np.random.Generator | None = None
+    streams: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.policy is not None and \
+                not isinstance(self.policy, ChasePolicy):
+            raise ValidationError(
+                f"policy must be a ChasePolicy, got {self.policy!r}")
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"unknown applicability engine {self.engine!r}; "
+                f"use one of {ENGINES}")
+        if self.streams not in STREAMS:
+            raise ValidationError(
+                f"unknown stream scheme {self.streams!r}; "
+                f"use one of {STREAMS}")
+        if not isinstance(self.max_steps, int) or self.max_steps <= 0:
+            raise ValidationError(
+                f"max_steps must be a positive int, got "
+                f"{self.max_steps!r}")
+        if not isinstance(self.max_depth, int) or self.max_depth <= 0:
+            raise ValidationError(
+                f"max_depth must be a positive int, got "
+                f"{self.max_depth!r}")
+        if not (isinstance(self.tolerance, (int, float))
+                and self.tolerance >= 0.0):
+            raise ValidationError(
+                f"tolerance must be >= 0, got {self.tolerance!r}")
+        if self.seed is not None and not isinstance(
+                self.seed, (int, np.integer, np.random.Generator)):
+            raise ValidationError(
+                f"seed must be an int, numpy Generator or None, got "
+                f"{self.seed!r}")
+
+    def replace(self, **overrides) -> "ChaseConfig":
+        """A copy with the given fields replaced (and re-validated).
+
+        Unknown field names raise :class:`ValidationError` - silently
+        ignored typos would otherwise produce prior-config runs.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown ChaseConfig field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}")
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    # -- randomness ---------------------------------------------------------
+
+    def base_rng(self) -> np.random.Generator:
+        """The single sequential generator (``streams="shared"``)."""
+        if isinstance(self.seed, np.random.Generator):
+            return self.seed
+        return np.random.default_rng(self.seed)
+
+    def spawn_rngs(self, n: int) -> list[np.random.Generator]:
+        """Per-run generators for an ``n``-run batch.
+
+        Under ``"shared"`` the same generator is handed to every run
+        (the batch consumes it sequentially, matching the legacy
+        draw-for-draw).  Under ``"spawn"`` each run gets an
+        independent :class:`~numpy.random.SeedSequence` child stream;
+        with a Generator seed the children advance its spawn state, so
+        consecutive batches differ (as they would sharing a stream).
+        """
+        if self.streams == "shared":
+            rng = self.base_rng()
+            return [rng] * n
+        if isinstance(self.seed, np.random.Generator):
+            return list(self.seed.spawn(n))    # numpy >= 1.25
+        root = np.random.SeedSequence(self.seed)
+        return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+#: The all-defaults configuration used when callers specify nothing.
+DEFAULT_CONFIG = ChaseConfig()

@@ -1,0 +1,93 @@
+"""The unified result object returned by every facade inference call.
+
+Whatever the method - exact enumeration, Monte-Carlo sampling,
+rejection conditioning, likelihood weighting - a
+:class:`repro.api.Session` hands back one :class:`InferenceResult`
+carrying the produced (sub-)probabilistic database together with run
+counts, error mass and timing diagnostics.  Query helpers delegate to
+the wrapped PDB, so downstream code does not need to care which
+representation (exact, ensemble, weighted) the method produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.pdb.database import PDBBase
+from repro.pdb.events import Event
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of one facade inference call.
+
+    ``pdb`` is the produced (sub-)probabilistic database - a
+    :class:`~repro.pdb.database.DiscretePDB` (``kind="exact"``), a
+    :class:`~repro.pdb.database.MonteCarloPDB` (``kind="sample"`` /
+    ``"rejection"``) or a :class:`~repro.pdb.weighted.WeightedPDB`
+    (``kind="likelihood"``).  ``elapsed`` is wall-clock seconds spent
+    inside the call; ``diagnostics`` carries method-specific extras
+    (acceptance rate, effective sample size, mean importance weight,
+    cache hits, ...).
+    """
+
+    pdb: PDBBase
+    kind: str
+    elapsed: float
+    n_runs: int | None = None
+    n_truncated: int | None = None
+    diagnostics: Mapping[str, Any] = field(default_factory=dict)
+
+    # -- delegation to the wrapped PDB --------------------------------------
+
+    def marginal(self, fact: Fact) -> float:
+        """(Estimated) probability that ``fact`` holds in the output."""
+        return self.pdb.marginal(fact)
+
+    def prob(self, event: Event | Callable[[Instance], bool]) -> float:
+        """(Estimated) probability of an instance event."""
+        return self.pdb.prob(event)
+
+    def expectation(self,
+                    statistic: Callable[[Instance], float]) -> float:
+        """(Estimated) expectation of a numeric world statistic."""
+        return self.pdb.expectation(statistic)
+
+    def err_mass(self) -> float:
+        """Mass of the error event (non-terminating chase paths)."""
+        return self.pdb.err_mass()
+
+    def total_mass(self) -> float:
+        """Mass assigned to genuine instances (``<= 1``)."""
+        return self.pdb.total_mass()
+
+    def fact_marginals(self,
+                       relations: tuple[str, ...] | None = None,
+                       ) -> dict[Fact, float]:
+        """Marginals of every output fact (optionally restricted)."""
+        from repro.pdb.stats import fact_marginals
+        return fact_marginals(self.pdb, relations=relations)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (used by the CLI's ``--json`` mode)."""
+        return {
+            "kind": self.kind,
+            "elapsed_seconds": self.elapsed,
+            "n_runs": self.n_runs,
+            "n_truncated": self.n_truncated,
+            "total_mass": self.total_mass(),
+            "err_mass": self.err_mass(),
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    def __repr__(self) -> str:
+        runs = f", runs {self.n_runs}" if self.n_runs is not None else ""
+        return (f"InferenceResult({self.kind}{runs}, "
+                f"mass {self.total_mass():.6g}, "
+                f"err {self.err_mass():.6g}, "
+                f"{self.elapsed * 1e3:.1f} ms)")

@@ -1,0 +1,616 @@
+"""Compile once, infer many: the primary public API.
+
+The paper's pipeline (parse -> translate to existential Datalog ->
+chase -> output SPDB, Sections 3-4) used to be exposed as a flat bag of
+top-level functions, every one of which re-translated the program and
+re-threaded the same keyword arguments.  This module replaces that with
+a two-stage facade:
+
+* :func:`compile` turns a program (text or :class:`Program`) into a
+  :class:`CompiledProgram` that caches the translation, normalization,
+  visible-relation set and termination report - computed at most once;
+* :meth:`CompiledProgram.on` binds an input instance and a frozen
+  :class:`~repro.api.config.ChaseConfig`, yielding a :class:`Session`
+  whose fluent verbs (``sample``, ``exact``, ``observe(...).posterior``,
+  ``marginal``, ``analyze``) all return a unified
+  :class:`~repro.api.results.InferenceResult`.
+
+Batched sampling through a Session strictly dominates ``n`` calls
+through the legacy path: the translation and the applicability
+bootstrap happen exactly once, each run starting from a cheap engine
+``fork()``, and per-run RNG streams are spawned via
+:class:`numpy.random.SeedSequence` so runs can execute on worker
+threads without losing reproducibility.
+
+>>> import repro
+>>> compiled = repro.compile("Earthquake(c, Flip<0.1>) :- City(c, r).")
+>>> data = repro.Instance.of(repro.Fact("City", ("Napa", 0.03)))
+>>> result = compiled.on(data).exact()
+>>> round(result.marginal(repro.Fact("Earthquake", ("Napa", 1))), 3)
+0.1
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.api.config import DEFAULT_CONFIG, ChaseConfig
+from repro.api.results import InferenceResult
+from repro.core.chase import (ChaseRun, make_engine,
+                              run_chase_prepared)
+from repro.core.constraints import (ConstraintLike, _as_predicate,
+                                    _conjunction)
+from repro.core.exact import (exact_parallel_spdb,
+                              exact_sequential_spdb)
+from repro.core.observe import (Observation, _observation_index,
+                                _weighted_chase)
+from repro.core.parallel import run_parallel_chase_prepared
+from repro.core.policies import DEFAULT_POLICY
+from repro.core.program import Program
+from repro.core.semantics import MassReport
+from repro.core.termination import (TerminationReport,
+                                    analyze_termination)
+from repro.core.translate import ExistentialProgram
+from repro.errors import MeasureError, ValidationError
+from repro.pdb.database import (DiscretePDB, MonteCarloPDB,
+                                mixture_pdb)
+from repro.pdb.events import Event
+from repro.pdb.instances import Instance
+from repro.pdb.weighted import WeightedPDB
+
+SEMANTICS = ("grohe", "barany")
+
+#: Evidence accepted by :meth:`Session.observe`.
+Evidence = Observation | ConstraintLike
+
+
+def compile(program: str | Program | ExistentialProgram,
+            *,
+            semantics: str | None = None,
+            registry=None,
+            schema=None,
+            extensional=None) -> "CompiledProgram":
+    """Compile a GDatalog program for repeated inference.
+
+    ``program`` may be surface text, a parsed :class:`Program`, or an
+    already-translated :class:`ExistentialProgram`.  ``semantics``
+    defaults to ``"grohe"`` for text/Program input; for a translated
+    program it defaults to the program's own recorded semantics, and
+    passing a different value explicitly is an error.  ``registry`` /
+    ``schema`` / ``extensional`` are parse-time options and therefore
+    only valid with program text.
+
+    >>> compiled = compile("R(Flip<0.5>) :- true.")
+    >>> compiled.on().exact().pdb.support_size()
+    2
+    """
+    if not isinstance(program, str) and (
+            registry is not None or schema is not None
+            or extensional is not None):
+        raise ValidationError(
+            "registry/schema/extensional are parse-time options; "
+            "pass them to Program.parse or compile program text")
+    if isinstance(program, ExistentialProgram):
+        if semantics is not None and semantics != program.semantics:
+            raise ValidationError(
+                f"program was translated under {program.semantics!r} "
+                f"semantics; cannot recompile it as {semantics!r}")
+        compiled = CompiledProgram(program.source, program.semantics)
+        compiled._translated = program
+        return compiled
+    if isinstance(program, str):
+        program = Program.parse(program, registry=registry,
+                                schema=schema, extensional=extensional)
+    elif not isinstance(program, Program):
+        raise ValidationError(
+            f"cannot compile {type(program).__name__}; expected "
+            "program text, a Program, or an ExistentialProgram")
+    return CompiledProgram(program, semantics or "grohe")
+
+
+def compiled_for(program: str | Program | ExistentialProgram,
+                 semantics: str = "grohe") -> "CompiledProgram":
+    """Compile with the legacy semantics-argument convention.
+
+    The historical entry points ignored their ``semantics`` keyword
+    when handed an already-translated program; the shims delegate
+    through this helper to preserve that behaviour exactly.
+    """
+    if isinstance(program, ExistentialProgram):
+        return compile(program, semantics=program.semantics)
+    return compile(program, semantics=semantics)
+
+
+class CompiledProgram:
+    """A program plus every artifact worth computing exactly once.
+
+    Caches (lazily, each at most once): the existential-Datalog
+    translation ``Ĝ`` - including normalization to single-random-term
+    form - the visible-relation set, and the static termination report.
+    Thousands of chases through :meth:`on`/:class:`Session` then share
+    them, instead of re-deriving them per call like the legacy
+    functions did.
+    """
+
+    def __init__(self, program: Program, semantics: str = "grohe"):
+        if semantics not in SEMANTICS:
+            raise ValidationError(
+                f"unknown semantics {semantics!r}; "
+                f"use one of {SEMANTICS}")
+        if not isinstance(program, Program):
+            raise ValidationError(
+                f"CompiledProgram needs a Program, got {program!r}")
+        self.program = program
+        self.semantics = semantics
+        self._translated: ExistentialProgram | None = None
+        self._visible: tuple[str, ...] | None = None
+        self._report: TerminationReport | None = None
+
+    # -- cached artifacts ---------------------------------------------------
+
+    @property
+    def translated(self) -> ExistentialProgram:
+        """The existential translation ``Ĝ`` (computed at most once)."""
+        if self._translated is None:
+            if self.semantics == "grohe":
+                self._translated = self.program.translate()
+            else:
+                self._translated = self.program.translate_barany()
+        return self._translated
+
+    @property
+    def visible_relations(self) -> tuple[str, ...]:
+        """The original program's relations (auxiliaries excluded)."""
+        if self._visible is None:
+            self._visible = tuple(self.translated.visible_relations())
+        return self._visible
+
+    def is_discrete(self) -> bool:
+        """Whether exact chase-tree enumeration is available."""
+        return self.translated.is_discrete()
+
+    def analyze(self) -> TerminationReport:
+        """The static termination report (Section 6.3), cached."""
+        if self._report is None:
+            self._report = analyze_termination(self.translated)
+        return self._report
+
+    # -- sessions -----------------------------------------------------------
+
+    def on(self, instance: Instance | None = None,
+           config: ChaseConfig | None = None,
+           **overrides) -> "Session":
+        """Bind an input instance (default: empty) and a config.
+
+        Keyword overrides are applied on top of ``config`` (or the
+        default config), e.g. ``compiled.on(data, seed=7,
+        max_steps=500)``.
+        """
+        base = config if config is not None else DEFAULT_CONFIG
+        if not isinstance(base, ChaseConfig):
+            raise ValidationError(
+                f"config must be a ChaseConfig, got {base!r}")
+        base = base.replace(**overrides)
+        root = instance if instance is not None else Instance.empty()
+        if not isinstance(root, Instance):
+            raise ValidationError(
+                f"on(...) needs an Instance, got {root!r}")
+        return Session(self, root, base)
+
+    def apply_to_pdb(self, input_pdb: DiscretePDB,
+                     config: ChaseConfig | None = None,
+                     **overrides) -> InferenceResult:
+        """Apply the program to a probabilistic *input* database.
+
+        Theorem 4.8 (second part): the output is the mixture, over
+        input worlds with their probabilities, of the per-world output
+        SPDBs; input error mass passes through unchanged.
+        """
+        cfg = (config if config is not None
+               else DEFAULT_CONFIG).replace(**overrides)
+        start = time.perf_counter()
+        components = []
+        for world, weight in input_pdb.worlds():
+            output = Session(self, world, cfg).exact().pdb
+            components.append((weight, output))
+        mixed = mixture_pdb(components)
+        pdb = DiscretePDB(mixed.measure,
+                          mixed.err + input_pdb.err_mass())
+        return InferenceResult(pdb, "exact",
+                               time.perf_counter() - start)
+
+    def __repr__(self) -> str:
+        state = "translated" if self._translated is not None \
+            else "pending"
+        return (f"CompiledProgram({len(self.program)} rules, "
+                f"{self.semantics}, {state})")
+
+
+class Session:
+    """A compiled program bound to an input instance and a config.
+
+    Sessions are cheap, immutable handles: fluent methods
+    (:meth:`configure`, :meth:`observe`) return *new* sessions, while
+    the expensive artifacts (translation, applicability bootstrap,
+    exact SPDBs) live in caches shared through the
+    :class:`CompiledProgram` and the session itself.
+    """
+
+    def __init__(self, compiled: CompiledProgram, instance: Instance,
+                 config: ChaseConfig,
+                 evidence: tuple[Evidence, ...] = (),
+                 _engines: dict | None = None,
+                 _exact_cache: dict | None = None):
+        self.compiled = compiled
+        self.instance = instance
+        self.config = config
+        self._evidence = tuple(evidence)
+        # Engine bases depend only on (translated, instance, engine
+        # kind) and exact results carry their full config as cache key,
+        # so derived sessions (configure/observe) share both caches.
+        self._engines: dict[str, object] = \
+            _engines if _engines is not None else {}
+        self._exact_cache: dict[ChaseConfig, InferenceResult] = \
+            _exact_cache if _exact_cache is not None else {}
+
+    # -- fluent construction ------------------------------------------------
+
+    def configure(self, **overrides) -> "Session":
+        """A new session with config fields replaced."""
+        return Session(self.compiled, self.instance,
+                       self.config.replace(**overrides),
+                       self._evidence, self._engines,
+                       self._exact_cache)
+
+    def observe(self, *evidence: Evidence) -> "Session":
+        """A new session conditioned on additional evidence.
+
+        Evidence items are either sample-level
+        :class:`~repro.core.observe.Observation` values (consumed by
+        ``posterior(method="likelihood")``) or instance events /
+        predicates (consumed by ``method="rejection"`` /
+        ``method="exact"``).
+        """
+        if not evidence:
+            raise ValidationError("observe() needs at least one "
+                                  "observation or event")
+        for item in evidence:
+            if not isinstance(item, (Observation, Event)) \
+                    and not callable(item):
+                raise ValidationError(
+                    f"not evidence: {item!r} (expected an Observation, "
+                    "an Event, or a predicate on instances)")
+        return Session(self.compiled, self.instance, self.config,
+                       self._evidence + tuple(evidence),
+                       self._engines, self._exact_cache)
+
+    @property
+    def evidence(self) -> tuple[Evidence, ...]:
+        return self._evidence
+
+    # -- engine amortization ------------------------------------------------
+
+    def _base_engine(self, engine: str):
+        """The (per-engine-kind, cached) base applicability state.
+
+        The base engine bootstraps rule matching against the input
+        instance exactly once; every chase run then starts from a
+        ``fork()`` - a structure copy that skips re-matching.
+        """
+        base = self._engines.get(engine)
+        if base is None:
+            base = make_engine(self.compiled.translated, self.instance,
+                               engine)
+            self._engines[engine] = base
+        return base
+
+    def _fork_engine(self, engine: str):
+        return self._base_engine(engine).fork()
+
+    def _one_run(self, cfg: ChaseConfig,
+                 rng: np.random.Generator) -> ChaseRun:
+        translated = self.compiled.translated
+        state = self._fork_engine(cfg.engine)
+        if cfg.parallel:
+            return run_parallel_chase_prepared(
+                translated, state, self.instance, rng, cfg.max_steps,
+                cfg.record_trace)
+        return run_chase_prepared(
+            translated, state, self.instance,
+            cfg.policy or DEFAULT_POLICY, rng, cfg.max_steps,
+            cfg.record_trace)
+
+    # -- inference verbs ----------------------------------------------------
+
+    def run(self, rng: np.random.Generator | int | None = None,
+            **overrides) -> ChaseRun:
+        """One chase run (sequential or parallel per the config)."""
+        cfg = self.config.replace(**overrides)
+        if rng is not None:
+            chase_rng = rng if isinstance(rng, np.random.Generator) \
+                else np.random.default_rng(rng)
+        else:
+            chase_rng = cfg.base_rng()
+        return self._one_run(cfg, chase_rng)
+
+    def sample(self, n: int = 1000, workers: int | None = None,
+               **overrides) -> InferenceResult:
+        """Monte-Carlo output SPDB from ``n`` independent chase runs.
+
+        Translation and applicability bootstrap happen exactly once
+        for the whole batch.  With ``workers > 1`` the runs execute on
+        a thread pool; this requires the (default) ``"spawn"`` stream
+        scheme, under which results are identical to the sequential
+        order for the same seed.
+        """
+        cfg = self.config.replace(**overrides)
+        if n <= 0:
+            raise ValidationError(f"need n >= 1 runs, got {n}")
+        visible = self.compiled.visible_relations
+        # Bootstrap the base engine before any worker threads fork it.
+        self._base_engine(cfg.engine)
+        start = time.perf_counter()
+        rngs = cfg.spawn_rngs(n)
+        if workers is not None and workers > 1:
+            if cfg.streams != "spawn":
+                raise ValidationError(
+                    "workers > 1 requires streams='spawn'; the "
+                    "'shared' scheme is inherently sequential")
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                runs = list(pool.map(
+                    lambda rng: self._one_run(cfg, rng), rngs))
+        else:
+            runs = [self._one_run(cfg, rng) for rng in rngs]
+        worlds: list[Instance] = []
+        truncated = 0
+        for run in runs:
+            if not run.terminated:
+                truncated += 1
+            elif cfg.keep_aux:
+                worlds.append(run.instance)
+            else:
+                worlds.append(run.instance.restrict(visible))
+        elapsed = time.perf_counter() - start
+        return InferenceResult(MonteCarloPDB(worlds, truncated),
+                               "sample", elapsed, n_runs=n,
+                               n_truncated=truncated)
+
+    def outputs(self, n: int,
+                rng: np.random.Generator | int | None = None,
+                **overrides) -> Iterator[Instance | None]:
+        """Stream ``n`` chase outputs lazily (None = truncated/err)."""
+        cfg = self.config.replace(**overrides)
+        if rng is not None:
+            cfg = cfg.replace(seed=rng if isinstance(
+                rng, np.random.Generator)
+                else int(rng), streams="shared")
+        visible = self.compiled.visible_relations
+        for run_rng in cfg.spawn_rngs(n):
+            run = self._one_run(cfg, run_rng)
+            if not run.terminated:
+                yield None
+            elif cfg.keep_aux:
+                yield run.instance
+            else:
+                yield run.instance.restrict(visible)
+
+    def exact(self, **overrides) -> InferenceResult:
+        """Exact output SPDB by chase-tree enumeration (discrete only).
+
+        Results are cached per effective config, so repeated queries
+        (``marginal``, posterior conditioning) re-use the enumeration.
+        """
+        cfg = self.config.replace(**overrides)
+        cached = self._exact_cache.get(cfg)
+        if cached is not None:
+            return cached
+        translated = self.compiled.translated
+        start = time.perf_counter()
+        if cfg.parallel:
+            pdb = exact_parallel_spdb(
+                translated, self.instance, max_depth=cfg.max_depth,
+                tolerance=cfg.tolerance, keep_aux=cfg.keep_aux)
+        else:
+            pdb = exact_sequential_spdb(
+                translated, self.instance, cfg.policy,
+                max_depth=cfg.max_depth, tolerance=cfg.tolerance,
+                keep_aux=cfg.keep_aux)
+        result = InferenceResult(pdb, "exact",
+                                 time.perf_counter() - start)
+        self._exact_cache[cfg] = result
+        return result
+
+    def marginal(self, fact, n: int | None = None) -> float:
+        """Marginal probability of one output fact.
+
+        Uses exact enumeration for discrete programs, Monte-Carlo
+        sampling otherwise (``n`` runs, default 1000); with evidence
+        attached, the marginal is taken under the posterior (method
+        picked to match the evidence kind).
+        """
+        if self._evidence:
+            if all(isinstance(item, Observation)
+                   for item in self._evidence):
+                method = "likelihood"
+            elif self.compiled.is_discrete():
+                method = "exact"
+            else:
+                method = "rejection"
+            return self.posterior(method=method,
+                                  n=n or 1000).marginal(fact)
+        if self.compiled.is_discrete():
+            return self.exact().marginal(fact)
+        return self.sample(n or 1000).marginal(fact)
+
+    # -- conditioning -------------------------------------------------------
+
+    def posterior(self, method: str = "rejection", n: int = 1000,
+                  **overrides) -> InferenceResult:
+        """Posterior inference given the session's observed evidence.
+
+        ``method="rejection"`` - rejection-sample on instance events
+        (positive-probability events only, any program);
+        ``method="likelihood"`` - likelihood weighting on sample-level
+        :class:`Observation` evidence (sound for continuous,
+        measure-zero observations);
+        ``method="exact"`` - restrict-and-normalize the exact SPDB on
+        instance events (discrete programs).
+        """
+        cfg = self.config.replace(**overrides)
+        if not self._evidence:
+            raise ValidationError(
+                "posterior() without evidence; call "
+                ".observe(...) first")
+        observations = [item for item in self._evidence
+                        if isinstance(item, Observation)]
+        constraints = [item for item in self._evidence
+                       if not isinstance(item, Observation)]
+        if method == "likelihood":
+            if constraints:
+                raise ValidationError(
+                    "likelihood weighting conditions on sample-level "
+                    "Observations only; event evidence needs "
+                    "method='rejection' or method='exact'")
+            return self._posterior_likelihood(cfg, observations, n)
+        if observations:
+            raise ValidationError(
+                f"method={method!r} conditions on instance events; "
+                "Observation evidence needs method='likelihood'")
+        if method == "rejection":
+            return self._posterior_rejection(cfg, constraints, n)
+        if method == "exact":
+            return self._posterior_exact(cfg, constraints)
+        raise ValidationError(
+            f"unknown posterior method {method!r}; use 'rejection', "
+            "'likelihood' or 'exact'")
+
+    def _posterior_rejection(self, cfg: ChaseConfig,
+                             constraints: Sequence[ConstraintLike],
+                             n: int) -> InferenceResult:
+        satisfied = _conjunction(constraints)
+        visible = self.compiled.visible_relations
+        self._base_engine(cfg.engine)
+        start = time.perf_counter()
+        accepted: list[Instance] = []
+        truncated = 0
+        for rng in cfg.spawn_rngs(n):
+            run = self._one_run(cfg, rng)
+            if not run.terminated:
+                truncated += 1
+                continue
+            world = run.instance if cfg.keep_aux \
+                else run.instance.restrict(visible)
+            if satisfied(world):
+                accepted.append(world)
+        if not accepted:
+            raise MeasureError(
+                f"no accepted samples in {n} proposals; the "
+                "constraints have (near-)zero probability - "
+                "conditioning on measure-zero events is undefined in "
+                "this semantics (paper, Section 7)")
+        elapsed = time.perf_counter() - start
+        terminated = n - truncated
+        return InferenceResult(
+            MonteCarloPDB(accepted, 0), "rejection", elapsed,
+            n_runs=n, n_truncated=truncated,
+            diagnostics={
+                "n_proposed": n,
+                "n_accepted": len(accepted),
+                "acceptance_rate": len(accepted) / terminated
+                if terminated else 0.0,
+            })
+
+    def _posterior_likelihood(self, cfg: ChaseConfig,
+                              observations: Sequence[Observation],
+                              n: int) -> InferenceResult:
+        translated = self.compiled.translated
+        index = _observation_index(translated, observations)
+        visible = self.compiled.visible_relations
+        policy = cfg.policy or DEFAULT_POLICY
+        self._base_engine(cfg.engine)
+        start = time.perf_counter()
+        worlds: list[Instance] = []
+        weights: list[float] = []
+        truncated = 0
+        for rng in cfg.spawn_rngs(n):
+            outcome = _weighted_chase(
+                translated, self._fork_engine(cfg.engine),
+                self.instance, policy, rng, cfg.max_steps, index)
+            if outcome is None:
+                truncated += 1
+                continue
+            world, weight = outcome
+            worlds.append(world if cfg.keep_aux
+                          else world.restrict(visible))
+            weights.append(weight)
+        if not worlds:
+            raise ValidationError(
+                "all runs were truncated; increase max_steps")
+        posterior = WeightedPDB(worlds, weights)
+        elapsed = time.perf_counter() - start
+        return InferenceResult(
+            posterior, "likelihood", elapsed, n_runs=n,
+            n_truncated=truncated,
+            diagnostics={
+                "mean_weight": sum(weights) / len(weights),
+                "effective_sample_size":
+                    posterior.effective_sample_size(),
+            })
+
+    def _posterior_exact(self, cfg: ChaseConfig,
+                         constraints: Sequence[ConstraintLike],
+                         ) -> InferenceResult:
+        satisfied = _conjunction(constraints)
+        start = time.perf_counter()
+        prior = self.exact(**_config_kwargs(cfg)).pdb
+        try:
+            posterior = prior.condition(satisfied)
+        except MeasureError:
+            raise MeasureError(
+                "constraints have probability zero under the program "
+                "output; conditioning is undefined (cf. the paper's "
+                "Borel-Kolmogorov discussion, Section 7)") from None
+        return InferenceResult(posterior, "exact",
+                               time.perf_counter() - start)
+
+    # -- analysis -----------------------------------------------------------
+
+    def analyze(self) -> TerminationReport:
+        """Static termination report (cached on the compiled program)."""
+        return self.compiled.analyze()
+
+    def mass_report(self,
+                    budgets: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                    **overrides) -> list[MassReport]:
+        """Figure-1 mass accounting across depth budgets (E9)."""
+        cfg = self.config.replace(**overrides)
+        translated = self.compiled.translated
+        reports = []
+        for budget in budgets:
+            pdb = exact_sequential_spdb(
+                translated, self.instance, cfg.policy,
+                max_depth=budget, tolerance=cfg.tolerance)
+            reports.append(MassReport(budget, pdb.total_mass(),
+                                      pdb.err_mass()))
+        return reports
+
+    def __repr__(self) -> str:
+        evidence = f", {len(self._evidence)} evidence" \
+            if self._evidence else ""
+        return (f"Session({self.compiled!r}, "
+                f"|D0|={len(self.instance)}{evidence})")
+
+
+def _config_kwargs(cfg: ChaseConfig) -> dict:
+    """ChaseConfig -> replace() kwargs (for nested override passing)."""
+    import dataclasses
+    return {f.name: getattr(cfg, f.name)
+            for f in dataclasses.fields(cfg)}
+
+
+# Re-exported conveniences so ``repro.api`` is self-contained.
+as_predicate = _as_predicate

@@ -10,27 +10,36 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
   cycle classification (Theorem 6.3 / §6.3);
 * ``translate`` - print the associated existential Datalog program Ĝ.
 
-Input instances come from ``--data Relation=path.csv`` (repeatable) or
-``--data path.json``; programs from a ``.gdl`` file in the surface
-syntax.  Exit code 0 on success, 2 on usage errors.
+Every subcommand accepts ``--json`` for machine-readable output (one
+JSON document on stdout).  Input instances come from
+``--data Relation=path.csv`` (repeatable) or ``--data path.json``;
+programs from a ``.gdl`` file in the surface syntax.  Exit code 0 on
+success, 2 on usage errors.
+
+The CLI is a thin shell over the :mod:`repro.api` facade: each
+invocation compiles the program once and drives every query through
+the resulting session.
 
 Example::
 
     repro exact examples/data/g0.gdl
     repro sample program.gdl --data City=city.csv -n 5000 --seed 7
+    repro analyze program.gdl --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from repro.core.semantics import exact_spdb, sample_spdb
-from repro.core.termination import analyze_termination
+from repro.api import CompiledProgram, compile as compile_program
 from repro.errors import ReproError
 from repro.io import load_instance_args, load_program
+from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
+from repro.pdb.stats import fact_marginals
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -50,6 +59,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          default="grohe",
                          help="this paper's semantics (default) or "
                               "Barany et al.'s")
+        sub.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
 
     exact = subparsers.add_parser(
         "exact", help="exact output SPDB (discrete programs)")
@@ -80,11 +91,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load(args) -> tuple:
+def _load(args) -> tuple[CompiledProgram, Instance]:
     program = load_program(args.program)
     instance = load_instance_args(args.data) if args.data \
         else Instance.empty()
-    return program, instance
+    return compile_program(program, semantics=args.semantics), instance
+
+
+def _json_default(value):
+    """JSON fallback for numpy scalars and other odd fact values."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def _emit_json(payload: dict, out) -> None:
+    print(json.dumps(payload, default=_json_default, sort_keys=True),
+          file=out)
+
+
+def _fact_json(fact: Fact) -> dict:
+    return {"relation": fact.relation, "args": list(fact.args)}
 
 
 def _print_worlds(pdb, top: int, out) -> None:
@@ -99,9 +126,27 @@ def _print_worlds(pdb, top: int, out) -> None:
 
 def cmd_exact(args, out) -> int:
     """``repro exact``: print the exact output SPDB."""
-    program, instance = _load(args)
-    pdb = exact_spdb(program, instance, semantics=args.semantics,
-                     parallel=args.parallel, max_depth=args.max_depth)
+    compiled, instance = _load(args)
+    session = compiled.on(instance, parallel=args.parallel,
+                          max_depth=args.max_depth)
+    result = session.exact()
+    pdb = result.pdb
+    if args.json:
+        worlds = sorted(pdb.worlds(), key=lambda wp: -wp[1])
+        _emit_json({
+            "command": "exact",
+            "n_worlds": pdb.support_size(),
+            "total_mass": pdb.total_mass(),
+            "err_mass": pdb.err_mass(),
+            "elapsed_seconds": result.elapsed,
+            "worlds": [
+                {"probability": probability,
+                 "facts": [_fact_json(f) for f in
+                           sorted(world.facts,
+                                  key=lambda f: f.sort_key())]}
+                for world, probability in worlds[:args.top]],
+        }, out)
+        return 0
     print(f"# {pdb.support_size()} worlds, mass "
           f"{pdb.total_mass():.8f}", file=out)
     _print_worlds(pdb, args.top, out)
@@ -110,28 +155,61 @@ def cmd_exact(args, out) -> int:
 
 def cmd_sample(args, out) -> int:
     """``repro sample``: print Monte-Carlo fact marginals."""
-    program, instance = _load(args)
-    pdb = sample_spdb(program, instance, n=args.n,
-                      semantics=args.semantics, parallel=args.parallel,
-                      rng=args.seed, max_steps=args.max_steps)
+    compiled, instance = _load(args)
+    # "shared" stream scheme: output is bit-identical with historical
+    # releases for the same --seed.
+    session = compiled.on(instance, parallel=args.parallel,
+                          max_steps=args.max_steps, seed=args.seed,
+                          streams="shared")
+    result = session.sample(args.n)
+    pdb = result.pdb
+    marginals = fact_marginals(pdb)
+    ordered = sorted(marginals, key=lambda f: f.sort_key())
+    if args.json:
+        _emit_json({
+            "command": "sample",
+            "n_runs": pdb.n_runs,
+            "n_terminated": len(pdb.worlds),
+            "n_truncated": pdb.truncated,
+            "err_mass": pdb.err_mass(),
+            "elapsed_seconds": result.elapsed,
+            "marginals": [
+                {"fact": _fact_json(fact),
+                 "probability": marginals[fact]}
+                for fact in ordered],
+        }, out)
+        return 0
     print(f"# {len(pdb.worlds)} terminated runs, "
           f"{pdb.truncated} truncated (err "
           f"{pdb.err_mass():.4f})", file=out)
-    counts: dict = {}
-    for world in pdb.worlds:
-        for fact in world.facts:
-            counts[fact] = counts.get(fact, 0) + 1
-    for fact in sorted(counts, key=lambda f: f.sort_key()):
-        print(f"{counts[fact] / pdb.n_runs:10.6f}  {fact!r}", file=out)
+    for fact in ordered:
+        print(f"{marginals[fact]:10.6f}  {fact!r}", file=out)
     return 0
 
 
 def cmd_analyze(args, out) -> int:
     """``repro analyze``: print the static structure report."""
-    program, _instance = _load(args)
-    translated = program.translate() if args.semantics == "grohe" \
-        else program.translate_barany()
-    report = analyze_termination(translated)
+    compiled, _instance = _load(args)
+    program = compiled.program
+    report = compiled.analyze()
+    if args.json:
+        verdict = "terminating"
+        if not report.weakly_acyclic:
+            verdict = "almost-surely-non-terminating" \
+                if report.almost_surely_diverges() else "may-terminate"
+        _emit_json({
+            "command": "analyze",
+            "n_rules": len(program),
+            "n_random_rules": len(program.random_rules()),
+            "distributions": list(program.distributions_used()),
+            "extensional": sorted(program.extensional),
+            "discrete": program.is_discrete(),
+            "weakly_acyclic": report.weakly_acyclic,
+            "continuous_cycle": report.continuous_cycle,
+            "cyclic_distributions": list(report.cyclic_distributions),
+            "verdict": verdict,
+        }, out)
+        return 0
     print(f"rules:            {len(program)}", file=out)
     print(f"random rules:     {len(program.random_rules())}", file=out)
     print(f"distributions:    "
@@ -158,9 +236,17 @@ def cmd_analyze(args, out) -> int:
 
 def cmd_translate(args, out) -> int:
     """``repro translate``: print the existential program."""
-    program, _instance = _load(args)
-    translated = program.translate() if args.semantics == "grohe" \
-        else program.translate_barany()
+    compiled, _instance = _load(args)
+    translated = compiled.translated
+    if args.json:
+        _emit_json({
+            "command": "translate",
+            "semantics": translated.semantics,
+            "n_rules": len(translated),
+            "aux_relations": sorted(translated.aux_relations),
+            "rules": [repr(rule) for rule in translated.rules],
+        }, out)
+        return 0
     print(repr(translated), file=out)
     return 0
 

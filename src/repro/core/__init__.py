@@ -9,7 +9,7 @@ from repro.core.barany import (TaggedDistribution,
                                to_barany_simulation, to_grohe_simulation)
 from repro.core.chase import (ChaseRun, ChaseStep, chase_markov_process,
                               chase_outputs, chase_step_kernel, fire,
-                              run_chase)
+                              run_chase, run_chase_prepared)
 from repro.core.constraints import (ConstrainedProgram, RejectionResult,
                                     condition_by_rejection,
                                     condition_exact)
@@ -23,7 +23,9 @@ from repro.core.observe import (Observation, WeightingResult,
                                 likelihood_weighting, observe)
 from repro.core.parallel import (firing_configuration,
                                  parallel_markov_process,
-                                 parallel_step_kernel, run_parallel_chase)
+                                 parallel_step_kernel,
+                                 run_parallel_chase,
+                                 run_parallel_chase_prepared)
 from repro.core.parser import parse_program, parse_rule
 from repro.core.policies import (DEFAULT_POLICY, ChasePolicy, FirstPolicy,
                                  LastPolicy, PriorityPolicy,
@@ -65,7 +67,8 @@ __all__ = [
     "induced_fds", "is_aux_relation", "is_split_relation",
     "normalize_program", "normalize_rule", "parallel_markov_process",
     "parallel_step_kernel", "parse_program", "parse_rule",
-    "position_graph", "program_of", "run_chase", "run_parallel_chase",
+    "position_graph", "program_of", "run_chase", "run_chase_prepared",
+    "run_parallel_chase", "run_parallel_chase_prepared",
     "sample_spdb", "simulation_helper_relations", "spdb_mass_report",
     "standard_policies", "to_barany_simulation", "to_grohe_simulation",
     "translate", "translate_barany", "weakly_acyclic",

@@ -31,11 +31,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.chase import DEFAULT_MAX_STEPS, _as_rng, run_chase
+from repro._compat import warn_legacy
+from repro.core.chase import DEFAULT_MAX_STEPS
 from repro.core.exact import DEFAULT_MAX_DEPTH, DEFAULT_SUPPORT_TOLERANCE
 from repro.core.policies import ChasePolicy
 from repro.core.program import Program
-from repro.core.semantics import _translated_for, exact_spdb
 from repro.core.translate import ExistentialProgram
 from repro.errors import MeasureError
 from repro.pdb.database import DiscretePDB, MonteCarloPDB
@@ -60,6 +60,32 @@ def _conjunction(constraints: Sequence[ConstraintLike],
     return lambda instance: all(p(instance) for p in predicates)
 
 
+def _exact_posterior(session, constraints: Sequence[ConstraintLike],
+                     ) -> DiscretePDB:
+    """Exact conditioning through a facade session.
+
+    Shared by the :func:`condition_exact` shim and
+    :class:`ConstrainedProgram`; an empty constraint list conditions
+    on the trivially-true event (restrict-and-normalize away the err
+    mass), matching the historical behaviour.
+    """
+    if not constraints:
+        return session.exact().pdb.condition(lambda _instance: True)
+    return session.observe(*constraints).posterior(method="exact").pdb
+
+
+def _rejection_posterior(session,
+                         constraints: Sequence[ConstraintLike],
+                         n: int) -> "RejectionResult":
+    """Rejection conditioning through a facade session (shared)."""
+    evidence = tuple(constraints) or (lambda _instance: True,)
+    result = session.observe(*evidence).posterior(method="rejection",
+                                                  n=n)
+    return RejectionResult(result.pdb, n,
+                           result.diagnostics["n_accepted"],
+                           result.n_truncated)
+
+
 def condition_exact(program: Program | ExistentialProgram,
                     instance: Instance | None,
                     constraints: Sequence[ConstraintLike],
@@ -70,6 +96,10 @@ def condition_exact(program: Program | ExistentialProgram,
                     tolerance: float = DEFAULT_SUPPORT_TOLERANCE,
                     keep_aux: bool = False) -> DiscretePDB:
     """Exact posterior PDB of a discrete program given constraints.
+
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance)
+        .observe(*constraints).posterior(method="exact")``.
 
     Raises :class:`repro.errors.MeasureError` if the constraint
     conjunction has probability zero under the program's output -
@@ -84,17 +114,13 @@ def condition_exact(program: Program | ExistentialProgram,
     >>> posterior.total_mass()
     1.0
     """
-    prior = exact_spdb(program, instance, semantics=semantics,
-                       policy=policy, max_depth=max_depth,
-                       tolerance=tolerance, keep_aux=keep_aux)
-    satisfied = _conjunction(constraints)
-    try:
-        return prior.condition(satisfied)
-    except MeasureError:
-        raise MeasureError(
-            "constraints have probability zero under the program "
-            "output; conditioning is undefined (cf. the paper's "
-            "Borel-Kolmogorov discussion, Section 7)") from None
+    warn_legacy("condition_exact",
+                "Session.observe(...).posterior(method='exact')")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, policy=policy, max_depth=max_depth,
+        tolerance=tolerance, keep_aux=keep_aux)
+    return _exact_posterior(session, constraints)
 
 
 @dataclass(frozen=True)
@@ -132,35 +158,22 @@ def condition_by_rejection(program: Program | ExistentialProgram,
                            keep_aux: bool = False) -> RejectionResult:
     """Rejection-sample the posterior given constraints.
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance)
+        .observe(*constraints).posterior(method="rejection")``.
+
     Works for continuous programs; requires the constraints to have
     positive probability (zero accepted samples raises).  The posterior
     is an ordinary :class:`MonteCarloPDB`, so the whole query layer
     applies to it.
     """
-    translated = _translated_for(program, semantics)
-    rng = _as_rng(rng)
-    satisfied = _conjunction(constraints)
-    visible = translated.visible_relations()
-    accepted: list[Instance] = []
-    truncated = 0
-    for _ in range(n):
-        run = run_chase(translated, instance, policy, rng,
-                        max_steps=max_steps)
-        if not run.terminated:
-            truncated += 1
-            continue
-        world = run.instance if keep_aux \
-            else run.instance.restrict(visible)
-        if satisfied(world):
-            accepted.append(world)
-    if not accepted:
-        raise MeasureError(
-            f"no accepted samples in {n} proposals; the constraints "
-            "have (near-)zero probability - conditioning on "
-            "measure-zero events is undefined in this semantics "
-            "(paper, Section 7)")
-    return RejectionResult(MonteCarloPDB(accepted), n, len(accepted),
-                           truncated)
+    warn_legacy("condition_by_rejection",
+                "Session.observe(...).posterior(method='rejection')")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, policy=policy, max_steps=max_steps,
+        keep_aux=keep_aux, seed=rng, streams="shared")
+    return _rejection_posterior(session, constraints, n)
 
 
 class ConstrainedProgram:
@@ -181,22 +194,32 @@ class ConstrainedProgram:
         return ConstrainedProgram(self.program,
                                   self.constraints + (constraint,))
 
+    def _session(self, instance: Instance | None, kwargs: dict):
+        from repro.api.session import compiled_for
+        semantics = kwargs.pop("semantics", "grohe")
+        rng = kwargs.pop("rng", None)
+        if rng is not None:
+            kwargs.setdefault("seed", rng)
+            kwargs.setdefault("streams", "shared")
+        return compiled_for(self.program, semantics).on(instance,
+                                                        **kwargs)
+
     def exact(self, instance: Instance | None = None,
               **kwargs) -> DiscretePDB:
         """Exact posterior (discrete programs)."""
-        return condition_exact(self.program, instance,
-                               self.constraints, **kwargs)
+        return _exact_posterior(self._session(instance, kwargs),
+                                self.constraints)
 
     def sample(self, instance: Instance | None = None, n: int = 1000,
                **kwargs) -> RejectionResult:
         """Rejection-sampled posterior (any program)."""
-        return condition_by_rejection(self.program, instance,
-                                      self.constraints, n, **kwargs)
+        return _rejection_posterior(self._session(instance, kwargs),
+                                    self.constraints, n)
 
     def prior(self, instance: Instance | None = None,
               **kwargs) -> DiscretePDB:
         """The unconditioned output SPDB (discrete programs)."""
-        return exact_spdb(self.program, instance, **kwargs)
+        return self._session(instance, kwargs).exact().pdb
 
     def __repr__(self) -> str:
         return (f"ConstrainedProgram({len(self.program)} rules, "

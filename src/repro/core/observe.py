@@ -31,11 +31,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.applicability import Firing
-from repro.core.chase import DEFAULT_MAX_STEPS, _as_rng, make_engine
-from repro.core.policies import DEFAULT_POLICY, ChasePolicy
+from repro._compat import warn_legacy
+from repro.core.applicability import ApplicabilityEngine, Firing
+from repro.core.chase import DEFAULT_MAX_STEPS
+from repro.core.policies import ChasePolicy
 from repro.core.program import Program
-from repro.core.semantics import _translated_for
 from repro.core.translate import ExistentialProgram, ExtRule, \
     validate_params_in_theta
 from repro.errors import ValidationError
@@ -129,43 +129,35 @@ def likelihood_weighting(program: Program | ExistentialProgram,
                          keep_aux: bool = False) -> WeightingResult:
     """Sample the posterior given sample-level observations.
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance)
+        .observe(*observations).posterior(method="likelihood")``.
+
     Runs ``n`` chases; observed samples are forced (not drawn) and the
     run weight accumulates the observation densities.  Budget-truncated
     runs are dropped (their weight does not enter the posterior).
     """
-    translated = _translated_for(program, semantics)
-    policy = policy or DEFAULT_POLICY
-    rng = _as_rng(rng)
-    index = _observation_index(translated, observations)
-    visible = translated.visible_relations()
-
-    worlds: list[Instance] = []
-    weights: list[float] = []
-    truncated = 0
-    for _ in range(n):
-        outcome = _weighted_chase(translated, instance, policy, rng,
-                                  max_steps, index)
-        if outcome is None:
-            truncated += 1
-            continue
-        world, weight = outcome
-        worlds.append(world if keep_aux else world.restrict(visible))
-        weights.append(weight)
-    if not worlds:
-        raise ValidationError(
-            "all runs were truncated; increase max_steps")
-    posterior = WeightedPDB(worlds, weights)
-    mean_weight = sum(weights) / len(weights)
-    return WeightingResult(posterior, n, truncated, mean_weight)
+    warn_legacy("likelihood_weighting",
+                "Session.observe(...).posterior(method='likelihood')")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, policy=policy, max_steps=max_steps,
+        keep_aux=keep_aux, seed=rng,
+        streams="shared").observe(*observations)
+    result = session.posterior(method="likelihood", n=n)
+    return WeightingResult(result.pdb, n, result.n_truncated,
+                           result.diagnostics["mean_weight"])
 
 
 def _weighted_chase(translated: ExistentialProgram,
-                    instance: Instance | None, policy: ChasePolicy,
+                    state: ApplicabilityEngine,
+                    instance: Instance, policy: ChasePolicy,
                     rng: np.random.Generator, max_steps: int,
                     index: dict[tuple, object],
                     ) -> tuple[Instance, float] | None:
-    current = instance if instance is not None else Instance.empty()
-    engine = make_engine(translated, current)
+    """One likelihood-weighted chase over a pre-built engine state."""
+    current = instance
+    engine = state
     weight = 1.0
     for _ in range(max_steps):
         applicable = engine.applicable()

@@ -48,8 +48,23 @@ def run_parallel_chase(program: Program | ExistentialProgram,
     """
     translated = _as_translated(program)
     instance = instance if instance is not None else Instance.empty()
-    rng = _as_rng(rng)
     state = make_engine(translated, instance, engine)
+    return run_parallel_chase_prepared(translated, state, instance,
+                                       _as_rng(rng), max_steps,
+                                       record_trace)
+
+
+def run_parallel_chase_prepared(translated: ExistentialProgram,
+                                state, instance: Instance,
+                                rng: np.random.Generator,
+                                max_steps: int = DEFAULT_MAX_STEPS,
+                                record_trace: bool = False) -> ChaseRun:
+    """Parallel-chase hot loop over a pre-built applicability state.
+
+    Batched callers (:meth:`repro.api.Session.sample`) construct the
+    engine once and ``fork()`` it per run; ``state`` must reflect
+    exactly ``instance`` and is consumed.
+    """
     current = instance
     trace: list[ChaseStep] | None = [] if record_trace else None
 

@@ -1,17 +1,26 @@
-"""Top-level semantics API: programs to (sub-)probabilistic databases.
+"""Legacy top-level semantics API (now thin facade shims).
 
-This module ties the pipeline together (Theorems 4.8 / 5.5 / 6.1):
+Historically this module tied the pipeline together with a flat bag of
+functions, each of which re-translated the program and re-threaded the
+same keyword arguments.  The primary public API is now the
+compile-once / infer-many facade of :mod:`repro.api`:
 
-* :func:`exact_spdb` - the exact output SPDB of a *discrete* program,
-  by sequential or parallel chase-tree enumeration, under either
-  semantics ("grohe" = this paper, "barany" = [3] via Section 6.2);
-* :func:`sample_spdb` - the Monte-Carlo output SPDB of any program
-  (the only option for continuous programs);
+>>> import repro
+>>> compiled = repro.compile("R(Flip<0.5>) :- true.")
+>>> pdb = compiled.on().exact().pdb
+
+The historical entry points remain available here as delegating shims
+(each emits a :class:`DeprecationWarning`) so that existing code keeps
+working with identical semantics:
+
+* :func:`exact_spdb` - the exact output SPDB of a *discrete* program
+  (Theorems 4.8 / 5.5 / 6.1), now ``Session.exact()``;
+* :func:`sample_spdb` - the Monte-Carlo output SPDB of any program,
+  now ``Session.sample(n)``;
 * :func:`apply_to_pdb` - a program applied to a probabilistic *input*
-  database (the second halves of Theorems 4.8/5.5): the output is the
-  mixture over input worlds of per-world outputs;
-* :func:`spdb_mass_report` - the Figure-1 bookkeeping: instance mass
-  vs ``err`` mass as a function of the step/depth budget.
+  database, now ``CompiledProgram.apply_to_pdb``;
+* :func:`spdb_mass_report` - the Figure-1 bookkeeping, now
+  ``Session.mass_report``.
 
 Auxiliary relations (``Result#i`` / ``Sample#ψ``) are projected away by
 default (Remark 4.9); pass ``keep_aux=True`` to inspect them.
@@ -23,30 +32,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.chase import DEFAULT_MAX_STEPS, _as_rng, run_chase
+from repro._compat import warn_legacy
+from repro.core.chase import DEFAULT_MAX_STEPS
 from repro.core.exact import (DEFAULT_MAX_DEPTH,
-                              DEFAULT_SUPPORT_TOLERANCE,
-                              exact_parallel_spdb, exact_sequential_spdb)
-from repro.core.parallel import run_parallel_chase
+                              DEFAULT_SUPPORT_TOLERANCE)
 from repro.core.policies import ChasePolicy
 from repro.core.program import Program
-from repro.core.translate import (ExistentialProgram, translate,
-                                  translate_barany)
-from repro.errors import ValidationError
-from repro.pdb.database import DiscretePDB, MonteCarloPDB, mixture_pdb
+from repro.core.translate import ExistentialProgram
+from repro.pdb.database import DiscretePDB, MonteCarloPDB
 from repro.pdb.instances import Instance
-
-
-def _translated_for(program: Program | ExistentialProgram,
-                    semantics: str) -> ExistentialProgram:
-    if isinstance(program, ExistentialProgram):
-        return program
-    if semantics == "grohe":
-        return translate(program)
-    if semantics == "barany":
-        return translate_barany(program)
-    raise ValidationError(
-        f"unknown semantics {semantics!r}; use 'grohe' or 'barany'")
 
 
 def exact_spdb(program: Program | ExistentialProgram,
@@ -60,6 +54,9 @@ def exact_spdb(program: Program | ExistentialProgram,
                keep_aux: bool = False) -> DiscretePDB:
     """Exact output SPDB of a discrete program.
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance).exact().pdb``.
+
     By Theorem 6.1 the result is independent of ``parallel`` and
     ``policy`` - parameters exposed precisely so that tests and
     benchmarks can *verify* that independence.
@@ -72,14 +69,13 @@ def exact_spdb(program: Program | ExistentialProgram,
     >>> pdb.support_size()   # {R(0)}, {R(1)}, {R(0), R(1)}
     3
     """
-    translated = _translated_for(program, semantics)
-    if parallel:
-        return exact_parallel_spdb(translated, instance,
-                                   max_depth=max_depth,
-                                   tolerance=tolerance, keep_aux=keep_aux)
-    return exact_sequential_spdb(translated, instance, policy,
-                                 max_depth=max_depth, tolerance=tolerance,
-                                 keep_aux=keep_aux)
+    warn_legacy("exact_spdb",
+                "repro.compile(program).on(instance).exact()")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, parallel=parallel, policy=policy, max_depth=max_depth,
+        tolerance=tolerance, keep_aux=keep_aux)
+    return session.exact().pdb
 
 
 def sample_spdb(program: Program | ExistentialProgram,
@@ -94,29 +90,22 @@ def sample_spdb(program: Program | ExistentialProgram,
                 keep_aux: bool = False) -> MonteCarloPDB:
     """Monte-Carlo output SPDB: ``n`` independent chase runs.
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance).sample(n).pdb``.
+
     Works for continuous programs (where it is the only representation)
     and discrete ones (where it converges to :func:`exact_spdb`).
-    Budget-truncated runs are counted as ``err`` mass.
+    Budget-truncated runs are counted as ``err`` mass.  The shim runs
+    the legacy single-stream RNG scheme (``streams="shared"``) so that
+    seeded outputs are bit-identical to historical releases.
     """
-    translated = _translated_for(program, semantics)
-    rng = _as_rng(rng)
-    visible = translated.visible_relations()
-    worlds: list[Instance] = []
-    truncated = 0
-    for _ in range(n):
-        if parallel:
-            run = run_parallel_chase(translated, instance, rng,
-                                     max_steps=max_steps)
-        else:
-            run = run_chase(translated, instance, policy, rng,
-                            max_steps=max_steps)
-        if not run.terminated:
-            truncated += 1
-            continue
-        world = run.instance if keep_aux \
-            else run.instance.restrict(visible)
-        worlds.append(world)
-    return MonteCarloPDB(worlds, truncated)
+    warn_legacy("sample_spdb",
+                "repro.compile(program).on(instance).sample(n)")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, parallel=parallel, policy=policy, max_steps=max_steps,
+        keep_aux=keep_aux, seed=rng, streams="shared")
+    return session.sample(n).pdb
 
 
 def apply_to_pdb(program: Program | ExistentialProgram,
@@ -130,20 +119,21 @@ def apply_to_pdb(program: Program | ExistentialProgram,
                  keep_aux: bool = False) -> DiscretePDB:
     """Apply a discrete program to a probabilistic input database.
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).apply_to_pdb(input_pdb).pdb``.
+
     Theorem 4.8 (second part): with an SPDB as input, the program
     defines an SPDB as output.  Operationally the output measure is the
     mixture, over input worlds ``D_0`` with weight ``P(D_0)``, of the
     per-world output SPDBs; input error mass passes through unchanged.
     """
-    translated = _translated_for(program, semantics)
-    components = []
-    for world, weight in input_pdb.worlds():
-        output = exact_spdb(translated, world, parallel=parallel,
-                            policy=policy, max_depth=max_depth,
-                            tolerance=tolerance, keep_aux=keep_aux)
-        components.append((weight, output))
-    mixed = mixture_pdb(components)
-    return DiscretePDB(mixed.measure, mixed.err + input_pdb.err_mass())
+    warn_legacy("apply_to_pdb",
+                "repro.compile(program).apply_to_pdb(input_pdb)")
+    from repro.api.session import compiled_for
+    result = compiled_for(program, semantics).apply_to_pdb(
+        input_pdb, parallel=parallel, policy=policy,
+        max_depth=max_depth, tolerance=tolerance, keep_aux=keep_aux)
+    return result.pdb
 
 
 @dataclass(frozen=True)
@@ -176,15 +166,16 @@ def spdb_mass_report(program: Program | ExistentialProgram,
                      ) -> list[MassReport]:
     """Mass accounting across depth budgets (experiment E9).
 
+    .. deprecated:: 1.1
+        Use ``repro.compile(program).on(instance).mass_report(budgets)``.
+
     For terminating programs the err mass drops to 0 once the budget
     exceeds the tree height; for almost-surely-non-terminating programs
     it stays near 1 for every budget.
     """
-    translated = _translated_for(program, semantics)
-    reports = []
-    for budget in budgets:
-        pdb = exact_sequential_spdb(translated, instance, policy,
-                                    max_depth=budget, tolerance=tolerance)
-        reports.append(MassReport(budget, pdb.total_mass(),
-                                  pdb.err_mass()))
-    return reports
+    warn_legacy("spdb_mass_report",
+                "repro.compile(program).on(instance).mass_report(...)")
+    from repro.api.session import compiled_for
+    session = compiled_for(program, semantics).on(
+        instance, policy=policy, tolerance=tolerance)
+    return session.mass_report(budgets)

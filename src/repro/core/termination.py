@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
-from repro.core.chase import run_chase
-from repro.core.policies import ChasePolicy
+from repro.core.chase import make_engine, run_chase_prepared
+from repro.core.policies import DEFAULT_POLICY, ChasePolicy
 from repro.core.program import Program
 from repro.core.terms import Var
 from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
@@ -192,11 +192,15 @@ def estimate_termination_probability(
         else translate(program)
     rng = np.random.default_rng(rng) \
         if not isinstance(rng, np.random.Generator) else rng
+    root = instance if instance is not None else Instance.empty()
+    base = make_engine(translated, root)
+    chase_policy = policy or DEFAULT_POLICY
     terminated = 0
     steps_sum = 0
     for _ in range(n_runs):
-        run = run_chase(translated, instance, policy, rng,
-                        max_steps=max_steps)
+        run = run_chase_prepared(translated, base.fork(), root,
+                                 chase_policy, rng,
+                                 max_steps=max_steps)
         if run.terminated:
             terminated += 1
             steps_sum += run.steps

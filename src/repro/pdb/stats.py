@@ -17,6 +17,7 @@ from repro.measures.discrete import DiscreteMeasure
 from repro.pdb.database import DiscretePDB, MonteCarloPDB, PDBBase
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
+from repro.pdb.weighted import WeightedPDB
 
 
 def world_entropy(pdb: DiscretePDB, base: float = 2.0) -> float:
@@ -74,6 +75,14 @@ def fact_marginals(pdb: PDBBase,
                     counts[fact] = counts.get(fact, 0) + 1
         return {fact: count / pdb.n_runs
                 for fact, count in counts.items()}
+    if isinstance(pdb, WeightedPDB):
+        weighted: dict[Fact, float] = {}
+        for world, weight in zip(pdb.worlds, pdb.weights):
+            for fact in world.facts:
+                if relations is None or fact.relation in relations:
+                    weighted[fact] = weighted.get(fact, 0.0) + weight
+        total = pdb.total_weight()
+        return {fact: mass / total for fact, mass in weighted.items()}
     raise TypeError(f"not a PDB: {pdb!r}")
 
 

@@ -1,6 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
 import io
+import json
 
 import pytest
 
@@ -119,6 +120,81 @@ class TestTranslateCommand:
                                 "--semantics", "barany"])
         assert code == 0
         assert "Sample#Flip" in output
+
+
+class TestJsonOutput:
+    def test_exact_json(self, g0_file):
+        code, output = run_cli(["exact", g0_file, "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["command"] == "exact"
+        assert payload["n_worlds"] == 3
+        assert payload["total_mass"] == pytest.approx(1.0)
+        assert payload["err_mass"] == pytest.approx(0.0)
+        probabilities = sorted(world["probability"]
+                               for world in payload["worlds"])
+        assert probabilities == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_sample_json(self, g0_file):
+        code, output = run_cli(["sample", g0_file, "-n", "400",
+                                "--seed", "3", "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["command"] == "sample"
+        assert payload["n_runs"] == 400
+        assert payload["n_truncated"] == 0
+        marginals = {(entry["fact"]["relation"],
+                      tuple(entry["fact"]["args"])):
+                     entry["probability"]
+                     for entry in payload["marginals"]}
+        assert abs(marginals[("R", (1,))] - 0.75) < 0.1
+
+    def test_sample_json_matches_text_marginals(self, g0_file):
+        code, text_output = run_cli(["sample", g0_file, "-n", "300",
+                                     "--seed", "5"])
+        assert code == 0
+        code, json_output = run_cli(["sample", g0_file, "-n", "300",
+                                     "--seed", "5", "--json"])
+        assert code == 0
+        payload = json.loads(json_output)
+        for entry in payload["marginals"]:
+            formatted = f"{entry['probability']:10.6f}"
+            assert formatted in text_output
+
+    def test_analyze_json(self, earthquake_files):
+        program, _ = earthquake_files
+        code, output = run_cli(["analyze", program, "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["weakly_acyclic"] is True
+        assert payload["verdict"] == "terminating"
+        assert payload["discrete"] is True
+
+    def test_analyze_json_nonterminating(self, tmp_path):
+        path = tmp_path / "loop.gdl"
+        save_program(paper.continuous_feedback_program(), path)
+        code, output = run_cli(["analyze", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["weakly_acyclic"] is False
+        assert payload["verdict"] == "almost-surely-non-terminating"
+
+    def test_translate_json(self, g0_file):
+        code, output = run_cli(["translate", g0_file, "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["semantics"] == "grohe"
+        assert any(name.startswith("Result#")
+                   for name in payload["aux_relations"])
+
+
+class TestFacadeWiring:
+    def test_cli_emits_no_deprecation_warnings(self, g0_file):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            code, _ = run_cli(["sample", g0_file, "-n", "50"])
+        assert code == 0
 
 
 class TestErrorPaths:

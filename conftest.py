@@ -1,0 +1,9 @@
+"""Repository-level pytest configuration.
+
+Registers the :mod:`repro.testing.pytest_plugin` plugin, which adds
+the ``--fuzz-budget`` / ``--fuzz-seed`` options and fixtures consumed
+by ``tests/test_fuzz.py`` (the per-run differential-fuzz pass) and
+``tests/test_fuzz_corpus.py`` (replay of persisted reproducers).
+"""
+
+pytest_plugins = ("repro.testing.pytest_plugin",)

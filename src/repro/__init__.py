@@ -49,6 +49,12 @@ Conditioning is a fluent step: ``session.observe(event)
 sample-level observations, ``method="exact"`` for discrete programs).
 The historical flat functions (``exact_spdb``, ``sample_spdb``,
 ``run_chase``, ...) remain as deprecated delegating shims.
+
+The :mod:`repro.testing` subsystem differential-fuzzes all of the
+above: seeded random workloads spanning the grammar, oracles asserting
+the paper's agreement theorems across engine pairs, auto-shrinking of
+discrepancies, and a persisted reproducer corpus (``repro fuzz`` on
+the command line).
 """
 
 from repro.api import (DEFAULT_CONFIG, ChaseConfig, CompiledProgram,

@@ -8,7 +8,11 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
   observed across ``n`` chases;
 * ``analyze``   - static report: translation summary, weak acyclicity,
   cycle classification (Theorem 6.3 / §6.3);
-* ``translate`` - print the associated existential Datalog program Ĝ.
+* ``translate`` - print the associated existential Datalog program Ĝ;
+* ``fuzz``      - differential fuzzing: generate random workloads and
+  check every engine pair against each other
+  (:mod:`repro.testing`); exit code 1 when a discrepancy
+  is found (shrunk reproducers go to ``--corpus``).
 
 Every subcommand accepts ``--json`` for machine-readable output (one
 JSON document on stdout).  Input instances come from
@@ -87,6 +91,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
     translate = subparsers.add_parser(
         "translate", help="print the existential Datalog program")
     add_common(translate)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential fuzzing across engine pairs")
+    fuzz.add_argument("--budget", type=int, default=100,
+                      help="number of generated workloads")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed (cases derive from seed+index)")
+    fuzz.add_argument("--oracles", default=None,
+                      metavar="NAME[,NAME...]",
+                      help="comma-separated oracle subset (default: "
+                           "the full battery)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="persist shrunk reproducers here "
+                           "(e.g. tests/fuzz_corpus)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="record raw failing cases without "
+                           "minimization")
+    fuzz.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
 
     return parser
 
@@ -251,11 +274,69 @@ def cmd_translate(args, out) -> int:
     return 0
 
 
+def cmd_fuzz(args, out) -> int:
+    """``repro fuzz``: run a budgeted differential-fuzz pass.
+
+    Exit code 0 when every oracle agrees on every generated workload,
+    1 when a discrepancy was found (its shrunk reproducer is persisted
+    to ``--corpus`` if given), 2 on usage errors.
+    """
+    from repro.testing import oracles_by_name, run_fuzz
+    if args.budget <= 0:
+        print(f"error: --budget must be positive, got {args.budget}",
+              file=sys.stderr)
+        return 2
+    if args.seed < 0:
+        print(f"error: --seed must be non-negative, got {args.seed}",
+              file=sys.stderr)
+        return 2
+    battery = None
+    if args.oracles is not None:
+        by_name = oracles_by_name()
+        names = [name.strip() for name in args.oracles.split(",")
+                 if name.strip()]
+        unknown = sorted(set(names) - set(by_name))
+        if not names or unknown:
+            what = f"unknown oracle(s) {', '.join(unknown)}" \
+                if unknown else "--oracles selected no oracle"
+            print(f"error: {what}; "
+                  f"known: {', '.join(sorted(by_name))}",
+                  file=sys.stderr)
+            return 2
+        battery = [by_name[name] for name in names]
+    report = run_fuzz(budget=args.budget, seed=args.seed,
+                      oracles=battery, corpus_dir=args.corpus,
+                      shrink=not args.no_shrink)
+    if args.json:
+        _emit_json(report.to_json(), out)
+        return 0 if report.ok() else 1
+    print(f"# {report.summary()}", file=out)
+    print(f"{'oracle':<16} {'checked':>8} {'ok':>6} {'skip':>6} "
+          f"{'fail':>6}", file=out)
+    for name, stats in sorted(report.stats.items()):
+        print(f"{name:<16} {stats.checked:>8} {stats.ok:>6} "
+              f"{stats.skipped:>6} {stats.failed:>6}", file=out)
+    for discrepancy in report.discrepancies:
+        print(f"\nDISCREPANCY [{discrepancy.oracle}] "
+              f"{discrepancy.case.describe()}", file=out)
+        print(f"  {discrepancy.detail}", file=out)
+        print("  shrunk reproducer:", file=out)
+        for line in discrepancy.shrunk.program.pretty().splitlines():
+            print(f"    {line}", file=out)
+        if discrepancy.corpus_path is not None:
+            print(f"  saved to {discrepancy.corpus_path}", file=out)
+    if report.discrepancies and args.corpus is None:
+        print("\nhint: pass --corpus tests/fuzz_corpus to persist "
+              "reproducers for pytest replay", file=out)
+    return 0 if report.ok() else 1
+
+
 _COMMANDS = {
     "exact": cmd_exact,
     "sample": cmd_sample,
     "analyze": cmd_analyze,
     "translate": cmd_translate,
+    "fuzz": cmd_fuzz,
 }
 
 

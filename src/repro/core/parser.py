@@ -80,7 +80,12 @@ def tokenize(text: str) -> Iterator[Token]:
             index += 2
             column += 2
             continue
-        if text.startswith("<-", index):
+        if text.startswith("<-", index) and not (
+                index + 2 < n and (text[index + 2].isdigit()
+                                   or text[index + 2] == ".")):
+            # "<-" is the rule arrow - except in "Normal<-1.5, ...>",
+            # where "<" opens a parameter list and "-1.5" is a negative
+            # number (a rule arrow is never followed by a digit).
             yield Token("ARROW", "<-", line, start_column)
             index += 2
             column += 2

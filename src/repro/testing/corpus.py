@@ -1,0 +1,154 @@
+"""Persisting and replaying shrunk reproducers.
+
+When the fuzz runner finds a discrepancy it shrinks the case
+(:mod:`repro.testing.shrink`) and saves it here as one JSON document:
+the program in parseable surface syntax (every generated case
+round-trips through :func:`repro.core.source.program_to_source`), the
+input facts, the failing oracle's name and the observed detail.  The
+pytest suite (``tests/test_fuzz_corpus.py``) replays every corpus file
+on each run, so a discrepancy found once keeps failing the build until
+the underlying bug is fixed - and guards against its regression
+forever after.
+
+File format (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "oracle": "chase-order",
+      "seed": 123456,
+      "kind": "exact",
+      "detail": "policy last: exact SPDBs disagree: ...",
+      "program": "R0(Flip<0.5>) :- E0(x).",
+      "extensional": ["E0"],
+      "facts": [{"relation": "E0", "args": [0]}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.program import Program
+from repro.core.source import program_to_source
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.testing.fuzz import FuzzCase
+from repro.testing.oracles import (FAIL, SKIP, Oracle, OracleOutcome,
+                                   oracles_by_name)
+
+SCHEMA_VERSION = 1
+
+
+def _plain(value):
+    """Coerce fact arguments to JSON-serializable plain Python."""
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+def case_to_payload(case: FuzzCase, oracle_name: str,
+                    detail: str = "") -> dict:
+    """The JSON document for one reproducer."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "oracle": oracle_name,
+        "seed": int(case.seed),
+        "kind": case.kind,
+        "detail": detail,
+        "program": program_to_source(case.program),
+        "extensional": sorted(case.program.extensional),
+        "facts": [{"relation": fact.relation,
+                   "args": [_plain(arg) for arg in fact.args]}
+                  for fact in case.instance.sorted_facts()],
+    }
+
+
+def payload_to_case(payload: dict) -> tuple[FuzzCase, str, str]:
+    """Rebuild ``(case, oracle_name, detail)`` from a JSON document."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported corpus schema_version {version!r}")
+    program = Program.parse(payload["program"],
+                            extensional=payload["extensional"] or None)
+    instance = Instance(
+        Fact(item["relation"], tuple(item["args"]))
+        for item in payload["facts"])
+    case = FuzzCase(int(payload["seed"]), payload["kind"], program,
+                    instance)
+    return case, payload["oracle"], payload.get("detail", "")
+
+
+def save_reproducer(directory: str | Path, case: FuzzCase,
+                    oracle_name: str, detail: str = "") -> Path:
+    """Persist a shrunk reproducer; returns its path.
+
+    The filename embeds a content digest, so re-finding the same
+    minimized case is idempotent rather than corpus-polluting.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = case_to_payload(case, oracle_name, detail)
+    stable = dict(payload)
+    stable.pop("detail", None)  # details may carry run-varying numbers
+    stable.pop("seed", None)
+    digest = hashlib.sha256(
+        json.dumps(stable, sort_keys=True).encode()).hexdigest()[:12]
+    path = directory / f"{oracle_name}-{digest}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> tuple[FuzzCase, str, str]:
+    """Load one corpus file back into a replayable case."""
+    return payload_to_case(json.loads(Path(path).read_text()))
+
+
+def iter_corpus(directory: str | Path) -> Iterator[Path]:
+    """The corpus files of a directory, in stable name order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    yield from sorted(directory.glob("*.json"))
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one persisted reproducer."""
+
+    path: Path
+    oracle: str
+    outcome: OracleOutcome
+    detail: str  # the detail recorded when the case was saved
+
+
+def replay_file(path: str | Path,
+                oracles: dict[str, Oracle] | None = None,
+                ) -> ReplayResult:
+    """Re-run one corpus file through its recorded oracle."""
+    oracles = oracles if oracles is not None else oracles_by_name()
+    case, oracle_name, detail = load_reproducer(path)
+    oracle = oracles.get(oracle_name)
+    if oracle is None:
+        outcome = OracleOutcome(SKIP,
+                                f"unknown oracle {oracle_name!r}")
+    else:
+        try:
+            outcome = oracle.check(case)
+        except Exception as error:  # crash = the bug still reproduces
+            outcome = OracleOutcome(FAIL,
+                                    f"{type(error).__name__}: {error}")
+    return ReplayResult(Path(path), oracle_name, outcome, detail)
+
+
+def replay_corpus(directory: str | Path,
+                  oracles: dict[str, Oracle] | None = None,
+                  ) -> list[ReplayResult]:
+    """Replay every reproducer in a corpus directory."""
+    return [replay_file(path, oracles)
+            for path in iter_corpus(directory)]

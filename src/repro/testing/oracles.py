@@ -1,0 +1,434 @@
+"""Differential oracles: paired pipelines that must agree.
+
+The paper's central theorems are *agreement* statements - the output
+distribution does not depend on the chase order (Theorem 6.1 sequential,
+Theorem 5.6 parallel), Monte-Carlo sampling converges to the exact SPDB,
+and every reachable instance satisfies the induced FDs (Lemma 3.10).
+Each :class:`Oracle` here checks one such agreement on a generated
+:class:`~repro.testing.fuzz.FuzzCase` and reports
+:class:`OracleOutcome`:
+
+* ``fixpoint``       - naive vs semi-naive Datalog fixpoints on the
+  deterministic fragment;
+* ``chase-order``    - sequential chases under different policies vs
+  the parallel chase: exact SPDBs must agree to float tolerance for
+  discrete programs, and Kolmogorov-Smirnov for continuous ones;
+* ``exact-vs-sample``- exact SPDB vs Monte-Carlo sampling, with
+  binomial-sigma marginal bounds and a chi-squared world-distribution
+  test;
+* ``facade-legacy``  - the :mod:`repro.api` facade vs the deprecated
+  top-level shims, which must be draw-for-draw identical;
+* ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
+  truncated ones - the FDs hold on every *reachable* instance);
+* ``termination``    - the static analysis (Section 6.3) vs observed
+  chase behaviour.
+
+Oracles return ``"skip"`` when a case is outside their precondition
+(e.g. exact enumeration of a continuous program); the fuzz runner
+reports per-oracle skip counts so shrinkage of coverage is visible.
+Any exception escaping an engine is converted by the runner into a
+failing outcome - crashes on well-formed workloads are bugs too.
+
+Statistical thresholds are deliberately conservative (5-6 sigma /
+``alpha <= 1e-4``): with seeded workloads every verdict is
+reproducible, and the thresholds only need to separate "gross semantic
+disagreement" from Monte-Carlo noise.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.session import CompiledProgram, Session, compile as \
+    _compile
+from repro.core.policies import FirstPolicy, LastPolicy, RoundRobinPolicy
+from repro.core.fd import check_all_fds, fd_violation_report, induced_fds
+from repro.core.program import Program
+from repro.core.semantics import exact_spdb, sample_spdb
+from repro.core.termination import weakly_acyclic
+from repro.engine.seminaive import naive_fixpoint, seminaive_fixpoint
+from repro.measures.empirical import ks_critical_value, ks_two_sample
+from repro.pdb.database import DiscretePDB, MonteCarloPDB
+from repro.pdb.stats import fact_marginals
+from repro.testing.fuzz import FuzzCase, random_value_positions
+
+#: Statuses an oracle can report.
+OK, FAIL, SKIP = "ok", "fail", "skip"
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """Verdict of one oracle on one case."""
+
+    status: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.status != FAIL
+
+
+def _ok() -> OracleOutcome:
+    return OracleOutcome(OK)
+
+
+def _fail(detail: str) -> OracleOutcome:
+    return OracleOutcome(FAIL, detail)
+
+
+def _skip(detail: str) -> OracleOutcome:
+    return OracleOutcome(SKIP, detail)
+
+
+class Oracle:
+    """Base class: a named differential check on fuzz cases."""
+
+    #: Stable identifier used by the CLI, corpus files and reports.
+    name: str = "?"
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<oracle {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers (module-level so tests can exercise them directly)
+# ---------------------------------------------------------------------------
+
+def compare_discrete_pdbs(first: DiscretePDB, second: DiscretePDB,
+                          tolerance: float = 1e-9) -> str | None:
+    """None if the exact SPDBs agree pointwise, else a description."""
+    if first.allclose(second, tolerance):
+        return None
+    return (f"exact SPDBs disagree: tv={first.tv_distance(second):.3g} "
+            f"({first.support_size()} vs {second.support_size()} worlds,"
+            f" err {first.err_mass():.3g} vs {second.err_mass():.3g})")
+
+
+def compare_monte_carlo_pdbs(first: MonteCarloPDB,
+                             second: MonteCarloPDB) -> str | None:
+    """None if the ensembles are draw-for-draw identical."""
+    if first.truncated != second.truncated:
+        return (f"truncation counts differ: {first.truncated} vs "
+                f"{second.truncated}")
+    if first.worlds != second.worlds:
+        mismatches = sum(1 for a, b in zip(first.worlds, second.worlds)
+                         if a != b)
+        return (f"sampled worlds differ ({mismatches} positional "
+                f"mismatches of {len(first.worlds)})")
+    return None
+
+
+def marginals_agree(exact: DiscretePDB, sampled: MonteCarloPDB,
+                    z: float = 6.0, slack: float = 0.02) -> str | None:
+    """Every exact fact marginal within ``z`` binomial sigmas."""
+    n = sampled.n_runs
+    for fact, probability in fact_marginals(exact).items():
+        sigma = math.sqrt(max(probability * (1 - probability) / n,
+                              1e-12))
+        estimate = sampled.marginal(fact)
+        if abs(estimate - probability) > z * sigma + slack:
+            return (f"marginal of {fact!r}: exact {probability:.4f} vs "
+                    f"sampled {estimate:.4f} (n={n})")
+    return None
+
+
+def worlds_agree_chi_squared(exact: DiscretePDB,
+                             sampled: MonteCarloPDB) -> str | None:
+    """Chi-squared test of the sampled world distribution.
+
+    Also flags any sampled world outside the exact support - for a
+    zero-err exact SPDB such a world is an outright semantic bug, not
+    noise.
+    """
+    counts: dict = {}
+    for world in sampled.worlds:
+        counts[world] = counts.get(world, 0) + 1
+    for world in counts:
+        if exact.prob_of_instance(world) <= 0.0 \
+                and exact.err_mass() <= 1e-12:
+            return (f"sampled world outside exact support: "
+                    f"{world.canonical_text()!r}")
+    support = [world for world, _ in exact.worlds()]
+    observed = [counts.get(world, 0) for world in support]
+    expected = [exact.prob_of_instance(world) for world in support]
+    missing = sampled.n_runs - sum(observed) - sampled.truncated
+    if exact.err_mass() > 0 or missing > 0:
+        observed.append(missing + sampled.truncated)
+        expected.append(max(1.0 - sum(expected), 1e-12))
+    total_expected = sum(expected)
+    statistic = 0.0
+    for count, probability in zip(observed, expected):
+        mean = probability / total_expected * sampled.n_runs
+        if mean <= 0:
+            continue
+        statistic += (count - mean) ** 2 / mean
+    dof = max(len(expected) - 1, 1)
+    limit = dof + 8.0 * math.sqrt(2.0 * dof) + 8.0
+    if statistic > limit:
+        return (f"world-distribution chi-squared {statistic:.1f} "
+                f"exceeds limit {limit:.1f} (dof={dof})")
+    return None
+
+
+def ks_agreement(first: list[float], second: list[float],
+                 alpha: float = 1e-4, slack: float = 1.3,
+                 minimum: int = 10) -> str | None:
+    """Two-sample KS check with a generous critical value."""
+    if len(first) < minimum or len(second) < minimum:
+        return None  # too little data to distinguish anything
+    statistic = ks_two_sample(first, second)
+    limit = slack * ks_critical_value(len(first), len(second), alpha)
+    if statistic > limit:
+        return (f"KS statistic {statistic:.4f} exceeds {limit:.4f} "
+                f"(n={len(first)}, m={len(second)})")
+    return None
+
+
+def sampled_values(pdb: MonteCarloPDB, positions: dict[str, int],
+                   ) -> list[float]:
+    """Extract the sampled numbers from an ensemble's worlds."""
+    values: list[float] = []
+    for world in pdb.worlds:
+        for relation, position in positions.items():
+            for fact in sorted(world.facts_of(relation),
+                               key=lambda f: f.sort_key()):
+                value = fact.args[position]
+                if isinstance(value, (int, float)):
+                    values.append(float(value))
+    return values
+
+
+def _compiled(case: FuzzCase) -> CompiledProgram:
+    return _compile(case.program)
+
+
+def _session(case: FuzzCase, **overrides) -> Session:
+    return _compiled(case).on(case.instance, **overrides)
+
+
+def _exactable(case: FuzzCase) -> bool:
+    return case.program.is_discrete() and weakly_acyclic(case.program)
+
+
+# ---------------------------------------------------------------------------
+# The oracles
+# ---------------------------------------------------------------------------
+
+class FixpointOracle(Oracle):
+    """Naive vs semi-naive fixpoints on the deterministic fragment."""
+
+    name = "fixpoint"
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        det_rules = case.program.deterministic_rules()
+        if not det_rules:
+            return _skip("no deterministic rules")
+        program = Program(det_rules,
+                          registry=case.program.registry)
+        naive = naive_fixpoint(program, case.instance)
+        seminaive = seminaive_fixpoint(program, case.instance)
+        if naive != seminaive:
+            only_naive = naive.difference(seminaive)
+            only_semi = seminaive.difference(naive)
+            return _fail(
+                f"fixpoints differ: naive-only "
+                f"{sorted(map(repr, only_naive.facts))[:5]}, "
+                f"seminaive-only "
+                f"{sorted(map(repr, only_semi.facts))[:5]}")
+        return _ok()
+
+
+class ChaseOrderOracle(Oracle):
+    """Policy and parallel/sequential independence (Thms 5.6 / 6.1)."""
+
+    name = "chase-order"
+
+    def __init__(self, n_runs: int = 120):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        if not weakly_acyclic(case.program):
+            return _skip("not weakly acyclic")
+        if case.program.is_discrete():
+            return self._check_exact(case)
+        return self._check_statistical(case)
+
+    def _check_exact(self, case: FuzzCase) -> OracleOutcome:
+        session = _session(case)
+        reference = session.exact(policy=FirstPolicy()).pdb
+        for variant in (LastPolicy(), RoundRobinPolicy()):
+            detail = compare_discrete_pdbs(
+                reference, session.exact(policy=variant).pdb)
+            if detail:
+                return _fail(f"policy {variant.name}: {detail}")
+        detail = compare_discrete_pdbs(
+            reference, session.exact(parallel=True).pdb)
+        if detail:
+            return _fail(f"parallel chase: {detail}")
+        return _ok()
+
+    def _check_statistical(self, case: FuzzCase) -> OracleOutcome:
+        positions = random_value_positions(case.program)
+        if not positions:
+            return _skip("no single-random-term heads to compare")
+        n = self.n_runs
+        base = _compiled(case)
+        ensembles = []
+        for index, overrides in enumerate((
+                {"policy": FirstPolicy()},
+                {"policy": LastPolicy()},
+                {"parallel": True})):
+            session = base.on(case.instance, seed=case.seed + index,
+                              **overrides)
+            ensembles.append(sampled_values(session.sample(n).pdb,
+                                            positions))
+        labels = ("first-policy", "last-policy", "parallel")
+        for index in range(1, len(ensembles)):
+            detail = ks_agreement(ensembles[0], ensembles[index])
+            if detail:
+                return _fail(f"{labels[0]} vs {labels[index]}: {detail}")
+        return _ok()
+
+
+class ExactVsSampleOracle(Oracle):
+    """Exact SPDB vs Monte-Carlo sampling (statistical tolerance)."""
+
+    name = "exact-vs-sample"
+
+    def __init__(self, n_runs: int = 300):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        if not _exactable(case):
+            return _skip("exact enumeration unavailable")
+        session = _session(case, seed=case.seed)
+        exact = session.exact().pdb
+        sampled = session.sample(self.n_runs).pdb
+        detail = marginals_agree(exact, sampled)
+        if detail:
+            return _fail(detail)
+        detail = worlds_agree_chi_squared(exact, sampled)
+        if detail:
+            return _fail(detail)
+        return _ok()
+
+
+class FacadeVsLegacyOracle(Oracle):
+    """The api facade vs the deprecated shims: identical draws."""
+
+    name = "facade-legacy"
+
+    def __init__(self, n_runs: int = 60, max_steps: int = 150):
+        self.n_runs = n_runs
+        self.max_steps = max_steps
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        seed = case.seed & 0x7FFFFFFF
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            facade_mc = _session(
+                case, seed=seed, streams="shared",
+                max_steps=self.max_steps).sample(self.n_runs).pdb
+            legacy_mc = sample_spdb(
+                case.program, case.instance, self.n_runs, rng=seed,
+                max_steps=self.max_steps)
+            detail = compare_monte_carlo_pdbs(facade_mc, legacy_mc)
+            if detail:
+                return _fail(f"sample path: {detail}")
+            if _exactable(case):
+                facade_exact = _session(case).exact().pdb
+                legacy_exact = exact_spdb(case.program, case.instance)
+                detail = compare_discrete_pdbs(facade_exact,
+                                               legacy_exact)
+                if detail:
+                    return _fail(f"exact path: {detail}")
+        return _ok()
+
+
+class InducedFDOracle(Oracle):
+    """Lemma 3.10: induced FDs hold on every reachable instance."""
+
+    name = "induced-fds"
+
+    def __init__(self, n_runs: int = 30, max_steps: int = 200):
+        self.n_runs = n_runs
+        self.max_steps = max_steps
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        compiled = _compiled(case)
+        translated = compiled.translated
+        if not induced_fds(translated):
+            return _skip("no existential rules, no induced FDs")
+        session = compiled.on(case.instance, seed=case.seed,
+                              max_steps=self.max_steps)
+        for rng in session.config.spawn_rngs(self.n_runs):
+            run = session.run(rng=rng)
+            if not check_all_fds(translated, run.instance):
+                report = fd_violation_report(translated,
+                                             [run.instance])
+                return _fail("; ".join(report[:3]))
+        return _ok()
+
+
+class TerminationOracle(Oracle):
+    """Static termination analysis vs observed chase behaviour."""
+
+    name = "termination"
+
+    def __init__(self, n_runs: int = 10, max_steps: int = 3000,
+                 diverging_steps: int = 120):
+        self.n_runs = n_runs
+        self.max_steps = max_steps
+        self.diverging_steps = diverging_steps
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        compiled = _compiled(case)
+        report = compiled.analyze()
+        if report.weakly_acyclic:
+            session = compiled.on(case.instance, seed=case.seed,
+                                  max_steps=self.max_steps)
+            for rng in session.config.spawn_rngs(self.n_runs):
+                run = session.run(rng=rng)
+                if not run.terminated:
+                    return _fail(
+                        "weakly acyclic program hit the step budget "
+                        f"({self.max_steps} steps; Theorem 6.3 says it "
+                        "terminates on every input)")
+            return _ok()
+        if report.almost_surely_diverges():
+            # Sound even when the cycle is unreachable from the input:
+            # only a run that *entered* a continuous cycle (fired its
+            # auxiliary relation) and still terminated contradicts the
+            # Section 6.3 argument (a probability-zero event).
+            cyclic_relations = {target[0]
+                                for _s, target in report.special_cycles}
+            session = compiled.on(case.instance, seed=case.seed,
+                                  max_steps=self.diverging_steps)
+            for rng in session.config.spawn_rngs(3):
+                run = session.run(rng=rng)
+                entered = any(run.instance.facts_of(relation)
+                              for relation in cyclic_relations)
+                if run.terminated and entered:
+                    return _fail(
+                        "almost-surely-diverging program entered its "
+                        f"continuous cycle yet terminated after "
+                        f"{run.steps} steps")
+            return _ok()
+        return _skip("may-terminate cycle: no sound assertion")
+
+
+def default_oracles() -> list[Oracle]:
+    """The standard oracle battery, cheapest first."""
+    return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
+            FacadeVsLegacyOracle(), InducedFDOracle(),
+            TerminationOracle()]
+
+
+def oracles_by_name() -> dict[str, Oracle]:
+    return {oracle.name: oracle for oracle in default_oracles()}

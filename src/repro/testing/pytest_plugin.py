@@ -1,0 +1,46 @@
+"""Pytest integration: a budgeted fuzz pass on every test run.
+
+Registered from the repository's top-level ``conftest.py`` via
+``pytest_plugins = ("repro.testing.pytest_plugin",)``.  It contributes
+two command-line options and the fixtures the fuzz tests consume:
+
+* ``--fuzz-budget N`` - number of generated workloads for the suite's
+  differential-fuzz pass (default: a small smoke budget, so every
+  local ``pytest`` run fuzzes a little; CI cranks it up);
+* ``--fuzz-seed S``   - root seed of the pass (default 0, the fixed CI
+  seed, so failures are reproducible across machines).
+
+``tests/test_fuzz.py`` turns these into an actual budgeted
+:func:`repro.testing.run_fuzz` invocation, and
+``tests/test_fuzz_corpus.py`` replays every persisted reproducer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Default per-pytest-run smoke budget (kept small; CI raises it).
+DEFAULT_PYTEST_BUDGET = 12
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("repro-fuzz",
+                            "generative-datalog differential fuzzing")
+    group.addoption(
+        "--fuzz-budget", action="store", type=int, default=None,
+        help="number of random workloads for the differential fuzz "
+             f"pass (default {DEFAULT_PYTEST_BUDGET})")
+    group.addoption(
+        "--fuzz-seed", action="store", type=int, default=0,
+        help="root seed of the fuzz pass (default 0)")
+
+
+@pytest.fixture(scope="session")
+def fuzz_budget(request) -> int:
+    budget = request.config.getoption("--fuzz-budget")
+    return DEFAULT_PYTEST_BUDGET if budget is None else int(budget)
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed(request) -> int:
+    return int(request.config.getoption("--fuzz-seed"))

@@ -1,0 +1,192 @@
+"""The budgeted fuzz loop: generate, check, shrink, persist.
+
+:func:`run_fuzz` drives everything the ``repro fuzz`` CLI subcommand
+and the pytest fuzz pass expose: it generates ``budget`` seeded
+workloads (:mod:`repro.testing.fuzz`), runs every applicable oracle
+(:mod:`repro.testing.oracles`) on each, and on a discrepancy shrinks
+the case (:mod:`repro.testing.shrink`) and persists the reproducer
+(:mod:`repro.testing.corpus`).  The returned :class:`FuzzReport`
+carries per-oracle statistics and every discrepancy found; its
+:meth:`~FuzzReport.to_json` form is the documented ``--json`` output
+of the CLI.
+
+Engine exceptions are converted into failing outcomes here - a crash
+on a well-formed generated workload is as much a discrepancy as a
+numeric disagreement.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.testing.corpus import save_reproducer
+from repro.testing.fuzz import (FuzzCase, FuzzConfig, case_seed,
+                                generate_case)
+from repro.testing.oracles import (FAIL, Oracle, OracleOutcome,
+                                   default_oracles)
+from repro.testing.shrink import DEFAULT_MAX_CHECKS, case_size, \
+    shrink_case
+
+
+def evaluate(oracle: Oracle, case: FuzzCase) -> OracleOutcome:
+    """Run one oracle, converting crashes into failing outcomes."""
+    try:
+        return oracle.check(case)
+    except Exception as error:
+        trace = traceback.format_exc(limit=3)
+        return OracleOutcome(
+            FAIL, f"oracle crashed: {type(error).__name__}: {error}\n"
+                  f"{trace}")
+
+
+@dataclass
+class OracleStats:
+    """Per-oracle tallies across one fuzz run."""
+
+    checked: int = 0
+    ok: int = 0
+    skipped: int = 0
+    failed: int = 0
+
+    def record(self, outcome: OracleOutcome) -> None:
+        self.checked += 1
+        if outcome.status == "ok":
+            self.ok += 1
+        elif outcome.status == "skip":
+            self.skipped += 1
+        else:
+            self.failed += 1
+
+    def to_json(self) -> dict:
+        return {"checked": self.checked, "ok": self.ok,
+                "skipped": self.skipped, "failed": self.failed}
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One confirmed disagreement, with its shrunk reproducer."""
+
+    oracle: str
+    detail: str
+    case: FuzzCase
+    shrunk: FuzzCase
+    corpus_path: Path | None
+
+    def to_json(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "case": self.case.describe(),
+            "shrunk_size": case_size(self.shrunk),
+            "original_size": case_size(self.case),
+            "corpus_path": str(self.corpus_path)
+            if self.corpus_path else None,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one budgeted fuzz run observed."""
+
+    budget: int
+    seed: int
+    n_cases: int = 0
+    kinds: dict = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+    discrepancies: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def ok(self) -> bool:
+        """True when no oracle disagreed on any generated workload."""
+        return not self.discrepancies
+
+    def to_json(self) -> dict:
+        """The documented machine-readable form (CLI ``--json``)."""
+        return {
+            "command": "fuzz",
+            "budget": self.budget,
+            "seed": self.seed,
+            "n_cases": self.n_cases,
+            "n_discrepancies": len(self.discrepancies),
+            "kinds": dict(sorted(self.kinds.items())),
+            "oracles": {name: stats.to_json()
+                        for name, stats in sorted(self.stats.items())},
+            "discrepancies": [d.to_json() for d in self.discrepancies],
+            "corpus_written": [str(d.corpus_path)
+                               for d in self.discrepancies
+                               if d.corpus_path],
+            "elapsed_seconds": self.elapsed,
+        }
+
+    def summary(self) -> str:
+        """One human line, CI-log friendly."""
+        verdict = "OK" if self.ok() else \
+            f"{len(self.discrepancies)} DISCREPANCIES"
+        return (f"fuzz: {self.n_cases} cases, seed {self.seed}, "
+                f"{verdict} in {self.elapsed:.1f}s")
+
+
+def run_fuzz(budget: int = 100, seed: int = 0, *,
+             config: FuzzConfig | None = None,
+             oracles: Sequence[Oracle] | None = None,
+             corpus_dir: str | Path | None = None,
+             shrink: bool = True,
+             max_shrink_checks: int = DEFAULT_MAX_CHECKS,
+             on_case: Callable[[int, FuzzCase], None] | None = None,
+             ) -> FuzzReport:
+    """Run a budgeted differential-fuzz pass.
+
+    Parameters
+    ----------
+    budget:
+        Number of generated workloads.
+    seed:
+        Root seed; case ``i`` uses ``case_seed(seed, i)``, so any
+        reported case is reproducible from ``(seed, i)`` alone.
+    oracles:
+        Oracle battery (default: :func:`default_oracles`).
+    corpus_dir:
+        Where shrunk reproducers are persisted; None disables
+        persistence (the report still carries the shrunk cases).
+    shrink:
+        Disable to record raw failing cases (faster triage loops).
+    on_case:
+        Optional progress callback ``(index, case)``.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    battery = list(oracles) if oracles is not None \
+        else default_oracles()
+    report = FuzzReport(budget=int(budget), seed=int(seed))
+    report.stats = {oracle.name: OracleStats() for oracle in battery}
+    start = time.perf_counter()
+    for index in range(budget):
+        case = generate_case(case_seed(seed, index), config)
+        report.n_cases += 1
+        report.kinds[case.kind] = report.kinds.get(case.kind, 0) + 1
+        if on_case is not None:
+            on_case(index, case)
+        for oracle in battery:
+            outcome = evaluate(oracle, case)
+            report.stats[oracle.name].record(outcome)
+            if outcome.status != FAIL:
+                continue
+            shrunk = case
+            if shrink:
+                shrunk = shrink_case(
+                    case,
+                    lambda c: evaluate(oracle, c).status == FAIL,
+                    max_checks=max_shrink_checks)
+            corpus_path = None
+            if corpus_dir is not None:
+                corpus_path = save_reproducer(
+                    corpus_dir, shrunk, oracle.name, outcome.detail)
+            report.discrepancies.append(Discrepancy(
+                oracle.name, outcome.detail, case, shrunk,
+                corpus_path))
+    report.elapsed = time.perf_counter() - start
+    return report

@@ -1,0 +1,98 @@
+"""Greedy minimization of failing fuzz cases (delta debugging).
+
+A raw fuzz discrepancy can involve half a dozen rules and a dozen input
+facts; almost all of them are usually irrelevant.  :func:`shrink_case`
+repeatedly tries structure-removing transformations - drop a rule, drop
+a body atom, drop an input fact - and keeps any candidate on which the
+discrepancy *persists*, until no transformation helps or the check
+budget runs out.  The result is the small reproducer that gets
+persisted to the corpus (:mod:`repro.testing.corpus`) and replayed by
+the pytest suite.
+
+The checker is a plain predicate ``case -> bool`` ("does it still
+fail?"), so the shrinker is oracle-agnostic and directly testable with
+synthetic predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.testing.fuzz import FuzzCase, rebuild_case
+
+#: Safety valve: maximum checker invocations per shrink.
+DEFAULT_MAX_CHECKS = 250
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """All one-step simplifications of a case, largest-impact first.
+
+    Candidates that break well-formedness (e.g. removing the body atom
+    that binds a head variable) are silently discarded - the rebuilt
+    program re-validates on construction.
+    """
+    rules = list(case.program.rules)
+    if len(rules) > 1:
+        for index in range(len(rules)):
+            smaller = rules[:index] + rules[index + 1:]
+            try:
+                yield rebuild_case(case, rules=smaller)
+            except ReproError:
+                continue
+    facts = case.instance.sorted_facts()
+    for index in range(len(facts)):
+        yield rebuild_case(case,
+                           facts=facts[:index] + facts[index + 1:])
+    for rule_index, rule in enumerate(rules):
+        if len(rule.body) <= 1:
+            continue
+        for atom_index in range(len(rule.body)):
+            body = rule.body[:atom_index] + rule.body[atom_index + 1:]
+            try:
+                smaller_rule = type(rule)(rule.head, body,
+                                          label=rule.label)
+                yield rebuild_case(
+                    case, rules=rules[:rule_index] + [smaller_rule]
+                    + rules[rule_index + 1:])
+            except ReproError:
+                continue
+
+
+def case_size(case: FuzzCase) -> int:
+    """Shrink metric: rules + body atoms + input facts."""
+    return (len(case.program.rules)
+            + sum(len(rule.body) for rule in case.program.rules)
+            + len(case.instance))
+
+
+def shrink_case(case: FuzzCase,
+                still_fails: Callable[[FuzzCase], bool],
+                max_checks: int = DEFAULT_MAX_CHECKS) -> FuzzCase:
+    """Minimize a failing case while the discrepancy persists.
+
+    ``still_fails`` must return True on ``case`` itself (the caller
+    observed the failure); the returned case is the smallest reached
+    one on which ``still_fails`` is still True.  Greedy first-improving
+    descent: sound (never returns a passing case) and cheap, at the
+    cost of not exploring multi-step removals that only help jointly.
+    """
+    checks = 0
+    current = case
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            failed = False
+            try:
+                failed = still_fails(candidate)
+            except Exception:  # checker crash = not a reproduction
+                failed = False
+            if failed:
+                current = candidate
+                improved = True
+                break
+    return current

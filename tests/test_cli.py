@@ -217,3 +217,132 @@ class TestErrorPaths:
     def test_bad_data_spec(self, g0_file):
         code, _ = run_cli(["exact", g0_file, "--data", "nonsense"])
         assert code == 2
+
+
+#: The documented JSON keys of every subcommand (the CLI contract the
+#: fuzz corpus and CI scripts rely on).
+DOCUMENTED_JSON_KEYS = {
+    "exact": {"command", "n_worlds", "total_mass", "err_mass",
+              "elapsed_seconds", "worlds"},
+    "sample": {"command", "n_runs", "n_terminated", "n_truncated",
+               "err_mass", "elapsed_seconds", "marginals"},
+    "analyze": {"command", "n_rules", "n_random_rules",
+                "distributions", "extensional", "discrete",
+                "weakly_acyclic", "continuous_cycle",
+                "cyclic_distributions", "verdict"},
+    "translate": {"command", "semantics", "n_rules", "aux_relations",
+                  "rules"},
+    "fuzz": {"command", "budget", "seed", "n_cases",
+             "n_discrepancies", "kinds", "oracles", "discrepancies",
+             "corpus_written", "elapsed_seconds"},
+}
+
+
+class TestJsonRoundTrip:
+    """Every subcommand's --json output parses and carries its keys."""
+
+    def _payload(self, argv):
+        code, output = run_cli(argv)
+        assert code == 0, output
+        payload = json.loads(output)  # must be one valid document
+        assert json.loads(json.dumps(payload)) == payload
+        return payload
+
+    def test_exact(self, g0_file):
+        payload = self._payload(["exact", g0_file, "--json"])
+        assert set(payload) == DOCUMENTED_JSON_KEYS["exact"]
+        assert payload["command"] == "exact"
+        for world in payload["worlds"]:
+            assert set(world) == {"probability", "facts"}
+            for fact in world["facts"]:
+                assert set(fact) == {"relation", "args"}
+
+    def test_sample(self, g0_file):
+        payload = self._payload(["sample", g0_file, "-n", "50",
+                                 "--json"])
+        assert set(payload) == DOCUMENTED_JSON_KEYS["sample"]
+        assert payload["n_runs"] == 50
+        for entry in payload["marginals"]:
+            assert set(entry) == {"fact", "probability"}
+
+    def test_analyze(self, g0_file):
+        payload = self._payload(["analyze", g0_file, "--json"])
+        assert set(payload) == DOCUMENTED_JSON_KEYS["analyze"]
+        assert payload["verdict"] == "terminating"
+
+    def test_translate(self, g0_file):
+        payload = self._payload(["translate", g0_file, "--json"])
+        assert set(payload) == DOCUMENTED_JSON_KEYS["translate"]
+        assert payload["semantics"] == "grohe"
+
+    def test_fuzz(self):
+        payload = self._payload(["fuzz", "--budget", "4", "--seed",
+                                 "0", "--json"])
+        assert set(payload) == DOCUMENTED_JSON_KEYS["fuzz"]
+        assert payload["n_cases"] == 4
+        assert payload["n_discrepancies"] == 0
+        for stats in payload["oracles"].values():
+            assert set(stats) == {"checked", "ok", "skipped", "failed"}
+
+
+class TestFuzzCommand:
+    def test_human_output(self):
+        code, output = run_cli(["fuzz", "--budget", "3", "--seed",
+                                "1"])
+        assert code == 0
+        assert "# fuzz: 3 cases" in output
+        assert "chase-order" in output and "fixpoint" in output
+
+    def test_oracle_subset(self):
+        code, output = run_cli(["fuzz", "--budget", "2", "--oracles",
+                                "fixpoint,termination"])
+        assert code == 0
+        assert "exact-vs-sample" not in output
+
+    def test_unknown_oracle_is_usage_error(self):
+        code, _ = run_cli(["fuzz", "--budget", "1", "--oracles",
+                           "nonsense"])
+        assert code == 2
+
+    def test_empty_oracle_selection_is_usage_error(self):
+        # A stray comma must not silently disable all checking.
+        code, _ = run_cli(["fuzz", "--budget", "1", "--oracles", ","])
+        assert code == 2
+
+    def test_non_positive_budget_is_usage_error(self):
+        code, _ = run_cli(["fuzz", "--budget", "0"])
+        assert code == 2
+        code, _ = run_cli(["fuzz", "--budget", "-5"])
+        assert code == 2
+
+    def test_negative_seed_is_usage_error(self):
+        code, _ = run_cli(["fuzz", "--budget", "1", "--seed", "-1"])
+        assert code == 2
+
+    def test_corpus_written_on_discrepancy(self, tmp_path,
+                                           monkeypatch):
+        """Force a failure via a monkeypatched battery; the shrunk
+        reproducer must land in --corpus and flip the exit code."""
+        from repro import testing as rt
+        from repro.testing import Oracle, OracleOutcome
+
+        class AlwaysFails(Oracle):
+            name = "fixpoint"  # reuse a known name for --oracles
+
+            def check(self, case):
+                return OracleOutcome("fail", "synthetic")
+
+        monkeypatch.setattr(
+            "repro.testing.oracles_by_name",
+            lambda: {"fixpoint": AlwaysFails()})
+        corpus = tmp_path / "corpus"
+        code, output = run_cli(["fuzz", "--budget", "1", "--oracles",
+                                "fixpoint", "--corpus", str(corpus),
+                                "--json"])
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["n_discrepancies"] == 1
+        written = payload["corpus_written"]
+        assert len(written) == 1
+        from pathlib import Path
+        assert Path(written[0]).exists()

@@ -1,0 +1,165 @@
+"""Seeded property tests: samplers match their declared densities.
+
+Complements ``test_verify_distributions.py`` (which checks the Fact
+2.3 *conditions* numerically): here every registered distribution's
+``sample`` method is tested against its own declared law -
+
+* sample moments vs ``mean()`` / ``variance()``;
+* empirical CDF vs ``cdf()`` where exposed, else vs a numeric
+  integral of ``density()`` (continuous families);
+* sampled frequencies vs ``truncated_support`` masses (discrete
+  families).
+
+The parameter table is asserted to cover the *entire* default
+registry, so registering a new family without property coverage - or
+renaming one - fails immediately (registry drift).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.distributions.verify import fact_2_3_report
+from repro.measures.empirical import (frequencies_close, ks_critical_value,
+                                      ks_statistic, summarize)
+
+N_SAMPLES = 4000
+
+#: Two distinct parameter points per registered family.
+PARAMETER_POINTS = {
+    "Flip": [(0.3,), (0.7,)],
+    "Bernoulli": [(0.2,), (0.6,)],
+    "FlipPrime": [(0.4,), (0.9,)],
+    "Binomial": [(5, 0.4), (3, 0.8)],
+    "Poisson": [(1.5,), (4.0,)],
+    "Geometric": [(0.3,), (0.6,)],
+    "DiscreteUniform": [(0, 4), (2, 7)],
+    "Categorical": [(0.2, 0.3, 0.5), (0.5, 0.5)],
+    "Normal": [(0.0, 1.0), (2.0, 4.0)],
+    "LogNormal": [(0.0, 0.25), (0.5, 1.0)],
+    "Exponential": [(1.0,), (2.5,)],
+    "Uniform": [(0.0, 1.0), (-2.0, 3.0)],
+    "Gamma": [(2.0, 1.0), (1.5, 2.0)],
+    "Beta": [(2.0, 2.0), (5.0, 1.5)],
+    "Laplace": [(0.0, 1.0), (1.0, 2.0)],
+}
+
+CASES = [(name, params) for name, points in
+         sorted(PARAMETER_POINTS.items()) for params in points]
+CASE_IDS = [f"{name}{params}" for name, params in CASES]
+
+
+def test_parameter_table_covers_registry_exactly():
+    """Registry drift tripwire: every family needs property points."""
+    assert set(PARAMETER_POINTS) == set(DEFAULT_REGISTRY.names())
+
+
+def _samples(name, params):
+    rng = np.random.default_rng(int.from_bytes(name.encode(), "big")
+                                % (2 ** 31) + len(params))
+    return DEFAULT_REGISTRY[name].sample_many(params, rng, N_SAMPLES)
+
+
+@pytest.mark.parametrize("name,params", CASES, ids=CASE_IDS)
+def test_sample_mean_matches_declared_mean(name, params):
+    distribution = DEFAULT_REGISTRY[name]
+    try:
+        expected = distribution.mean(params)
+    except NotImplementedError:
+        pytest.skip(f"{name} exposes no mean")
+    summary = summarize(float(x) for x in _samples(name, params))
+    assert summary.mean_within(expected, z=5.0), (
+        f"{name}{params}: sample mean {summary.mean:.4f} vs declared "
+        f"{expected:.4f} (se {summary.mean_standard_error:.4f})")
+
+
+@pytest.mark.parametrize("name,params", CASES, ids=CASE_IDS)
+def test_sample_variance_matches_declared_variance(name, params):
+    distribution = DEFAULT_REGISTRY[name]
+    try:
+        expected = distribution.variance(params)
+    except NotImplementedError:
+        pytest.skip(f"{name} exposes no variance")
+    summary = summarize(float(x) for x in _samples(name, params))
+    # Variance of the sample variance is ~ (kurtosis-dependent)
+    # 2 sigma^4 / n for light tails; allow a generous relative band
+    # plus an absolute floor for near-zero variances.
+    tolerance = 0.25 * expected + 8.0 * expected \
+        * math.sqrt(2.0 / N_SAMPLES) + 0.01
+    assert abs(summary.variance - expected) <= tolerance, (
+        f"{name}{params}: sample variance {summary.variance:.4f} vs "
+        f"declared {expected:.4f}")
+
+
+def _reference_cdf(distribution, params):
+    """``cdf()`` if exposed, else a numeric integral of the density."""
+    try:
+        distribution.cdf(params, 0.0)
+        return lambda x: distribution.cdf(params, x)
+    except NotImplementedError:
+        pass
+    centre = distribution.mean(params)
+    spread = math.sqrt(max(distribution.variance(params), 1e-6))
+    grid = np.linspace(centre - 12 * spread, centre + 12 * spread,
+                       20001)
+    densities = np.asarray([distribution.density(params, float(x))
+                            for x in grid])
+    masses = np.concatenate(
+        [[0.0], np.cumsum(np.diff(grid)
+                          * 0.5 * (densities[1:] + densities[:-1]))])
+
+    def cdf(x: float) -> float:
+        return float(np.interp(x, grid, masses))
+
+    return cdf
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [(name, params) for name, params in CASES
+     if not DEFAULT_REGISTRY[name].is_discrete],
+    ids=[cid for (name, _), cid in zip(CASES, CASE_IDS)
+         if not DEFAULT_REGISTRY[name].is_discrete])
+def test_continuous_samples_match_cdf(name, params):
+    """One-sample KS of the sampler against the density's own CDF."""
+    distribution = DEFAULT_REGISTRY[name]
+    samples = [float(x) for x in _samples(name, params)]
+    statistic = ks_statistic(samples, _reference_cdf(distribution,
+                                                     params))
+    limit = 1.3 * ks_critical_value(len(samples), alpha=1e-3)
+    assert statistic <= limit, (
+        f"{name}{params}: KS {statistic:.4f} > {limit:.4f} - sampler "
+        "disagrees with its declared density")
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [(name, params) for name, params in CASES
+     if DEFAULT_REGISTRY[name].is_discrete],
+    ids=[cid for (name, _), cid in zip(CASES, CASE_IDS)
+         if DEFAULT_REGISTRY[name].is_discrete])
+def test_discrete_frequencies_match_pmf(name, params):
+    """Sampled frequencies vs ``truncated_support`` point masses."""
+    distribution = DEFAULT_REGISTRY[name]
+    samples = _samples(name, params)
+    pairs, residue = distribution.truncated_support(params, 1e-6)
+    assert residue <= 1e-6
+    probabilities = dict(pairs)
+    assert frequencies_close(samples, probabilities,
+                             tolerance_sigmas=6.0), (
+        f"{name}{params}: sampled frequencies disagree with the pmf")
+
+
+@pytest.mark.parametrize("name", sorted(PARAMETER_POINTS),
+                         ids=sorted(PARAMETER_POINTS))
+def test_fact_2_3_conditions_hold(name):
+    """Normalization / θ-continuity / identifiability per family."""
+    distribution = DEFAULT_REGISTRY[name]
+    points = PARAMETER_POINTS[name]
+    values = [0, 1] if distribution.is_discrete else [0.25, 1.5]
+    report = fact_2_3_report(distribution, points, values)
+    assert report.all_ok(), repr(report)

@@ -1,0 +1,139 @@
+"""Replay of persisted fuzz reproducers (``tests/fuzz_corpus/``).
+
+Every discrepancy the fuzzer ever finds is shrunk and saved to this
+corpus (``repro fuzz --corpus tests/fuzz_corpus``); this module
+replays each file through its recorded oracle on every test run, so a
+found bug keeps failing the build until fixed and can never silently
+regress afterwards.  The directory ships with curated "pin" entries
+(known-good workloads and regression pins) so the replay path is
+always exercised.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (FuzzCase, Oracle, OracleOutcome,
+                           load_reproducer, replay_corpus, replay_file,
+                           run_fuzz, save_reproducer, shrink_case)
+from repro.testing.corpus import SCHEMA_VERSION, case_to_payload, \
+    payload_to_case
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+class TestCorpusReplay:
+    def test_corpus_is_populated(self):
+        """The replay machinery must never be running on thin air."""
+        assert CORPUS_FILES, f"no corpus files in {CORPUS_DIR}"
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.name for p in CORPUS_FILES])
+    def test_reproducer_passes_its_oracle(self, path):
+        result = replay_file(path)
+        assert result.outcome.status != "fail", (
+            f"{path.name} reproduces a discrepancy on oracle "
+            f"{result.oracle!r}: {result.outcome.detail}\n"
+            f"originally recorded as: {result.detail}")
+
+    def test_replay_corpus_covers_every_file(self):
+        results = replay_corpus(CORPUS_DIR)
+        assert [r.path for r in results] == CORPUS_FILES
+
+
+class TestCorpusFormat:
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.name for p in CORPUS_FILES])
+    def test_documented_keys_present(self, path):
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload) >= {"schema_version", "oracle", "seed",
+                                "kind", "detail", "program",
+                                "extensional", "facts"}
+
+    def test_round_trip(self, tmp_path):
+        from repro.testing import generate_case
+        case = generate_case(42, kind="exact")
+        path = save_reproducer(tmp_path, case, "chase-order",
+                               "round-trip test")
+        loaded, oracle_name, detail = load_reproducer(path)
+        assert oracle_name == "chase-order"
+        assert detail == "round-trip test"
+        assert loaded.program == case.program
+        assert loaded.instance == case.instance
+        assert loaded.kind == case.kind
+
+    def test_save_is_idempotent(self, tmp_path):
+        from repro.testing import generate_case
+        case = generate_case(7, kind="deterministic")
+        first = save_reproducer(tmp_path, case, "fixpoint", "a")
+        second = save_reproducer(tmp_path, case, "fixpoint", "b")
+        assert first == second  # same content digest, no pollution
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_unknown_schema_version_rejected(self):
+        payload = case_to_payload(
+            _tiny_case(), "fixpoint", "")
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            payload_to_case(payload)
+
+
+def _tiny_case() -> FuzzCase:
+    from repro.core.program import Program
+    from repro.pdb.instances import Instance
+    return FuzzCase(0, "deterministic",
+                    Program.parse("D0(x) :- E0(x)."),
+                    Instance.empty())
+
+
+class _BrokenOracle(Oracle):
+    """A synthetic bug: 'fails' whenever a random rule is present."""
+
+    name = "broken"
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        if any(rule.is_random() for rule in case.program.rules):
+            return OracleOutcome("fail", "synthetic discrepancy")
+        return OracleOutcome("ok")
+
+
+class TestEndToEndDiscrepancyFlow:
+    """Find -> shrink -> persist -> replay, with a synthetic bug."""
+
+    def test_discrepancy_is_shrunk_persisted_and_replayable(
+            self, tmp_path):
+        oracle = _BrokenOracle()
+        report = run_fuzz(budget=8, seed=3, oracles=[oracle],
+                          corpus_dir=tmp_path)
+        assert not report.ok()
+        assert report.stats["broken"].failed == \
+            len(report.discrepancies)
+        for discrepancy in report.discrepancies:
+            # Shrinking kept the failure and never grew the case.
+            assert oracle.check(discrepancy.shrunk).status == "fail"
+            from repro.testing import case_size
+            assert case_size(discrepancy.shrunk) <= \
+                case_size(discrepancy.case)
+            assert discrepancy.corpus_path is not None
+            assert discrepancy.corpus_path.exists()
+        # Replay reproduces every persisted failure.
+        results = replay_corpus(tmp_path, {"broken": oracle})
+        assert results and all(r.outcome.status == "fail"
+                               for r in results)
+
+    def test_shrinker_reaches_a_minimal_case(self):
+        oracle = _BrokenOracle()
+        from repro.testing import generate_case
+        case = generate_case(3, kind="sampling")
+        assert oracle.check(case).status == "fail"
+        shrunk = shrink_case(
+            case, lambda c: oracle.check(c).status == "fail")
+        # Minimal for this predicate: one random rule, nothing else.
+        assert len(shrunk.program.rules) == 1
+        assert shrunk.program.rules[0].is_random()
+        assert len(shrunk.instance) == 0

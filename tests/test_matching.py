@@ -156,3 +156,87 @@ class TestHelpers:
         assert body_holds([atom("E", "x", "y")], source, {Var("x"): 1})
         assert not body_holds([atom("E", "x", "y")], source,
                               {Var("x"): 4})
+
+
+class TestIndexedSourceIncrementalMaintenance:
+    """Regression tests: indexes built lazily, then kept current.
+
+    The chase builds an IndexedSource once and adds facts as it fires
+    rules; a fact added *after* an index was materialized must be
+    visible to every subsequent ``candidates()`` call, for existing
+    and for newly-requested signatures alike.
+    """
+
+    def test_index_is_built_lazily(self, graph):
+        source = IndexedSource(graph.facts)
+        assert source._indexes == {}
+        list(source.candidates("E", (1, None)))
+        assert ("E", (0,)) in source._indexes
+        # A wildcard lookup never materializes an index.
+        list(source.candidates("E", (None, None)))
+        assert set(source._indexes) == {("E", (0,))}
+
+    def test_fact_added_mid_chase_visible_to_existing_index(self,
+                                                            graph):
+        source = IndexedSource(graph.facts)
+        before = {f.args for f in source.candidates("E", (1, None))}
+        assert before == {(1, 2), (1, 3)}
+        assert source.add_fact(Fact("E", (1, 9)))
+        after = {f.args for f in source.candidates("E", (1, None))}
+        assert after == before | {(1, 9)}
+
+    def test_fact_added_before_first_lookup_is_indexed(self, graph):
+        source = IndexedSource(graph.facts)
+        source.add_fact(Fact("E", (5, 6)))
+        # Index materializes only now - must include the late fact.
+        hits = {f.args for f in source.candidates("E", (5, None))}
+        assert hits == {(5, 6)}
+
+    def test_new_signature_after_adds_sees_everything(self, graph):
+        source = IndexedSource(graph.facts)
+        list(source.candidates("E", (1, None)))  # signature (0,)
+        source.add_fact(Fact("E", (7, 3)))
+        # A different signature built after the add.
+        hits = {f.args for f in source.candidates("E", (None, 3))}
+        assert hits == {(2, 3), (1, 3), (7, 3)}
+
+    def test_fully_bound_signature_maintained(self, graph):
+        source = IndexedSource(graph.facts)
+        assert list(source.candidates("E", (9, 9))) == []
+        source.add_fact(Fact("E", (9, 9)))
+        hits = [f.args for f in source.candidates("E", (9, 9))]
+        assert hits == [(9, 9)]
+
+    def test_new_relation_added_mid_chase(self, graph):
+        source = IndexedSource(graph.facts)
+        source.add_fact(Fact("F", ("a",)))
+        assert source.relation_size("F") == 1
+        assert [f.args for f in source.candidates("F", ("a",))] == \
+            [("a",)]
+        assert list(source.candidates("F", ("b",))) == []
+
+    def test_duplicate_add_is_rejected_and_not_double_indexed(self,
+                                                              graph):
+        source = IndexedSource(graph.facts)
+        list(source.candidates("E", (1, None)))
+        assert not source.add_fact(Fact("E", (1, 2)))
+        hits = [f.args for f in source.candidates("E", (1, None))]
+        assert sorted(hits) == [(1, 2), (1, 3)]
+        assert len(source) == 4
+
+    def test_membership_and_len_track_adds(self, graph):
+        source = IndexedSource(graph.facts)
+        new_fact = Fact("E", (8, 8))
+        assert new_fact not in source
+        source.add_fact(new_fact)
+        assert new_fact in source
+        assert len(source) == 5
+
+    def test_match_atoms_sees_incrementally_added_joins(self, graph):
+        source = IndexedSource(graph.facts)
+        body = [atom("E", "x", "y"), atom("E", "y", "z")]
+        baseline = len(solutions(body, source))
+        # Warm both join-order indexes, then extend the graph.
+        source.add_fact(Fact("E", (4, 5)))
+        grown = len(solutions(body, source))
+        assert grown > baseline

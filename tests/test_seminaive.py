@@ -109,3 +109,92 @@ class TestEngineEquivalenceProperty:
         D = random_graph_instance(n, m, seed=seed)
         assert naive_fixpoint(program, D) == \
             seminaive_fixpoint(program, D)
+
+
+def _both(program, instance):
+    naive = naive_fixpoint(program, instance)
+    seminaive = seminaive_fixpoint(program, instance)
+    assert naive == seminaive
+    assert evaluate_datalog(program, instance, "naive") == \
+        evaluate_datalog(program, instance, "seminaive")
+    return naive
+
+
+class TestEquivalenceEdgeCases:
+    """Naive vs semi-naive on the degenerate shapes the fuzzer spans."""
+
+    def test_empty_instance(self, tc_program):
+        result = _both(tc_program, Instance.empty())
+        assert result == Instance.empty()
+
+    def test_empty_relations_referenced_in_bodies(self):
+        program = Program.parse("""
+            D0(x) :- Missing(x).
+            D1(x, y) :- D0(x), AlsoMissing(x, y).
+        """)
+        instance = Instance.of(Fact("Unrelated", (1,)))
+        result = _both(program, instance)
+        assert result == instance  # nothing derivable, input preserved
+
+    def test_constant_only_rules(self):
+        program = Program.parse("""
+            A(1) :- true.
+            A(2) :- true.
+            B("x", 3) :- true.
+            C(y) :- A(y).
+        """)
+        result = _both(program, Instance.empty())
+        assert result.tuples_of("A") == {(1,), (2,)}
+        assert result.tuples_of("B") == {("x", 3)}
+        assert result.tuples_of("C") == {(1,), (2,)}
+
+    def test_constant_only_rule_gated_on_empty_body(self):
+        program = Program.parse("D0(7) :- Missing(x).")
+        result = _both(program, Instance.empty())
+        assert result.tuples_of("D0") == set()
+
+    def test_body_never_matches_due_to_constants(self):
+        program = Program.parse('D0(x) :- E0(x, "nope").')
+        instance = Instance.of(Fact("E0", (1, "a")),
+                               Fact("E0", (2, "b")))
+        result = _both(program, instance)
+        assert result.tuples_of("D0") == set()
+
+    def test_body_never_matches_due_to_repeated_variable(self):
+        program = Program.parse("D0(x) :- E0(x, x).")
+        instance = Instance.of(Fact("E0", (1, 2)), Fact("E0", (2, 3)))
+        result = _both(program, instance)
+        assert result.tuples_of("D0") == set()
+
+    def test_duplicate_rules_change_nothing(self, tc_program):
+        doubled = Program(tuple(tc_program.rules)
+                          + tuple(tc_program.rules))
+        D = edges((1, 2), (2, 3))
+        assert _both(doubled, D) == _both(tc_program, D)
+
+    def test_duplicate_bodies_different_heads(self):
+        program = Program.parse("""
+            D0(x) :- E0(x, y).
+            D1(x) :- E0(x, y).
+            D2(y) :- E0(x, y).
+        """)
+        instance = Instance.of(Fact("E0", (1, 2)))
+        result = _both(program, instance)
+        assert result.tuples_of("D0") == {(1,)}
+        assert result.tuples_of("D1") == {(1,)}
+        assert result.tuples_of("D2") == {(2,)}
+
+    def test_derived_fact_already_in_input(self):
+        program = Program.parse("D0(x) :- E0(x).")
+        instance = Instance.of(Fact("E0", (1,)), Fact("D0", (1,)))
+        result = _both(program, instance)
+        assert result.tuples_of("D0") == {(1,)}
+
+    def test_recursion_with_empty_seed_relation(self):
+        program = Program.parse("""
+            Even(x) :- Zero(x).
+            Even(y) :- Even(x), Succ(x, y).
+        """)
+        instance = Instance(Fact("Succ", (i, i + 1)) for i in range(4))
+        result = _both(program, instance)
+        assert result.tuples_of("Even") == set()

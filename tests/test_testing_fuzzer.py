@@ -1,0 +1,125 @@
+"""Properties of the random-workload generator (repro.testing.fuzz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.program import Program
+from repro.core.source import program_to_source
+from repro.core.termination import weakly_acyclic
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.testing import (CONTINUOUS, FINITE_DISCRETE,
+                           INFINITE_DISCRETE, KINDS, FuzzConfig,
+                           case_seed, distribution_parameters,
+                           generate_case, random_value_positions,
+                           rebuild_case)
+
+SEEDS = range(40)
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_case_is_valid_and_round_trips(self, seed):
+        case = generate_case(seed)
+        assert case.kind in KINDS
+        assert len(case.program) >= 1
+        # Every case must survive corpus persistence: serialize to the
+        # surface syntax and parse back to an equal program.
+        reparsed = Program.parse(program_to_source(case.program))
+        assert reparsed == case.program
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_instance_facts_are_extensional_only(self, seed):
+        case = generate_case(seed)
+        heads = case.program.head_relations()
+        for fact in case.instance:
+            assert fact.relation not in heads
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_determinism(self, seed):
+        first = generate_case(seed)
+        second = generate_case(seed)
+        assert first.program == second.program
+        assert first.instance == second.instance
+        assert first.kind == second.kind
+
+
+class TestKindGuarantees:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_deterministic_kind(self, seed):
+        case = generate_case(seed, kind="deterministic")
+        assert case.program.is_deterministic()
+        assert weakly_acyclic(case.program)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_exact_kind_is_enumerable(self, seed):
+        case = generate_case(seed, kind="exact")
+        assert case.program.is_discrete()
+        assert weakly_acyclic(case.program)
+        for rule in case.program.random_rules():
+            for term in rule.random_terms():
+                assert term.distribution.name in FINITE_DISCRETE
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sampling_kind_has_random_rules(self, seed):
+        case = generate_case(seed, kind="sampling")
+        assert case.program.random_rules()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_cyclic_kind_breaks_weak_acyclicity(self, seed):
+        case = generate_case(seed, kind="cyclic")
+        assert not weakly_acyclic(case.program)
+
+
+class TestCoverage:
+    def test_all_kinds_appear_across_a_budget(self):
+        kinds = {generate_case(case_seed(0, index)).kind
+                 for index in range(60)}
+        assert kinds == set(KINDS)
+
+    def test_many_distributions_appear_across_a_budget(self):
+        used: set[str] = set()
+        for index in range(120):
+            case = generate_case(case_seed(1, index))
+            used.update(case.program.distributions_used())
+        # The union of discrete, infinite-discrete and continuous
+        # families must be broadly exercised (not a fixed subset).
+        assert len(used) >= 10
+
+    def test_parameter_samplers_cover_the_registry(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        for name in DEFAULT_REGISTRY.names():
+            params = distribution_parameters(name, rng)
+            # Must lie inside the family's parameter space.
+            DEFAULT_REGISTRY[name].validate_params(params)
+
+    def test_distribution_partition_matches_registry(self):
+        partition = set(FINITE_DISCRETE) | set(INFINITE_DISCRETE) \
+            | set(CONTINUOUS)
+        assert partition == set(DEFAULT_REGISTRY.names())
+
+
+class TestHelpers:
+    def test_case_seed_is_stable_and_spread(self):
+        assert case_seed(0, 0) == case_seed(0, 0)
+        seeds = {case_seed(0, index) for index in range(50)}
+        assert len(seeds) == 50
+
+    def test_rebuild_case_replaces_parts(self):
+        case = generate_case(2, kind="deterministic")
+        smaller = rebuild_case(case, facts=[])
+        assert len(smaller.instance) == 0
+        assert smaller.program == case.program
+
+    def test_random_value_positions(self):
+        program = Program.parse(
+            "R0(x, Flip<0.5>) :- E0(x).\n"
+            "D0(x) :- E0(x).")
+        assert random_value_positions(program) == {"R0": 1}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(kinds=("exact",), kind_weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            FuzzConfig(kinds=("nope",), kind_weights=(1.0,))

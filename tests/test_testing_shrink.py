@@ -1,0 +1,80 @@
+"""Unit tests for the discrepancy minimizer (repro.testing.shrink)."""
+
+from __future__ import annotations
+
+from repro.core.program import Program
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.testing import FuzzCase, case_size, generate_case, \
+    shrink_case
+
+
+def _case(text: str, facts: tuple = ()) -> FuzzCase:
+    return FuzzCase(0, "deterministic", Program.parse(text),
+                    Instance(facts))
+
+
+class TestShrinkCase:
+    def test_noop_when_nothing_reproduces_smaller(self):
+        case = _case("D0(x) :- E0(x).", (Fact("E0", (1,)),))
+        # Failure depends on the (only) rule AND the (only) fact.
+        shrunk = shrink_case(
+            case,
+            lambda c: len(c.program) == 1 and len(c.instance) == 1)
+        assert shrunk.program == case.program
+        assert shrunk.instance == case.instance
+
+    def test_drops_irrelevant_rules_and_facts(self):
+        case = _case(
+            "D0(x) :- E0(x).\nD1(x) :- E1(x).\nD2(x) :- E2(x).",
+            (Fact("E0", (1,)), Fact("E1", (2,)), Fact("E2", (3,))))
+        shrunk = shrink_case(
+            case,
+            lambda c: any(r.head.relation == "D1"
+                          for r in c.program.rules))
+        assert [r.head.relation for r in shrunk.program.rules] == ["D1"]
+        assert len(shrunk.instance) == 0
+
+    def test_drops_irrelevant_body_atoms(self):
+        case = _case("D0(x) :- E0(x), E1(y), E2(z).")
+        shrunk = shrink_case(
+            case,
+            lambda c: any(a.relation == "E0"
+                          for r in c.program.rules for a in r.body))
+        bodies = [a.relation for r in shrunk.program.rules
+                  for a in r.body]
+        assert bodies == ["E0"]
+
+    def test_never_breaks_range_restriction(self):
+        # Dropping "E0(x)" would orphan the head variable; the shrinker
+        # must discard that candidate instead of crashing.
+        case = _case("D0(x) :- E0(x), E1(y).")
+        shrunk = shrink_case(case, lambda c: True)
+        for rule in shrunk.program.rules:
+            assert rule.head.variable_set() <= rule.body_variable_set()
+
+    def test_respects_check_budget(self):
+        case = generate_case(9, kind="sampling")
+        calls = []
+
+        def checker(candidate):
+            calls.append(1)
+            return True
+
+        shrink_case(case, checker, max_checks=5)
+        assert len(calls) <= 5
+
+    def test_checker_crash_treated_as_not_reproducing(self):
+        case = _case("D0(x) :- E0(x).\nD1(x) :- E1(x).")
+
+        def fragile(candidate):
+            if len(candidate.program) < 2:
+                raise RuntimeError("checker bug")
+            return True
+
+        shrunk = shrink_case(case, fragile)
+        assert len(shrunk.program) == 2  # crashes never "reproduce"
+
+    def test_case_size_metric(self):
+        case = _case("D0(x) :- E0(x), E1(x).", (Fact("E0", (1,)),))
+        assert case_size(case) == 1 + 2 + 1

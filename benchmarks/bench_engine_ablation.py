@@ -1,6 +1,6 @@
-"""E13: engine ablations + facade amortization.
+"""E13: engine ablations + facade amortization + batched sampling.
 
-Three ablations:
+Four ablations:
 
 * applicability maintenance - incremental (delta) engine vs naive
   recomputation per chase step;
@@ -9,7 +9,16 @@ Three ablations:
   once, bootstrap the applicability engine once, fork per run) against
   ``n`` independent ``run_chase`` calls (translate + bootstrap per
   run).  The facade path must be no slower at n=1000 chases; in
-  practice it is strictly faster because per-run setup is amortized.
+  practice it is strictly faster because per-run setup is amortized;
+* **batched vs scalar backend** - the vectorized batch chase
+  (:mod:`repro.engine.batched`) against the per-run scalar loop.  The
+  acceptance bound: batched ``sample(n=1000)`` on Example 3.5 must be
+  at least 3x faster (it typically measures ~10x).
+
+``test_calibration_spin`` is the pure-python calibration workload the
+benchmark-regression CI gate normalizes against
+(``benchmarks/perf_report.py``): absolute medians differ wildly across
+runners, medians *relative to the spin loop* do not.
 
 All equivalent pairs are asserted equivalent; the benchmarks quantify
 the gaps.
@@ -23,11 +32,22 @@ import pytest
 from repro.api import compile as compile_program
 from repro.core.chase import _run_chase_impl, run_chase
 from repro.engine.seminaive import naive_fixpoint, seminaive_fixpoint
+from repro.measures.empirical import ks_critical_value, ks_two_sample
 from repro.workloads.generators import (chain_instance, chain_program,
                                         earthquake_city_instance,
                                         random_graph_instance,
                                         transitive_closure_program)
-from repro.workloads.paper import example_3_4_program
+from repro.workloads.paper import (example_3_4_program,
+                                   example_3_5_instance,
+                                   example_3_5_program)
+
+
+class TestCalibration:
+    """The runner-speed yardstick for the CI regression gate."""
+
+    def test_calibration_spin(self, benchmark):
+        result = benchmark(lambda: sum(i * i for i in range(100_000)))
+        assert result == 333328333350000
 
 
 class TestE13Applicability:
@@ -131,6 +151,82 @@ class TestE13FacadeAmortization:
 
         runs = benchmark(batch)
         assert all(run.terminated for run in runs)
+
+
+class TestE13BatchedBackend:
+    """Acceptance check: the vectorized batch backend beats scalar.
+
+    Example 3.5 is the paper's continuous flagship (one sampling layer
+    over a deterministic base - the case batching is built for); the
+    issue's acceptance bound is a 3x speedup at n=1000, far below the
+    ~10x the backend actually measures, so genuine regressions trip
+    the assert without CI noise doing so.
+    """
+
+    N_RUNS = 1000
+
+    def _session(self):
+        return compile_program(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+
+    def _seconds(self, session, backend) -> float:
+        start = time.perf_counter()
+        result = session.sample(self.N_RUNS, backend=backend)
+        elapsed = time.perf_counter() - start
+        assert result.n_runs == self.N_RUNS
+        assert result.err_mass() == 0.0
+        assert result.backend == backend
+        return elapsed
+
+    def test_batched_3x_faster_than_scalar_at_n1000(self):
+        session = self._session()
+        # Warm both paths (translation, fixpoint, engine bootstrap),
+        # then take the best of 3 trials each.
+        self._seconds(session, "batched")
+        self._seconds(session, "scalar")
+        batched = min(self._seconds(session, "batched")
+                      for _ in range(3))
+        scalar = min(self._seconds(session, "scalar")
+                     for _ in range(3))
+        assert batched * 3.0 <= scalar, \
+            f"batched {batched:.3f}s vs scalar {scalar:.3f}s " \
+            f"({scalar / batched:.1f}x)"
+
+    def test_batched_equals_scalar_law(self):
+        # Same output law (KS over the sampled heights): the backends
+        # draw differently, so the comparison is statistical.
+        session = self._session()
+        def heights(backend, seed):
+            values = []
+            pdb = session.sample(400, backend=backend, seed=seed).pdb
+            for world in pdb.worlds:
+                for fact in world.facts_of("PHeight"):
+                    values.append(float(fact.args[1]))
+            return values
+        a, b = heights("batched", 0), heights("scalar", 1)
+        statistic = ks_two_sample(a, b)
+        assert statistic <= 1.3 * ks_critical_value(
+            len(a), len(b), 1e-4), statistic
+
+    def test_benchmark_batched_3_5(self, benchmark):
+        session = self._session()
+        result = benchmark(
+            lambda: session.sample(self.N_RUNS, backend="batched"))
+        assert result.diagnostics["n_split"] == 0
+
+    def test_benchmark_scalar_3_5(self, benchmark):
+        session = self._session()
+        result = benchmark(
+            lambda: session.sample(self.N_RUNS, backend="scalar"))
+        assert result.n_runs == self.N_RUNS
+
+    def test_benchmark_batched_3_4(self, benchmark):
+        # Cascading discrete program: only trigger-hit worlds split.
+        session = compile_program(example_3_4_program()).on(
+            earthquake_city_instance(4, 2, seed=0), seed=0)
+        result = benchmark(
+            lambda: session.sample(500, backend="batched"))
+        assert result.diagnostics["n_batched"] > 0
 
 
 class TestE13DatalogFixpoint:

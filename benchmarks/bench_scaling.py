@@ -49,12 +49,15 @@ class TestE14ExactTreeScaling:
 
 
 class TestE14SamplerScaling:
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
     @pytest.mark.parametrize("n_samples", [100, 1000])
-    def test_monte_carlo_throughput(self, benchmark, n_samples):
+    def test_monte_carlo_throughput(self, benchmark, n_samples,
+                                    backend):
         instance = earthquake_city_instance(5, 4, seed=1)
         session = compile_program(example_3_4_program()).on(instance,
                                                             seed=0)
-        pdb = benchmark(lambda: session.sample(n_samples).pdb)
+        pdb = benchmark(lambda: session.sample(n_samples,
+                                               backend=backend).pdb)
         assert pdb.n_runs == n_samples
 
     def test_monte_carlo_error_decay(self, benchmark):

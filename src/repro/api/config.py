@@ -34,6 +34,14 @@ from repro.errors import ValidationError
 ENGINES = ("incremental", "naive")
 #: RNG stream schemes (see the module docstring).
 STREAMS = ("spawn", "shared")
+#: Sampling backends accepted by :meth:`repro.api.Session.sample`:
+#: ``"scalar"`` replays the sequential chase per run (bit-identical to
+#: historical seeded output), ``"batched"`` vectorizes the batch via
+#: :mod:`repro.engine.batched` (same law, different draws; falls back
+#: to scalar outside its supported class), ``"auto"`` picks batched
+#: whenever it is eligible and the caller has not asked for anything
+#: the batch cannot honour (shared streams, worker threads, traces).
+BACKENDS = ("auto", "scalar", "batched")
 
 
 @dataclass(frozen=True)
@@ -51,7 +59,9 @@ class ChaseConfig:
     ``record_trace`` - attach the firing trace to single runs;
     ``seed`` - int seed, numpy Generator, or None (fresh entropy);
     ``streams`` - per-run ``"spawn"`` streams or the legacy
-    ``"shared"`` sequential stream.
+    ``"shared"`` sequential stream;
+    ``backend`` - Monte-Carlo sampling backend (``"auto"``,
+    ``"scalar"``, ``"batched"``; see :data:`BACKENDS`).
     """
 
     policy: ChasePolicy | None = None
@@ -64,6 +74,7 @@ class ChaseConfig:
     record_trace: bool = False
     seed: int | np.random.Generator | None = None
     streams: str = "spawn"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.policy is not None and \
@@ -78,6 +89,10 @@ class ChaseConfig:
             raise ValidationError(
                 f"unknown stream scheme {self.streams!r}; "
                 f"use one of {STREAMS}")
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown sampling backend {self.backend!r}; "
+                f"use one of {BACKENDS}")
         if not isinstance(self.max_steps, int) or self.max_steps <= 0:
             raise ValidationError(
                 f"max_steps must be a positive int, got "

@@ -41,6 +41,16 @@ class InferenceResult:
     n_truncated: int | None = None
     diagnostics: Mapping[str, Any] = field(default_factory=dict)
 
+    @property
+    def backend(self) -> str | None:
+        """Which sampling backend produced this result (if sampled).
+
+        ``"scalar"`` or ``"batched"`` for ``kind="sample"`` results;
+        None for methods without a backend choice (exact, rejection,
+        likelihood).
+        """
+        return self.diagnostics.get("backend")
+
     # -- delegation to the wrapped PDB --------------------------------------
 
     def marginal(self, fact: Fact) -> float:

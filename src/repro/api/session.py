@@ -342,42 +342,174 @@ class Session:
         """Monte-Carlo output SPDB from ``n`` independent chase runs.
 
         Translation and applicability bootstrap happen exactly once
-        for the whole batch.  With ``workers > 1`` the runs execute on
-        a thread pool; this requires the (default) ``"spawn"`` stream
-        scheme, under which results are identical to the sequential
-        order for the same seed.
+        for the whole batch.  The runs execute on the backend selected
+        by ``cfg.backend`` (pass ``backend="batched"|"scalar"|"auto"``
+        as an override): ``"scalar"`` replays the sequential chase per
+        run and is bit-identical to historical seeded output, while
+        ``"batched"`` advances all runs at once through
+        :class:`repro.engine.batched.BatchedChase` - same output law,
+        different draws - falling back to the scalar loop outside its
+        supported class.  With ``workers > 1`` the scalar runs execute
+        on a thread pool; this requires the (default) ``"spawn"``
+        stream scheme, under which results are identical to the
+        sequential order for the same seed.  ``workers`` is a
+        scalar-path knob: ``backend="auto"`` routes ``workers > 1`` to
+        the scalar loop, and an explicit ``backend="batched"`` never
+        threads (the batch is already vectorized) - though the
+        ``workers > 1`` / ``streams="shared"`` combination is rejected
+        up front regardless of backend, as invalid configuration.
         """
         cfg = self.config.replace(**overrides)
         if n <= 0:
             raise ValidationError(f"need n >= 1 runs, got {n}")
+        if workers is not None and workers > 1 \
+                and cfg.streams != "spawn":
+            raise ValidationError(
+                "workers > 1 requires streams='spawn'; the "
+                "'shared' scheme is inherently sequential")
+        if self._resolve_backend(cfg, workers) == "batched":
+            result = self._sample_batched(cfg, n)
+            if result is not None:
+                return result
+            if cfg.backend == "batched":
+                # An explicit batched request never threads - not even
+                # when the batched path declines - so the same call
+                # yields the same parallelism on every program.
+                workers = None
+        return self._sample_scalar(cfg, n, workers)
+
+    def _sample_scalar(self, cfg: ChaseConfig, n: int,
+                       workers: int | None) -> InferenceResult:
+        """The per-run sequential loop (bit-identical seeded output)."""
         visible = self.compiled.visible_relations
         # Bootstrap the base engine before any worker threads fork it.
         self._base_engine(cfg.engine)
         start = time.perf_counter()
         rngs = cfg.spawn_rngs(n)
         if workers is not None and workers > 1:
-            if cfg.streams != "spawn":
-                raise ValidationError(
-                    "workers > 1 requires streams='spawn'; the "
-                    "'shared' scheme is inherently sequential")
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 runs = list(pool.map(
                     lambda rng: self._one_run(cfg, rng), rngs))
         else:
             runs = [self._one_run(cfg, rng) for rng in rngs]
+        worlds, truncated = self._collect_worlds(cfg, runs, visible)
+        elapsed = time.perf_counter() - start
+        return InferenceResult(MonteCarloPDB(worlds, truncated),
+                               "sample", elapsed, n_runs=n,
+                               n_truncated=truncated,
+                               diagnostics={"backend": "scalar"})
+
+    # -- batched backend ----------------------------------------------------
+
+    def _resolve_backend(self, cfg: ChaseConfig,
+                         workers: int | None = None) -> str:
+        """Which sampling backend this call should attempt.
+
+        ``"scalar"`` and ``"batched"`` are honoured as requested (the
+        batched path still declines, falling back to scalar, when the
+        program is outside its class).  ``"auto"`` only picks batched
+        when nothing observable depends on the scalar draw order: no
+        worker threads, the default ``"spawn"`` stream scheme (the
+        ``"shared"`` scheme exists precisely for legacy bit-identical
+        output), and a batch-safe policy.
+        """
+        if cfg.backend == "scalar":
+            return "scalar"
+        if cfg.backend == "batched":
+            return "batched"
+        if workers is not None and workers > 1:
+            return "scalar"
+        if cfg.streams != "spawn":
+            return "scalar"
+        if cfg.policy is not None and not getattr(
+                cfg.policy, "batch_safe", False):
+            return "scalar"
+        if not self._batch_eligible(cfg):
+            return "scalar"
+        return "batched"
+
+    def _batch_eligible(self, cfg: ChaseConfig) -> bool:
+        """Whether the batched backend's exactness argument applies.
+
+        Requires the per-rule (grohe) translation, no trace recording,
+        the sequential chase, and weak acyclicity - Theorem 6.1's
+        order-independence is what makes the batched prefix produce
+        exactly the sequential-chase law.
+        """
+        if self.compiled.semantics != "grohe":
+            return False
+        if cfg.parallel or cfg.record_trace:
+            return False
+        return self.compiled.analyze().weakly_acyclic
+
+    def _batched_chase(self):
+        """The cached per-(program, instance) batch sampler (or None)."""
+        from repro.engine.batched import BatchedChase, BatchUnsupported
+        cached = self._engines.get("batched")
+        if cached is None:
+            try:
+                cached = BatchedChase(self.compiled.translated,
+                                      self.instance)
+            except BatchUnsupported:
+                cached = False
+            self._engines["batched"] = cached
+        return cached or None
+
+    def _sample_batched(self, cfg: ChaseConfig,
+                        n: int) -> InferenceResult | None:
+        """Vectorized sampling; None = declined (caller runs scalar)."""
+        if not self._batch_eligible(cfg):
+            return None
+        batched = self._batched_chase()
+        if batched is None:
+            return None
+        visible = self.compiled.visible_relations
+        start = time.perf_counter()
+        batch_rng = cfg.base_rng()
+        if cfg.streams == "shared":
+            def world_rngs():
+                return [batch_rng] * n
+        else:
+            def world_rngs():
+                return cfg.spawn_rngs(n)
+        outcome = batched.run_batch(n, batch_rng, world_rngs,
+                                    cfg.policy or DEFAULT_POLICY,
+                                    cfg.max_steps)
+        if outcome is None:
+            return None
+        runs, info = outcome
+        worlds, truncated = self._collect_worlds(cfg, runs, visible)
+        elapsed = time.perf_counter() - start
+        return InferenceResult(
+            MonteCarloPDB(worlds, truncated), "sample", elapsed,
+            n_runs=n, n_truncated=truncated,
+            diagnostics={"backend": "batched",
+                         "n_split": info["n_split"],
+                         "n_batched": n - info["n_split"],
+                         "n_layer_firings": info["n_firings"]})
+
+    @staticmethod
+    def _collect_worlds(cfg: ChaseConfig, runs: Sequence[ChaseRun],
+                        visible: tuple[str, ...],
+                        ) -> tuple[list[Instance], int]:
         worlds: list[Instance] = []
         truncated = 0
+        # Identity-memoized restriction: a fully-batched run with no
+        # sampling layer hands back the *same* instance object n
+        # times, which needs one restriction, not n.
+        previous: Instance | None = None
+        previous_restricted: Instance | None = None
         for run in runs:
             if not run.terminated:
                 truncated += 1
             elif cfg.keep_aux:
                 worlds.append(run.instance)
             else:
-                worlds.append(run.instance.restrict(visible))
-        elapsed = time.perf_counter() - start
-        return InferenceResult(MonteCarloPDB(worlds, truncated),
-                               "sample", elapsed, n_runs=n,
-                               n_truncated=truncated)
+                if run.instance is not previous:
+                    previous = run.instance
+                    previous_restricted = run.instance.restrict(visible)
+                worlds.append(previous_restricted)
+        return worlds, truncated
 
     def outputs(self, n: int,
                 rng: np.random.Generator | int | None = None,

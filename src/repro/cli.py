@@ -39,6 +39,7 @@ import sys
 from typing import Sequence
 
 from repro.api import CompiledProgram, compile as compile_program
+from repro.api.config import BACKENDS
 from repro.errors import ReproError
 from repro.io import load_instance_args, load_program
 from repro.pdb.facts import Fact
@@ -83,6 +84,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--max-steps", type=int, default=10_000)
     sample.add_argument("--parallel", action="store_true")
+    sample.add_argument("--backend", choices=BACKENDS,
+                        default="auto",
+                        help="sampling backend: the vectorized batch "
+                             "engine, the per-run scalar loop, or "
+                             "automatic selection (the CLI's shared "
+                             "RNG stream keeps 'auto' on the scalar "
+                             "path for seed-stable output)")
 
     analyze = subparsers.add_parser(
         "analyze", help="static termination / structure report")
@@ -108,6 +116,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="record raw failing cases without "
                            "minimization")
+    fuzz.add_argument("--progress", type=int, default=50,
+                      metavar="EVERY",
+                      help="emit a progress line to *stderr* every "
+                           "EVERY cases (0 disables); progress never "
+                           "touches stdout, so --json | tee stays one "
+                           "valid JSON document")
     fuzz.add_argument("--json", action="store_true",
                       help="machine-readable JSON output")
 
@@ -180,10 +194,10 @@ def cmd_sample(args, out) -> int:
     """``repro sample``: print Monte-Carlo fact marginals."""
     compiled, instance = _load(args)
     # "shared" stream scheme: output is bit-identical with historical
-    # releases for the same --seed.
+    # releases for the same --seed (and keeps --backend auto scalar).
     session = compiled.on(instance, parallel=args.parallel,
                           max_steps=args.max_steps, seed=args.seed,
-                          streams="shared")
+                          streams="shared", backend=args.backend)
     result = session.sample(args.n)
     pdb = result.pdb
     marginals = fact_marginals(pdb)
@@ -196,6 +210,7 @@ def cmd_sample(args, out) -> int:
             "n_truncated": pdb.truncated,
             "err_mass": pdb.err_mass(),
             "elapsed_seconds": result.elapsed,
+            "backend": result.backend,
             "marginals": [
                 {"fact": _fact_json(fact),
                  "probability": marginals[fact]}
@@ -304,9 +319,20 @@ def cmd_fuzz(args, out) -> int:
                   file=sys.stderr)
             return 2
         battery = [by_name[name] for name in names]
+    # Progress goes to stderr *only*: CI pipes stdout through `tee`
+    # into fuzz-report.json and expects exactly one JSON document
+    # there (mixing progress into stdout under --json corrupted the
+    # artifact).
+    on_case = None
+    if args.progress > 0:
+        def on_case(index, case):
+            if index % args.progress == 0:
+                print(f"fuzz: case {index}/{args.budget} "
+                      f"({case.describe()})",
+                      file=sys.stderr, flush=True)
     report = run_fuzz(budget=args.budget, seed=args.seed,
                       oracles=battery, corpus_dir=args.corpus,
-                      shrink=not args.no_shrink)
+                      shrink=not args.no_shrink, on_case=on_case)
     if args.json:
         _emit_json(report.to_json(), out)
         return 0 if report.ok() else 1

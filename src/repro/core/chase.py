@@ -121,6 +121,11 @@ def run_chase_prepared(translated: ExistentialProgram,
     *once* per (program, instance) pair and hand each run a cheap
     ``fork()`` instead of re-matching every rule body from scratch.
     ``state`` must reflect exactly ``instance``; it is consumed.
+
+    The vectorized batch backend (:mod:`repro.engine.batched`) also
+    continues *split* worlds here: a world whose sampled values enable
+    further firings enters this loop mid-chase, with ``max_steps``
+    reduced by the steps the batched prefix already executed.
     """
     current = instance
     trace: list[ChaseStep] | None = [] if record_trace else None

@@ -65,6 +65,16 @@ class TranslatedRule:
     def is_existential(self) -> bool:
         raise NotImplementedError
 
+    def is_random(self) -> bool:
+        """Rule-protocol shim: existential rules are the random ones.
+
+        Lets the deterministic fragment of a translated program be fed
+        straight into :func:`repro.engine.seminaive.seminaive_fixpoint`
+        (used by the batched chase to compute the shared deterministic
+        fixpoint once per batch).
+        """
+        return self.is_existential()
+
 
 class DetRule(TranslatedRule):
     """A deterministic rule of ``Ĝ``: fires by adding its ground head."""

@@ -3,6 +3,7 @@
 from repro.distributions.base import ParameterizedDistribution
 from repro.distributions.mixture import FiniteMixture
 from repro.distributions.verify import (Fact23Report, fact_2_3_report,
+                                        verify_batch_consistency,
                                         verify_identifiability,
                                         verify_normalization,
                                         verify_parameter_continuity)
@@ -23,6 +24,7 @@ __all__ = [
     "Exponential", "Fact23Report", "FiniteMixture", "Flip", "Gamma",
     "Geometric", "Laplace", "LogNormal", "Normal",
     "ParameterizedDistribution", "Poisson", "Uniform",
-    "default_registry", "fact_2_3_report", "verify_identifiability",
-    "verify_normalization", "verify_parameter_continuity",
+    "default_registry", "fact_2_3_report", "verify_batch_consistency",
+    "verify_identifiability", "verify_normalization",
+    "verify_parameter_continuity",
 ]

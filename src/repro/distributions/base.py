@@ -100,6 +100,23 @@ class ParameterizedDistribution:
         """Draw ``n`` iid values (subclasses may vectorize)."""
         return [self.sample(params, rng) for _ in range(n)]
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` iid values from ``P_ψ⟨θ⟩`` as a numpy array.
+
+        The batched chase engine (:mod:`repro.engine.batched`) calls
+        this once per (firing, parameter) group instead of issuing
+        ``size`` scalar :meth:`sample` calls.  Implementations must
+        draw from the same law as :meth:`sample` (the registry
+        tripwire tests assert this), but are free to consume the
+        generator differently - batched draws are *law*-equal, not
+        draw-for-draw equal, to scalar ones.  The base implementation
+        delegates to :meth:`sample_many` (so a family that already
+        vectorized that hook batches fast automatically); every
+        built-in family overrides it with a single numpy call.
+        """
+        return np.asarray(self.sample_many(params, rng, int(size)))
+
     # -- moments (used by tests and examples; optional) ----------------------------
 
     def mean(self, params: Sequence[Any]) -> float:

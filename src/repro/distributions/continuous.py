@@ -67,6 +67,11 @@ class Normal(ParameterizedDistribution):
         mu, var = self.validate_params(params)
         return rng.normal(mu, math.sqrt(var), size=n).tolist()
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        mu, var = self.validate_params(params)
+        return rng.normal(mu, math.sqrt(var), size=size)
+
     def cdf(self, params: Sequence[Any], x: float) -> float:
         mu, var = self.validate_params(params)
         return 0.5 * (1.0 + math.erf((x - mu) / math.sqrt(2.0 * var)))
@@ -109,6 +114,11 @@ class LogNormal(ParameterizedDistribution):
                rng: np.random.Generator) -> float:
         mu, var = self.validate_params(params)
         return float(rng.lognormal(mu, math.sqrt(var)))
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        mu, var = self.validate_params(params)
+        return rng.lognormal(mu, math.sqrt(var), size=size)
 
     def cdf(self, params: Sequence[Any], x: float) -> float:
         mu, var = self.validate_params(params)
@@ -159,6 +169,11 @@ class Exponential(ParameterizedDistribution):
         (rate,) = self.validate_params(params)
         return rng.exponential(1.0 / rate, size=n).tolist()
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        (rate,) = self.validate_params(params)
+        return rng.exponential(1.0 / rate, size=size)
+
     def cdf(self, params: Sequence[Any], x: float) -> float:
         (rate,) = self.validate_params(params)
         if x <= 0.0:
@@ -203,6 +218,11 @@ class Uniform(ParameterizedDistribution):
                     rng: np.random.Generator, n: int) -> list:
         low, high = self.validate_params(params)
         return rng.uniform(low, high, size=n).tolist()
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        low, high = self.validate_params(params)
+        return rng.uniform(low, high, size=size)
 
     def cdf(self, params: Sequence[Any], x: float) -> float:
         low, high = self.validate_params(params)
@@ -253,6 +273,11 @@ class Gamma(ParameterizedDistribution):
         shape, rate = self.validate_params(params)
         return float(rng.gamma(shape, 1.0 / rate))
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        shape, rate = self.validate_params(params)
+        return rng.gamma(shape, 1.0 / rate, size=size)
+
     def mean(self, params: Sequence[Any]) -> float:
         shape, rate = self.validate_params(params)
         return shape / rate
@@ -291,6 +316,11 @@ class Beta(ParameterizedDistribution):
         alpha, beta = self.validate_params(params)
         return float(rng.beta(alpha, beta))
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        alpha, beta = self.validate_params(params)
+        return rng.beta(alpha, beta, size=size)
+
     def mean(self, params: Sequence[Any]) -> float:
         alpha, beta = self.validate_params(params)
         return alpha / (alpha + beta)
@@ -325,6 +355,11 @@ class Laplace(ParameterizedDistribution):
                rng: np.random.Generator) -> float:
         loc, scale = self.validate_params(params)
         return float(rng.laplace(loc, scale))
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        loc, scale = self.validate_params(params)
+        return rng.laplace(loc, scale, size=size)
 
     def cdf(self, params: Sequence[Any], x: float) -> float:
         loc, scale = self.validate_params(params)

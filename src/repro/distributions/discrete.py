@@ -48,6 +48,11 @@ class Flip(ParameterizedDistribution):
         (p,) = self.validate_params(params)
         return int(rng.random() < p)
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        (p,) = self.validate_params(params)
+        return (rng.random(size) < p).astype(np.int64)
+
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         yield 0
         yield 1
@@ -116,6 +121,11 @@ class Binomial(ParameterizedDistribution):
         n, p = self.validate_params(params)
         return [int(v) for v in rng.binomial(n, p, size=count)]
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        n, p = self.validate_params(params)
+        return rng.binomial(n, p, size=size).astype(np.int64)
+
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         n, _p = self.validate_params(params)
         return iter(range(n + 1))
@@ -167,6 +177,11 @@ class Poisson(ParameterizedDistribution):
         (lam,) = self.validate_params(params)
         return [int(v) for v in rng.poisson(lam, size=n)]
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        (lam,) = self.validate_params(params)
+        return rng.poisson(lam, size=size).astype(np.int64)
+
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         return count(0)
 
@@ -212,6 +227,12 @@ class Geometric(ParameterizedDistribution):
         # numpy's geometric counts trials (support {1, 2, ...}); shift.
         return int(rng.geometric(p)) - 1
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        (p,) = self.validate_params(params)
+        # Same trials-to-failures shift as the scalar sampler.
+        return rng.geometric(p, size=size).astype(np.int64) - 1
+
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         return count(0)
 
@@ -256,6 +277,11 @@ class DiscreteUniform(ParameterizedDistribution):
     def sample(self, params: Sequence[Any], rng: np.random.Generator) -> int:
         low, high = self.validate_params(params)
         return int(rng.integers(low, high + 1))
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        low, high = self.validate_params(params)
+        return rng.integers(low, high + 1, size=size).astype(np.int64)
 
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         low, high = self.validate_params(params)
@@ -312,6 +338,12 @@ class Categorical(ParameterizedDistribution):
     def sample(self, params: Sequence[Any], rng: np.random.Generator) -> int:
         weights = self.validate_params(params)
         return int(rng.choice(len(weights), p=np.asarray(weights)))
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        weights = self.validate_params(params)
+        return rng.choice(len(weights), size=size,
+                          p=np.asarray(weights)).astype(np.int64)
 
     def support(self, params: Sequence[Any]) -> Iterator[int]:
         weights = self.validate_params(params)

@@ -96,6 +96,30 @@ class FiniteMixture(ParameterizedDistribution):
         weight, distribution, component_params = self.components[-1]
         return distribution.sample(component_params, rng)
 
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        self.validate_params(params)
+        size = int(size)
+        weights = np.asarray([w for w, _d, _p in self.components])
+        cumulative = np.cumsum(weights)
+        cumulative[-1] = 1.0  # guard against fsum drift at the edge
+        choices = np.searchsorted(cumulative, rng.random(size),
+                                  side="right")
+        parts = []
+        for index, (_w, distribution, component_params) in \
+                enumerate(self.components):
+            count = int(np.count_nonzero(choices == index))
+            parts.append(distribution.sample_batch(
+                component_params, count, rng) if count else None)
+        dtype = np.result_type(*(part.dtype for part in parts
+                                 if part is not None)) \
+            if any(part is not None for part in parts) else float
+        out = np.empty(size, dtype=dtype)
+        for index, part in enumerate(parts):
+            if part is not None:
+                out[choices == index] = part
+        return out
+
     def support(self, params: Sequence[Any]) -> Iterator[Any]:
         if not self.is_discrete:
             return super().support(params)

@@ -98,6 +98,9 @@ class AliasedDistribution(ParameterizedDistribution):
     def sample(self, params, rng):
         return self._inner.sample(params, rng)
 
+    def sample_batch(self, params, size, rng):
+        return self._inner.sample_batch(params, size, rng)
+
     def support(self, params):
         return self._inner.support(params)
 

@@ -1,4 +1,4 @@
-"""Deterministic Datalog engine: matching, naive/semi-naive fixpoints."""
+"""Datalog + chase engines: matching, fixpoints, and the batch chase."""
 
 from repro.engine.matching import (FactSource, IndexedSource, ScanSource,
                                    atom_pattern, body_holds, match_atoms,
@@ -7,7 +7,18 @@ from repro.engine.seminaive import (evaluate_datalog, naive_fixpoint,
                                     seminaive_fixpoint)
 
 __all__ = [
-    "FactSource", "IndexedSource", "ScanSource", "atom_pattern",
-    "body_holds", "evaluate_datalog", "match_atoms",
-    "match_atoms_with_pinned", "naive_fixpoint", "seminaive_fixpoint",
+    "BatchUnsupported", "BatchedChase", "FactSource", "IndexedSource",
+    "ScanSource", "atom_pattern", "body_holds", "evaluate_datalog",
+    "match_atoms", "match_atoms_with_pinned", "naive_fixpoint",
+    "seminaive_fixpoint",
 ]
+
+
+def __getattr__(name: str):
+    # repro.engine.batched builds on repro.core (chase, applicability),
+    # which itself imports repro.engine.matching - importing it eagerly
+    # here would close an import cycle, so the re-export is lazy.
+    if name in ("BatchedChase", "BatchUnsupported"):
+        from repro.engine import batched
+        return getattr(batched, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

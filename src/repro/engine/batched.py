@@ -1,0 +1,383 @@
+"""Vectorized batch chase: advance B independent runs at once.
+
+``Session.sample(n)`` replays the sequential chase ``n`` times; for the
+large class of programs whose randomness sits in a single "layer" above
+a deterministic base (Examples 3.4/3.5 of the paper, and most
+statistical-modelling workloads in the Bárány-et-al. tradition), almost
+all of that work is identical across runs.  :class:`BatchedChase`
+exploits the structure:
+
+1. **Shared deterministic prefix.**  The deterministic fragment of the
+   translated program ``Ĝ`` is a plain Datalog program; its least
+   fixpoint over the input instance is computed *once* per batch via
+   :func:`repro.engine.seminaive.seminaive_fixpoint` and shared by all
+   ``B`` worlds (no random facts exist yet, so every world agrees).
+2. **Vectorized sampling layer.**  The existential firings applicable
+   on the closed instance are identical across worlds.  Each firing's
+   ``B`` independent draws are produced by a *single* call to the
+   distribution's numpy sampler (:meth:`sample_batch`), with firings
+   sharing a parameter tuple grouped into one call.  The per-world
+   sampled values live in columnar numpy arrays - the batch's fact
+   store - and are only materialized into :class:`Fact` objects at the
+   end.  Both the auxiliary fact ``R_i(ā, y)`` and its (3.B) companion
+   head are emitted directly from the firing's ground prefix: under the
+   per-rule translation the companion head is fully determined by the
+   auxiliary fact, so no rule matching is needed.
+3. **Lazy per-world splitting.**  A sampled fact may enable further
+   firings (e.g. ``Trig(x, ...) :- ..., Earthquake(c, 1)``).  A static
+   *trigger analysis* over the translated rule bodies classifies each
+   layer firing as never / always / pinned-value triggering; only the
+   worlds whose sampled values actually hit a trigger are split out of
+   the batch and continued in the scalar engine
+   (:func:`repro.core.chase.run_chase_prepared`) from a fork of the
+   shared state.  The fallback guarantees the sampled law is *exactly*
+   the sequential-chase law: the batched prefix is itself a legitimate
+   chase order, and for the weakly acyclic programs this backend
+   accepts, Theorem 6.1 makes the output distribution independent of
+   that order.
+
+The backend never silently approximates: callers outside the supported
+class (Bárány translation, non-weakly-acyclic programs, trace
+recording, step budgets too tight for the prefix) are *declined* via
+:exc:`BatchUnsupported` / a ``None`` return, and
+:meth:`repro.api.Session.sample` falls back to the scalar loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.applicability import IncrementalApplicability
+from repro.core.chase import ChaseRun, run_chase_prepared
+from repro.core.policies import ChasePolicy
+from repro.core.terms import Const, Var
+from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
+                                  validate_params_in_theta)
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.errors import ChaseError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+
+#: Trigger classifications of a layer firing's sampled fact.
+NEVER, ALWAYS, PINNED = "never", "always", "pinned"
+
+
+class BatchUnsupported(ChaseError):
+    """The program/instance is outside the batched backend's class.
+
+    Raised during :class:`BatchedChase` preparation;
+    :meth:`repro.api.Session.sample` catches it and falls back to the
+    scalar loop (identical draws to ``backend="scalar"``).
+    """
+
+
+@dataclass(frozen=True)
+class _LayerFiring:
+    """One existential firing of the shared sampling layer, prepared.
+
+    ``head_args`` is the companion (3.B) head with ``None`` standing in
+    at ``head_position`` for the sampled value; ``trigger`` / ``pinned``
+    summarize the static analysis of whether the emitted head fact can
+    enable further firings (``pinned`` holds the sampled values that
+    would - only numeric values matter, samples are numbers).
+    """
+
+    aux_relation: str
+    prefix: tuple
+    distribution_key: tuple
+    head_relation: str
+    head_args: tuple
+    head_position: int
+    trigger: str
+    pinned: frozenset
+
+
+class BatchedChase:
+    """A prepared batch sampler for one (translated program, instance).
+
+    Construction performs all per-(program, instance) work: the shared
+    deterministic fixpoint, the applicability bootstrap on the closed
+    instance, companion lookup and the trigger analysis.
+    :meth:`run_batch` then costs one vectorized draw per firing group
+    plus fact materialization - independent of how many times it is
+    called, so sessions cache the instance
+    (:meth:`repro.api.Session.sample` keeps it alongside the scalar
+    engine bases).
+    """
+
+    def __init__(self, translated: ExistentialProgram,
+                 instance: Instance):
+        if translated.semantics != "grohe":
+            raise BatchUnsupported(
+                "batched chase requires the per-rule (grohe) "
+                "translation; the Bárány translation shares auxiliary "
+                "relations across rules")
+        self.translated = translated
+        self.instance = instance
+        det_rules = translated.deterministic_rules()
+        self.closed = seminaive_fixpoint(det_rules, instance) \
+            if det_rules else instance
+        self.det_steps = len(self.closed) - len(instance)
+        self._engine = IncrementalApplicability(translated, self.closed)
+        self._companions = self._collect_companions()
+        self._body_atoms = self._collect_body_atoms()
+        self.layer = tuple(self._prepare_firing(firing)
+                           for firing in self._engine.applicable())
+
+    # -- preparation --------------------------------------------------------
+
+    def _collect_companions(self) -> dict:
+        """aux relation -> (companion DetRule, its aux body atom)."""
+        companions: dict[str, tuple] = {}
+        for rule in self.translated.rules:
+            if not isinstance(rule, DetRule):
+                continue
+            for atom in rule.body:
+                if atom.relation in self.translated.aux_relations:
+                    if atom.relation in companions:
+                        raise BatchUnsupported(
+                            f"auxiliary relation {atom.relation!r} has "
+                            "several companion rules")
+                    companions[atom.relation] = (rule, atom)
+        return companions
+
+    def _collect_body_atoms(self) -> dict:
+        """relation -> body atoms anywhere in ``Ĝ`` (aux atoms excluded).
+
+        Auxiliary relations are excluded on purpose: under the per-rule
+        translation an auxiliary fact only ever matches its own
+        companion's auxiliary atom, and the companion's head is emitted
+        directly by the layer (its ground head is a function of the
+        auxiliary fact alone).
+        """
+        by_relation: dict[str, list] = {}
+        for rule in self.translated.rules:
+            for atom in rule.body:
+                if atom.relation in self.translated.aux_relations:
+                    continue
+                by_relation.setdefault(atom.relation, []).append(atom)
+        return by_relation
+
+    def _prepare_firing(self, firing) -> _LayerFiring:
+        if not firing.existential:
+            raise BatchUnsupported(
+                "deterministic firing survived the shared fixpoint "
+                f"({firing!r}); instance outside the batched class")
+        ext = self.translated.rules[firing.rule_index]
+        if not isinstance(ext, ExtRule):
+            raise BatchUnsupported(f"firing {firing!r} does not map to "
+                                   "an existential rule")
+        info = self.translated.aux_info[firing.relation]
+        prefix = firing.values
+        params = validate_params_in_theta(ext, prefix[info.n_carried:])
+        companion_pair = self._companions.get(firing.relation)
+        if companion_pair is None:
+            raise BatchUnsupported(
+                f"auxiliary relation {firing.relation!r} has no "
+                "companion rule")
+        companion, aux_atom = companion_pair
+        head_args, head_position = self._ground_companion_head(
+            companion, aux_atom, prefix)
+        trigger, pinned = self._trigger_analysis(
+            companion.head.relation, head_args, head_position)
+        return _LayerFiring(
+            aux_relation=firing.relation,
+            prefix=prefix,
+            distribution_key=(id(info.distribution), params),
+            head_relation=companion.head.relation,
+            head_args=head_args,
+            head_position=head_position,
+            trigger=trigger,
+            pinned=frozenset(pinned))
+
+    @staticmethod
+    def _ground_companion_head(companion: DetRule, aux_atom,
+                               prefix: tuple) -> tuple[tuple, int]:
+        """The companion head as ground args with None at the sample slot.
+
+        The auxiliary atom's terms are the carried head terms, the
+        distribution parameters and finally the existential variable;
+        matching them against the ground prefix binds every variable
+        the companion head mentions (head variables are carried terms).
+        """
+        binding: dict = {}
+        existential = aux_atom.terms[-1]
+        for term, value in zip(aux_atom.terms[:-1], prefix):
+            if isinstance(term, Var):
+                binding[term] = value
+        head_args: list = []
+        head_position = -1
+        for index, term in enumerate(companion.head.terms):
+            if term == existential:
+                if head_position >= 0:
+                    raise BatchUnsupported(
+                        "existential variable repeats in companion "
+                        f"head {companion.head!r}")
+                head_position = index
+                head_args.append(None)
+            elif isinstance(term, Const):
+                head_args.append(term.value)
+            elif isinstance(term, Var):
+                if term not in binding:
+                    raise BatchUnsupported(
+                        f"companion head variable {term!r} not bound "
+                        "by the auxiliary prefix")
+                head_args.append(binding[term])
+            else:
+                raise BatchUnsupported(
+                    f"unexpected companion head term {term!r}")
+        if head_position < 0:
+            raise BatchUnsupported(
+                f"companion head {companion.head!r} does not mention "
+                "the existential variable")
+        return tuple(head_args), head_position
+
+    def _trigger_analysis(self, relation: str, head_args: tuple,
+                          position: int) -> tuple[str, set]:
+        """Classify whether the emitted head fact can enable firings.
+
+        The emitted fact is fixed across worlds except at ``position``
+        (the sampled value).  It can only enable a new firing by
+        matching some rule-body atom; for each candidate atom the fixed
+        columns either rule the match out entirely, or pin the sampled
+        value to one concrete constant, or leave it free (any sample
+        triggers).  Worlds whose samples hit a pin (or any world, under
+        ``always``) are split to the scalar engine; the rest provably
+        have an empty applicable set and are final.
+        """
+        pinned: set = set()
+        for atom in self._body_atoms.get(relation, ()):
+            verdict = self._atom_pin(atom, head_args, position)
+            if verdict is ALWAYS:
+                return ALWAYS, set()
+            if verdict is not None:
+                pinned.update(verdict)
+        return (PINNED, pinned) if pinned else (NEVER, pinned)
+
+    @staticmethod
+    def _atom_pin(atom, head_args: tuple, position: int):
+        """None (can never match) | ALWAYS | set of pinned sample values."""
+        if atom.arity != len(head_args):
+            return None
+        binding: dict = {}
+        for index, term in enumerate(atom.terms):
+            if index == position:
+                continue
+            value = head_args[index]
+            if isinstance(term, Const):
+                if term.value != value:
+                    return None
+            elif isinstance(term, Var):
+                if term in binding and binding[term] != value:
+                    return None
+                binding[term] = value
+            else:
+                return None
+        sample_term = atom.terms[position]
+        if isinstance(sample_term, Const):
+            return {sample_term.value}
+        if isinstance(sample_term, Var):
+            if sample_term in binding:
+                return {binding[sample_term]}
+            return ALWAYS
+        return None
+
+    # -- execution ----------------------------------------------------------
+
+    def run_batch(self, size: int, batch_rng: np.random.Generator,
+                  world_rngs, policy: ChasePolicy,
+                  max_steps: int) -> tuple[list[ChaseRun], dict] | None:
+        """Sample ``size`` chase runs; None declines (budget too tight).
+
+        ``world_rngs`` is a zero-argument callable producing the
+        per-world generators used by split worlds only (lazy: fully
+        batched runs never touch it).  The returned diagnostics dict
+        reports how many worlds stayed vectorized.
+        """
+        layer = self.layer
+        # Conservative budget bound: prefix facts + one auxiliary and
+        # one head fact per firing.  Tighter-budget callers get exact
+        # truncation semantics from the scalar loop instead.
+        if self.det_steps + 2 * len(layer) > max_steps:
+            return None
+        if not layer:
+            run = ChaseRun(self.closed, True, self.det_steps)
+            return [run] * size, {"n_split": 0, "n_firings": 0}
+
+        draws = self._draw_layer(size, batch_rng)
+        split = np.zeros(size, dtype=bool)
+        for index, firing in enumerate(layer):
+            if firing.trigger == ALWAYS:
+                split[:] = True
+                break
+            if firing.trigger == PINNED:
+                numeric = [value for value in firing.pinned
+                           if isinstance(value, (int, float))
+                           and not isinstance(value, bool)]
+                if numeric:
+                    split |= np.isin(draws[index],
+                                     np.asarray(numeric))
+
+        values = [column.tolist() for column in draws]
+        rngs = None
+        runs: list[ChaseRun] = []
+        for world in range(size):
+            facts = []
+            new_heads = set()
+            for index, firing in enumerate(layer):
+                sampled = values[index][world]
+                facts.append(Fact(firing.aux_relation,
+                                  firing.prefix + (sampled,)))
+                head_args = list(firing.head_args)
+                head_args[firing.head_position] = sampled
+                head = Fact(firing.head_relation, tuple(head_args))
+                facts.append(head)
+                if head not in self.closed:
+                    new_heads.add(head)
+            steps = self.det_steps + len(layer) + len(new_heads)
+            current = self.closed.add_all(facts)
+            if not split[world]:
+                runs.append(ChaseRun(current, True, steps))
+                continue
+            if rngs is None:
+                rngs = world_rngs()
+            state = self._engine.fork()
+            for fact in facts:
+                state.add_fact(fact)
+            run = run_chase_prepared(
+                self.translated, state, current, policy, rngs[world],
+                max_steps - steps)
+            runs.append(ChaseRun(run.instance, run.terminated,
+                                 steps + run.steps))
+        return runs, {"n_split": int(split.sum()),
+                      "n_firings": len(layer)}
+
+    def _draw_layer(self, size: int,
+                    rng: np.random.Generator) -> list[np.ndarray]:
+        """One numpy array of ``size`` samples per layer firing.
+
+        Firings sharing a (distribution, parameters) pair are served by
+        a single ``sample_batch`` call of ``size * count`` draws - the
+        draws are iid, so slicing the flat array per firing preserves
+        the product law.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for index, firing in enumerate(self.layer):
+            groups.setdefault(firing.distribution_key, []).append(index)
+        draws: list[np.ndarray | None] = [None] * len(self.layer)
+        for key, members in groups.items():
+            _ident, params = key
+            info = self.translated.aux_info[
+                self.layer[members[0]].aux_relation]
+            flat = np.asarray(info.distribution.sample_batch(
+                params, size * len(members), rng))
+            if flat.shape != (size * len(members),):
+                raise ChaseError(
+                    f"{info.distribution.name}.sample_batch returned "
+                    f"shape {flat.shape}, expected "
+                    f"({size * len(members)},)")
+            for offset, index in enumerate(members):
+                draws[index] = flat[offset * size:(offset + 1) * size]
+        return draws  # type: ignore[return-value]

@@ -18,6 +18,12 @@ Each :class:`Oracle` here checks one such agreement on a generated
   test;
 * ``facade-legacy``  - the :mod:`repro.api` facade vs the deprecated
   top-level shims, which must be draw-for-draw identical;
+* ``batched-scalar`` - the vectorized batch backend
+  (:mod:`repro.engine.batched`) vs the scalar per-run loop: exact
+  marginal/chi-squared agreement against the exact SPDB where
+  enumeration is available, KS agreement of sampled values for
+  continuous programs, and draw-for-draw identity where the batched
+  backend must fall back to the scalar loop;
 * ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
   truncated ones - the FDs hold on every *reachable* instance);
 * ``termination``    - the static analysis (Section 6.3) vs observed
@@ -280,12 +286,17 @@ class ChaseOrderOracle(Oracle):
         n = self.n_runs
         base = _compiled(case)
         ensembles = []
+        # backend="scalar" pinned: this oracle exercises the *scalar*
+        # chase's order independence - under "auto" both policy
+        # variants would route to the batched backend, whose prefix is
+        # policy-independent by construction (the batched-scalar
+        # oracle covers that backend separately).
         for index, overrides in enumerate((
                 {"policy": FirstPolicy()},
                 {"policy": LastPolicy()},
                 {"parallel": True})):
             session = base.on(case.instance, seed=case.seed + index,
-                              **overrides)
+                              backend="scalar", **overrides)
             ensembles.append(sampled_values(session.sample(n).pdb,
                                             positions))
         labels = ("first-policy", "last-policy", "parallel")
@@ -307,7 +318,9 @@ class ExactVsSampleOracle(Oracle):
     def check(self, case: FuzzCase) -> OracleOutcome:
         if not _exactable(case):
             return _skip("exact enumeration unavailable")
-        session = _session(case, seed=case.seed)
+        # Pinned to the scalar sampler; the batched-scalar oracle
+        # makes the same exact-SPDB comparison for the batched side.
+        session = _session(case, seed=case.seed, backend="scalar")
         exact = session.exact().pdb
         sampled = session.sample(self.n_runs).pdb
         detail = marginals_agree(exact, sampled)
@@ -348,6 +361,75 @@ class FacadeVsLegacyOracle(Oracle):
                                                legacy_exact)
                 if detail:
                     return _fail(f"exact path: {detail}")
+        return _ok()
+
+
+class BatchedVsScalarOracle(Oracle):
+    """The vectorized batch backend vs the scalar loop (same law).
+
+    For weakly acyclic programs the two backends sample the same
+    output distribution (Theorem 6.1 underwrites the batched prefix);
+    the comparison is statistical.  Outside the batched backend's
+    class (non-weakly-acyclic programs, the Bárány translation) it
+    must fall back to the scalar loop, so there the check is exact
+    draw-for-draw identity.
+    """
+
+    name = "batched-scalar"
+
+    def __init__(self, n_runs: int = 250):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        if not weakly_acyclic(case.program):
+            return self._check_fallback_identity(case)
+        if _exactable(case):
+            return self._check_exact(case)
+        return self._check_statistical(case)
+
+    def _check_fallback_identity(self, case: FuzzCase) -> OracleOutcome:
+        batched = _session(case, seed=case.seed, max_steps=200,
+                           backend="batched").sample(30).pdb
+        scalar = _session(case, seed=case.seed, max_steps=200,
+                          backend="scalar").sample(30).pdb
+        detail = compare_monte_carlo_pdbs(batched, scalar)
+        if detail:
+            return _fail(f"fallback not draw-identical: {detail}")
+        return _ok()
+
+    def _check_exact(self, case: FuzzCase) -> OracleOutcome:
+        session = _session(case, seed=case.seed)
+        exact = session.exact().pdb
+        result = session.sample(self.n_runs, backend="batched")
+        if result.backend != "batched":
+            # A silent scalar fallback would make this check vacuous
+            # (scalar-vs-exact is ExactVsSampleOracle's job); surface
+            # the coverage hole as a skip instead of a hollow ok.
+            return _skip("batched backend declined this case")
+        batched = result.pdb
+        detail = marginals_agree(exact, batched)
+        if detail:
+            return _fail(f"batched sampling: {detail}")
+        detail = worlds_agree_chi_squared(exact, batched)
+        if detail:
+            return _fail(f"batched sampling: {detail}")
+        return _ok()
+
+    def _check_statistical(self, case: FuzzCase) -> OracleOutcome:
+        positions = random_value_positions(case.program)
+        if not positions:
+            return _skip("no single-random-term heads to compare")
+        base = _compiled(case)
+        result = base.on(case.instance, seed=case.seed,
+                         backend="batched").sample(self.n_runs)
+        if result.backend != "batched":
+            return _skip("batched backend declined this case")
+        scalar = base.on(case.instance, seed=case.seed + 1,
+                         backend="scalar").sample(self.n_runs).pdb
+        detail = ks_agreement(sampled_values(result.pdb, positions),
+                              sampled_values(scalar, positions))
+        if detail:
+            return _fail(f"batched vs scalar: {detail}")
         return _ok()
 
 
@@ -426,8 +508,8 @@ class TerminationOracle(Oracle):
 def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
-            FacadeVsLegacyOracle(), InducedFDOracle(),
-            TerminationOracle()]
+            FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
+            InducedFDOracle(), TerminationOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

@@ -51,9 +51,12 @@ class OracleStats:
     ok: int = 0
     skipped: int = 0
     failed: int = 0
+    seconds: float = 0.0
 
-    def record(self, outcome: OracleOutcome) -> None:
+    def record(self, outcome: OracleOutcome,
+               elapsed: float = 0.0) -> None:
         self.checked += 1
+        self.seconds += elapsed
         if outcome.status == "ok":
             self.ok += 1
         elif outcome.status == "skip":
@@ -63,7 +66,8 @@ class OracleStats:
 
     def to_json(self) -> dict:
         return {"checked": self.checked, "ok": self.ok,
-                "skipped": self.skipped, "failed": self.failed}
+                "skipped": self.skipped, "failed": self.failed,
+                "seconds": round(self.seconds, 3)}
 
 
 @dataclass(frozen=True)
@@ -171,8 +175,10 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
         if on_case is not None:
             on_case(index, case)
         for oracle in battery:
+            oracle_start = time.perf_counter()
             outcome = evaluate(oracle, case)
-            report.stats[oracle.name].record(outcome)
+            report.stats[oracle.name].record(
+                outcome, time.perf_counter() - oracle_start)
             if outcome.status != FAIL:
                 continue
             shrunk = case

@@ -245,11 +245,17 @@ class TestSessionSample:
             [w.canonical_text() for w in b.worlds]
 
     def test_workers_match_sequential(self, earthquake):
+        # Worker threads are a scalar-path feature (the batched
+        # backend is already vectorized, and "auto" routes workers > 1
+        # to the scalar loop), so pin the backend for the comparison.
         program, instance = earthquake
         compiled = repro.compile(program)
-        sequential = compiled.on(instance, seed=5).sample(60).pdb
-        threaded = compiled.on(instance, seed=5).sample(60,
-                                                        workers=4).pdb
+        sequential = compiled.on(instance, seed=5).sample(
+            60, backend="scalar").pdb
+        threaded_result = compiled.on(instance, seed=5).sample(
+            60, workers=4)
+        assert threaded_result.backend == "scalar"
+        threaded = threaded_result.pdb
         assert [w.canonical_text() for w in sequential.worlds] == \
             [w.canonical_text() for w in threaded.worlds]
 

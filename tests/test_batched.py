@@ -1,0 +1,367 @@
+"""Tests for the vectorized batch-chase backend (repro.engine.batched).
+
+Four concerns:
+
+* **registry tripwire** - every registered distribution implements
+  ``sample_batch`` consistently with ``sample`` (same support, same
+  value kind, matching moments); registering a family without batch
+  coverage fails here;
+* **scalar bit-identity** - ``backend="scalar"`` reproduces the
+  pre-backend draw-for-draw behaviour under both stream schemes (the
+  refactor must not move a single draw);
+* **law agreement** - batched vs scalar on the paper's Examples 3.4
+  (discrete, cascading triggers) and 3.5 (continuous, single layer):
+  same output distribution, checked against closed forms and by KS;
+* **mechanics** - backend resolution (auto/scalar/batched), per-world
+  splitting, fallbacks outside the supported class, budget semantics.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.config import ChaseConfig
+from repro.core.chase import run_chase_prepared, make_engine
+from repro.core.policies import DEFAULT_POLICY, LastPolicy
+from repro.distributions.mixture import FiniteMixture
+from repro.distributions.continuous import Normal
+from repro.distributions.registry import DEFAULT_REGISTRY
+from repro.engine.batched import BatchedChase, BatchUnsupported
+from repro.errors import ValidationError
+from repro.measures.empirical import ks_critical_value, ks_two_sample
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.workloads.paper import (alarm_probability_closed_form,
+                                   continuous_feedback_program,
+                                   example_3_4_instance,
+                                   example_3_4_program,
+                                   example_3_5_instance,
+                                   example_3_5_program)
+
+#: One valid parameter point per registered family - the tripwire
+#: below asserts this table covers the registry exactly, so a new
+#: family cannot land without batch-sampler coverage.
+BATCH_PARAMS = {
+    "Flip": (0.35,),
+    "Bernoulli": (0.6,),
+    "FlipPrime": (0.8,),
+    "Binomial": (6, 0.45),
+    "Poisson": (2.5,),
+    "Geometric": (0.4,),
+    "DiscreteUniform": (-2, 5),
+    "Categorical": (0.1, 0.6, 0.3),
+    "Normal": (1.0, 4.0),
+    "LogNormal": (0.2, 0.5),
+    "Exponential": (1.7,),
+    "Uniform": (-1.0, 2.0),
+    "Gamma": (2.0, 1.5),
+    "Beta": (2.5, 1.5),
+    "Laplace": (0.5, 1.2),
+}
+
+BATCH_N = 2000
+
+
+class TestSampleBatchRegistry:
+    def test_parameter_table_covers_registry_exactly(self):
+        assert set(BATCH_PARAMS) == set(DEFAULT_REGISTRY.names())
+
+    @pytest.mark.parametrize("name", sorted(BATCH_PARAMS))
+    def test_batch_matches_scalar_support_and_kind(self, name):
+        distribution = DEFAULT_REGISTRY[name]
+        params = BATCH_PARAMS[name]
+        rng = np.random.default_rng(7)
+        batch = distribution.sample_batch(params, BATCH_N, rng)
+        assert isinstance(batch, np.ndarray)
+        assert batch.shape == (BATCH_N,)
+        scalar_value = distribution.sample(params,
+                                           np.random.default_rng(7))
+        if distribution.is_discrete:
+            assert isinstance(scalar_value, int)
+            assert np.issubdtype(batch.dtype, np.integer)
+        else:
+            assert isinstance(scalar_value, float)
+            assert np.issubdtype(batch.dtype, np.floating)
+        # Every drawn value lies in the support of the scalar law.
+        for value in batch[:200].tolist():
+            assert distribution.density(params, value) > 0.0, \
+                f"{name}: {value!r} outside the support"
+
+    @pytest.mark.parametrize("name", sorted(BATCH_PARAMS))
+    def test_batch_moments_match_declared(self, name):
+        distribution = DEFAULT_REGISTRY[name]
+        params = BATCH_PARAMS[name]
+        batch = distribution.sample_batch(
+            params, BATCH_N, np.random.default_rng(11))
+        expected = distribution.mean(params)
+        sigma = math.sqrt(distribution.variance(params) / BATCH_N)
+        assert abs(float(batch.mean()) - expected) <= \
+            6.0 * sigma + 1e-9, name
+
+    @pytest.mark.parametrize("name", sorted(BATCH_PARAMS))
+    def test_batch_ks_consistent_with_scalar(self, name):
+        assert repro.distributions.verify_batch_consistency(
+            DEFAULT_REGISTRY[name], BATCH_PARAMS[name], n=1500,
+            seed=5), name
+
+    def test_base_class_fallback_loops_scalar_sampler(self):
+        class Odd(Normal):
+            name = "OddNormal"
+            # No sample_batch override: inherit the base-class loop...
+            sample_batch = \
+                repro.distributions.base.ParameterizedDistribution \
+                .sample_batch
+
+        batch = Odd().sample_batch((0.0, 1.0), 64,
+                                   np.random.default_rng(0))
+        assert batch.shape == (64,)
+
+    def test_mixture_sample_batch_matches_law(self):
+        mixture = FiniteMixture("Bimodal", [
+            (0.5, Normal(), (-3.0, 0.25)),
+            (0.5, Normal(), (3.0, 0.25)),
+        ])
+        rng = np.random.default_rng(3)
+        batch = mixture.sample_batch((), 4000, rng)
+        scalar = [mixture.sample((), rng) for _ in range(4000)]
+        statistic = ks_two_sample(batch.tolist(), scalar)
+        assert statistic <= 1.3 * ks_critical_value(4000, 4000, 1e-4)
+
+
+class TestScalarBitIdentity:
+    """``backend="scalar"`` must not move a single seeded draw."""
+
+    def test_shared_streams_match_legacy_sampler(self):
+        program = example_3_4_program()
+        instance = example_3_4_instance()
+        facade = repro.compile(program).on(
+            instance, seed=23, streams="shared",
+            backend="scalar").sample(80).pdb
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = repro.sample_spdb(program, instance, n=80, rng=23)
+        assert facade.worlds == legacy.worlds
+        assert facade.truncated == legacy.truncated
+
+    def test_spawn_streams_match_prepared_loop(self):
+        program = example_3_4_program()
+        instance = example_3_4_instance()
+        compiled = repro.compile(program)
+        facade = compiled.on(instance, seed=9,
+                             backend="scalar").sample(40).pdb
+        translated = compiled.translated
+        visible = compiled.visible_relations
+        base = make_engine(translated, instance)
+        expected = []
+        for rng in ChaseConfig(seed=9).spawn_rngs(40):
+            run = run_chase_prepared(translated, base.fork(), instance,
+                                     DEFAULT_POLICY, rng)
+            expected.append(run.instance.restrict(visible))
+        assert facade.worlds == expected
+
+
+class TestBatchedLawAgreement:
+    def test_example_3_4_marginals_match_closed_form(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=5)
+        result = session.sample(4000, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] > 0       # quakes happen
+        assert result.diagnostics["n_batched"] > 0     # most stay flat
+        for unit, rate in (("house-1", 0.03), ("biz-1", 0.01)):
+            expected = alarm_probability_closed_form(rate)
+            estimate = result.marginal(Fact("Alarm", (unit,)))
+            sigma = math.sqrt(expected * (1 - expected) / 4000)
+            assert abs(estimate - expected) <= 6 * sigma + 0.01, unit
+
+    def test_example_3_4_batched_vs_scalar_marginals(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance())
+        batched = session.sample(3000, backend="batched", seed=1)
+        scalar = session.sample(3000, backend="scalar", seed=2)
+        marginals = scalar.fact_marginals()
+        for fact, probability in batched.fact_marginals().items():
+            sigma = math.sqrt(
+                max(probability * (1 - probability) / 3000, 1e-12))
+            assert abs(probability - marginals.get(fact, 0.0)) <= \
+                6 * sigma + 0.02, fact
+
+    def test_example_3_5_heights_ks_agreement(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+
+        def heights(backend, seed):
+            pdb = session.sample(500, backend=backend, seed=seed).pdb
+            return [float(fact.args[1]) for world in pdb.worlds
+                    for fact in world.facts_of("PHeight")]
+
+        batched = heights("batched", 3)
+        scalar = heights("scalar", 4)
+        assert len(batched) == len(scalar) == 500 * 6
+        statistic = ks_two_sample(batched, scalar)
+        assert statistic <= 1.3 * ks_critical_value(
+            len(batched), len(scalar), 1e-4)
+
+    def test_exact_matches_batched_flip(self):
+        compiled = repro.compile("R(Flip<0.3>) :- true.")
+        exact = compiled.on().exact()
+        batched = compiled.on(seed=8).sample(5000, backend="batched")
+        fact = Fact("R", (1,))
+        assert abs(batched.marginal(fact) - exact.marginal(fact)) \
+            <= 0.03
+
+
+class TestBackendResolution:
+    def test_auto_picks_batched_for_eligible_program(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+        assert session.sample(20).backend == "batched"
+
+    def test_auto_stays_scalar_under_shared_streams(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0, streams="shared")
+        assert session.sample(20).backend == "scalar"
+
+    def test_auto_stays_scalar_with_workers(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+        assert session.sample(20, workers=2).backend == "scalar"
+
+    def test_auto_respects_batch_unsafe_policy(self):
+        class Skittish(LastPolicy):
+            batch_safe = False
+
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0, policy=Skittish())
+        assert session.sample(20).backend == "scalar"
+        # An honest policy stays batched (Theorem 6.1 covers it).
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0, policy=LastPolicy())
+        assert session.sample(20).backend == "batched"
+
+    def test_explicit_batched_falls_back_outside_class(self):
+        # Non-weakly-acyclic: the batched backend must decline and the
+        # fallback must be draw-for-draw the scalar loop.
+        compiled = repro.compile(continuous_feedback_program())
+        instance = Instance.of(Fact("Seed", (0,)))
+        batched = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, backend="batched")
+        scalar = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, backend="scalar")
+        assert batched.backend == "scalar"
+        assert batched.pdb.worlds == scalar.pdb.worlds
+        assert batched.pdb.truncated == scalar.pdb.truncated
+
+    def test_barany_semantics_falls_back_identically(self):
+        text = "R(Flip<0.5>) :- true.\nS(Flip<0.5>) :- true."
+        compiled = repro.compile(text, semantics="barany")
+        batched = compiled.on(seed=2).sample(30, backend="batched")
+        scalar = compiled.on(seed=2).sample(30, backend="scalar")
+        assert batched.backend == "scalar"
+        assert batched.pdb.worlds == scalar.pdb.worlds
+
+    def test_explicit_batched_never_threads_even_on_decline(self):
+        # workers is a scalar-path knob: explicit backend="batched"
+        # must ignore it both when the batch runs and when it
+        # declines, so parallelism never depends on program structure.
+        compiled = repro.compile(continuous_feedback_program())
+        instance = Instance.of(Fact("Seed", (0,)))
+        threaded = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, workers=4, backend="batched")
+        plain = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, backend="batched")
+        assert threaded.pdb.worlds == plain.pdb.worlds
+
+    def test_record_trace_and_parallel_fall_back(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+        assert session.sample(
+            10, record_trace=True).backend == "scalar"
+        assert session.sample(10, parallel=True).backend == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            ChaseConfig(backend="quantum")
+
+    def test_tight_budget_declines_to_scalar_semantics(self):
+        # The batched prefix needs det fixpoint + 2 facts per firing;
+        # a tighter budget must fall back to exact scalar truncation.
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0, max_steps=3)
+        batched = session.sample(10, backend="batched")
+        scalar = session.sample(10, backend="scalar")
+        assert batched.backend == "scalar"
+        assert batched.pdb.truncated == scalar.pdb.truncated
+
+
+class TestBatchedMechanics:
+    def test_single_layer_program_never_splits(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+        result = session.sample(200, backend="batched")
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_layer_firings"] == 6
+        assert result.n_truncated == 0
+
+    def test_no_random_rules_yields_shared_fixpoint(self):
+        compiled = repro.compile("""
+            Path(x, y) :- Edge(x, y).
+            Path(x, z) :- Path(x, y), Edge(y, z).
+        """)
+        instance = Instance.of(Fact("Edge", (1, 2)),
+                               Fact("Edge", (2, 3)))
+        result = compiled.on(instance, seed=0).sample(
+            25, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_layer_firings"] == 0
+        world = result.pdb.worlds[0]
+        assert Fact("Path", (1, 3)) in world.facts
+        assert all(w == world for w in result.pdb.worlds)
+
+    def test_keep_aux_exposes_auxiliary_facts(self):
+        session = repro.compile("R(Flip<0.5>) :- true.").on(seed=0)
+        bare = session.sample(10, backend="batched")
+        kept = session.sample(10, backend="batched", keep_aux=True)
+        assert all(not any("#" in f.relation for f in w.facts)
+                   for w in bare.pdb.worlds)
+        assert all(any("#" in f.relation for f in w.facts)
+                   for w in kept.pdb.worlds)
+
+    def test_split_worlds_reach_terminal_instances(self):
+        # Force heavy splitting: every Flip=1 triggers a cascade.
+        compiled = repro.compile("""
+            Hit(Flip<0.9>) :- true.
+            Boom(x) :- Hit(1), Seed(x).
+        """)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        result = compiled.on(instance, seed=0).sample(
+            300, backend="batched")
+        assert result.diagnostics["n_split"] > 200
+        hit = Fact("Hit", (1,))
+        boom = Fact("Boom", ("s",))
+        for world in result.pdb.worlds:
+            assert (hit in world.facts) == (boom in world.facts)
+
+    def test_batched_chase_rejects_barany_translation(self):
+        program = repro.Program.parse("R(Flip<0.5>) :- true.")
+        with pytest.raises(BatchUnsupported):
+            BatchedChase(program.translate_barany(), Instance.empty())
+
+    def test_deterministic_given_seed(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance())
+        a = session.sample(100, backend="batched", seed=13).pdb
+        b = session.sample(100, backend="batched", seed=13).pdb
+        assert a.worlds == b.worlds
+
+    def test_batched_sampler_is_cached_on_the_session(self):
+        session = repro.compile(example_3_5_program()).on(
+            example_3_5_instance(), seed=0)
+        session.sample(5, backend="batched")
+        first = session._engines["batched"]
+        session.sample(5, backend="batched")
+        assert session._engines["batched"] is first
+        assert isinstance(first, BatchedChase)

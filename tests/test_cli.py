@@ -225,7 +225,7 @@ DOCUMENTED_JSON_KEYS = {
     "exact": {"command", "n_worlds", "total_mass", "err_mass",
               "elapsed_seconds", "worlds"},
     "sample": {"command", "n_runs", "n_terminated", "n_truncated",
-               "err_mass", "elapsed_seconds", "marginals"},
+               "err_mass", "elapsed_seconds", "backend", "marginals"},
     "analyze": {"command", "n_rules", "n_random_rules",
                 "distributions", "extensional", "discrete",
                 "weakly_acyclic", "continuous_cycle",
@@ -282,7 +282,8 @@ class TestJsonRoundTrip:
         assert payload["n_cases"] == 4
         assert payload["n_discrepancies"] == 0
         for stats in payload["oracles"].values():
-            assert set(stats) == {"checked", "ok", "skipped", "failed"}
+            assert set(stats) == {"checked", "ok", "skipped", "failed",
+                                  "seconds"}
 
 
 class TestFuzzCommand:

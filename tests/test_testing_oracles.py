@@ -32,7 +32,8 @@ class TestOracleBattery:
         assert len(names) == len(set(names))
         assert set(oracles_by_name()) == {
             "fixpoint", "chase-order", "exact-vs-sample",
-            "facade-legacy", "induced-fds", "termination"}
+            "facade-legacy", "batched-scalar", "induced-fds",
+            "termination"}
 
 
 class TestSkipPreconditions:

@@ -41,6 +41,18 @@ STREAMS = ("spawn", "shared")
 #: to scalar outside its supported class), ``"auto"`` picks batched
 #: whenever it is eligible and the caller has not asked for anything
 #: the batch cannot honour (shared streams, worker threads, traces).
+#:
+#: Eligibility under ``"auto"`` is per *program/config*, not per
+#: trigger structure: since the multi-round batch loop, cascading
+#: programs (sampled values enabling further rules, e.g. Example 3.4's
+#: Trig/Alarm stage) stay on the batched backend too - trigger-hit
+#: worlds are regrouped by their enabled-trigger signature and the next
+#: existential layer runs vectorized per group, with only residual
+#: singleton groups (and budget-starved or structurally unsupported
+#: ones) finishing on the scalar engine.  The hard requirements are
+#: unchanged: per-rule (grohe) translation, weak acyclicity, ``"spawn"``
+#: streams, sequential chase, no trace recording, no worker threads,
+#: and a batch-safe policy.
 BACKENDS = ("auto", "scalar", "batched")
 
 
@@ -61,7 +73,15 @@ class ChaseConfig:
     ``streams`` - per-run ``"spawn"`` streams or the legacy
     ``"shared"`` sequential stream;
     ``backend`` - Monte-Carlo sampling backend (``"auto"``,
-    ``"scalar"``, ``"batched"``; see :data:`BACKENDS`).
+    ``"scalar"``, ``"batched"``; see :data:`BACKENDS`);
+    ``batch_min_group`` - smallest world group the batched backend
+    keeps vectorized across cascade rounds.  Groups below the
+    threshold finish on the scalar engine instead of paying the
+    vectorization overhead; the default (2) sends exactly the
+    residual singleton groups scalar.  ``1`` vectorizes everything
+    (useful for exercising the multi-round machinery), larger values
+    trade batch coverage for fewer tiny ``sample_batch`` calls.  The
+    sampled law is identical at every setting.
     """
 
     policy: ChasePolicy | None = None
@@ -75,6 +95,7 @@ class ChaseConfig:
     seed: int | np.random.Generator | None = None
     streams: str = "spawn"
     backend: str = "auto"
+    batch_min_group: int = 2
 
     def __post_init__(self) -> None:
         if self.policy is not None and \
@@ -105,6 +126,13 @@ class ChaseConfig:
                 and self.tolerance >= 0.0):
             raise ValidationError(
                 f"tolerance must be >= 0, got {self.tolerance!r}")
+        if isinstance(self.batch_min_group, bool) \
+                or not isinstance(self.batch_min_group,
+                                  (int, np.integer)) \
+                or self.batch_min_group <= 0:
+            raise ValidationError(
+                f"batch_min_group must be a positive int, got "
+                f"{self.batch_min_group!r}")
         if self.seed is not None and not isinstance(
                 self.seed, (int, np.integer, np.random.Generator)):
             raise ValidationError(

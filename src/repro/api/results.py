@@ -47,7 +47,13 @@ class InferenceResult:
 
         ``"scalar"`` or ``"batched"`` for ``kind="sample"`` results;
         None for methods without a backend choice (exact, rejection,
-        likelihood).
+        likelihood).  Batched results additionally report ``n_split`` /
+        ``n_batched`` (worlds finished scalar vs vectorized),
+        ``n_rounds`` (cascade depth of the multi-round batch loop) and
+        ``n_groups`` (terminal signature groups) in ``diagnostics``,
+        and their ``pdb`` answers ``marginal`` / ``fact_marginals``
+        straight from the columnar sample arrays - worlds materialize
+        only when accessed.
         """
         return self.diagnostics.get("backend")
 

@@ -457,12 +457,21 @@ class Session:
 
     def _sample_batched(self, cfg: ChaseConfig,
                         n: int) -> InferenceResult | None:
-        """Vectorized sampling; None = declined (caller runs scalar)."""
+        """Vectorized sampling; None = declined (caller runs scalar).
+
+        The result wraps a :class:`~repro.engine.batched.
+        ColumnarMonteCarloPDB`: worlds that stayed vectorized through
+        the multi-round cascade are kept columnar, so ``marginal`` /
+        ``fact_marginals`` queries read the sample arrays directly and
+        the n ``Instance`` fact-sets are only materialized if a caller
+        walks ``result.pdb.worlds``.
+        """
         if not self._batch_eligible(cfg):
             return None
         batched = self._batched_chase()
         if batched is None:
             return None
+        from repro.engine.batched import ColumnarMonteCarloPDB
         visible = self.compiled.visible_relations
         start = time.perf_counter()
         batch_rng = cfg.base_rng()
@@ -474,19 +483,23 @@ class Session:
                 return cfg.spawn_rngs(n)
         outcome = batched.run_batch(n, batch_rng, world_rngs,
                                     cfg.policy or DEFAULT_POLICY,
-                                    cfg.max_steps)
+                                    cfg.max_steps,
+                                    cfg.batch_min_group)
         if outcome is None:
             return None
-        runs, info = outcome
-        worlds, truncated = self._collect_worlds(cfg, runs, visible)
+        pdb = ColumnarMonteCarloPDB(outcome, visible,
+                                    keep_aux=cfg.keep_aux)
         elapsed = time.perf_counter() - start
+        info = outcome.diagnostics
         return InferenceResult(
-            MonteCarloPDB(worlds, truncated), "sample", elapsed,
-            n_runs=n, n_truncated=truncated,
+            pdb, "sample", elapsed,
+            n_runs=n, n_truncated=pdb.truncated,
             diagnostics={"backend": "batched",
                          "n_split": info["n_split"],
                          "n_batched": n - info["n_split"],
-                         "n_layer_firings": info["n_firings"]})
+                         "n_layer_firings": info["n_firings"],
+                         "n_rounds": info["n_rounds"],
+                         "n_groups": info["n_groups"]})
 
     @staticmethod
     def _collect_worlds(cfg: ChaseConfig, runs: Sequence[ChaseRun],

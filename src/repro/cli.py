@@ -113,6 +113,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--corpus", default=None, metavar="DIR",
                       help="persist shrunk reproducers here "
                            "(e.g. tests/fuzz_corpus)")
+    fuzz.add_argument("--coverage", action="store_true",
+                      help="coverage-guided generation: bias workloads "
+                           "toward translated-program feature buckets "
+                           "not yet seen in this run")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="record raw failing cases without "
                            "minimization")
@@ -332,7 +336,8 @@ def cmd_fuzz(args, out) -> int:
                       file=sys.stderr, flush=True)
     report = run_fuzz(budget=args.budget, seed=args.seed,
                       oracles=battery, corpus_dir=args.corpus,
-                      shrink=not args.no_shrink, on_case=on_case)
+                      shrink=not args.no_shrink, on_case=on_case,
+                      coverage_guided=args.coverage)
     if args.json:
         _emit_json(report.to_json(), out)
         return 0 if report.ok() else 1

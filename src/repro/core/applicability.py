@@ -173,9 +173,19 @@ class IncrementalApplicability(ApplicabilityEngine):
     """
 
     def __init__(self, translated: ExistentialProgram,
-                 instance: Instance):
+                 instance: Instance,
+                 source: IndexedSource | None = None):
         super().__init__(translated)
-        self._source = IndexedSource(instance.facts)
+        # A caller that already indexed the instance (e.g. the batched
+        # chase, whose shared fixpoint hands back its warm source) may
+        # pass it in; it must mirror ``instance`` exactly and is owned
+        # by the engine afterwards.
+        if source is not None and len(source) != len(instance):
+            raise ValueError(
+                f"prebuilt source has {len(source)} facts, instance "
+                f"has {len(instance)}")
+        self._source = source if source is not None \
+            else IndexedSource(instance.facts)
         self._fact_set: set[Fact] = set(instance.facts)
         self._aux_prefixes = _collect_aux_prefixes(translated,
                                                    instance.facts)
@@ -217,6 +227,19 @@ class IncrementalApplicability(ApplicabilityEngine):
             for binding in match_atoms_with_pinned(
                     rule.body, self._source, position, f):
                 self._consider(_firing_of(rule, binding))
+
+    def retire_existential(self, relation: str, prefix: tuple) -> None:
+        """Mark an existential firing's head as satisfied *abstractly*.
+
+        Registers the auxiliary prefix (so the firing leaves the
+        applicable set and never re-enters) without inserting a
+        concrete auxiliary fact.  The batched chase uses this for layer
+        firings whose sampled value varies across the worlds of a
+        group: the prefix - the head identity of the pair, Section
+        3.3's keying - is shared, while the fact itself is not.
+        """
+        self._aux_prefixes.setdefault(relation, set()).add(prefix)
+        self._applicable.pop((True, relation, prefix), None)
 
     def applicable(self) -> list[Firing]:
         return sorted(self._applicable.values(), key=Firing.sort_key)

@@ -167,6 +167,32 @@ class ParameterizedDistribution:
                 break
         return pairs, max(1.0 - accumulated, 0.0)
 
+    def finite_support_values(self, params: Sequence[Any],
+                              max_points: int = 128,
+                              ) -> tuple | None:
+        """The full support as a tuple, or None when not small/finite.
+
+        Returns None for continuous families, for discrete families
+        with infinite support (Poisson, Geometric), and for finite
+        supports larger than ``max_points``.  The batched chase engine
+        (:mod:`repro.engine.batched`) uses this to intersect trigger
+        pins with the reachable sample values - a pin outside the
+        support can never fire, so the world never needs to leave the
+        vectorized batch - and to bound how many signature groups an
+        always-triggering firing can cascade into.
+        """
+        if not self.is_discrete:
+            return None
+        params = self.validate_params(params)
+        if not self.support_is_finite(params):
+            return None
+        values: list = []
+        for value in self.support(params):
+            values.append(value)
+            if len(values) > max_points:
+                return None
+        return tuple(values)
+
     def measure(self, params: Sequence[Any],
                 tolerance: float = 1e-12) -> DiscreteMeasure:
         """``P_ψ⟨θ⟩`` as a (possibly sub-probability) discrete measure."""

@@ -1,45 +1,64 @@
 """Vectorized batch chase: advance B independent runs at once.
 
 ``Session.sample(n)`` replays the sequential chase ``n`` times; for the
-large class of programs whose randomness sits in a single "layer" above
-a deterministic base (Examples 3.4/3.5 of the paper, and most
+large class of programs whose randomness sits in "layers" above a
+deterministic base (Examples 3.4/3.5 of the paper, and most
 statistical-modelling workloads in the Bárány-et-al. tradition), almost
 all of that work is identical across runs.  :class:`BatchedChase`
-exploits the structure:
+exploits the structure with a *multi-round* cascade:
 
 1. **Shared deterministic prefix.**  The deterministic fragment of the
    translated program ``Ĝ`` is a plain Datalog program; its least
    fixpoint over the input instance is computed *once* per batch via
-   :func:`repro.engine.seminaive.seminaive_fixpoint` and shared by all
+   :func:`repro.engine.seminaive.seminaive_closure` and shared by all
    ``B`` worlds (no random facts exist yet, so every world agrees).
-2. **Vectorized sampling layer.**  The existential firings applicable
+2. **Vectorized sampling layers.**  The existential firings applicable
    on the closed instance are identical across worlds.  Each firing's
    ``B`` independent draws are produced by a *single* call to the
    distribution's numpy sampler (:meth:`sample_batch`), with firings
    sharing a parameter tuple grouped into one call.  The per-world
    sampled values live in columnar numpy arrays - the batch's fact
-   store - and are only materialized into :class:`Fact` objects at the
-   end.  Both the auxiliary fact ``R_i(ā, y)`` and its (3.B) companion
-   head are emitted directly from the firing's ground prefix: under the
-   per-rule translation the companion head is fully determined by the
-   auxiliary fact, so no rule matching is needed.
-3. **Lazy per-world splitting.**  A sampled fact may enable further
+   store - and are only materialized into :class:`Fact` objects on
+   demand (:class:`ColumnarMonteCarloPDB` answers marginal queries
+   straight off the columns).  Both the auxiliary fact ``R_i(ā, y)``
+   and its (3.B) companion head are emitted directly from the firing's
+   ground prefix: under the per-rule translation the companion head is
+   fully determined by the auxiliary fact, so no rule matching is
+   needed.
+3. **Cascading signature groups.**  A sampled fact may enable further
    firings (e.g. ``Trig(x, ...) :- ..., Earthquake(c, 1)``).  A static
    *trigger analysis* over the translated rule bodies classifies each
-   layer firing as never / always / pinned-value triggering; only the
-   worlds whose sampled values actually hit a trigger are split out of
-   the batch and continued in the scalar engine
+   layer firing as never / always / pinned-value triggering, with a
+   **semi-join check**: a candidate body atom only counts as a trigger
+   if the *rest* of its rule body is satisfiable over the stable
+   (never-growing) relations of the shared closed instance, which also
+   refines "any value triggers" into a finite pin set when the sampled
+   position joins a stable relation.  Trigger-hit worlds are then
+   *grouped by their enabled-trigger signature* - the tuple of sampled
+   values that actually hit a trigger - and each group runs the next
+   deterministic cascade + existential layer vectorized again, one
+   ``sample_batch`` call per (distribution, params) per group.  Only
+   residual groups below :attr:`ChaseConfig.batch_min_group` (by
+   default: singletons), budget-starved groups and structurally
+   unsupported rounds finish on the scalar engine
    (:func:`repro.core.chase.run_chase_prepared`) from a fork of the
-   shared state.  The fallback guarantees the sampled law is *exactly*
+   group state.  The fallback guarantees the sampled law is *exactly*
    the sequential-chase law: the batched prefix is itself a legitimate
    chase order, and for the weakly acyclic programs this backend
    accepts, Theorem 6.1 makes the output distribution independent of
    that order.
 
+The grouping is sound because, within a group, the worlds agree on
+every fact that could ever participate in a rule-body match: sampled
+values that missed every pin can - by the instance-independent part of
+the trigger analysis plus the permanence of stable relations - never
+match any body atom, so they are invisible to applicability, and all
+other facts are shared.
+
 The backend never silently approximates: callers outside the supported
 class (Bárány translation, non-weakly-acyclic programs, trace
-recording, step budgets too tight for the prefix) are *declined* via
-:exc:`BatchUnsupported` / a ``None`` return, and
+recording, step budgets too tight for the first layer) are *declined*
+via :exc:`BatchUnsupported` / a ``None`` return, and
 :meth:`repro.api.Session.sample` falls back to the scalar loop.
 """
 
@@ -55,13 +74,23 @@ from repro.core.policies import ChasePolicy
 from repro.core.terms import Const, Var
 from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
                                   validate_params_in_theta)
-from repro.engine.seminaive import seminaive_fixpoint
-from repro.errors import ChaseError
+from repro.engine.matching import IndexedSource, body_holds, match_atoms
+from repro.engine.seminaive import seminaive_closure
+from repro.errors import ChaseError, DistributionError, ValidationError
+from repro.pdb.database import MonteCarloPDB
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
 
 #: Trigger classifications of a layer firing's sampled fact.
 NEVER, ALWAYS, PINNED = "never", "always", "pinned"
+
+#: Cap on *distinct pin values* when refining an always-trigger into a
+#: pin set by enumerating the stable rest-of-body matches - beyond it
+#: the pin set stops paying for itself as a grouping key.
+_SEMIJOIN_PIN_CAP = 64
+#: Cap on raw enumerated solutions (duplicate-heavy joins can repeat
+#: the same pin value many times; bound the walk, not the refinement).
+_SEMIJOIN_SOLUTION_CAP = 4096
 
 
 class BatchUnsupported(ChaseError):
@@ -73,9 +102,13 @@ class BatchUnsupported(ChaseError):
     """
 
 
+class _FallbackNeeded(Exception):
+    """Internal: this signature group must finish on the scalar engine."""
+
+
 @dataclass(frozen=True)
 class _LayerFiring:
-    """One existential firing of the shared sampling layer, prepared.
+    """One existential firing of a vectorized sampling layer, prepared.
 
     ``head_args`` is the companion (3.B) head with ``None`` standing in
     at ``head_position`` for the sampled value; ``trigger`` / ``pinned``
@@ -94,15 +127,67 @@ class _LayerFiring:
     pinned: frozenset
 
 
+@dataclass(frozen=True)
+class _ColumnarGroup:
+    """Worlds that finished the cascade together, still columnar.
+
+    ``members`` are the batch-wide world indices; ``shared`` is the
+    instance every member holds in common (closed fixpoint + all
+    signature-bound trigger facts + deterministic cascade facts);
+    ``columns`` pair each fired layer firing with the members' sampled
+    values (arrays aligned with ``members``).
+    """
+
+    members: np.ndarray
+    shared: Instance
+    columns: tuple
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Everything :meth:`BatchedChase.run_batch` produced for a batch.
+
+    ``groups`` hold the worlds that stayed vectorized to termination;
+    ``scalar_runs`` are ``(world index, ChaseRun)`` pairs for worlds
+    that finished on the scalar engine.  Every world index in
+    ``range(size)`` appears in exactly one of the two.
+    """
+
+    size: int
+    groups: tuple
+    scalar_runs: tuple
+    diagnostics: dict
+
+
+@dataclass
+class _Round:
+    """One pending vectorized round of a world group (internal).
+
+    ``unbound`` counts the columns of earlier rounds whose sampled
+    value stayed world-varying (signature component None) - the only
+    columns whose auxiliary + head facts are *not* already inside
+    ``shared``, which is what the per-world step bound needs.
+    """
+
+    engine: IncrementalApplicability
+    shared: Instance
+    members: np.ndarray
+    layer: tuple
+    columns: tuple
+    depth: int = 1
+    unbound: int = 0
+
+
 class BatchedChase:
     """A prepared batch sampler for one (translated program, instance).
 
     Construction performs all per-(program, instance) work: the shared
     deterministic fixpoint, the applicability bootstrap on the closed
-    instance, companion lookup and the trigger analysis.
-    :meth:`run_batch` then costs one vectorized draw per firing group
-    plus fact materialization - independent of how many times it is
-    called, so sessions cache the instance
+    instance (reusing the fixpoint's warm indexes), companion lookup,
+    the growable-relation analysis and the first layer's trigger
+    analysis.  :meth:`run_batch` then costs one vectorized draw per
+    (firing group, round) plus columnar bookkeeping - independent of
+    how many times it is called, so sessions cache the instance
     (:meth:`repro.api.Session.sample` keeps it alongside the scalar
     engine bases).
     """
@@ -117,12 +202,24 @@ class BatchedChase:
         self.translated = translated
         self.instance = instance
         det_rules = translated.deterministic_rules()
-        self.closed = seminaive_fixpoint(det_rules, instance) \
-            if det_rules else instance
+        if det_rules:
+            self.closed, closed_source = seminaive_closure(det_rules,
+                                                           instance)
+        else:
+            self.closed = instance
+            closed_source = IndexedSource(instance.facts)
         self.det_steps = len(self.closed) - len(instance)
-        self._engine = IncrementalApplicability(translated, self.closed)
+        # The semi-join source and the base engine share the warm
+        # index.  Invariant: ``self._engine`` is never mutated (rounds
+        # always fork), so the source keeps mirroring ``self.closed``
+        # and stays valid for stable-relation semi-joins in every
+        # later round (stable relations never grow).
+        self._closed_source = closed_source
+        self._engine = IncrementalApplicability(translated, self.closed,
+                                                source=closed_source)
         self._companions = self._collect_companions()
         self._body_atoms = self._collect_body_atoms()
+        self._growable = self._collect_growable()
         self.layer = tuple(self._prepare_firing(firing)
                            for firing in self._engine.applicable())
 
@@ -144,7 +241,7 @@ class BatchedChase:
         return companions
 
     def _collect_body_atoms(self) -> dict:
-        """relation -> body atoms anywhere in ``Ĝ`` (aux atoms excluded).
+        """relation -> (rule, body position) anywhere in ``Ĝ``.
 
         Auxiliary relations are excluded on purpose: under the per-rule
         translation an auxiliary fact only ever matches its own
@@ -154,11 +251,36 @@ class BatchedChase:
         """
         by_relation: dict[str, list] = {}
         for rule in self.translated.rules:
-            for atom in rule.body:
+            for position, atom in enumerate(rule.body):
                 if atom.relation in self.translated.aux_relations:
                     continue
-                by_relation.setdefault(atom.relation, []).append(atom)
+                by_relation.setdefault(atom.relation, []).append(
+                    (rule, position))
         return by_relation
+
+    def _collect_growable(self) -> frozenset:
+        """Relations that may gain facts after the shared fixpoint.
+
+        Seeded with the auxiliary relations (every layer firing adds
+        one) and closed under rule heads whose bodies touch a growable
+        relation.  The complement - the *stable* relations - can never
+        gain a fact during the batch, which is what licenses semi-join
+        pruning against the closed instance: an unsatisfiable stable
+        subquery stays unsatisfiable through every cascade round.
+        """
+        growable = set(self.translated.aux_relations)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.translated.rules:
+                head = rule.head.relation if isinstance(rule, DetRule) \
+                    else rule.aux_relation
+                if head in growable:
+                    continue
+                if any(atom.relation in growable for atom in rule.body):
+                    growable.add(head)
+                    changed = True
+        return frozenset(growable)
 
     def _prepare_firing(self, firing) -> _LayerFiring:
         if not firing.existential:
@@ -180,8 +302,9 @@ class BatchedChase:
         companion, aux_atom = companion_pair
         head_args, head_position = self._ground_companion_head(
             companion, aux_atom, prefix)
+        support = info.distribution.finite_support_values(params)
         trigger, pinned = self._trigger_analysis(
-            companion.head.relation, head_args, head_position)
+            companion.head.relation, head_args, head_position, support)
         return _LayerFiring(
             aux_relation=firing.relation,
             prefix=prefix,
@@ -190,7 +313,7 @@ class BatchedChase:
             head_args=head_args,
             head_position=head_position,
             trigger=trigger,
-            pinned=frozenset(pinned))
+            pinned=pinned)
 
     @staticmethod
     def _ground_companion_head(companion: DetRule, aux_atom,
@@ -235,30 +358,55 @@ class BatchedChase:
         return tuple(head_args), head_position
 
     def _trigger_analysis(self, relation: str, head_args: tuple,
-                          position: int) -> tuple[str, set]:
+                          position: int,
+                          support: tuple | None) -> tuple[str, frozenset]:
         """Classify whether the emitted head fact can enable firings.
 
         The emitted fact is fixed across worlds except at ``position``
         (the sampled value).  It can only enable a new firing by
         matching some rule-body atom; for each candidate atom the fixed
         columns either rule the match out entirely, or pin the sampled
-        value to one concrete constant, or leave it free (any sample
-        triggers).  Worlds whose samples hit a pin (or any world, under
-        ``always``) are split to the scalar engine; the rest provably
-        have an empty applicable set and are final.
+        value to concrete constants, or leave it free (any sample
+        triggers), and the semi-join refinement of :meth:`_atom_pin`
+        discards candidates whose stable rest-of-body cannot hold.
+        Pins outside the distribution's (finite) support are dropped -
+        those values are unreachable.  Worlds whose samples hit a pin
+        (or any world, under ``always``) leave the current group; the
+        rest provably never enable a firing through this fact.
         """
         pinned: set = set()
-        for atom in self._body_atoms.get(relation, ()):
-            verdict = self._atom_pin(atom, head_args, position)
+        for rule, atom_index in self._body_atoms.get(relation, ()):
+            verdict = self._atom_pin(rule, atom_index, head_args,
+                                     position)
+            if verdict is None:
+                continue
             if verdict is ALWAYS:
-                return ALWAYS, set()
-            if verdict is not None:
-                pinned.update(verdict)
-        return (PINNED, pinned) if pinned else (NEVER, pinned)
+                return ALWAYS, frozenset()
+            pinned.update(verdict)
+        numeric = {value for value in pinned
+                   if isinstance(value, (int, float))
+                   and not isinstance(value, bool)}
+        if support is not None:
+            in_support = set(support)
+            numeric = {value for value in numeric if value in in_support}
+        if numeric:
+            return PINNED, frozenset(numeric)
+        return NEVER, frozenset()
 
-    @staticmethod
-    def _atom_pin(atom, head_args: tuple, position: int):
-        """None (can never match) | ALWAYS | set of pinned sample values."""
+    def _atom_pin(self, rule, atom_index: int, head_args: tuple,
+                  position: int):
+        """None (can never match) | ALWAYS | set of pinned sample values.
+
+        First the fixed columns of the emitted fact are unified with
+        the atom; then the *rest* of the rule body, restricted to
+        stable relations, is semi-joined against the shared closed
+        instance under the resulting binding.  An unsatisfiable stable
+        rest rules the trigger out permanently (stable relations never
+        grow), and when the sampled position's variable itself joins a
+        stable relation, enumerating the stable matches turns "any
+        sample triggers" into a finite pin set.
+        """
+        atom = rule.body[atom_index]
         if atom.arity != len(head_args):
             return None
         binding: dict = {}
@@ -277,24 +425,52 @@ class BatchedChase:
                 return None
         sample_term = atom.terms[position]
         if isinstance(sample_term, Const):
-            return {sample_term.value}
-        if isinstance(sample_term, Var):
+            pins = {sample_term.value}
+            sample_var = None
+        elif isinstance(sample_term, Var):
             if sample_term in binding:
-                return {binding[sample_term]}
-            return ALWAYS
-        return None
+                pins = {binding[sample_term]}
+                sample_var = None
+            else:
+                pins = None
+                sample_var = sample_term
+        else:
+            return None
+        rest = [a for i, a in enumerate(rule.body)
+                if i != atom_index and a.relation not in self._growable]
+        if not rest:
+            return ALWAYS if pins is None else pins
+        if pins is not None:
+            if not body_holds(rest, self._closed_source, binding):
+                return None
+            return pins
+        if not any(sample_var == variable
+                   for a in rest for variable in a.variables()):
+            return ALWAYS if body_holds(rest, self._closed_source,
+                                        binding) else None
+        values: set = set()
+        for count, solution in enumerate(
+                match_atoms(rest, self._closed_source, binding)):
+            if count >= _SEMIJOIN_SOLUTION_CAP \
+                    or len(values) > _SEMIJOIN_PIN_CAP:
+                return ALWAYS
+            values.add(solution[sample_var])
+        if not values:
+            return None
+        return values
 
     # -- execution ----------------------------------------------------------
 
     def run_batch(self, size: int, batch_rng: np.random.Generator,
-                  world_rngs, policy: ChasePolicy,
-                  max_steps: int) -> tuple[list[ChaseRun], dict] | None:
+                  world_rngs, policy: ChasePolicy, max_steps: int,
+                  min_group: int = 2) -> BatchOutcome | None:
         """Sample ``size`` chase runs; None declines (budget too tight).
 
         ``world_rngs`` is a zero-argument callable producing the
-        per-world generators used by split worlds only (lazy: fully
-        batched runs never touch it).  The returned diagnostics dict
-        reports how many worlds stayed vectorized.
+        per-world generators used by scalar-fallback worlds only
+        (lazy: fully batched runs never touch it).  ``min_group`` is
+        the smallest signature group continued vectorized; smaller
+        groups finish on the scalar engine.
         """
         layer = self.layer
         # Conservative budget bound: prefix facts + one auxiliary and
@@ -302,59 +478,190 @@ class BatchedChase:
         # truncation semantics from the scalar loop instead.
         if self.det_steps + 2 * len(layer) > max_steps:
             return None
+        diagnostics = {"n_split": 0, "n_firings": len(layer),
+                       "n_rounds": 0, "n_groups": 0, "n_group_rounds": 0}
+        all_members = np.arange(size)
         if not layer:
-            run = ChaseRun(self.closed, True, self.det_steps)
-            return [run] * size, {"n_split": 0, "n_firings": 0}
+            diagnostics["n_groups"] = 1
+            group = _ColumnarGroup(all_members, self.closed, ())
+            return BatchOutcome(size, (group,), (), diagnostics)
 
-        draws = self._draw_layer(size, batch_rng)
-        split = np.zeros(size, dtype=bool)
-        for index, firing in enumerate(layer):
-            if firing.trigger == ALWAYS:
-                split[:] = True
-                break
-            if firing.trigger == PINNED:
-                numeric = [value for value in firing.pinned
-                           if isinstance(value, (int, float))
-                           and not isinstance(value, bool)]
-                if numeric:
-                    split |= np.isin(draws[index],
-                                     np.asarray(numeric))
-
-        values = [column.tolist() for column in draws]
         rngs = None
-        runs: list[ChaseRun] = []
-        for world in range(size):
-            facts = []
-            new_heads = set()
-            for index, firing in enumerate(layer):
-                sampled = values[index][world]
-                facts.append(Fact(firing.aux_relation,
-                                  firing.prefix + (sampled,)))
-                head_args = list(firing.head_args)
-                head_args[firing.head_position] = sampled
-                head = Fact(firing.head_relation, tuple(head_args))
-                facts.append(head)
-                if head not in self.closed:
-                    new_heads.add(head)
-            steps = self.det_steps + len(layer) + len(new_heads)
-            current = self.closed.add_all(facts)
-            if not split[world]:
-                runs.append(ChaseRun(current, True, steps))
-                continue
-            if rngs is None:
-                rngs = world_rngs()
-            state = self._engine.fork()
-            for fact in facts:
-                state.add_fact(fact)
-            run = run_chase_prepared(
-                self.translated, state, current, policy, rngs[world],
-                max_steps - steps)
-            runs.append(ChaseRun(run.instance, run.terminated,
-                                 steps + run.steps))
-        return runs, {"n_split": int(split.sum()),
-                      "n_firings": len(layer)}
+        groups: list[_ColumnarGroup] = []
+        scalar_runs: list[tuple[int, ChaseRun]] = []
+        stack = [_Round(self._engine, self.closed, all_members, layer,
+                        ())]
+        while stack:
+            task = stack.pop()
+            diagnostics["n_group_rounds"] += 1
+            diagnostics["n_rounds"] = max(diagnostics["n_rounds"],
+                                          task.depth)
+            draws = self._draw_layer(task.layer, len(task.members),
+                                     batch_rng)
+            columns = task.columns + tuple(zip(task.layer, draws))
+            partition: dict[tuple, list[int]] = {}
+            for pos, sig in enumerate(self._signatures(task.layer,
+                                                       draws)):
+                partition.setdefault(sig, []).append(pos)
+            for sig, positions in partition.items():
+                sub_members = task.members[positions]
+                sub_columns = tuple((firing, values[positions])
+                                    for firing, values in columns)
+                if all(component is None for component in sig):
+                    # No sampled value enabled anything: terminal.
+                    groups.append(_ColumnarGroup(sub_members,
+                                                 task.shared,
+                                                 sub_columns))
+                    diagnostics["n_groups"] += 1
+                    continue
+                follow_up = None
+                if len(positions) >= min_group:
+                    try:
+                        follow_up = self._next_round(task, sig,
+                                                     sub_members,
+                                                     sub_columns,
+                                                     max_steps)
+                    except (BatchUnsupported, _FallbackNeeded,
+                            DistributionError, ValidationError):
+                        follow_up = None
+                if isinstance(follow_up, _ColumnarGroup):
+                    groups.append(follow_up)
+                    diagnostics["n_groups"] += 1
+                    continue
+                if isinstance(follow_up, _Round):
+                    stack.append(follow_up)
+                    continue
+                # Residual group: finish each member on the scalar
+                # engine from a fork of the group state.
+                if rngs is None:
+                    rngs = world_rngs()
+                for position in positions:
+                    world = int(task.members[position])
+                    run = self._fallback(task.engine, task.shared,
+                                         columns, position,
+                                         rngs[world], policy,
+                                         max_steps)
+                    scalar_runs.append((world, run))
+                diagnostics["n_split"] += len(positions)
+        return BatchOutcome(size, tuple(groups), tuple(scalar_runs),
+                            diagnostics)
 
-    def _draw_layer(self, size: int,
+    def _next_round(self, task: _Round, sig: tuple,
+                    sub_members: np.ndarray, sub_columns: tuple,
+                    max_steps: int):
+        """Advance one signature group by one cascade round.
+
+        Returns a terminal :class:`_ColumnarGroup` when the shared
+        trigger facts plus the deterministic cascade leave nothing
+        applicable, or a :class:`_Round` carrying the next vectorized
+        existential layer.  Raises :class:`_FallbackNeeded` (budget) or
+        :class:`BatchUnsupported` (structure) to send the group's
+        members to the scalar engine instead.
+        """
+        engine = task.engine.fork()
+        trigger_facts: list[Fact] = []
+        for component, firing in zip(sig, task.layer):
+            if component is None:
+                # The sampled fact varies across the group's worlds
+                # but provably matches no body atom; retire the pair
+                # abstractly so it never re-fires.
+                engine.retire_existential(firing.aux_relation,
+                                          firing.prefix)
+                continue
+            aux = Fact(firing.aux_relation,
+                       firing.prefix + (component,))
+            head_args = list(firing.head_args)
+            head_args[firing.head_position] = component
+            head = Fact(firing.head_relation, tuple(head_args))
+            engine.add_fact(aux)
+            engine.add_fact(head)
+            trigger_facts.append(aux)
+            trigger_facts.append(head)
+        shared = task.shared.add_all(trigger_facts)
+        # Conservative per-world step bound: shared facts plus at most
+        # two facts (auxiliary + head) per *unbound* column - bound
+        # columns' facts are already inside ``shared``, counting them
+        # again would force needless scalar fallbacks near the budget.
+        unbound = task.unbound \
+            + sum(1 for component in sig if component is None)
+        budget_used = (len(shared) - len(self.instance)
+                       + 2 * unbound)
+        while True:
+            applicable = engine.applicable()
+            deterministic = [firing for firing in applicable
+                             if not firing.existential]
+            if not deterministic:
+                break
+            for firing in deterministic:
+                budget_used += 1
+                if budget_used > max_steps:
+                    raise _FallbackNeeded
+                fact = firing.fact()
+                engine.add_fact(fact)
+                shared = shared.add(fact)
+        existential = [firing for firing in applicable
+                       if firing.existential]
+        if not existential:
+            return _ColumnarGroup(sub_members, shared, sub_columns)
+        next_layer = tuple(self._prepare_firing(firing)
+                           for firing in existential)
+        if budget_used + 2 * len(next_layer) > max_steps:
+            raise _FallbackNeeded
+        return _Round(engine, shared, sub_members, next_layer,
+                      sub_columns, task.depth + 1, unbound)
+
+    def _fallback(self, engine: IncrementalApplicability,
+                  shared: Instance, columns: tuple, position: int,
+                  rng: np.random.Generator, policy: ChasePolicy,
+                  max_steps: int) -> ChaseRun:
+        """Finish one world on the scalar engine from its group state.
+
+        The world's state is the group's shared state plus its own
+        sampled facts, reconstructed from the columns; the remaining
+        step budget is exact (steps already executed equal the facts
+        added over the input instance - each chase step adds exactly
+        one new fact), so truncation semantics match the scalar loop.
+        """
+        state = engine.fork()
+        facts: list[Fact] = []
+        for firing, values in columns:
+            sampled = values[position].item()
+            facts.append(Fact(firing.aux_relation,
+                              firing.prefix + (sampled,)))
+            head_args = list(firing.head_args)
+            head_args[firing.head_position] = sampled
+            facts.append(Fact(firing.head_relation, tuple(head_args)))
+        for fact in facts:
+            state.add_fact(fact)
+        current = shared.add_all(facts)
+        steps = len(current) - len(self.instance)
+        run = run_chase_prepared(self.translated, state, current,
+                                 policy, rng, max_steps - steps)
+        return ChaseRun(run.instance, run.terminated, steps + run.steps)
+
+    def _signatures(self, layer: tuple, draws: list) -> list[tuple]:
+        """Per-world enabled-trigger signatures for one fired layer.
+
+        A component is the sampled value when it can enable a firing
+        (an always-trigger, or a pinned value the draw actually hit)
+        and None otherwise.  Worlds sharing a signature agree on every
+        fact visible to rule matching, so they continue as one group.
+        """
+        components: list[list] = []
+        for firing, values in zip(layer, draws):
+            if firing.trigger == NEVER:
+                components.append([None] * values.shape[0])
+                continue
+            listed = values.tolist()
+            if firing.trigger == ALWAYS:
+                components.append(listed)
+            else:
+                pinned = firing.pinned
+                components.append([value if value in pinned else None
+                                   for value in listed])
+        return list(zip(*components))
+
+    def _draw_layer(self, layer: tuple, size: int,
                     rng: np.random.Generator) -> list[np.ndarray]:
         """One numpy array of ``size`` samples per layer firing.
 
@@ -364,13 +671,13 @@ class BatchedChase:
         the product law.
         """
         groups: dict[tuple, list[int]] = {}
-        for index, firing in enumerate(self.layer):
+        for index, firing in enumerate(layer):
             groups.setdefault(firing.distribution_key, []).append(index)
-        draws: list[np.ndarray | None] = [None] * len(self.layer)
+        draws: list[np.ndarray | None] = [None] * len(layer)
         for key, members in groups.items():
             _ident, params = key
             info = self.translated.aux_info[
-                self.layer[members[0]].aux_relation]
+                layer[members[0]].aux_relation]
             flat = np.asarray(info.distribution.sample_batch(
                 params, size * len(members), rng))
             if flat.shape != (size * len(members),):
@@ -381,3 +688,284 @@ class BatchedChase:
             for offset, index in enumerate(members):
                 draws[index] = flat[offset * size:(offset + 1) * size]
         return draws  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Columnar possible-world ensemble
+# ---------------------------------------------------------------------------
+
+_PENDING = object()
+
+
+class ColumnarMonteCarloPDB(MonteCarloPDB):
+    """A Monte-Carlo SPDB backed by a :class:`BatchOutcome`.
+
+    Worlds are *not* materialized up front: ``marginal`` and
+    ``fact_marginals`` read the columnar arrays directly (one numpy
+    comparison per candidate column), and the full ``worlds`` list is
+    built lazily on first access for callers that genuinely need the
+    instances (events, expectations, world-distribution tests).
+    Results are identical either way - the columnar reads are exact
+    counts over the same ensemble.
+    """
+
+    def __init__(self, outcome: BatchOutcome,
+                 visible: tuple[str, ...], keep_aux: bool = False):
+        # Deliberately skips MonteCarloPDB.__init__: ``_worlds`` is a
+        # lazy property here.
+        self._outcome = outcome
+        self._visible = tuple(visible)
+        self._keep_aux = bool(keep_aux)
+        self.truncated = sum(1 for _, run in outcome.scalar_runs
+                             if not run.terminated)
+        self._cache: list[Instance] | None = None
+        self._scalar_worlds: list[Instance] | None = None
+        self._group_views: dict[int, Instance] = {}
+
+    # -- columnar plumbing --------------------------------------------------
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the world list has been built (diagnostics/tests)."""
+        return self._cache is not None
+
+    def _view(self, instance: Instance) -> Instance:
+        return instance if self._keep_aux \
+            else instance.restrict(self._visible)
+
+    def _group_view(self, index: int) -> Instance:
+        view = self._group_views.get(index)
+        if view is None:
+            view = self._view(self._outcome.groups[index].shared)
+            self._group_views[index] = view
+        return view
+
+    def _terminated_scalar_worlds(self) -> list[Instance]:
+        if self._scalar_worlds is None:
+            self._scalar_worlds = [
+                self._view(run.instance)
+                for _, run in self._outcome.scalar_runs
+                if run.terminated]
+        return self._scalar_worlds
+
+    def _column_templates(self, firing: _LayerFiring) -> list[tuple]:
+        """(relation, args-with-None, sample position) fact templates."""
+        templates = [(firing.head_relation, firing.head_args,
+                      firing.head_position)]
+        if self._keep_aux:
+            templates.append((firing.aux_relation,
+                              firing.prefix + (None,),
+                              len(firing.prefix)))
+        return templates
+
+    @property
+    def _worlds(self) -> list[Instance]:
+        if self._cache is None:
+            self._cache = self._materialize()
+        return self._cache
+
+    def _materialize(self) -> list[Instance]:
+        outcome = self._outcome
+        slots: list = [_PENDING] * outcome.size
+        for index, run in outcome.scalar_runs:
+            slots[index] = self._view(run.instance) if run.terminated \
+                else None
+        for group_index, group in enumerate(outcome.groups):
+            base = self._group_view(group_index)
+            members = group.members.tolist()
+            if not group.columns:
+                for world in members:
+                    slots[world] = base
+                continue
+            listed = [(firing, values.tolist())
+                      for firing, values in group.columns]
+            for position, world in enumerate(members):
+                facts: list[Fact] = []
+                for firing, values in listed:
+                    sampled = values[position]
+                    if self._keep_aux:
+                        facts.append(Fact(firing.aux_relation,
+                                          firing.prefix + (sampled,)))
+                    head_args = list(firing.head_args)
+                    head_args[firing.head_position] = sampled
+                    facts.append(Fact(firing.head_relation,
+                                      tuple(head_args)))
+                slots[world] = base.add_all(facts)
+        missing = sum(1 for slot in slots if slot is _PENDING)
+        if missing:
+            raise ChaseError(
+                f"batch outcome left {missing} worlds unaccounted for")
+        return [slot for slot in slots if slot is not None]
+
+    # -- fast reads ---------------------------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        return self._outcome.size
+
+    def total_mass(self) -> float:
+        return (self._outcome.size - self.truncated) \
+            / self._outcome.size
+
+    def marginal(self, f: Fact) -> float:
+        """Exact ensemble frequency of ``f``, straight off the columns."""
+        count = sum(1 for world in self._terminated_scalar_worlds()
+                    if f in world)
+        fact_args = f.args
+        for group_index, group in enumerate(self._outcome.groups):
+            if f in self._group_view(group_index):
+                count += len(group.members)
+                continue
+            mask = None
+            for firing, values in group.columns:
+                for relation, args, position in \
+                        self._column_templates(firing):
+                    if relation != f.relation \
+                            or len(args) != len(fact_args):
+                        continue
+                    if any(expected is not None
+                           and expected != fact_args[index]
+                           for index, expected in enumerate(args)):
+                        continue
+                    wanted = fact_args[position]
+                    if not isinstance(wanted, (int, float)) \
+                            or isinstance(wanted, bool):
+                        continue
+                    hits = values == wanted
+                    mask = hits if mask is None else (mask | hits)
+            if mask is not None:
+                count += int(np.count_nonzero(mask))
+        return count / self._outcome.size
+
+    def fact_marginals_columnar(self,
+                                relations: tuple[str, ...] | None = None,
+                                ) -> dict[Fact, float]:
+        """Marginal of every output fact, computed columnar.
+
+        :func:`repro.pdb.stats.fact_marginals` dispatches here, so
+        batch results answer complete marginal tables without
+        materializing the ensemble.
+        """
+        totals: dict[Fact, int] = {}
+
+        def admit(relation: str) -> bool:
+            return relations is None or relation in relations
+
+        for world in self._terminated_scalar_worlds():
+            for fact in world.facts:
+                if admit(fact.relation):
+                    totals[fact] = totals.get(fact, 0) + 1
+        for group_index, group in enumerate(self._outcome.groups):
+            shared = self._group_view(group_index)
+            weight = len(group.members)
+            for fact in shared.facts:
+                if admit(fact.relation):
+                    totals[fact] = totals.get(fact, 0) + weight
+            by_template: dict[tuple, list[np.ndarray]] = {}
+            for firing, values in group.columns:
+                for template in self._column_templates(firing):
+                    if admit(template[0]):
+                        by_template.setdefault(template, []).append(
+                            values)
+            for collision in self._collision_classes(by_template):
+                self._count_columns(collision, by_template, shared,
+                                    totals)
+        size = self._outcome.size
+        return {fact: count / size for fact, count in totals.items()}
+
+    @staticmethod
+    def _templates_may_collide(first: tuple, second: tuple) -> bool:
+        """Whether two distinct templates can emit the same fact."""
+        relation_a, args_a, position_a = first
+        relation_b, args_b, position_b = second
+        if relation_a != relation_b or len(args_a) != len(args_b):
+            return False
+        if position_a == position_b:
+            return args_a == args_b  # identical templates share a key
+        for index in range(len(args_a)):
+            if index in (position_a, position_b):
+                continue
+            if args_a[index] != args_b[index]:
+                return False
+        return True
+
+    def _collision_classes(self, by_template: dict) -> list[list[tuple]]:
+        """Partition templates into classes that may emit equal facts.
+
+        A new template can bridge several existing classes (collision
+        is not transitive), in which case they all merge - facts that
+        can coincide must be counted in one pass.
+        """
+        classes: list[list[tuple]] = []
+        for template in by_template:
+            matching = [existing for existing in classes
+                        if any(self._templates_may_collide(template,
+                                                           other)
+                               for other in existing)]
+            if not matching:
+                classes.append([template])
+                continue
+            merged = matching[0]
+            merged.append(template)
+            for other in matching[1:]:
+                merged.extend(other)
+                classes.remove(other)
+        return classes
+
+    def _count_columns(self, templates: list[tuple], by_template: dict,
+                       shared: Instance, totals: dict) -> None:
+        """Count per-world occurrences of the templates' emitted facts.
+
+        Single-template classes count via ``np.unique``; collision
+        classes (several templates able to emit the same fact - e.g.
+        two Trig rules sampling into the same head) count the per-value
+        union masks so no world is counted twice.  Facts already in the
+        group's shared instance were counted for every member and are
+        skipped.
+        """
+        if len(templates) == 1 and len(by_template[templates[0]]) == 1:
+            relation, args, position = templates[0]
+            values, counts = np.unique(by_template[templates[0]][0],
+                                       return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                fact = self._template_fact(templates[0], value)
+                if fact in shared:
+                    continue
+                totals[fact] = totals.get(fact, 0) + count
+            return
+        stacked = np.stack([values for template in templates
+                            for values in by_template[template]])
+        owners = [template for template in templates
+                  for _ in by_template[template]]
+        # One world may produce the same fact through several columns
+        # (and, across positions, through several sampled values); OR
+        # the per-column hit masks per *fact* before counting so each
+        # world contributes at most once.
+        fact_masks: dict[Fact, np.ndarray] = {}
+        for value in np.unique(stacked).tolist():
+            hits = stacked == value
+            for row, template in enumerate(owners):
+                if not hits[row].any():
+                    continue
+                fact = self._template_fact(template, value)
+                if fact in shared:
+                    continue
+                mask = fact_masks.get(fact)
+                fact_masks[fact] = hits[row] if mask is None \
+                    else (mask | hits[row])
+        for fact, mask in fact_masks.items():
+            totals[fact] = totals.get(fact, 0) \
+                + int(np.count_nonzero(mask))
+
+    @staticmethod
+    def _template_fact(template: tuple, value) -> Fact:
+        relation, args, position = template
+        filled = list(args)
+        filled[position] = value
+        return Fact(relation, tuple(filled))
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._cache is not None \
+            else "columnar"
+        return (f"ColumnarMonteCarloPDB(<{self.n_runs - self.truncated}"
+                f" worlds, {self.truncated} truncated, {state}>)")

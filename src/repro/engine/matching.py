@@ -106,6 +106,12 @@ class IndexedSource(FactSource):
         signature = tuple(i for i, v in enumerate(pattern) if v is not None)
         if not signature:
             return self.facts_of(relation)
+        if len(signature) == len(pattern):
+            # Fully bound: a membership probe beats building (and then
+            # maintaining) a whole per-signature index.  Semi-join
+            # checks over ground atoms hit this path constantly.
+            probe = Fact(relation, pattern)
+            return (probe,) if probe in self._fact_set else ()
         index = self._ensure_index(relation, signature)
         key = tuple(pattern[i] for i in signature)
         return index.get(key, ())

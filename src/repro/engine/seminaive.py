@@ -79,6 +79,23 @@ def seminaive_fixpoint(program: Program | Sequence[Rule],
     each delta fact in turn.  First iteration seeds with the full
     instance as delta (covering bodiless rules via the empty match).
     """
+    closed, _source = seminaive_closure(program, instance,
+                                        max_iterations)
+    return closed
+
+
+def seminaive_closure(program: Program | Sequence[Rule],
+                      instance: Instance,
+                      max_iterations: int | None = None,
+                      ) -> tuple[Instance, IndexedSource]:
+    """:func:`seminaive_fixpoint` plus its warm :class:`IndexedSource`.
+
+    The returned source mirrors the returned instance exactly, with
+    every per-signature hash index the evaluation built still attached.
+    Callers that keep matching against the fixpoint (the batched chase
+    bootstraps its applicability engine on it) reuse the source instead
+    of re-indexing the closed instance from scratch.
+    """
     rules = _require_deterministic(
         program.rules if isinstance(program, Program) else program)
     source = IndexedSource(instance.facts)
@@ -118,8 +135,9 @@ def seminaive_fixpoint(program: Program | Sequence[Rule],
         if max_iterations is not None and iterations >= max_iterations:
             for f in delta:
                 all_facts.add(f)
+                source.add_fact(f)
             break
-    return Instance(all_facts)
+    return Instance(all_facts), source
 
 
 def evaluate_datalog(program: Program | Sequence[Rule],

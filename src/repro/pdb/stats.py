@@ -59,7 +59,15 @@ def fact_marginals(pdb: PDBBase,
 
     Restricted to ``relations`` when given.  For exact PDBs the values
     are exact; for Monte-Carlo PDBs they are frequencies.
+
+    Ensembles that expose a columnar fast path (the batched backend's
+    :class:`~repro.engine.batched.ColumnarMonteCarloPDB`) answer
+    directly from their sample arrays - same frequencies, no world
+    materialization.
     """
+    columnar = getattr(pdb, "fact_marginals_columnar", None)
+    if columnar is not None:
+        return columnar(relations)
     if isinstance(pdb, DiscretePDB):
         totals: dict[Fact, float] = {}
         for world, probability in pdb.worlds():

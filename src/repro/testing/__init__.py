@@ -38,27 +38,36 @@ from repro.testing.corpus import (ReplayResult, case_to_payload,
                                   replay_file, save_reproducer)
 from repro.testing.fuzz import (CONTINUOUS, DEFAULT_FUZZ_CONFIG,
                                 FINITE_DISCRETE, INFINITE_DISCRETE,
-                                KINDS, FuzzCase, FuzzConfig, case_seed,
+                                KINDS, CoverageTracker, FuzzCase,
+                                FuzzConfig, case_features, case_seed,
                                 distribution_parameters, generate_case,
+                                generate_case_guided,
                                 random_value_positions, rebuild_case)
-from repro.testing.oracles import (ChaseOrderOracle, ExactVsSampleOracle,
+from repro.testing.oracles import (BaranyAgreementOracle,
+                                   BatchedVsScalarOracle,
+                                   ChaseOrderOracle, ExactVsSampleOracle,
                                    FacadeVsLegacyOracle, FixpointOracle,
                                    InducedFDOracle, Oracle,
                                    OracleOutcome, TerminationOracle,
                                    default_oracles, oracles_by_name)
 from repro.testing.runner import (Discrepancy, FuzzReport, OracleStats,
                                   evaluate, run_fuzz)
-from repro.testing.shrink import case_size, shrink_case
+from repro.testing.shrink import (case_rank, case_size, literal_cost,
+                                  relation_count, shrink_case)
 
 __all__ = [
-    "CONTINUOUS", "ChaseOrderOracle", "DEFAULT_FUZZ_CONFIG",
+    "CONTINUOUS", "BaranyAgreementOracle", "BatchedVsScalarOracle",
+    "ChaseOrderOracle", "DEFAULT_FUZZ_CONFIG",
     "Discrepancy", "ExactVsSampleOracle", "FINITE_DISCRETE",
     "FacadeVsLegacyOracle", "FixpointOracle", "FuzzCase", "FuzzConfig",
     "FuzzReport", "INFINITE_DISCRETE", "InducedFDOracle", "KINDS",
     "Oracle", "OracleOutcome", "OracleStats", "ReplayResult",
-    "TerminationOracle", "case_seed", "case_size", "case_to_payload",
+    "TerminationOracle", "CoverageTracker", "case_features",
+    "case_rank", "case_seed", "case_size",
+    "case_to_payload", "literal_cost", "relation_count",
     "default_oracles", "distribution_parameters", "evaluate",
-    "generate_case", "iter_corpus", "load_reproducer",
+    "generate_case", "generate_case_guided", "iter_corpus",
+    "load_reproducer",
     "oracles_by_name", "payload_to_case", "random_value_positions",
     "rebuild_case", "replay_corpus", "replay_file", "run_fuzz",
     "save_reproducer", "shrink_case",

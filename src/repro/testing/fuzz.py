@@ -485,6 +485,110 @@ def _generate_cyclic(rng: np.random.Generator, config: FuzzConfig,
 
 
 # ---------------------------------------------------------------------------
+# Coverage-guided generation
+# ---------------------------------------------------------------------------
+
+def case_features(case: FuzzCase) -> frozenset:
+    """Feature buckets of a workload, for coverage-guided generation.
+
+    Buckets describe the *translated* program where that is what the
+    engines actually see: auxiliary-relation count, induced-FD arity
+    (the auxiliary arity of Section 3.5), and the cycle kind of the
+    termination analysis - plus surface shape (kind, carried-value
+    arity, distribution families, data-bound parameters, recursion,
+    duplicate and bodiless rules, fact-count bands).
+    """
+    from repro.core.termination import analyze_termination
+    from repro.errors import ReproError
+
+    features = {f"kind:{case.kind}",
+                f"facts:{min(len(case.instance), 3)}"}
+    program = case.program
+    rules = list(program.rules)
+    if len(rules) != len(set(rules)):
+        features.add("shape:duplicate-rules")
+    heads = {rule.head.relation for rule in rules}
+    if any(atom.relation in heads
+           for rule in rules for atom in rule.body):
+        features.add("shape:recursive")
+    for rule in rules:
+        if not rule.body:
+            features.add("shape:bodiless-random" if rule.is_random()
+                         else "shape:bodiless-det")
+    random_rules = program.random_rules()
+    features.add(f"random-rules:{min(len(random_rules), 3)}")
+    for rule in random_rules:
+        if not rule.is_normal_form():
+            features.add("shape:multi-random-head")
+            continue
+        _position, term = rule.single_random_term()
+        features.add(f"dist:{term.distribution.name}")
+        features.add(f"carried:{min(len(rule.head.terms) - 1, 2)}")
+        if any(isinstance(param, Var) for param in term.params):
+            features.add("shape:data-bound-param")
+    try:
+        translated = program.translate()
+        features.add(f"aux:{min(len(translated.aux_relations), 3)}")
+        for info in translated.aux_info.values():
+            features.add(f"fd-arity:{min(info.arity, 5)}")
+        report = analyze_termination(translated)
+        if report.weakly_acyclic:
+            features.add("cycle:none")
+        elif report.almost_surely_diverges():
+            features.add("cycle:continuous")
+        else:
+            features.add("cycle:discrete")
+    except ReproError:
+        features.add("shape:untranslatable")
+    return frozenset(features)
+
+
+class CoverageTracker:
+    """Feature buckets seen so far in a coverage-guided fuzz run."""
+
+    def __init__(self):
+        self.seen: set[str] = set()
+        self.picked = 0
+
+    def novelty(self, case: FuzzCase) -> int:
+        """How many of the case's buckets are still unseen."""
+        return len(case_features(case) - self.seen)
+
+    def record(self, case: FuzzCase) -> None:
+        self.seen.update(case_features(case))
+        self.picked += 1
+
+
+def generate_case_guided(seed: int, tracker: CoverageTracker,
+                         config: FuzzConfig | None = None,
+                         n_candidates: int = 4) -> FuzzCase:
+    """One workload biased toward not-yet-covered feature buckets.
+
+    Proposes ``n_candidates`` candidates - each from its own derived
+    sub-seed, cycling the workload *kinds* so under-drawn kinds keep
+    being offered - and keeps the one covering the most unseen buckets
+    (ties: first).  Deterministic in ``(seed, tracker state)``; every
+    produced case reproduces exactly via
+    ``generate_case(case.seed, kind=case.kind)`` since the kind is
+    always passed explicitly.
+    """
+    config = config or DEFAULT_FUZZ_CONFIG
+    kinds = config.kinds
+    best: FuzzCase | None = None
+    best_score = (-1, 0)
+    for index in range(max(1, int(n_candidates))):
+        kind = str(kinds[(tracker.picked + index) % len(kinds)])
+        candidate = generate_case(case_seed(int(seed), index), config,
+                                  kind=kind)
+        score = (tracker.novelty(candidate), -index)
+        if score > best_score:
+            best, best_score = candidate, score
+    assert best is not None
+    tracker.record(best)
+    return best
+
+
+# ---------------------------------------------------------------------------
 # Case utilities shared by oracles and the shrinker
 # ---------------------------------------------------------------------------
 

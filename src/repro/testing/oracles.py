@@ -22,8 +22,16 @@ Each :class:`Oracle` here checks one such agreement on a generated
   (:mod:`repro.engine.batched`) vs the scalar per-run loop: exact
   marginal/chi-squared agreement against the exact SPDB where
   enumeration is available, KS agreement of sampled values for
-  continuous programs, and draw-for-draw identity where the batched
-  backend must fall back to the scalar loop;
+  continuous programs, draw-for-draw identity where the batched
+  backend must fall back to the scalar loop, and - on every batched
+  result - exact identity of the columnar marginal reads with counts
+  over the materialized worlds (the multi-round cascade and the
+  columnar fact store must describe the same ensemble);
+* ``barany-agreement`` - the per-rule (Grohe) vs per-distribution
+  (Bárány, Section 6.2) semantics on programs where the two provably
+  coincide: no random rule carries a head variable and random rules
+  use pairwise distinct distribution families, so no draw is shared
+  under one semantics but independent under the other;
 * ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
   truncated ones - the FDs hold on every *reachable* instance);
 * ``termination``    - the static analysis (Section 6.3) vs observed
@@ -397,6 +405,39 @@ class BatchedVsScalarOracle(Oracle):
             return _fail(f"fallback not draw-identical: {detail}")
         return _ok()
 
+    @staticmethod
+    def _columnar_consistency(result) -> str | None:
+        """Columnar marginal reads == counts over materialized worlds.
+
+        Batched results answer ``marginal``/``fact_marginals`` from
+        the columnar sample arrays; walking ``pdb.worlds`` then
+        materializes the very same ensemble.  The two views must agree
+        *exactly* (they are counts of one set of draws, not separate
+        estimates), across every cascade round and fallback world.
+        """
+        pdb = result.pdb
+        columnar = dict(result.fact_marginals())
+        counts: dict = {}
+        for world in pdb.worlds:  # materializes the ensemble
+            for fact in world.facts:
+                counts[fact] = counts.get(fact, 0) + 1
+        materialized = {fact: count / pdb.n_runs
+                        for fact, count in counts.items()}
+        if columnar != materialized:
+            keys = set(columnar) | set(materialized)
+            diffs = [f"{fact!r}: columnar {columnar.get(fact)} vs "
+                     f"worlds {materialized.get(fact)}"
+                     for fact in keys
+                     if columnar.get(fact) != materialized.get(fact)]
+            return ("columnar marginals disagree with materialized "
+                    f"worlds ({len(diffs)} facts): "
+                    + "; ".join(sorted(diffs)[:4]))
+        spot = [result.marginal(fact) == probability
+                for fact, probability in list(columnar.items())[:10]]
+        if not all(spot):
+            return "single-fact marginal disagrees with the table"
+        return None
+
     def _check_exact(self, case: FuzzCase) -> OracleOutcome:
         session = _session(case, seed=case.seed)
         exact = session.exact().pdb
@@ -406,6 +447,9 @@ class BatchedVsScalarOracle(Oracle):
             # (scalar-vs-exact is ExactVsSampleOracle's job); surface
             # the coverage hole as a skip instead of a hollow ok.
             return _skip("batched backend declined this case")
+        detail = self._columnar_consistency(result)
+        if detail:
+            return _fail(detail)
         batched = result.pdb
         detail = marginals_agree(exact, batched)
         if detail:
@@ -424,12 +468,87 @@ class BatchedVsScalarOracle(Oracle):
                          backend="batched").sample(self.n_runs)
         if result.backend != "batched":
             return _skip("batched backend declined this case")
+        detail = self._columnar_consistency(result)
+        if detail:
+            return _fail(detail)
         scalar = base.on(case.instance, seed=case.seed + 1,
                          backend="scalar").sample(self.n_runs).pdb
         detail = ks_agreement(sampled_values(result.pdb, positions),
                               sampled_values(scalar, positions))
         if detail:
             return _fail(f"batched vs scalar: {detail}")
+        return _ok()
+
+
+class BaranyAgreementOracle(Oracle):
+    """Grohe vs Bárány semantics where the two provably coincide.
+
+    Section 6.2 characterizes the difference: the per-rule translation
+    draws one sample per (rule, valuation of the carried head terms and
+    parameters), while the Bárány translation keys samples by
+    (distribution name, parameter tuple) shared across the program.
+    The laws disagree exactly when some draw is shared under one
+    semantics but independent under the other - repeated distribution
+    terms (Example 1.1's ``G0``), or one rule fanning a parameter tuple
+    over several carried values.  This oracle checks the complementary
+    *agreement class*: every random rule's carried head terms are
+    ground (no variables) and random rules use pairwise distinct
+    distribution families.  There the auxiliary relations of the two
+    translations correspond one-to-one, so the output SPDBs must be
+    equal - pointwise for discrete programs, statistically (KS over the
+    sampled values) for continuous ones.
+    """
+
+    name = "barany-agreement"
+
+    def __init__(self, n_runs: int = 250):
+        self.n_runs = n_runs
+
+    @staticmethod
+    def agreement_class(program: Program) -> bool:
+        """Whether the two semantics provably agree on ``program``."""
+        random_rules = program.random_rules()
+        if not random_rules:
+            return False
+        names = []
+        for rule in random_rules:
+            if not rule.is_normal_form():
+                return False
+            position, term = rule.single_random_term()
+            carried = [t for index, t in enumerate(rule.head.terms)
+                       if index != position]
+            if any(True for term_ in carried
+                   for _variable in term_.variables()):
+                return False
+            names.append(term.distribution.name)
+        return len(set(names)) == len(names)
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        if not self.agreement_class(case.program):
+            return _skip("outside the semantics-agreement class")
+        grohe = _compile(case.program)
+        barany = _compile(case.program, semantics="barany")
+        if not grohe.analyze().weakly_acyclic \
+                or not barany.analyze().weakly_acyclic:
+            return _skip("not weakly acyclic under both translations")
+        if case.program.is_discrete():
+            first = grohe.on(case.instance).exact().pdb
+            second = barany.on(case.instance).exact().pdb
+            detail = compare_discrete_pdbs(first, second)
+            if detail:
+                return _fail(f"semantics disagree exactly: {detail}")
+            return _ok()
+        positions = random_value_positions(case.program)
+        if not positions:
+            return _skip("no single-random-term heads to compare")
+        first = grohe.on(case.instance, seed=case.seed,
+                         backend="scalar").sample(self.n_runs).pdb
+        second = barany.on(case.instance, seed=case.seed + 1,
+                           backend="scalar").sample(self.n_runs).pdb
+        detail = ks_agreement(sampled_values(first, positions),
+                              sampled_values(second, positions))
+        if detail:
+            return _fail(f"grohe vs barany sampling: {detail}")
         return _ok()
 
 
@@ -509,7 +628,8 @@ def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
             FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
-            InducedFDOracle(), TerminationOracle()]
+            BaranyAgreementOracle(), InducedFDOracle(),
+            TerminationOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

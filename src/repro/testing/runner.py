@@ -24,8 +24,9 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.testing.corpus import save_reproducer
-from repro.testing.fuzz import (FuzzCase, FuzzConfig, case_seed,
-                                generate_case)
+from repro.testing.fuzz import (CoverageTracker, FuzzCase, FuzzConfig,
+                                case_seed, generate_case,
+                                generate_case_guided)
 from repro.testing.oracles import (FAIL, Oracle, OracleOutcome,
                                    default_oracles)
 from repro.testing.shrink import DEFAULT_MAX_CHECKS, case_size, \
@@ -103,6 +104,8 @@ class FuzzReport:
     stats: dict = field(default_factory=dict)
     discrepancies: list = field(default_factory=list)
     elapsed: float = 0.0
+    #: Distinct feature buckets covered (coverage-guided runs only).
+    coverage_buckets: int | None = None
 
     def ok(self) -> bool:
         """True when no oracle disagreed on any generated workload."""
@@ -110,7 +113,7 @@ class FuzzReport:
 
     def to_json(self) -> dict:
         """The documented machine-readable form (CLI ``--json``)."""
-        return {
+        payload = {
             "command": "fuzz",
             "budget": self.budget,
             "seed": self.seed,
@@ -125,13 +128,18 @@ class FuzzReport:
                                if d.corpus_path],
             "elapsed_seconds": self.elapsed,
         }
+        if self.coverage_buckets is not None:
+            payload["coverage_buckets"] = self.coverage_buckets
+        return payload
 
     def summary(self) -> str:
         """One human line, CI-log friendly."""
         verdict = "OK" if self.ok() else \
             f"{len(self.discrepancies)} DISCREPANCIES"
-        return (f"fuzz: {self.n_cases} cases, seed {self.seed}, "
-                f"{verdict} in {self.elapsed:.1f}s")
+        coverage = "" if self.coverage_buckets is None else \
+            f", {self.coverage_buckets} feature buckets"
+        return (f"fuzz: {self.n_cases} cases, seed {self.seed}"
+                f"{coverage}, {verdict} in {self.elapsed:.1f}s")
 
 
 def run_fuzz(budget: int = 100, seed: int = 0, *,
@@ -141,6 +149,7 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
              shrink: bool = True,
              max_shrink_checks: int = DEFAULT_MAX_CHECKS,
              on_case: Callable[[int, FuzzCase], None] | None = None,
+             coverage_guided: bool = False,
              ) -> FuzzReport:
     """Run a budgeted differential-fuzz pass.
 
@@ -150,7 +159,8 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
         Number of generated workloads.
     seed:
         Root seed; case ``i`` uses ``case_seed(seed, i)``, so any
-        reported case is reproducible from ``(seed, i)`` alone.
+        reported case is reproducible from ``(seed, i)`` alone (plus
+        the recorded kind under ``coverage_guided``).
     oracles:
         Oracle battery (default: :func:`default_oracles`).
     corpus_dir:
@@ -160,6 +170,11 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
         Disable to record raw failing cases (faster triage loops).
     on_case:
         Optional progress callback ``(index, case)``.
+    coverage_guided:
+        Bias generation toward translated-program feature buckets not
+        yet seen in this run (:func:`~repro.testing.fuzz.
+        generate_case_guided`); the report then carries the covered
+        bucket count.
     """
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
@@ -167,9 +182,14 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
         else default_oracles()
     report = FuzzReport(budget=int(budget), seed=int(seed))
     report.stats = {oracle.name: OracleStats() for oracle in battery}
+    tracker = CoverageTracker() if coverage_guided else None
     start = time.perf_counter()
     for index in range(budget):
-        case = generate_case(case_seed(seed, index), config)
+        if tracker is not None:
+            case = generate_case_guided(case_seed(seed, index),
+                                        tracker, config)
+        else:
+            case = generate_case(case_seed(seed, index), config)
         report.n_cases += 1
         report.kinds[case.kind] = report.kinds.get(case.kind, 0) + 1
         if on_case is not None:
@@ -194,5 +214,7 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
             report.discrepancies.append(Discrepancy(
                 oracle.name, outcome.detail, case, shrunk,
                 corpus_path))
+    if tracker is not None:
+        report.coverage_buckets = len(tracker.seen)
     report.elapsed = time.perf_counter() - start
     return report

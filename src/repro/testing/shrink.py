@@ -2,12 +2,26 @@
 
 A raw fuzz discrepancy can involve half a dozen rules and a dozen input
 facts; almost all of them are usually irrelevant.  :func:`shrink_case`
-repeatedly tries structure-removing transformations - drop a rule, drop
-a body atom, drop an input fact - and keeps any candidate on which the
-discrepancy *persists*, until no transformation helps or the check
-budget runs out.  The result is the small reproducer that gets
-persisted to the corpus (:mod:`repro.testing.corpus`) and replayed by
-the pytest suite.
+repeatedly tries simplifying transformations and keeps any candidate on
+which the discrepancy *persists*, until no transformation helps or the
+check budget runs out.  Three families of passes, largest impact first:
+
+* **structural** - drop a rule, drop an input fact, drop a body atom;
+* **relation merging** - rewrite one relation into another of the same
+  arity everywhere (program and instance), collapsing incidental
+  relation diversity the failure does not depend on;
+* **constant simplification** - shrink numeric literals toward ``0``
+  and ``1``, in fact arguments, rule constants and distribution
+  parameters alike (candidates whose parameters leave ``Θ_ψ`` are
+  discarded by re-validation).
+
+The merging and constant passes keep the structural
+:func:`case_size` unchanged, so the descent is ordered by the finer
+:func:`case_rank` - (size, distinct relations, literal cost),
+lexicographic - and every accepted candidate strictly decreases it,
+which is what keeps the greedy loop terminating.  The result is the
+small reproducer that gets persisted to the corpus
+(:mod:`repro.testing.corpus`) and replayed by the pytest suite.
 
 The checker is a plain predicate ``case -> bool`` ("does it still
 fail?"), so the shrinker is oracle-agnostic and directly testable with
@@ -18,15 +32,75 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from repro.core.atoms import Atom
+from repro.core.rules import Rule, iter_constants
+from repro.core.terms import Const, RandomTerm, Term, Var
 from repro.errors import ReproError
+from repro.pdb.facts import Fact
 from repro.testing.fuzz import FuzzCase, rebuild_case
 
 #: Safety valve: maximum checker invocations per shrink.
 DEFAULT_MAX_CHECKS = 250
 
 
-def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
-    """All one-step simplifications of a case, largest-impact first.
+def case_size(case: FuzzCase) -> int:
+    """Structural shrink metric: rules + body atoms + input facts."""
+    return (len(case.program.rules)
+            + sum(len(rule.body) for rule in case.program.rules)
+            + len(case.instance))
+
+
+def _value_cost(value) -> int:
+    """Simplicity ladder for literals: 0 < 1 < any other number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    if value == 0:
+        return 0
+    if value == 1:
+        return 1
+    return 2
+
+
+def literal_cost(case: FuzzCase) -> int:
+    """Total literal complexity of a case (see :func:`_value_cost`)."""
+    cost = 0
+    for fact in case.instance.sorted_facts():
+        for argument in fact.args:
+            cost += _value_cost(argument)
+    for rule in case.program.rules:
+        for constant in iter_constants(rule):
+            cost += _value_cost(constant.value)
+    return cost
+
+
+def relation_count(case: FuzzCase) -> int:
+    """Distinct relation names across the program and the instance."""
+    names = {fact.relation for fact in case.instance.sorted_facts()}
+    for rule in case.program.rules:
+        names.add(rule.head.relation)
+        names.update(atom.relation for atom in rule.body)
+    return len(names)
+
+
+def case_rank(case: FuzzCase) -> tuple[int, int, int]:
+    """The well-founded descent order of the shrinker.
+
+    Lexicographic (structural size, distinct relations, literal
+    cost): structural passes strictly decrease the first component,
+    relation merges the second without increasing the first, constant
+    simplification the third without increasing the others - so the
+    greedy loop terminates without needing a check budget (the budget
+    stays as a safety valve for expensive checkers).
+    """
+    return (case_size(case), relation_count(case), literal_cost(case))
+
+
+# ---------------------------------------------------------------------------
+# Structural passes
+# ---------------------------------------------------------------------------
+
+def _structural_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Drop a rule / an input fact / a body atom, one at a time.
 
     Candidates that break well-formedness (e.g. removing the body atom
     that binds a head variable) are silently discarded - the rebuilt
@@ -59,11 +133,146 @@ def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
                 continue
 
 
-def case_size(case: FuzzCase) -> int:
-    """Shrink metric: rules + body atoms + input facts."""
-    return (len(case.program.rules)
-            + sum(len(rule.body) for rule in case.program.rules)
-            + len(case.instance))
+# ---------------------------------------------------------------------------
+# Relation merging
+# ---------------------------------------------------------------------------
+
+def _relation_arities(case: FuzzCase) -> dict[str, int] | None:
+    """relation -> arity, or None entries dropped on inconsistency."""
+    arities: dict[str, int] = {}
+    consistent: dict[str, bool] = {}
+
+    def record(relation: str, arity: int) -> None:
+        known = arities.get(relation)
+        if known is None:
+            arities[relation] = arity
+            consistent[relation] = True
+        elif known != arity:
+            consistent[relation] = False
+
+    for fact in case.instance.sorted_facts():
+        record(fact.relation, len(fact.args))
+    for rule in case.program.rules:
+        record(rule.head.relation, len(rule.head.terms))
+        for atom in rule.body:
+            record(atom.relation, len(atom.terms))
+    return {relation: arity for relation, arity in arities.items()
+            if consistent[relation]}
+
+
+def _rename_relation(case: FuzzCase, source: str,
+                     target: str) -> FuzzCase:
+    def rename_atom(atom: Atom) -> Atom:
+        if atom.relation != source:
+            return atom
+        return Atom(target, atom.terms)
+
+    rules = [type(rule)(rename_atom(rule.head),
+                        tuple(rename_atom(atom) for atom in rule.body),
+                        label=rule.label)
+             for rule in case.program.rules]
+    facts = [Fact(target, fact.args) if fact.relation == source
+             else fact for fact in case.instance.sorted_facts()]
+    return rebuild_case(case, rules=rules, facts=facts)
+
+
+def _merge_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Merge one relation into another of the same arity.
+
+    The later-sorted name is rewritten into the earlier one, so merges
+    are canonical and every accepted merge strictly reduces
+    :func:`relation_count`.
+    """
+    arities = _relation_arities(case)
+    names = sorted(arities)
+    for target_index, target in enumerate(names):
+        for source in names[target_index + 1:]:
+            if arities[source] != arities[target]:
+                continue
+            try:
+                yield _rename_relation(case, source, target)
+            except ReproError:
+                continue
+
+
+# ---------------------------------------------------------------------------
+# Constant simplification
+# ---------------------------------------------------------------------------
+
+def _simpler_values(value) -> tuple:
+    """Replacement literals strictly lower on the simplicity ladder."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return ()
+    if value == 0:
+        return ()
+    if value == 1:
+        return (0,)
+    return (0, 1)
+
+
+def _replace_term(term: Term, site: int,
+                  counter: list[int], value) -> Term:
+    """Replace the ``site``-th constant (walking order) with ``value``."""
+    if isinstance(term, Const):
+        index = counter[0]
+        counter[0] += 1
+        if index == site:
+            return Const(value)
+        return term
+    if isinstance(term, RandomTerm):
+        params = tuple(_replace_term(param, site, counter, value)
+                       for param in term.params)
+        return RandomTerm(term.distribution, params)
+    return term
+
+
+def _rule_with_constant(rule: Rule, site: int, value) -> Rule:
+    counter = [0]
+    atoms = []
+    for atom in (rule.head, *rule.body):
+        atoms.append(Atom(atom.relation,
+                          tuple(_replace_term(term, site, counter,
+                                              value)
+                                for term in atom.terms)))
+    return type(rule)(atoms[0], tuple(atoms[1:]), label=rule.label)
+
+
+def _constant_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Shrink one numeric literal toward 0/1, one site at a time.
+
+    Covers input-fact arguments, rule constants and distribution
+    parameters; candidates whose parameters fall outside ``Θ_ψ`` fail
+    re-validation and are discarded.
+    """
+    facts = case.instance.sorted_facts()
+    for fact_index, fact in enumerate(facts):
+        for position, argument in enumerate(fact.args):
+            for value in _simpler_values(argument):
+                simpler = Fact(fact.relation,
+                               fact.args[:position] + (value,)
+                               + fact.args[position + 1:])
+                yield rebuild_case(
+                    case, facts=facts[:fact_index] + [simpler]
+                    + facts[fact_index + 1:])
+    rules = list(case.program.rules)
+    for rule_index, rule in enumerate(rules):
+        for site, constant in enumerate(iter_constants(rule)):
+            for value in _simpler_values(constant.value):
+                try:
+                    simpler_rule = _rule_with_constant(rule, site,
+                                                       value)
+                    yield rebuild_case(
+                        case, rules=rules[:rule_index] + [simpler_rule]
+                        + rules[rule_index + 1:])
+                except ReproError:
+                    continue
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """All one-step simplifications of a case, largest-impact first."""
+    yield from _structural_candidates(case)
+    yield from _merge_candidates(case)
+    yield from _constant_candidates(case)
 
 
 def shrink_case(case: FuzzCase,
@@ -73,18 +282,25 @@ def shrink_case(case: FuzzCase,
 
     ``still_fails`` must return True on ``case`` itself (the caller
     observed the failure); the returned case is the smallest reached
-    one on which ``still_fails`` is still True.  Greedy first-improving
-    descent: sound (never returns a passing case) and cheap, at the
-    cost of not exploring multi-step removals that only help jointly.
+    one (by :func:`case_rank`) on which ``still_fails`` is still True.
+    Greedy first-improving descent: sound (never returns a passing
+    case) and cheap, at the cost of not exploring multi-step removals
+    that only help jointly.  Candidates that do not strictly decrease
+    the rank are skipped, so the descent is well-founded even with
+    rewriting (non-size-reducing) passes in the mix.
     """
     checks = 0
     current = case
+    current_rank = case_rank(current)
     improved = True
     while improved and checks < max_checks:
         improved = False
         for candidate in _candidates(current):
             if checks >= max_checks:
                 break
+            candidate_rank = case_rank(candidate)
+            if candidate_rank >= current_rank:
+                continue
             checks += 1
             failed = False
             try:
@@ -93,6 +309,7 @@ def shrink_case(case: FuzzCase,
                 failed = False
             if failed:
                 current = candidate
+                current_rank = candidate_rank
                 improved = True
                 break
     return current

@@ -330,8 +330,11 @@ class TestBatchedMechanics:
         assert all(any("#" in f.relation for f in w.facts)
                    for w in kept.pdb.worlds)
 
-    def test_split_worlds_reach_terminal_instances(self):
-        # Force heavy splitting: every Flip=1 triggers a cascade.
+    def test_cascading_worlds_stay_grouped_not_split(self):
+        # Every Flip=1 triggers a cascade; the multi-round loop keeps
+        # the trigger-hit worlds grouped by signature (Hit=1) and runs
+        # the Boom stage vectorized instead of splitting ~90% of the
+        # batch to the scalar engine like the single-round backend did.
         compiled = repro.compile("""
             Hit(Flip<0.9>) :- true.
             Boom(x) :- Hit(1), Seed(x).
@@ -339,11 +342,15 @@ class TestBatchedMechanics:
         instance = Instance.of(Fact("Seed", ("s",)))
         result = compiled.on(instance, seed=0).sample(
             300, backend="batched")
-        assert result.diagnostics["n_split"] > 200
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_groups"] == 2  # Hit=0 and Hit=1
         hit = Fact("Hit", (1,))
         boom = Fact("Boom", ("s",))
+        hits = 0
         for world in result.pdb.worlds:
             assert (hit in world.facts) == (boom in world.facts)
+            hits += hit in world.facts
+        assert hits > 200  # ~90% of 300
 
     def test_batched_chase_rejects_barany_translation(self):
         program = repro.Program.parse("R(Flip<0.5>) :- true.")
@@ -365,3 +372,322 @@ class TestBatchedMechanics:
         session.sample(5, backend="batched")
         assert session._engines["batched"] is first
         assert isinstance(first, BatchedChase)
+
+
+CASCADE_CHAIN = """
+    A(Flip<0.5>) :- true.
+    B(Flip<0.5>) :- A(1).
+    C(Flip<0.5>) :- B(1).
+    D(1) :- C(1).
+"""
+
+CONTINUOUS_CASCADE = """
+    Level(Normal<0, 1>) :- true.
+    Next(Normal<x, 1>) :- Level(x).
+"""
+
+HIT_BOOM = """
+    Hit(Flip<0.9>) :- true.
+    Boom(x) :- Hit(1), Seed(x).
+"""
+
+
+class TestMultiRoundCascade:
+    """The cascading batch loop: signature groups across rounds."""
+
+    def test_example_3_4_runs_two_vectorized_rounds(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=7)
+        result = session.sample(2000, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_rounds"] == 2
+        # Trigger-hit worlds (~20%) regroup instead of going scalar;
+        # only rare multi-trigger signatures can end up as singletons.
+        assert result.diagnostics["n_split"] < 50
+        assert result.diagnostics["n_batched"] > 1950
+
+    def test_three_stage_chain_matches_exact_law(self):
+        compiled = repro.compile(CASCADE_CHAIN)
+        exact = compiled.on().exact()
+        result = compiled.on(seed=11).sample(2000, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_rounds"] == 3
+        assert result.diagnostics["n_split"] == 0
+        # Terminal groups: A=0 | A=1,B=0 | B=1,C=0 | C=1 (cascaded).
+        assert result.diagnostics["n_groups"] == 4
+        for fact in (Fact("A", (1,)), Fact("B", (1,)),
+                     Fact("C", (1,)), Fact("D", (1,))):
+            expected = exact.marginal(fact)
+            sigma = math.sqrt(expected * (1 - expected) / 2000)
+            assert abs(result.marginal(fact) - expected) <= \
+                6 * sigma + 0.01, fact
+
+    def test_unhit_trigger_leaves_one_terminal_group(self):
+        # The pinned trigger exists statically but no draw hits it at
+        # this seed/size: the partition simply never creates the
+        # trigger group, and every world stays in the all-None one.
+        compiled = repro.compile("""
+            Hit(Flip<0.001>) :- true.
+            Boom(x) :- Hit(1), Seed(x).
+        """)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        result = compiled.on(instance, seed=1).sample(
+            40, backend="batched")
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_groups"] == 1
+        assert all(Fact("Boom", ("s",)) not in world.facts
+                   for world in result.pdb.worlds)
+
+    def test_all_worlds_split_on_continuous_trigger(self):
+        # A continuous always-trigger gives every world a unique
+        # signature: all-singleton groups, which fall back to the
+        # scalar engine under the default batch_min_group=2.
+        session = repro.compile(CONTINUOUS_CASCADE).on(seed=2)
+        result = session.sample(30, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] == 30
+        assert result.diagnostics["n_batched"] == 0
+        for world in result.pdb.worlds:
+            assert len(world.facts_of("Next")) == 1
+
+    def test_min_group_one_vectorizes_singleton_groups(self):
+        session = repro.compile(CONTINUOUS_CASCADE).on(
+            seed=2, batch_min_group=1)
+        result = session.sample(12, backend="batched")
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_rounds"] == 2
+        assert result.diagnostics["n_groups"] == 12
+        for world in result.pdb.worlds:
+            assert len(world.facts_of("Next")) == 1
+
+    def test_semi_join_prunes_unsatisfiable_trigger(self):
+        # Hit(1) pins a trigger atom, but the rest of the Boom body
+        # joins Blocker - a stable relation with no facts - so the
+        # semi-join proves no firing can ever be enabled and the whole
+        # batch stays in one group (no round 2, no splits).
+        compiled = repro.compile("""
+            Hit(Flip<0.5>) :- true.
+            Boom(x) :- Hit(1), Blocker(x).
+        """)
+        result = compiled.on(seed=0).sample(100, backend="batched")
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_groups"] == 1
+        estimate = result.marginal(Fact("Hit", (1,)))
+        assert abs(estimate - 0.5) <= 0.15
+
+    def test_semi_join_refines_always_trigger_into_pins(self):
+        # Pick's sampled value joins the stable Allowed relation; the
+        # semi-join turns "any value triggers" into the finite pin set
+        # {2}, so only Pick=2 worlds cascade (vectorized, as a group).
+        compiled = repro.compile("""
+            Pick(DiscreteUniform<0, 3>) :- true.
+            Match(v) :- Pick(v), Allowed(v).
+        """)
+        instance = Instance.of(Fact("Allowed", (2,)))
+        result = compiled.on(instance, seed=3).sample(
+            400, backend="batched")
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_groups"] == 2
+        match = Fact("Match", (2,))
+        pick = Fact("Pick", (2,))
+        for world in result.pdb.worlds:
+            assert (pick in world.facts) == (match in world.facts)
+        assert abs(result.marginal(pick) - 0.25) <= 0.1
+
+    def test_budget_exhaustion_mid_round_truncates_like_scalar(self):
+        # max_steps=2 lets round 1 fire (aux + head per world) but not
+        # the Boom cascade: trigger-hit worlds must fall back and
+        # truncate, exactly as the scalar loop would on those draws
+        # (the backends use different streams, so the comparison is
+        # structural: every Hit=1 world truncates, every Hit=0 world
+        # is a genuine two-step output).
+        compiled = repro.compile(HIT_BOOM)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        batched = compiled.on(instance, seed=5, max_steps=2).sample(
+            60, backend="batched")
+        assert batched.backend == "batched"
+        assert batched.diagnostics["n_split"] > 0
+        assert batched.pdb.truncated > 0
+        assert batched.pdb.truncated + len(batched.pdb.worlds) == 60
+        for world in batched.pdb.worlds:
+            assert Fact("Hit", (0,)) in world.facts
+            assert Fact("Boom", ("s",)) not in world.facts
+
+    def test_budget_exhaustion_exact_count_on_sure_trigger(self):
+        # With a certain trigger every world cascades, so truncation
+        # under max_steps=2 is deterministic and must agree with the
+        # scalar backend exactly: all 40 runs truncate either way.
+        program = HIT_BOOM.replace("0.9", "1.0")
+        compiled = repro.compile(program)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        batched = compiled.on(instance, seed=5, max_steps=2).sample(
+            40, backend="batched")
+        scalar = compiled.on(instance, seed=5, max_steps=2).sample(
+            40, backend="scalar")
+        assert batched.backend == "batched"
+        assert batched.pdb.truncated == scalar.pdb.truncated == 40
+        assert batched.err_mass() == scalar.err_mass() == 1.0
+
+    def test_exact_budget_bound_keeps_tight_cascade_vectorized(self):
+        # max_steps=3 is exactly enough for the full cascade (aux,
+        # head, Boom).  The per-round bound counts only facts a world
+        # can actually still add (shared facts + unbound columns, with
+        # bound trigger facts not double-counted), so the trigger
+        # group stays vectorized and every run terminates - same as
+        # the scalar backend at the same budget.
+        compiled = repro.compile(HIT_BOOM)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        batched = compiled.on(instance, seed=5, max_steps=3).sample(
+            60, backend="batched")
+        scalar = compiled.on(instance, seed=5, max_steps=3).sample(
+            60, backend="scalar")
+        assert batched.diagnostics["n_split"] == 0
+        assert batched.pdb.truncated == 0
+        assert scalar.pdb.truncated == 0
+        hit, boom = Fact("Hit", (1,)), Fact("Boom", ("s",))
+        for world in batched.pdb.worlds:
+            assert (hit in world.facts) == (boom in world.facts)
+
+    def test_numpy_integer_batch_min_group_accepted(self):
+        import numpy as np
+        config = ChaseConfig(batch_min_group=np.int64(2))
+        assert config.batch_min_group == 2
+        with pytest.raises(ValidationError):
+            ChaseConfig(batch_min_group=True)
+
+    def test_scalar_fallback_draw_order_bit_identity(self):
+        # Split worlds must continue with the world's own spawned
+        # stream from exactly the batched prefix state: replaying the
+        # layer draws and the per-world continuation by hand must
+        # reproduce the ensemble draw-for-draw.
+        n = 8
+        compiled = repro.compile(CONTINUOUS_CASCADE)
+        session = compiled.on(seed=13)
+        result = session.sample(n, backend="batched")
+        assert result.diagnostics["n_split"] == n
+
+        translated = compiled.translated
+        visible = compiled.visible_relations
+        chase = BatchedChase(translated, Instance.empty())
+        batch_rng = ChaseConfig(seed=13).base_rng()
+        draws = chase._draw_layer(chase.layer, n, batch_rng)
+        rngs = ChaseConfig(seed=13).spawn_rngs(n)
+        expected = []
+        for index in range(n):
+            state = chase._engine.fork()
+            facts = []
+            for firing, column in zip(chase.layer, draws):
+                sampled = column[index].item()
+                facts.append(Fact(firing.aux_relation,
+                                  firing.prefix + (sampled,)))
+                head_args = list(firing.head_args)
+                head_args[firing.head_position] = sampled
+                facts.append(Fact(firing.head_relation,
+                                  tuple(head_args)))
+            for fact in facts:
+                state.add_fact(fact)
+            current = chase.closed.add_all(facts)
+            steps = len(current) - len(chase.instance)
+            run = run_chase_prepared(translated, state, current,
+                                     DEFAULT_POLICY, rngs[index],
+                                     10_000 - steps)
+            assert run.terminated
+            expected.append(run.instance.restrict(visible))
+        assert result.pdb.worlds == expected
+
+    def test_batch_min_group_validation(self):
+        with pytest.raises(ValidationError):
+            ChaseConfig(batch_min_group=0)
+        with pytest.raises(ValidationError):
+            ChaseConfig(batch_min_group=1.5)
+
+
+class TestColumnarReads:
+    """Marginal/aggregate queries straight off the sample columns."""
+
+    def test_marginal_reads_do_not_materialize(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=9)
+        result = session.sample(500, backend="batched")
+        result.marginal(Fact("Alarm", ("house-1",)))
+        result.fact_marginals()
+        assert result.pdb.materialized is False
+        result.pdb.worlds  # noqa: B018 - forcing materialization
+        assert result.pdb.materialized is True
+
+    def test_fact_marginals_match_materialized_counts(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=21)
+        result = session.sample(600, backend="batched")
+        columnar = result.fact_marginals()
+        counts: dict = {}
+        for world in result.pdb.worlds:
+            for fact in world.facts:
+                counts[fact] = counts.get(fact, 0) + 1
+        materialized = {fact: count / 600
+                        for fact, count in counts.items()}
+        assert columnar == materialized
+
+    def test_single_fact_marginal_matches_materialized(self):
+        session = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=2)
+        result = session.sample(400, backend="batched")
+        probes = [Fact("Alarm", ("house-1",)),
+                  Fact("Earthquake", ("Napa", 1)),
+                  Fact("Trig", ("house-1", 1)),
+                  Fact("Trig", ("house-1", 0)),
+                  Fact("City", ("Napa", 0.03)),
+                  Fact("Nowhere", (0,))]
+        columnar = [result.marginal(fact) for fact in probes]
+        worlds = result.pdb.worlds
+        for fact, estimate in zip(probes, columnar):
+            manual = sum(1 for world in worlds if fact in world) \
+                / len(worlds)
+            assert estimate == manual, fact
+
+    def test_collision_of_two_rules_into_one_head(self):
+        # Both rules emit Trig(u, v): per-world dedup must keep the
+        # columnar counts identical to counting materialized sets.
+        compiled = repro.compile("""
+            Trig(x, Flip<0.6>) :- Unit(x).
+            Trig(x, Flip<0.9>) :- Unit(x).
+        """)
+        instance = Instance.of(Fact("Unit", ("u",)))
+        result = compiled.on(instance, seed=4).sample(
+            500, backend="batched")
+        columnar = result.fact_marginals()
+        counts: dict = {}
+        for world in result.pdb.worlds:
+            for fact in world.facts:
+                counts[fact] = counts.get(fact, 0) + 1
+        assert columnar == {fact: count / 500
+                            for fact, count in counts.items()}
+        probe = Fact("Trig", ("u", 1))
+        assert result.marginal(probe) == columnar[probe]
+
+    def test_keep_aux_columnar_marginals(self):
+        session = repro.compile("R(Flip<0.5>) :- true.").on(
+            seed=0, keep_aux=True)
+        result = session.sample(200, backend="batched")
+        columnar = result.fact_marginals()
+        aux_facts = [fact for fact in columnar
+                     if "#" in fact.relation]
+        assert aux_facts, "keep_aux marginals must include auxiliaries"
+        counts: dict = {}
+        for world in result.pdb.worlds:
+            for fact in world.facts:
+                counts[fact] = counts.get(fact, 0) + 1
+        assert columnar == {fact: count / 200
+                            for fact, count in counts.items()}
+
+    def test_truncated_runs_excluded_from_columnar_reads(self):
+        compiled = repro.compile(HIT_BOOM)
+        instance = Instance.of(Fact("Seed", ("s",)))
+        result = compiled.on(instance, seed=5, max_steps=2).sample(
+            60, backend="batched")
+        assert result.pdb.truncated > 0
+        assert result.pdb.total_mass() == \
+            (60 - result.pdb.truncated) / 60
+        # Truncated (Hit=1) worlds carry no mass: marginal of Hit(1)
+        # counts only the terminated ensemble.
+        assert result.marginal(Fact("Hit", (1,))) == 0.0

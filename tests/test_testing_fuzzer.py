@@ -123,3 +123,93 @@ class TestHelpers:
             FuzzConfig(kinds=("exact",), kind_weights=(0.5, 0.5))
         with pytest.raises(ValueError):
             FuzzConfig(kinds=("nope",), kind_weights=(1.0,))
+
+
+class TestCoverageGuidedGeneration:
+    """The coverage-guided mode (feature buckets + candidate choice)."""
+
+    def test_case_features_capture_translated_structure(self):
+        from repro.testing import FuzzCase, case_features
+        from repro.pdb.instances import Instance
+        program = Program.parse("""
+            R0(x, Flip<p>) :- E0(x), Par(k, p).
+            D0(y) :- R0(x, y).
+        """)
+        case = FuzzCase(0, "sampling", program, Instance.empty())
+        features = case_features(case)
+        assert "kind:sampling" in features
+        assert "dist:Flip" in features
+        assert "carried:1" in features
+        assert "shape:data-bound-param" in features
+        assert "aux:1" in features
+        assert "cycle:none" in features
+        assert any(bucket.startswith("fd-arity:")
+                   for bucket in features)
+
+    def test_cyclic_cases_land_in_cycle_buckets(self):
+        from repro.testing import case_features, generate_case
+        case = generate_case(11, kind="cyclic")
+        features = case_features(case)
+        assert "kind:cyclic" in features
+        assert "cycle:continuous" in features \
+            or "cycle:discrete" in features
+
+    def test_guided_generation_is_deterministic(self):
+        from repro.testing import CoverageTracker, case_seed, \
+            generate_case_guided
+
+        def run():
+            tracker = CoverageTracker()
+            return [generate_case_guided(case_seed(5, index), tracker)
+                    for index in range(10)]
+
+        first, second = run(), run()
+        assert [(c.seed, c.kind) for c in first] == \
+            [(c.seed, c.kind) for c in second]
+        assert [c.program for c in first] == \
+            [c.program for c in second]
+
+    def test_guided_cases_reproduce_from_seed_and_kind(self):
+        from repro.testing import CoverageTracker, case_seed, \
+            generate_case, generate_case_guided
+        tracker = CoverageTracker()
+        for index in range(8):
+            case = generate_case_guided(case_seed(2, index), tracker)
+            replayed = generate_case(case.seed, kind=case.kind)
+            assert replayed.program == case.program
+            assert replayed.instance == case.instance
+
+    @pytest.mark.parametrize("root", [0, 1, 7])
+    def test_fixed_budget_covers_more_buckets_than_unbiased(
+            self, root):
+        from repro.testing import CoverageTracker, case_features, \
+            case_seed, generate_case, generate_case_guided
+        budget = 20
+        unbiased: set = set()
+        for index in range(budget):
+            unbiased |= case_features(
+                generate_case(case_seed(root, index)))
+        tracker = CoverageTracker()
+        for index in range(budget):
+            generate_case_guided(case_seed(root, index), tracker)
+        assert len(tracker.seen) > len(unbiased), (
+            f"guided {len(tracker.seen)} <= unbiased {len(unbiased)}")
+
+    def test_run_fuzz_reports_coverage_buckets(self):
+        from repro.testing import FixpointOracle, run_fuzz
+        report = run_fuzz(budget=6, seed=0,
+                          oracles=[FixpointOracle()],
+                          coverage_guided=True)
+        assert report.ok()
+        assert report.coverage_buckets is not None
+        assert report.coverage_buckets > 10
+        assert report.to_json()["coverage_buckets"] == \
+            report.coverage_buckets
+        assert "feature buckets" in report.summary()
+
+    def test_unguided_run_omits_coverage_field(self):
+        from repro.testing import FixpointOracle, run_fuzz
+        report = run_fuzz(budget=3, seed=0,
+                          oracles=[FixpointOracle()])
+        assert report.coverage_buckets is None
+        assert "coverage_buckets" not in report.to_json()

@@ -32,8 +32,8 @@ class TestOracleBattery:
         assert len(names) == len(set(names))
         assert set(oracles_by_name()) == {
             "fixpoint", "chase-order", "exact-vs-sample",
-            "facade-legacy", "batched-scalar", "induced-fds",
-            "termination"}
+            "facade-legacy", "batched-scalar", "barany-agreement",
+            "induced-fds", "termination"}
 
 
 class TestSkipPreconditions:
@@ -172,3 +172,85 @@ class TestFacadeVsLegacy:
             warnings.simplefilter("error", DeprecationWarning)
             outcome = FacadeVsLegacyOracle().check(case)
         assert outcome.status == "ok"
+
+
+class TestBaranyAgreementOracle:
+    """The Grohe-vs-Bárány semantics oracle and its agreement class."""
+
+    def _oracle(self):
+        from repro.testing import BaranyAgreementOracle
+        return BaranyAgreementOracle()
+
+    def test_repeated_family_outside_class(self):
+        # Example 1.1's G0: the semantics genuinely disagree here.
+        case = _case("R(Flip<0.5>) :- true.\nR(Flip<0.5>) :- true.")
+        oracle = self._oracle()
+        assert not oracle.agreement_class(case.program)
+        assert oracle.check(case).status == "skip"
+
+    def test_carried_head_variable_outside_class(self):
+        # One rule fans a constant parameter tuple over carried values:
+        # Bárány shares one draw across x, Grohe draws per x.
+        case = _case("R0(x, Flip<0.5>) :- E0(x).",
+                     facts=(Fact("E0", (1,)), Fact("E0", (2,))))
+        assert not self._oracle().agreement_class(case.program)
+
+    def test_discrete_agreement_class_passes_exactly(self):
+        case = _case("""
+            R0(0, Flip<0.4>) :- true.
+            R1(Bernoulli<0.7>) :- E0(x).
+        """, kind="exact", facts=(Fact("E0", (1,)), Fact("E0", (2,))))
+        oracle = self._oracle()
+        assert oracle.agreement_class(case.program)
+        assert oracle.check(case).status == "ok"
+
+    def test_continuous_agreement_class_passes_statistically(self):
+        case = _case("""
+            S0(Normal<0.0, 1.0>) :- E0(x).
+            S1(Exponential<1.5>) :- true.
+        """, facts=(Fact("E0", (1,)),))
+        outcome = self._oracle().check(case)
+        assert outcome.status == "ok", outcome.detail
+
+    def test_comparison_detects_genuine_disagreement(self):
+        # Force G0 through the comparison: the exact SPDBs differ
+        # (shared draw vs two independent draws), so the oracle's
+        # comparison machinery must flag it.
+        from repro.testing import BaranyAgreementOracle
+
+        class Unfenced(BaranyAgreementOracle):
+            @staticmethod
+            def agreement_class(program):
+                return True
+
+        case = _case("R(Flip<0.5>) :- true.\nR(Flip<0.5>) :- true.",
+                     kind="exact")
+        outcome = Unfenced().check(case)
+        assert outcome.status == "fail"
+        assert "disagree" in outcome.detail
+
+
+class TestColumnarConsistency:
+    def test_batched_result_columnar_equals_materialized(self):
+        import repro
+        from repro.testing import BatchedVsScalarOracle
+        from repro.workloads.paper import (example_3_4_instance,
+                                           example_3_4_program)
+        result = repro.compile(example_3_4_program()).on(
+            example_3_4_instance(), seed=3).sample(
+                300, backend="batched")
+        assert result.backend == "batched"
+        assert BatchedVsScalarOracle._columnar_consistency(result) \
+            is None
+
+    def test_batched_scalar_oracle_covers_cascades(self):
+        # A cascading discrete case runs the multi-round path end to
+        # end through the oracle (exact SPDB + columnar identity).
+        from repro.testing import BatchedVsScalarOracle
+        case = _case("""
+            A0(Flip<0.5>) :- true.
+            B0(Flip<0.5>) :- A0(1).
+            C0(1) :- B0(1).
+        """, kind="exact")
+        outcome = BatchedVsScalarOracle().check(case)
+        assert outcome.status == "ok", outcome.detail

@@ -11,17 +11,23 @@ Four ablations:
   run).  The facade path must be no slower at n=1000 chases; in
   practice it is strictly faster because per-run setup is amortized;
 * **batched vs scalar backend** - the vectorized batch chase
-  (:mod:`repro.engine.batched`) against the per-run scalar loop.  Two
+  (:mod:`repro.engine.batched`) against the per-run scalar loop.  Four
   acceptance bounds: batched ``sample(n=1000)`` on Example 3.5 (single
-  sampling layer) must be at least 3x faster, and on Example 3.4 (the
+  sampling layer) must be at least 3x faster; on Example 3.4 (the
   cascading earthquake model, where the multi-round signature-group
   loop keeps trigger-hit worlds vectorized instead of splitting ~22%
   of the batch to the scalar engine) at least **6x** - both measured
   end-to-end including a marginal read, so the columnar fast path is
-  inside the timed region.  The law checks ride along: the batched
-  ensemble must agree with the exact SPDB (binomial-sigma marginals +
-  chi-squared world distribution) and with the scalar backend (KS
-  over the sampled values).
+  inside the timed region; on the staged-slots workload (8 small
+  signature groups over a padded instance - the cross-group
+  draw-pooling + overlay-fork case) at least **2x**; and on Example
+  3.5 under the **Bárány translation** (previously a whole-batch
+  scalar decline; the shared-``Sample#`` companion fan-out is now
+  vectorized) strictly faster than scalar (asserted with 2x
+  headroom).  The law checks ride along: the batched ensemble must
+  agree with the exact SPDB (binomial-sigma marginals + chi-squared
+  world distribution) and with the scalar backend (KS over the
+  sampled values), on the new workloads too.
 
 ``test_calibration_spin`` is the pure-python calibration workload the
 benchmark-regression CI gate normalizes against
@@ -44,11 +50,62 @@ from repro.measures.empirical import ks_critical_value, ks_two_sample
 from repro.workloads.generators import (chain_instance, chain_program,
                                         earthquake_city_instance,
                                         random_graph_instance,
+                                        staged_slots_instance,
+                                        staged_slots_program,
                                         transitive_closure_program)
 from repro.workloads.paper import (example_3_4_instance,
                                    example_3_4_program,
                                    example_3_5_instance,
                                    example_3_5_program)
+
+
+def _timed_sample_seconds(session, n_runs, backend, probe=None,
+                          require_err_free=False):
+    """One timed ``sample(n)`` on a backend.
+
+    The probe read (when given) sits *inside* the timed region, so the
+    batched side's columnar fast path is part of the comparison and
+    the scalar side pays its world materialization.
+    """
+    from repro.pdb.facts import Fact
+    assert probe is None or isinstance(probe, Fact)
+    start = time.perf_counter()
+    result = session.sample(n_runs, backend=backend)
+    marginal = result.marginal(probe) if probe is not None else None
+    elapsed = time.perf_counter() - start
+    assert result.backend == backend
+    assert result.n_runs == n_runs
+    if probe is not None:
+        # Strictly inside (0, 1): every probe below has a genuinely
+        # uncertain truth value, so a degenerate 0/1 read means the
+        # column was dropped and the timing would measure a broken
+        # path.
+        assert 0.0 < marginal < 1.0
+    if require_err_free:
+        assert result.err_mass() == 0.0
+    return elapsed
+
+
+def assert_batched_speedup(session, n_runs, factor, probe=None,
+                           require_err_free=False):
+    """Warm both backends, then compare best-of-3 trials.
+
+    The shared acceptance harness of every batched-vs-scalar bound in
+    this file: the warm-up runs pay translation/fixpoint/engine
+    bootstrap for both paths, and taking the best of 3 keeps noisy
+    shared CI runners from tripping a genuine bound.
+    """
+    def seconds(backend):
+        return _timed_sample_seconds(session, n_runs, backend, probe,
+                                     require_err_free)
+
+    seconds("batched")
+    seconds("scalar")
+    batched = min(seconds("batched") for _ in range(3))
+    scalar = min(seconds("scalar") for _ in range(3))
+    assert batched * factor <= scalar, \
+        f"batched {batched:.3f}s vs scalar {scalar:.3f}s " \
+        f"({scalar / batched:.1f}x, needed {factor:.0f}x)"
 
 
 class TestCalibration:
@@ -178,28 +235,9 @@ class TestE13BatchedBackend:
         return compile_program(example_3_5_program()).on(
             example_3_5_instance(), seed=0)
 
-    def _seconds(self, session, backend) -> float:
-        start = time.perf_counter()
-        result = session.sample(self.N_RUNS, backend=backend)
-        elapsed = time.perf_counter() - start
-        assert result.n_runs == self.N_RUNS
-        assert result.err_mass() == 0.0
-        assert result.backend == backend
-        return elapsed
-
     def test_batched_3x_faster_than_scalar_at_n1000(self):
-        session = self._session()
-        # Warm both paths (translation, fixpoint, engine bootstrap),
-        # then take the best of 3 trials each.
-        self._seconds(session, "batched")
-        self._seconds(session, "scalar")
-        batched = min(self._seconds(session, "batched")
-                      for _ in range(3))
-        scalar = min(self._seconds(session, "scalar")
-                     for _ in range(3))
-        assert batched * 3.0 <= scalar, \
-            f"batched {batched:.3f}s vs scalar {scalar:.3f}s " \
-            f"({scalar / batched:.1f}x)"
+        assert_batched_speedup(self._session(), self.N_RUNS, 3.0,
+                               require_err_free=True)
 
     def test_batched_equals_scalar_law(self):
         # Same output law (KS over the sampled heights): the backends
@@ -259,33 +297,10 @@ class TestMultiRoundBatched:
         return compile_program(example_3_4_program()).on(
             example_3_4_instance(), seed=0)
 
-    def _seconds(self, session, backend) -> float:
-        from repro.pdb.facts import Fact
-        start = time.perf_counter()
-        result = session.sample(self.N_RUNS, backend=backend)
-        # The marginal read keeps the comparison honest end-to-end:
-        # the batched side answers it from the columnar arrays, the
-        # scalar side from its materialized worlds.
-        marginal = result.marginal(Fact("Alarm", ("house-1",)))
-        elapsed = time.perf_counter() - start
-        assert result.backend == backend
-        assert result.n_runs == self.N_RUNS
-        assert 0.0 < marginal < 1.0
-        return elapsed
-
     def test_batched_6x_faster_than_scalar_on_3_4_at_n1000(self):
-        session = self._session()
-        # Warm both paths (translation, fixpoint, engine bootstrap),
-        # then take the best of 3 trials each.
-        self._seconds(session, "batched")
-        self._seconds(session, "scalar")
-        batched = min(self._seconds(session, "batched")
-                      for _ in range(3))
-        scalar = min(self._seconds(session, "scalar")
-                     for _ in range(3))
-        assert batched * 6.0 <= scalar, \
-            f"batched {batched:.3f}s vs scalar {scalar:.3f}s " \
-            f"({scalar / batched:.1f}x)"
+        from repro.pdb.facts import Fact
+        assert_batched_speedup(self._session(), self.N_RUNS, 6.0,
+                               probe=Fact("Alarm", ("house-1",)))
 
     def test_multi_round_law_matches_exact_and_scalar(self):
         from repro.testing.fuzz import random_value_positions
@@ -317,6 +332,109 @@ class TestMultiRoundBatched:
         result = benchmark(run)
         assert result.diagnostics["n_rounds"] == 2
         assert result.diagnostics["n_split"] < self.N_RUNS * 0.05
+
+
+class TestPooledGroupBatched:
+    """Acceptance check: many-small-signature-groups programs batch.
+
+    The staged-slots workload produces 8 signature groups in round 2,
+    each over a padded (inert-fact-heavy) closed instance.  Before
+    this PR every group paid a full applicability re-index on fork and
+    its own ``sample_batch`` call per (distribution, params); overlay
+    forks cut the per-group setup to O(delta) and cross-group pooling
+    serves all groups' same-key draws from one call.  The acceptance
+    bound is >= 2x over scalar at n=1000 - well below what the backend
+    measures, so CI noise does not trip it - plus law agreement
+    against exact enumeration on a smaller configuration.
+    """
+
+    N_RUNS = 1000
+
+    def _session(self):
+        return compile_program(staged_slots_program()).on(
+            staged_slots_instance(), seed=0)
+
+    def test_batched_2x_faster_than_scalar_on_staged_slots(self):
+        from repro.pdb.facts import Fact
+        assert_batched_speedup(self._session(), self.N_RUNS, 2.0,
+                               probe=Fact("Next", ("slot-0-0", 1)))
+
+    def test_draws_actually_pool_across_groups(self):
+        result = self._session().sample(self.N_RUNS,
+                                        backend="batched")
+        diag = result.diagnostics
+        assert diag["n_rounds"] == 2
+        assert diag["n_split"] == 0
+        # One DiscreteUniform call + one pooled Flip call: without
+        # pooling the 8 stage groups would issue 8 separate calls.
+        assert diag["n_draw_calls"] == 2
+        assert diag["n_pooled_draws"] > 0
+
+    def test_staged_slots_law_matches_exact(self):
+        from repro.testing.oracles import (marginals_agree,
+                                           worlds_agree_chi_squared)
+        session = compile_program(staged_slots_program(4)).on(
+            staged_slots_instance(4, 3, padding=20), seed=5)
+        exact = session.exact().pdb
+        result = session.sample(2000, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_pooled_draws"] > 0
+        assert marginals_agree(exact, result.pdb) is None
+        assert worlds_agree_chi_squared(exact, result.pdb) is None
+
+    def test_benchmark_batched_staged_slots(self, benchmark):
+        session = self._session()
+        result = benchmark(
+            lambda: session.sample(self.N_RUNS, backend="batched"))
+        assert result.diagnostics["n_pooled_draws"] > 0
+
+
+class TestBaranyBatched:
+    """Acceptance check: Bárány-translation workloads now batch.
+
+    Before this PR the batched backend declined the §6.2 translation
+    outright (whole-batch scalar fallback); vectorizing the shared
+    ``Sample#`` companion fan-out makes Example 3.5 under Bárány
+    semantics a single-round batch (two draws per batch - one per
+    (mu, sigma2) key - fanned out to every person).  The acceptance
+    bound is a strict >1x speedup over scalar at n=1000 (asserted with
+    2x headroom), plus KS law agreement between the backends.
+    """
+
+    N_RUNS = 1000
+
+    def _session(self):
+        return compile_program(example_3_5_program(),
+                               semantics="barany").on(
+            example_3_5_instance(), seed=0)
+
+    def test_batched_beats_scalar_on_barany_3_5(self):
+        # The issue's acceptance bound is >1x (the class previously
+        # declined wholesale); assert with 2x headroom so a regression
+        # back toward the scalar fallback trips it.
+        assert_batched_speedup(self._session(), self.N_RUNS, 2.0,
+                               require_err_free=True)
+
+    def test_barany_batched_equals_scalar_law(self):
+        session = self._session()
+
+        def heights(backend, seed):
+            pdb = session.sample(400, backend=backend, seed=seed).pdb
+            return [float(fact.args[1]) for world in pdb.worlds
+                    for fact in world.facts_of("PHeight")]
+
+        batched = heights("batched", 0)
+        scalar = heights("scalar", 1)
+        statistic = ks_two_sample(batched, scalar)
+        assert statistic <= 1.3 * ks_critical_value(
+            len(batched), len(scalar), 1e-4), statistic
+
+    def test_benchmark_batched_barany_3_5(self, benchmark):
+        session = self._session()
+        result = benchmark(
+            lambda: session.sample(self.N_RUNS, backend="batched"))
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] == 0
 
 
 class TestE13DatalogFixpoint:

@@ -200,6 +200,46 @@ def compare(report: dict, baseline: dict,
             "threshold": threshold}
 
 
+def format_delta_table(verdict: dict) -> str:
+    """The gate verdict as an aligned per-benchmark delta table.
+
+    One row per compared experiment (worst ratio first), then the new
+    and retired ids.  This is what the CI job prints - a failing gate
+    must be diagnosable from the log alone, not from the raw exit
+    code.
+    """
+    rows: list[tuple[str, str, str, str, str]] = []
+    compared = (
+        [("REGRESSED", record) for record in verdict["regressions"]]
+        + [("IMPROVED", record) for record in verdict["improvements"]]
+        + [("ok", record) for record in verdict["unchanged"]])
+    compared.sort(key=lambda pair: -pair[1]["ratio"])
+    for status, record in compared:
+        rows.append((status, record["id"],
+                     f"{record['baseline']:.4g}",
+                     f"{record['normalized']:.4g}",
+                     f"{record['ratio']:.2f}x"))
+    for identifier in verdict["new"]:
+        rows.append(("NEW", identifier, "-", "-", "-"))
+    for identifier in verdict["retired"]:
+        rows.append(("RETIRED", identifier, "-", "-", "-"))
+    header = ("STATUS", "EXPERIMENT", "BASELINE", "CURRENT", "RATIO")
+    widths = [max(len(header[column]),
+                  *(len(row[column]) for row in rows)) if rows
+              else len(header[column]) for column in range(5)]
+
+    def line(cells: tuple) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    limit = 1.0 + verdict["threshold"]
+    out = [line(header), line(tuple("-" * width for width in widths))]
+    out.extend(line(row) for row in rows)
+    out.append(f"(normalized medians; gate limit {limit:.2f}x of "
+               "baseline)")
+    return "\n".join(out)
+
+
 def baseline_from_report(report: dict) -> dict:
     """The committed-baseline form: normalized medians only."""
     return {
@@ -275,20 +315,8 @@ def main(argv=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    for record in verdict["improvements"]:
-        print(f"IMPROVED  {record['id']}: {record['ratio']:.2f}x "
-              "of baseline")
-    for identifier in verdict["new"]:
-        print(f"NEW       {identifier} (no baseline yet)")
-    for identifier in verdict["retired"]:
-        print(f"RETIRED   {identifier} (in baseline, not in run)")
+    print(format_delta_table(verdict))
     if verdict["regressions"]:
-        for record in verdict["regressions"]:
-            print(f"REGRESSED {record['id']}: normalized median "
-                  f"{record['normalized']:.4g} vs baseline "
-                  f"{record['baseline']:.4g} "
-                  f"({record['ratio']:.2f}x, limit "
-                  f"{1.0 + verdict['threshold']:.2f}x)")
         print(f"gate FAILED: {len(verdict['regressions'])} "
               "regression(s)")
         return 1

@@ -49,10 +49,12 @@ STREAMS = ("spawn", "shared")
 #: worlds are regrouped by their enabled-trigger signature and the next
 #: existential layer runs vectorized per group, with only residual
 #: singleton groups (and budget-starved or structurally unsupported
-#: ones) finishing on the scalar engine.  The hard requirements are
-#: unchanged: per-rule (grohe) translation, weak acyclicity, ``"spawn"``
-#: streams, sequential chase, no trace recording, no worker threads,
-#: and a batch-safe policy.
+#: ones) finishing on the scalar engine.  Both translations are
+#: batchable: the per-rule (grohe) one, and - since the shared
+#: ``Sample#`` companion fan-out is vectorized - the Bárány one of
+#: Section 6.2.  The remaining hard requirements: weak acyclicity of
+#: the translated program, ``"spawn"`` streams, sequential chase, no
+#: trace recording, no worker threads, and a batch-safe policy.
 BACKENDS = ("auto", "scalar", "batched")
 
 

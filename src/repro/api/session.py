@@ -431,13 +431,15 @@ class Session:
     def _batch_eligible(self, cfg: ChaseConfig) -> bool:
         """Whether the batched backend's exactness argument applies.
 
-        Requires the per-rule (grohe) translation, no trace recording,
-        the sequential chase, and weak acyclicity - Theorem 6.1's
+        Requires no trace recording, the sequential chase, and weak
+        acyclicity (of the translated program) - Theorem 6.1's
         order-independence is what makes the batched prefix produce
-        exactly the sequential-chase law.
+        exactly the sequential-chase law.  Both translations qualify:
+        the per-rule (grohe) one, and - since the companion fan-out of
+        shared ``Sample#`` auxiliaries is vectorized - the Bárány one,
+        whose existential program the same theorem covers (the
+        auxiliary keying differs, the chase calculus does not).
         """
-        if self.compiled.semantics != "grohe":
-            return False
         if cfg.parallel or cfg.record_trace:
             return False
         return self.compiled.analyze().weakly_acyclic
@@ -499,7 +501,9 @@ class Session:
                          "n_batched": n - info["n_split"],
                          "n_layer_firings": info["n_firings"],
                          "n_rounds": info["n_rounds"],
-                         "n_groups": info["n_groups"]})
+                         "n_groups": info["n_groups"],
+                         "n_draw_calls": info["n_draw_calls"],
+                         "n_pooled_draws": info["n_pooled_draws"]})
 
     @staticmethod
     def _collect_worlds(cfg: ChaseConfig, runs: Sequence[ChaseRun],

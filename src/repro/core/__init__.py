@@ -2,7 +2,8 @@
 
 from repro.core.applicability import (Firing, IncrementalApplicability,
                                       NaiveApplicability,
-                                      applicable_pairs)
+                                      OverlayApplicability,
+                                      applicable_pairs, overlay_fork)
 from repro.core.atoms import Atom, atom
 from repro.core.barany import (TaggedDistribution,
                                simulation_helper_relations,
@@ -54,11 +55,13 @@ __all__ = [
     "program_to_source", "rule_to_source", "term_to_source", "Const",
     "DEFAULT_POLICY", "ExistentialProgram", "Firing", "FirstPolicy",
     "FunctionalDependency", "IncrementalApplicability", "LastPolicy",
-    "MassReport", "NaiveApplicability", "PriorityPolicy", "Program",
+    "MassReport", "NaiveApplicability", "OverlayApplicability",
+    "PriorityPolicy", "Program",
     "RandomTerm", "RandomTiePolicy", "RoundRobinPolicy", "Rule",
     "TaggedDistribution", "Term", "TerminationEstimate",
     "TerminationReport", "Var", "analyze_termination",
     "applicable_pairs", "apply_to_pdb", "as_term", "atom",
+    "overlay_fork",
     "chase_markov_process", "chase_outputs", "chase_step_kernel",
     "check_all_fds", "enumerate_chase_tree",
     "estimate_termination_probability", "exact_parallel_spdb",

@@ -18,14 +18,23 @@ equivalence (Theorem 6.1) hold for the parallel chase, where all
 applicable pairs fire simultaneously with independent samples: distinct
 firings have distinct auxiliary prefixes by construction.
 
-Two engines compute ``App``:
+Three engines compute ``App``:
 
 * :class:`NaiveApplicability` re-evaluates every rule body per call -
   simple and obviously correct;
 * :class:`IncrementalApplicability` maintains the applicable set across
   fact insertions (delta matching for new candidates, head-satisfaction
   removal) - the engine the chase actually uses.  Agreement of the two
-  is property-tested; the speedup is measured in experiment E13.
+  is property-tested; the speedup is measured in experiment E13;
+* :class:`OverlayApplicability` layers a copy-on-write delta over a
+  *frozen* :class:`IncrementalApplicability` - forking costs O(delta)
+  instead of O(instance), which is what the batched chase's
+  per-signature-group forks ride on.
+
+``fork()`` is part of the engine interface proper: every engine
+produces an independent copy whose mutations never leak into the
+original or into sibling forks (property-tested across all three
+engines in ``tests/test_applicability.py``).
 """
 
 from __future__ import annotations
@@ -35,8 +44,8 @@ from typing import Iterable, Iterator
 
 from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
                                   TranslatedRule)
-from repro.engine.matching import (IndexedSource, match_atoms,
-                                   match_atoms_with_pinned)
+from repro.engine.matching import (IndexedSource, OverlaySource,
+                                   match_atoms, match_atoms_with_pinned)
 from repro.ordering import tuple_sort_key
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
@@ -94,7 +103,13 @@ class ApplicabilityEngine:
         raise NotImplementedError
 
     def fork(self) -> "ApplicabilityEngine":
-        """An independent copy (exact enumeration branches states)."""
+        """An independent copy of the engine state.
+
+        Mutating the fork (``add_fact``) must never affect the original
+        engine or any sibling fork, and vice versa - exact enumeration
+        branches states on this, and the batched chase forks one engine
+        per signature group per round.
+        """
         raise NotImplementedError
 
 
@@ -179,11 +194,17 @@ class IncrementalApplicability(ApplicabilityEngine):
         # A caller that already indexed the instance (e.g. the batched
         # chase, whose shared fixpoint hands back its warm source) may
         # pass it in; it must mirror ``instance`` exactly and is owned
-        # by the engine afterwards.
-        if source is not None and len(source) != len(instance):
-            raise ValueError(
-                f"prebuilt source has {len(source)} facts, instance "
-                f"has {len(instance)}")
+        # by the engine afterwards.  The check is by *content*, not
+        # count: a same-size but content-mismatched source would be
+        # accepted by a length test and silently corrupt every body
+        # match of the chase.
+        if source is not None:
+            if len(source) != len(instance) \
+                    or any(f not in source for f in instance.facts):
+                raise ValueError(
+                    f"prebuilt source disagrees with the instance: "
+                    f"{len(source)} source facts vs {len(instance)} "
+                    "instance facts, or differing content")
         self._source = source if source is not None \
             else IndexedSource(instance.facts)
         self._fact_set: set[Fact] = set(instance.facts)
@@ -250,6 +271,15 @@ class IncrementalApplicability(ApplicabilityEngine):
     def instance(self) -> Instance:
         return Instance(self._fact_set)
 
+    @property
+    def source(self):
+        """The engine's fact source (read access for body matching).
+
+        The batched chase matches Bárány companion bodies against the
+        engine's current source; callers must not mutate it directly.
+        """
+        return self._source
+
     def fork(self) -> "IncrementalApplicability":
         copy = IncrementalApplicability.__new__(IncrementalApplicability)
         ApplicabilityEngine.__init__(copy, self.translated)
@@ -260,6 +290,97 @@ class IncrementalApplicability(ApplicabilityEngine):
         copy._dispatch = self._dispatch  # immutable after init
         copy._applicable = dict(self._applicable)
         return copy
+
+
+class _LayeredFactSet:
+    """Set-like view: a frozen base fact set plus a private delta.
+
+    Supports exactly what :class:`IncrementalApplicability`'s hot loop
+    needs (membership, add, iteration, len); the layers stay disjoint
+    because :meth:`add` refuses base facts.
+    """
+
+    __slots__ = ("_base", "_delta")
+
+    def __init__(self, base, delta: set):
+        self._base = base
+        self._delta = delta
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._delta or f in self._base
+
+    def add(self, f: Fact) -> None:
+        if f not in self._base:
+            self._delta.add(f)
+
+    def __iter__(self) -> Iterator[Fact]:
+        yield from self._base
+        yield from self._delta
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._delta)
+
+
+class OverlayApplicability(IncrementalApplicability):
+    """A copy-on-write fork of a *frozen* incremental engine.
+
+    ``IncrementalApplicability.fork()`` re-indexes the whole fact set -
+    O(instance) per fork, which dominated the batched chase's
+    per-signature-group setup on large closed instances.  An overlay
+    instead shares the parent's indexes through an
+    :class:`~repro.engine.matching.OverlaySource` and keeps its own
+    additions in a delta layer, so construction and :meth:`fork` cost
+    O(delta + |App| + aux prefixes) - independent of the closed
+    instance's size.
+
+    **Contract:** the parent engine must not gain facts while any
+    overlay of it is alive (the batched chase freezes its base engine
+    by construction - rounds always fork).  Lazy index materialization
+    inside the parent's source is fine; it does not change logical
+    content.  Overlays fork into sibling overlays over the *same*
+    frozen parent, never into chains, so lookup depth stays constant
+    across cascade rounds.
+    """
+
+    def __init__(self, parent: IncrementalApplicability):
+        ApplicabilityEngine.__init__(self, parent.translated)
+        if isinstance(parent, OverlayApplicability):
+            # Flatten: overlay an overlay by copying its delta rather
+            # than stacking lookup layers.
+            self._parent_facts = parent._parent_facts
+            self._delta = set(parent._delta)
+            self._source = parent._source.fork()
+        else:
+            self._parent_facts = parent._fact_set
+            self._delta = set()
+            self._source = OverlaySource(parent._source)
+        self._fact_set = _LayeredFactSet(self._parent_facts, self._delta)
+        # Aux-prefix sets and the applicable map are small (one entry
+        # per pending/settled existential firing); plain copies keep
+        # the parent untouchable without copy-on-write bookkeeping.
+        self._aux_prefixes = {name: set(prefixes) for name, prefixes
+                              in parent._aux_prefixes.items()}
+        self._applicable = dict(parent._applicable)
+        self._dispatch = parent._dispatch  # immutable after init
+
+    def fork(self) -> "OverlayApplicability":
+        """A sibling overlay over the same frozen parent (O(delta))."""
+        return OverlayApplicability(self)
+
+    def instance(self) -> Instance:
+        return Instance(iter(self._fact_set))
+
+
+def overlay_fork(engine: IncrementalApplicability,
+                 ) -> OverlayApplicability:
+    """The cheapest independent fork of an incremental-family engine.
+
+    Overlays fork as overlays; a plain (frozen-from-now-on)
+    :class:`IncrementalApplicability` is wrapped without copying its
+    indexes.  The caller asserts the base engine will not be mutated
+    for as long as the fork lives.
+    """
+    return OverlayApplicability(engine)
 
 
 def applicable_pairs(translated: ExistentialProgram,

@@ -167,6 +167,22 @@ class TaggedDistribution(ParameterizedDistribution):
                rng: np.random.Generator) -> Any:
         return self._inner.sample(self._split(params), rng)
 
+    def sample_many(self, params: Sequence[Any],
+                    rng: np.random.Generator, n: int) -> list:
+        return self._inner.sample_many(self._split(params), rng, n)
+
+    def sample_batch(self, params: Sequence[Any], size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        # Delegating keeps the inner family's vectorized sampler on
+        # the batched-chase path (Bárány-translated programs batch
+        # too); the tag carries no probabilistic content.
+        return self._inner.sample_batch(self._split(params), size, rng)
+
+    def finite_support_values(self, params: Sequence[Any],
+                              max_points: int = 128) -> tuple | None:
+        return self._inner.finite_support_values(self._split(params),
+                                                 max_points)
+
     def support(self, params: Sequence[Any]):
         return self._inner.support(self._split(params))
 

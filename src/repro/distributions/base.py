@@ -105,15 +105,22 @@ class ParameterizedDistribution:
         """Draw ``size`` iid values from ``P_ψ⟨θ⟩`` as a numpy array.
 
         The batched chase engine (:mod:`repro.engine.batched`) calls
-        this once per (firing, parameter) group instead of issuing
-        ``size`` scalar :meth:`sample` calls.  Implementations must
-        draw from the same law as :meth:`sample` (the registry
-        tripwire tests assert this), but are free to consume the
-        generator differently - batched draws are *law*-equal, not
-        draw-for-draw equal, to scalar ones.  The base implementation
-        delegates to :meth:`sample_many` (so a family that already
-        vectorized that hook batches fast automatically); every
-        built-in family overrides it with a single numpy call.
+        this once per (distribution, parameters) key per round -
+        pooling the draws of *every* firing and signature group that
+        shares the key into one call, then slicing the flat array back
+        per consumer.  That pooling is sound exactly because this
+        method's contract requires the ``size`` draws to be iid from
+        ``P_ψ⟨θ⟩``: any split of an iid array preserves the product
+        law, so implementations must not introduce cross-draw
+        structure (antithetic pairs, stratification, common random
+        numbers) - the registry tripwire tests assert law-consistency
+        with :meth:`sample`.  Implementations are free to consume the
+        generator differently from ``size`` scalar calls - batched
+        draws are *law*-equal, not draw-for-draw equal, to scalar
+        ones.  The base implementation delegates to
+        :meth:`sample_many` (so a family that already vectorized that
+        hook batches fast automatically); every built-in family
+        overrides it with a single numpy call.
         """
         return np.asarray(self.sample_many(params, rng, int(size)))
 

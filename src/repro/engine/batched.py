@@ -15,16 +15,21 @@ exploits the structure with a *multi-round* cascade:
 2. **Vectorized sampling layers.**  The existential firings applicable
    on the closed instance are identical across worlds.  Each firing's
    ``B`` independent draws are produced by a *single* call to the
-   distribution's numpy sampler (:meth:`sample_batch`), with firings
-   sharing a parameter tuple grouped into one call.  The per-world
-   sampled values live in columnar numpy arrays - the batch's fact
-   store - and are only materialized into :class:`Fact` objects on
-   demand (:class:`ColumnarMonteCarloPDB` answers marginal queries
-   straight off the columns).  Both the auxiliary fact ``R_i(ā, y)``
-   and its (3.B) companion head are emitted directly from the firing's
-   ground prefix: under the per-rule translation the companion head is
-   fully determined by the auxiliary fact, so no rule matching is
-   needed.
+   distribution's numpy sampler (:meth:`sample_batch`); within a
+   round, *all* same-(distribution, parameters) requests - across
+   firings *and* across signature groups - pool into one call whose
+   flat result is sliced back per request (the draws are iid, so the
+   product law is unchanged).  The per-world sampled values live in
+   columnar numpy arrays - the batch's fact store - and are only
+   materialized into :class:`Fact` objects on demand
+   (:class:`ColumnarMonteCarloPDB` answers marginal queries straight
+   off the columns).  Both the auxiliary fact ``R_i(ā, y)`` and its
+   (3.B) companion heads are emitted columnar: under the per-rule
+   (grohe) translation the single companion head is fully determined
+   by the firing's ground prefix, and under the Bárány translation the
+   shared ``Sample#`` auxiliary's fan-out - every companion rule body
+   matched against the round's fact source - is enumerated once per
+   firing into head templates that every draw scatters into.
 3. **Cascading signature groups.**  A sampled fact may enable further
    firings (e.g. ``Trig(x, ...) :- ..., Earthquake(c, 1)``).  A static
    *trigger analysis* over the translated rule bodies classifies each
@@ -37,10 +42,16 @@ exploits the structure with a *multi-round* cascade:
    *grouped by their enabled-trigger signature* - the tuple of sampled
    values that actually hit a trigger - and each group runs the next
    deterministic cascade + existential layer vectorized again, one
-   ``sample_batch`` call per (distribution, params) per group.  Only
-   residual groups below :attr:`ChaseConfig.batch_min_group` (by
-   default: singletons), budget-starved groups and structurally
-   unsupported rounds finish on the scalar engine
+   ``sample_batch`` call per (distribution, params) per *round* thanks
+   to the pooling above.  Rounds advance as breadth-first waves, so
+   every group at the same cascade depth draws together.  Group forks
+   are copy-on-write: each signature group starts from an
+   :class:`~repro.core.applicability.OverlayApplicability` - a delta
+   overlay over the frozen base engine - so forking costs O(delta)
+   instead of re-indexing the whole closed instance.  Only residual
+   groups below :attr:`ChaseConfig.batch_min_group` (by default:
+   singletons), budget-starved groups and structurally unsupported
+   rounds finish on the scalar engine
    (:func:`repro.core.chase.run_chase_prepared`) from a fork of the
    group state.  The fallback guarantees the sampled law is *exactly*
    the sequential-chase law: the batched prefix is itself a legitimate
@@ -53,13 +64,18 @@ every fact that could ever participate in a rule-body match: sampled
 values that missed every pin can - by the instance-independent part of
 the trigger analysis plus the permanence of stable relations - never
 match any body atom, so they are invisible to applicability, and all
-other facts are shared.
+other facts are shared.  Under the Bárány translation one extra
+condition guards the columnar (world-varying) case: every companion
+rule's rest-of-body must be confined to stable relations, so the
+enumerated head-template set is final; a companion rest touching a
+growable relation instead forces every draw into the signature, where
+the incremental engine derives late companion matches exactly.
 
 The backend never silently approximates: callers outside the supported
-class (Bárány translation, non-weakly-acyclic programs, trace
-recording, step budgets too tight for the first layer) are *declined*
-via :exc:`BatchUnsupported` / a ``None`` return, and
-:meth:`repro.api.Session.sample` falls back to the scalar loop.
+class (non-weakly-acyclic programs, trace recording, step budgets too
+tight for the first layer) are *declined* via :exc:`BatchUnsupported`
+/ a ``None`` return, and :meth:`repro.api.Session.sample` falls back
+to the scalar loop.
 """
 
 from __future__ import annotations
@@ -68,7 +84,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.applicability import IncrementalApplicability
+from repro.core.applicability import (IncrementalApplicability,
+                                      overlay_fork)
 from repro.core.chase import ChaseRun, run_chase_prepared
 from repro.core.policies import ChasePolicy
 from repro.core.terms import Const, Var
@@ -110,21 +127,33 @@ class _FallbackNeeded(Exception):
 class _LayerFiring:
     """One existential firing of a vectorized sampling layer, prepared.
 
-    ``head_args`` is the companion (3.B) head with ``None`` standing in
-    at ``head_position`` for the sampled value; ``trigger`` / ``pinned``
-    summarize the static analysis of whether the emitted head fact can
-    enable further firings (``pinned`` holds the sampled values that
-    would - only numeric values matter, samples are numbers).
+    ``heads`` are the (3.B) companion head templates this firing's
+    draw fans out to - ``(relation, args, position)`` triples with
+    ``None`` standing in at ``position`` for the sampled value.  Under
+    the per-rule (grohe) translation there is exactly one; under the
+    Bárány translation a shared ``Sample#`` auxiliary may feed several
+    companion rules and several body matches each, so one draw can
+    emit many heads.  ``trigger`` / ``pinned`` summarize the static
+    analysis of whether any emitted head fact can enable further
+    firings (``pinned`` holds the sampled values that would - only
+    numeric values matter, samples are numbers).
     """
 
     aux_relation: str
     prefix: tuple
     distribution_key: tuple
-    head_relation: str
-    head_args: tuple
-    head_position: int
+    heads: tuple
     trigger: str
     pinned: frozenset
+
+    def head_facts(self, sampled) -> list[Fact]:
+        """The companion head facts for one sampled value."""
+        facts = []
+        for relation, args, position in self.heads:
+            filled = list(args)
+            filled[position] = sampled
+            facts.append(Fact(relation, tuple(filled)))
+        return facts
 
 
 @dataclass(frozen=True)
@@ -163,10 +192,11 @@ class BatchOutcome:
 class _Round:
     """One pending vectorized round of a world group (internal).
 
-    ``unbound`` counts the columns of earlier rounds whose sampled
-    value stayed world-varying (signature component None) - the only
-    columns whose auxiliary + head facts are *not* already inside
-    ``shared``, which is what the per-world step bound needs.
+    ``unbound_facts`` counts the per-world facts of earlier rounds'
+    columns whose sampled value stayed world-varying (signature
+    component None) - one auxiliary plus the head templates per such
+    column.  They are the only facts *not* already inside ``shared``,
+    which is what the per-world step bound needs.
     """
 
     engine: IncrementalApplicability
@@ -174,8 +204,7 @@ class _Round:
     members: np.ndarray
     layer: tuple
     columns: tuple
-    depth: int = 1
-    unbound: int = 0
+    unbound_facts: int = 0
 
 
 class BatchedChase:
@@ -194,11 +223,6 @@ class BatchedChase:
 
     def __init__(self, translated: ExistentialProgram,
                  instance: Instance):
-        if translated.semantics != "grohe":
-            raise BatchUnsupported(
-                "batched chase requires the per-rule (grohe) "
-                "translation; the Bárány translation shares auxiliary "
-                "relations across rules")
         self.translated = translated
         self.instance = instance
         det_rules = translated.deterministic_rules()
@@ -220,24 +244,36 @@ class BatchedChase:
         self._companions = self._collect_companions()
         self._body_atoms = self._collect_body_atoms()
         self._growable = self._collect_growable()
-        self.layer = tuple(self._prepare_firing(firing)
+        self.layer = tuple(self._prepare_firing(firing,
+                                                self._closed_source)
                            for firing in self._engine.applicable())
 
     # -- preparation --------------------------------------------------------
 
     def _collect_companions(self) -> dict:
-        """aux relation -> (companion DetRule, its aux body atom)."""
-        companions: dict[str, tuple] = {}
+        """aux relation -> [(companion DetRule, its aux body atom), ...].
+
+        Under the per-rule (grohe) translation every auxiliary has
+        exactly one companion; under the Bárány translation a shared
+        ``Sample#`` auxiliary feeds one companion per random rule using
+        that (distribution, arity) key - the fan-out this backend
+        vectorizes.
+        """
+        companions: dict[str, list] = {}
         for rule in self.translated.rules:
             if not isinstance(rule, DetRule):
                 continue
             for atom in rule.body:
                 if atom.relation in self.translated.aux_relations:
-                    if atom.relation in companions:
-                        raise BatchUnsupported(
-                            f"auxiliary relation {atom.relation!r} has "
-                            "several companion rules")
-                    companions[atom.relation] = (rule, atom)
+                    companions.setdefault(atom.relation, []).append(
+                        (rule, atom))
+        if self.translated.semantics == "grohe":
+            for relation, pairs in companions.items():
+                if len(pairs) != 1:
+                    raise BatchUnsupported(
+                        f"auxiliary relation {relation!r} has "
+                        f"{len(pairs)} companion rules under the "
+                        "per-rule translation")
         return companions
 
     def _collect_body_atoms(self) -> dict:
@@ -282,7 +318,15 @@ class BatchedChase:
                     changed = True
         return frozenset(growable)
 
-    def _prepare_firing(self, firing) -> _LayerFiring:
+    def _prepare_firing(self, firing, source) -> _LayerFiring:
+        """Analyze one applicable existential firing against ``source``.
+
+        ``source`` is the fact source of the round preparing the
+        firing (the shared closed instance for the first layer, the
+        group's overlay source afterwards); Bárány companion bodies
+        are matched against it to enumerate the head templates the
+        firing's draw fans out to.
+        """
         if not firing.existential:
             raise BatchUnsupported(
                 "deterministic firing survived the shared fixpoint "
@@ -294,31 +338,90 @@ class BatchedChase:
         info = self.translated.aux_info[firing.relation]
         prefix = firing.values
         params = validate_params_in_theta(ext, prefix[info.n_carried:])
-        companion_pair = self._companions.get(firing.relation)
-        if companion_pair is None:
+        companions = self._companions.get(firing.relation)
+        if not companions:
             raise BatchUnsupported(
                 f"auxiliary relation {firing.relation!r} has no "
                 "companion rule")
-        companion, aux_atom = companion_pair
-        head_args, head_position = self._ground_companion_head(
-            companion, aux_atom, prefix)
+        if self.translated.semantics == "barany":
+            heads, rests_stable = self._companion_heads(
+                companions, prefix, source)
+        else:
+            companion, aux_atom = companions[0]
+            heads = (self._ground_companion_head(companion, aux_atom,
+                                                 prefix),)
+            # Under the per-rule translation the companion head is a
+            # function of the auxiliary fact alone, so later body
+            # matches can only re-derive the already-emitted head.
+            rests_stable = True
         support = info.distribution.finite_support_values(params)
-        trigger, pinned = self._trigger_analysis(
-            companion.head.relation, head_args, head_position, support)
+        trigger, pinned = self._trigger_analysis(heads, support)
+        if not rests_stable and trigger != ALWAYS:
+            # Some companion rest-of-body touches a growable relation:
+            # new companion matches (new heads for an already-sampled
+            # value) may appear in later rounds, so a world-varying
+            # sampled value cannot stay columnar.  Binding every draw
+            # into the signature hands the fan-out to the incremental
+            # engine, which derives late companion heads exactly.
+            trigger, pinned = ALWAYS, frozenset()
         return _LayerFiring(
             aux_relation=firing.relation,
             prefix=prefix,
             distribution_key=(id(info.distribution), params),
-            head_relation=companion.head.relation,
-            head_args=head_args,
-            head_position=head_position,
+            heads=heads,
             trigger=trigger,
             pinned=pinned)
 
-    @staticmethod
-    def _ground_companion_head(companion: DetRule, aux_atom,
-                               prefix: tuple) -> tuple[tuple, int]:
-        """The companion head as ground args with None at the sample slot.
+    def _companion_heads(self, companions, prefix: tuple,
+                         source) -> tuple[tuple, bool]:
+        """All (3.B) head templates a shared-``Sample#`` draw fans to.
+
+        For each companion rule whose auxiliary atom unifies with the
+        ground prefix, the rest of the rule body is matched against
+        ``source``; every solution grounds one head template (with
+        ``None`` at the existential slot).  Also reports whether every
+        rest-of-body is confined to *stable* relations - only then is
+        the template set final across later cascade rounds, which is
+        the soundness condition for keeping world-varying draws
+        columnar.
+        """
+        heads: list = []
+        seen: set = set()
+        rests_stable = True
+        for companion, aux_atom in companions:
+            binding: dict = {}
+            compatible = True
+            for term, value in zip(aux_atom.terms[:-1], prefix):
+                if isinstance(term, Const):
+                    if term.value != value:
+                        compatible = False
+                        break
+                elif isinstance(term, Var):
+                    if term in binding and binding[term] != value:
+                        compatible = False
+                        break
+                    binding[term] = value
+                else:
+                    raise BatchUnsupported(
+                        f"unexpected auxiliary atom term {term!r}")
+            if not compatible:
+                continue
+            existential = aux_atom.terms[-1]
+            rest = [atom for atom in companion.body
+                    if atom is not aux_atom]
+            if any(atom.relation in self._growable for atom in rest):
+                rests_stable = False
+            for solution in match_atoms(rest, source, binding):
+                template = self._ground_head_template(
+                    companion.head, existential, solution)
+                if template not in seen:
+                    seen.add(template)
+                    heads.append(template)
+        return tuple(heads), rests_stable
+
+    def _ground_companion_head(self, companion: DetRule, aux_atom,
+                               prefix: tuple) -> tuple:
+        """The grohe companion head template ground from the prefix.
 
         The auxiliary atom's terms are the carried head terms, the
         distribution parameters and finally the existential variable;
@@ -330,14 +433,20 @@ class BatchedChase:
         for term, value in zip(aux_atom.terms[:-1], prefix):
             if isinstance(term, Var):
                 binding[term] = value
+        return self._ground_head_template(companion.head, existential,
+                                          binding)
+
+    @staticmethod
+    def _ground_head_template(head, existential, binding: dict) -> tuple:
+        """``(relation, args-with-None, sample position)`` of one head."""
         head_args: list = []
         head_position = -1
-        for index, term in enumerate(companion.head.terms):
+        for index, term in enumerate(head.terms):
             if term == existential:
                 if head_position >= 0:
                     raise BatchUnsupported(
                         "existential variable repeats in companion "
-                        f"head {companion.head!r}")
+                        f"head {head!r}")
                 head_position = index
                 head_args.append(None)
             elif isinstance(term, Const):
@@ -346,43 +455,43 @@ class BatchedChase:
                 if term not in binding:
                     raise BatchUnsupported(
                         f"companion head variable {term!r} not bound "
-                        "by the auxiliary prefix")
+                        "by the companion body match")
                 head_args.append(binding[term])
             else:
                 raise BatchUnsupported(
                     f"unexpected companion head term {term!r}")
         if head_position < 0:
             raise BatchUnsupported(
-                f"companion head {companion.head!r} does not mention "
+                f"companion head {head!r} does not mention "
                 "the existential variable")
-        return tuple(head_args), head_position
+        return (head.relation, tuple(head_args), head_position)
 
-    def _trigger_analysis(self, relation: str, head_args: tuple,
-                          position: int,
+    def _trigger_analysis(self, heads: tuple,
                           support: tuple | None) -> tuple[str, frozenset]:
-        """Classify whether the emitted head fact can enable firings.
+        """Classify whether any emitted head fact can enable firings.
 
-        The emitted fact is fixed across worlds except at ``position``
-        (the sampled value).  It can only enable a new firing by
-        matching some rule-body atom; for each candidate atom the fixed
-        columns either rule the match out entirely, or pin the sampled
-        value to concrete constants, or leave it free (any sample
-        triggers), and the semi-join refinement of :meth:`_atom_pin`
-        discards candidates whose stable rest-of-body cannot hold.
-        Pins outside the distribution's (finite) support are dropped -
-        those values are unreachable.  Worlds whose samples hit a pin
-        (or any world, under ``always``) leave the current group; the
-        rest provably never enable a firing through this fact.
+        Each emitted fact is fixed across worlds except at its sample
+        position.  It can only enable a new firing by matching some
+        rule-body atom; for each candidate atom the fixed columns
+        either rule the match out entirely, or pin the sampled value to
+        concrete constants, or leave it free (any sample triggers), and
+        the semi-join refinement of :meth:`_atom_pin` discards
+        candidates whose stable rest-of-body cannot hold.  Pins outside
+        the distribution's (finite) support are dropped - those values
+        are unreachable.  Worlds whose samples hit a pin (or any world,
+        under ``always``) leave the current group; the rest provably
+        never enable a firing through these facts.
         """
         pinned: set = set()
-        for rule, atom_index in self._body_atoms.get(relation, ()):
-            verdict = self._atom_pin(rule, atom_index, head_args,
-                                     position)
-            if verdict is None:
-                continue
-            if verdict is ALWAYS:
-                return ALWAYS, frozenset()
-            pinned.update(verdict)
+        for relation, head_args, position in heads:
+            for rule, atom_index in self._body_atoms.get(relation, ()):
+                verdict = self._atom_pin(rule, atom_index, head_args,
+                                         position)
+                if verdict is None:
+                    continue
+                if verdict is ALWAYS:
+                    return ALWAYS, frozenset()
+                pinned.update(verdict)
         numeric = {value for value in pinned
                    if isinstance(value, (int, float))
                    and not isinstance(value, bool)}
@@ -461,25 +570,38 @@ class BatchedChase:
 
     # -- execution ----------------------------------------------------------
 
+    @staticmethod
+    def _layer_step_bound(layer: tuple) -> int:
+        """Per-world facts a fired layer can add: aux + heads each."""
+        return sum(1 + len(firing.heads) for firing in layer)
+
     def run_batch(self, size: int, batch_rng: np.random.Generator,
                   world_rngs, policy: ChasePolicy, max_steps: int,
-                  min_group: int = 2) -> BatchOutcome | None:
+                  min_group: int = 2,
+                  pool: bool = True) -> BatchOutcome | None:
         """Sample ``size`` chase runs; None declines (budget too tight).
 
         ``world_rngs`` is a zero-argument callable producing the
         per-world generators used by scalar-fallback worlds only
         (lazy: fully batched runs never touch it).  ``min_group`` is
         the smallest signature group continued vectorized; smaller
-        groups finish on the scalar engine.
+        groups finish on the scalar engine.  ``pool`` enables
+        cross-group draw pooling: within a round, all signature groups'
+        same-(distribution, parameters) draws are served by one
+        ``sample_batch`` call (law-identical either way - the draws are
+        iid, pooling only changes how the flat array is sliced; the
+        knob exists so tests can pin the unpooled draws).
         """
         layer = self.layer
         # Conservative budget bound: prefix facts + one auxiliary and
-        # one head fact per firing.  Tighter-budget callers get exact
-        # truncation semantics from the scalar loop instead.
-        if self.det_steps + 2 * len(layer) > max_steps:
+        # the head templates per firing.  Tighter-budget callers get
+        # exact truncation semantics from the scalar loop instead.
+        if self.det_steps + self._layer_step_bound(layer) > max_steps:
             return None
         diagnostics = {"n_split": 0, "n_firings": len(layer),
-                       "n_rounds": 0, "n_groups": 0, "n_group_rounds": 0}
+                       "n_rounds": 0, "n_groups": 0,
+                       "n_group_rounds": 0, "n_draw_calls": 0,
+                       "n_pooled_draws": 0}
         all_members = np.arange(size)
         if not layer:
             diagnostics["n_groups"] = 1
@@ -489,60 +611,64 @@ class BatchedChase:
         rngs = None
         groups: list[_ColumnarGroup] = []
         scalar_runs: list[tuple[int, ChaseRun]] = []
-        stack = [_Round(self._engine, self.closed, all_members, layer,
-                        ())]
-        while stack:
-            task = stack.pop()
-            diagnostics["n_group_rounds"] += 1
-            diagnostics["n_rounds"] = max(diagnostics["n_rounds"],
-                                          task.depth)
-            draws = self._draw_layer(task.layer, len(task.members),
-                                     batch_rng)
-            columns = task.columns + tuple(zip(task.layer, draws))
-            partition: dict[tuple, list[int]] = {}
-            for pos, sig in enumerate(self._signatures(task.layer,
-                                                       draws)):
-                partition.setdefault(sig, []).append(pos)
-            for sig, positions in partition.items():
-                sub_members = task.members[positions]
-                sub_columns = tuple((firing, values[positions])
-                                    for firing, values in columns)
-                if all(component is None for component in sig):
-                    # No sampled value enabled anything: terminal.
-                    groups.append(_ColumnarGroup(sub_members,
-                                                 task.shared,
-                                                 sub_columns))
-                    diagnostics["n_groups"] += 1
-                    continue
-                follow_up = None
-                if len(positions) >= min_group:
-                    try:
-                        follow_up = self._next_round(task, sig,
-                                                     sub_members,
-                                                     sub_columns,
-                                                     max_steps)
-                    except (BatchUnsupported, _FallbackNeeded,
-                            DistributionError, ValidationError):
-                        follow_up = None
-                if isinstance(follow_up, _ColumnarGroup):
-                    groups.append(follow_up)
-                    diagnostics["n_groups"] += 1
-                    continue
-                if isinstance(follow_up, _Round):
-                    stack.append(follow_up)
-                    continue
-                # Residual group: finish each member on the scalar
-                # engine from a fork of the group state.
-                if rngs is None:
-                    rngs = world_rngs()
-                for position in positions:
-                    world = int(task.members[position])
-                    run = self._fallback(task.engine, task.shared,
-                                         columns, position,
-                                         rngs[world], policy,
-                                         max_steps)
-                    scalar_runs.append((world, run))
-                diagnostics["n_split"] += len(positions)
+        # Rounds advance as breadth-first waves: every signature group
+        # at the same cascade depth draws in the same wave, which is
+        # what lets same-key draws pool across groups.
+        wave = [_Round(self._engine, self.closed, all_members, layer,
+                       ())]
+        while wave:
+            diagnostics["n_rounds"] += 1
+            wave_draws = self._draw_wave(wave, batch_rng, pool,
+                                         diagnostics)
+            next_wave: list[_Round] = []
+            for task, draws in zip(wave, wave_draws):
+                diagnostics["n_group_rounds"] += 1
+                columns = task.columns + tuple(zip(task.layer, draws))
+                partition: dict[tuple, list[int]] = {}
+                for pos, sig in enumerate(self._signatures(task.layer,
+                                                           draws)):
+                    partition.setdefault(sig, []).append(pos)
+                for sig, positions in partition.items():
+                    sub_members = task.members[positions]
+                    sub_columns = tuple((firing, values[positions])
+                                        for firing, values in columns)
+                    if all(component is None for component in sig):
+                        # No sampled value enabled anything: terminal.
+                        groups.append(_ColumnarGroup(sub_members,
+                                                     task.shared,
+                                                     sub_columns))
+                        diagnostics["n_groups"] += 1
+                        continue
+                    follow_up = None
+                    if len(positions) >= min_group:
+                        try:
+                            follow_up = self._next_round(task, sig,
+                                                         sub_members,
+                                                         sub_columns,
+                                                         max_steps)
+                        except (BatchUnsupported, _FallbackNeeded,
+                                DistributionError, ValidationError):
+                            follow_up = None
+                    if isinstance(follow_up, _ColumnarGroup):
+                        groups.append(follow_up)
+                        diagnostics["n_groups"] += 1
+                        continue
+                    if isinstance(follow_up, _Round):
+                        next_wave.append(follow_up)
+                        continue
+                    # Residual group: finish each member on the scalar
+                    # engine from a fork of the group state.
+                    if rngs is None:
+                        rngs = world_rngs()
+                    for position in positions:
+                        world = int(task.members[position])
+                        run = self._fallback(task.engine, task.shared,
+                                             columns, position,
+                                             rngs[world], policy,
+                                             max_steps)
+                        scalar_runs.append((world, run))
+                    diagnostics["n_split"] += len(positions)
+            wave = next_wave
         return BatchOutcome(size, tuple(groups), tuple(scalar_runs),
                             diagnostics)
 
@@ -558,7 +684,7 @@ class BatchedChase:
         :class:`BatchUnsupported` (structure) to send the group's
         members to the scalar engine instead.
         """
-        engine = task.engine.fork()
+        engine = overlay_fork(task.engine)
         trigger_facts: list[Fact] = []
         for component, firing in zip(sig, task.layer):
             if component is None:
@@ -570,22 +696,23 @@ class BatchedChase:
                 continue
             aux = Fact(firing.aux_relation,
                        firing.prefix + (component,))
-            head_args = list(firing.head_args)
-            head_args[firing.head_position] = component
-            head = Fact(firing.head_relation, tuple(head_args))
             engine.add_fact(aux)
-            engine.add_fact(head)
             trigger_facts.append(aux)
-            trigger_facts.append(head)
+            for head in firing.head_facts(component):
+                engine.add_fact(head)
+                trigger_facts.append(head)
         shared = task.shared.add_all(trigger_facts)
-        # Conservative per-world step bound: shared facts plus at most
-        # two facts (auxiliary + head) per *unbound* column - bound
-        # columns' facts are already inside ``shared``, counting them
-        # again would force needless scalar fallbacks near the budget.
-        unbound = task.unbound \
-            + sum(1 for component in sig if component is None)
+        # Conservative per-world step bound: shared facts plus the
+        # auxiliary and head-template facts of every *unbound* column -
+        # bound columns' facts are already inside ``shared``, counting
+        # them again would force needless scalar fallbacks near the
+        # budget.
+        unbound_facts = task.unbound_facts \
+            + sum(1 + len(firing.heads)
+                  for component, firing in zip(sig, task.layer)
+                  if component is None)
         budget_used = (len(shared) - len(self.instance)
-                       + 2 * unbound)
+                       + unbound_facts)
         while True:
             applicable = engine.applicable()
             deterministic = [firing for firing in applicable
@@ -603,12 +730,12 @@ class BatchedChase:
                        if firing.existential]
         if not existential:
             return _ColumnarGroup(sub_members, shared, sub_columns)
-        next_layer = tuple(self._prepare_firing(firing)
+        next_layer = tuple(self._prepare_firing(firing, engine.source)
                            for firing in existential)
-        if budget_used + 2 * len(next_layer) > max_steps:
+        if budget_used + self._layer_step_bound(next_layer) > max_steps:
             raise _FallbackNeeded
         return _Round(engine, shared, sub_members, next_layer,
-                      sub_columns, task.depth + 1, unbound)
+                      sub_columns, unbound_facts)
 
     def _fallback(self, engine: IncrementalApplicability,
                   shared: Instance, columns: tuple, position: int,
@@ -622,15 +749,13 @@ class BatchedChase:
         added over the input instance - each chase step adds exactly
         one new fact), so truncation semantics match the scalar loop.
         """
-        state = engine.fork()
+        state = overlay_fork(engine)
         facts: list[Fact] = []
         for firing, values in columns:
             sampled = values[position].item()
             facts.append(Fact(firing.aux_relation,
                               firing.prefix + (sampled,)))
-            head_args = list(firing.head_args)
-            head_args[firing.head_position] = sampled
-            facts.append(Fact(firing.head_relation, tuple(head_args)))
+            facts.extend(firing.head_facts(sampled))
         for fact in facts:
             state.add_fact(fact)
         current = shared.add_all(facts)
@@ -661,33 +786,71 @@ class BatchedChase:
                                    for value in listed])
         return list(zip(*components))
 
+    def _draw_wave(self, wave: list, rng: np.random.Generator,
+                   pool: bool, diagnostics: dict) -> list[list]:
+        """Per-task draw arrays for one wave, same-key calls pooled.
+
+        Each (firing, signature group) of the wave is one draw
+        *request*.  With ``pool`` enabled, requests sharing a
+        (distribution, parameters) key - across every group of the
+        round - are served by a single ``sample_batch`` call whose
+        flat result is sliced back per request in request order; the
+        draws are iid, so any split of the flat array preserves the
+        product law (the same argument that lets one firing's draws
+        share a call within a group).  With ``pool`` disabled the
+        grouping key is additionally the task, reproducing the
+        one-call-per-(group, distribution, params) schedule.
+
+        ``diagnostics`` gains ``n_draw_calls`` (``sample_batch``
+        invocations) and ``n_pooled_draws`` (requests merged into a
+        call they would not have had to themselves).
+        """
+        requests: list[tuple[int, int, tuple, int]] = []
+        for task_index, task in enumerate(wave):
+            count = len(task.members)
+            for firing_index, firing in enumerate(task.layer):
+                key = firing.distribution_key if pool \
+                    else (task_index,) + firing.distribution_key
+                requests.append((task_index, firing_index, key, count))
+        by_key: dict[tuple, list[int]] = {}
+        for request_index, (_t, _f, key, _c) in enumerate(requests):
+            by_key.setdefault(key, []).append(request_index)
+        draws: list[list] = [[None] * len(task.layer) for task in wave]
+        for members in by_key.values():
+            task_index, firing_index, _key, _count = \
+                requests[members[0]]
+            firing = wave[task_index].layer[firing_index]
+            info = self.translated.aux_info[firing.aux_relation]
+            _ident, params = firing.distribution_key
+            total = sum(requests[member][3] for member in members)
+            flat = np.asarray(info.distribution.sample_batch(
+                params, total, rng))
+            if flat.shape != (total,):
+                raise ChaseError(
+                    f"{info.distribution.name}.sample_batch returned "
+                    f"shape {flat.shape}, expected ({total},)")
+            offset = 0
+            for member in members:
+                t_index, f_index, _k, count = requests[member]
+                draws[t_index][f_index] = flat[offset:offset + count]
+                offset += count
+            diagnostics["n_draw_calls"] += 1
+            diagnostics["n_pooled_draws"] += len(members) - 1
+        return draws
+
     def _draw_layer(self, layer: tuple, size: int,
                     rng: np.random.Generator) -> list[np.ndarray]:
         """One numpy array of ``size`` samples per layer firing.
 
-        Firings sharing a (distribution, parameters) pair are served by
-        a single ``sample_batch`` call of ``size * count`` draws - the
-        draws are iid, so slicing the flat array per firing preserves
-        the product law.
+        The single-group form of :meth:`_draw_wave` (kept as the
+        documented replay entry point: for one group, pooled and
+        unpooled schedules are identical call-for-call, so replaying
+        the first round's draws by hand stays bit-exact).
         """
-        groups: dict[tuple, list[int]] = {}
-        for index, firing in enumerate(layer):
-            groups.setdefault(firing.distribution_key, []).append(index)
-        draws: list[np.ndarray | None] = [None] * len(layer)
-        for key, members in groups.items():
-            _ident, params = key
-            info = self.translated.aux_info[
-                layer[members[0]].aux_relation]
-            flat = np.asarray(info.distribution.sample_batch(
-                params, size * len(members), rng))
-            if flat.shape != (size * len(members),):
-                raise ChaseError(
-                    f"{info.distribution.name}.sample_batch returned "
-                    f"shape {flat.shape}, expected "
-                    f"({size * len(members)},)")
-            for offset, index in enumerate(members):
-                draws[index] = flat[offset * size:(offset + 1) * size]
-        return draws  # type: ignore[return-value]
+        task = _Round(self._engine, self.closed, np.arange(size),
+                      tuple(layer), ())
+        scratch = {"n_draw_calls": 0, "n_pooled_draws": 0}
+        return self._draw_wave([task], rng, True, scratch)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -750,8 +913,7 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
 
     def _column_templates(self, firing: _LayerFiring) -> list[tuple]:
         """(relation, args-with-None, sample position) fact templates."""
-        templates = [(firing.head_relation, firing.head_args,
-                      firing.head_position)]
+        templates = list(firing.heads)
         if self._keep_aux:
             templates.append((firing.aux_relation,
                               firing.prefix + (None,),
@@ -786,10 +948,7 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
                     if self._keep_aux:
                         facts.append(Fact(firing.aux_relation,
                                           firing.prefix + (sampled,)))
-                    head_args = list(firing.head_args)
-                    head_args[firing.head_position] = sampled
-                    facts.append(Fact(firing.head_relation,
-                                      tuple(head_args)))
+                    facts.extend(firing.head_facts(sampled))
                 slots[world] = base.add_all(facts)
         missing = sum(1 for slot in slots if slot is _PENDING)
         if missing:

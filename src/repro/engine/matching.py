@@ -9,6 +9,9 @@ applicability condition (Section 3.3).  This module provides:
 * :class:`ScanSource` - naive per-relation scans (baseline engine);
 * :class:`IndexedSource` - lazily-built hash indexes per bound-position
   signature, with incremental maintenance as the chase adds facts;
+* :class:`OverlaySource` - a copy-on-write delta over a *frozen* base
+  source, so forking a chase state costs O(delta) instead of
+  re-indexing the whole fact population;
 * :func:`match_atoms` - backtracking join with a greedy most-bound-first
   atom order.
 
@@ -86,6 +89,22 @@ class IndexedSource(FactSource):
     def __len__(self) -> int:
         return len(self._fact_set)
 
+    def copy(self) -> "IndexedSource":
+        """An independent duplicate, materialized indexes included.
+
+        O(population + index entries) - cheap for the small delta
+        sources :class:`OverlaySource` forks, and it preserves the
+        per-relation insertion order so iteration stays deterministic.
+        """
+        dup = IndexedSource.__new__(IndexedSource)
+        dup._facts_by_relation = {relation: list(facts) for relation,
+                                  facts in self._facts_by_relation.items()}
+        dup._fact_set = set(self._fact_set)
+        dup._indexes = {index_key: {key: list(facts) for key, facts
+                                    in index.items()}
+                        for index_key, index in self._indexes.items()}
+        return dup
+
     def add_fact(self, f: Fact) -> bool:
         """Insert a fact; returns False if it was already present."""
         if f in self._fact_set:
@@ -130,6 +149,71 @@ class IndexedSource(FactSource):
                 index.setdefault(key, []).append(f)
             self._indexes[index_key] = index
         return index
+
+
+class OverlaySource(FactSource):
+    """A copy-on-write delta over a frozen base :class:`FactSource`.
+
+    The base is shared, never copied and **must not gain facts while
+    the overlay is alive** (lazily materializing an index inside the
+    base is fine - that does not change its logical content).  New
+    facts land in a private delta :class:`IndexedSource`; lookups
+    consult both layers.  Forking an overlay copies only the delta,
+    which is what makes applicability-engine forks O(delta)
+    (:meth:`repro.core.applicability.OverlayApplicability.fork`)
+    instead of O(closed instance).
+    """
+
+    def __init__(self, base: IndexedSource,
+                 delta: IndexedSource | None = None):
+        self._base = base
+        self._delta = delta if delta is not None else IndexedSource()
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._base or f in self._delta
+
+    def __len__(self) -> int:
+        # Layers are disjoint (add_fact refuses base facts).
+        return len(self._base) + len(self._delta)
+
+    @property
+    def base(self) -> IndexedSource:
+        return self._base
+
+    @property
+    def delta(self) -> IndexedSource:
+        return self._delta
+
+    def add_fact(self, f: Fact) -> bool:
+        """Insert into the delta; returns False if already present."""
+        if f in self._base:
+            return False
+        return self._delta.add_fact(f)
+
+    def facts_of(self, relation: str) -> Iterable[Fact]:
+        base = self._base.facts_of(relation)
+        delta = self._delta.facts_of(relation)
+        if not delta:
+            return base
+        if not base:
+            return delta
+        return list(base) + list(delta)
+
+    def candidates(self, relation: str, pattern: tuple) -> Iterable[Fact]:
+        base = self._base.candidates(relation, pattern)
+        delta = self._delta.candidates(relation, pattern)
+        for f in base:
+            yield f
+        for f in delta:
+            yield f
+
+    def relation_size(self, relation: str) -> int:
+        return self._base.relation_size(relation) \
+            + self._delta.relation_size(relation)
+
+    def fork(self) -> "OverlaySource":
+        """An independent overlay over the same frozen base (O(delta))."""
+        return OverlaySource(self._base, self._delta.copy())
 
 
 def _matches_pattern(f: Fact, pattern: tuple) -> bool:

@@ -12,7 +12,11 @@ size.  All generators are deterministic given their seed.
 * :func:`chain_program` / :func:`chain_instance` - deterministic
   Datalog chains (engine ablation, E13);
 * :func:`bernoulli_grid_program` - wide fan-out of independent flips
-  (parallel-chase stress).
+  (parallel-chase stress);
+* :func:`staged_slots_program` / :func:`staged_slots_instance` - a
+  staged draw fanning into per-slot flips over a padded instance
+  (many small signature groups: the cross-group draw-pooling and
+  overlay-fork stress workload).
 """
 
 from __future__ import annotations
@@ -106,6 +110,39 @@ def bernoulli_grid_program(bias: float = 0.5) -> Program:
 def items_instance(n: int) -> Instance:
     """``Item(0..n-1)`` seeds for :func:`bernoulli_grid_program`."""
     return Instance(Fact("Item", (i,)) for i in range(n))
+
+
+def staged_slots_program(n_stages: int = 8,
+                         flip_bias: float = 0.5) -> Program:
+    """A staged draw fanning into per-slot flips: many small groups.
+
+    ``Stage`` samples one of ``n_stages`` values; each value joins the
+    stable ``Slot`` relation and enables its own layer of per-slot
+    flips.  Under the batched chase this produces ``n_stages``
+    signature groups in round 2, each needing ``Flip⟨bias⟩`` draws -
+    the workload cross-group draw pooling and O(delta) overlay forks
+    are built for (one ``sample_batch`` call and one delta fork per
+    round instead of one full re-index + one call per group).
+    """
+    return Program.parse(f"""
+        Stage(DiscreteUniform<0, {n_stages - 1}>) :- Go(g).
+        Next(k, Flip<{flip_bias!r}>) :- Stage(s), Slot(s, k).
+    """)
+
+
+def staged_slots_instance(n_stages: int = 8, slots_per_stage: int = 6,
+                          padding: int = 400) -> Instance:
+    """Input for :func:`staged_slots_program`.
+
+    ``padding`` adds inert facts that inflate the closed instance -
+    exactly what made eager (re-indexing) group forks expensive.
+    """
+    facts = [Fact("Go", (0,))]
+    facts += [Fact("Slot", (s, f"slot-{s}-{k}"))
+              for s in range(n_stages)
+              for k in range(slots_per_stage)]
+    facts += [Fact("Pad", (i, i + 1)) for i in range(padding)]
+    return Instance(facts)
 
 
 def random_discrete_program(n_base_rules: int = 3,

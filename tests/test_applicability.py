@@ -5,10 +5,12 @@ import pytest
 
 from repro.core.applicability import (IncrementalApplicability,
                                       NaiveApplicability,
-                                      applicable_pairs)
+                                      OverlayApplicability,
+                                      applicable_pairs, overlay_fork)
 from repro.core.chase import fire
 from repro.core.program import Program
 from repro.core.translate import translate, translate_barany
+from repro.engine.matching import IndexedSource
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
 
@@ -122,6 +124,172 @@ class TestIncrementalEngine:
         assert not engine.has_applicable()
         engine.add_fact(Fact("B", (7,)))
         assert engine.has_applicable()
+
+
+def _make_engine(kind, translated, instance):
+    if kind == "naive":
+        return NaiveApplicability(translated, instance)
+    if kind == "incremental":
+        return IncrementalApplicability(translated, instance)
+    assert kind == "overlay"
+    return overlay_fork(IncrementalApplicability(translated, instance))
+
+
+CASCADE_TEXT = """
+    Earthquake(c, Flip<0.1>) :- City(c, r).
+    Unit(h, c) :- House(h, c).
+    Trig(x, Flip<0.6>) :- Unit(x, c), Earthquake(c, 1).
+    Alarm(x) :- Trig(x, 1).
+"""
+
+
+class TestForkIsolation:
+    """fork() is part of the engine API: forks never share mutations.
+
+    The property is exercised across all three engines on a chase-like
+    mutation sequence: mutating a child must never leak into the
+    parent or a sibling, and mutating the parent (where the engine
+    permits it - overlays freeze their base by contract) must never
+    leak into a child.
+    """
+
+    ENGINES = ("naive", "incremental", "overlay")
+
+    def _cascade(self):
+        translated = translate(Program.parse(CASCADE_TEXT))
+        instance = Instance.of(Fact("City", ("n", 0.05)),
+                               Fact("House", ("h1", "n")),
+                               Fact("House", ("h2", "n")))
+        return translated, instance
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_child_mutations_never_leak(self, kind):
+        translated, instance = self._cascade()
+        parent = _make_engine(kind, translated, instance)
+        before = parent.applicable()
+        children = [parent.fork() for _ in range(3)]
+        # Drive each child down a different chase path.
+        for offset, child in enumerate(children):
+            child_rng = np.random.default_rng(offset)
+            for _ in range(4 + offset):
+                applicable = child.applicable()
+                if not applicable:
+                    break
+                child.add_fact(fire(translated, applicable[0],
+                                    child_rng))
+        # The parent saw none of it...
+        assert parent.applicable() == before
+        assert parent.instance() == instance
+        # ...and the siblings diverged independently: replaying child
+        # 0's mutations again from a fresh fork gives the same state,
+        # proving no sibling contaminated it.
+        replay = parent.fork()
+        replay_rng = np.random.default_rng(0)
+        for _ in range(4):
+            applicable = replay.applicable()
+            if not applicable:
+                break
+            replay.add_fact(fire(translated, applicable[0], replay_rng))
+        assert replay.applicable() == children[0].applicable()
+        assert replay.instance() == children[0].instance()
+
+    @pytest.mark.parametrize("kind", ("naive", "incremental"))
+    def test_parent_mutations_never_leak_into_child(self, kind):
+        # Overlays are excluded by design: their base engine is frozen
+        # by contract for as long as any overlay of it is alive.
+        translated, instance = self._cascade()
+        parent = _make_engine(kind, translated, instance)
+        child = parent.fork()
+        before = child.applicable()
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            applicable = parent.applicable()
+            if not applicable:
+                break
+            parent.add_fact(fire(translated, applicable[0], rng))
+        assert child.applicable() == before
+        assert child.instance() == instance
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_forks_agree_with_fresh_engines(self, kind):
+        # A fork is semantically a fresh engine on the same instance.
+        translated, instance = self._cascade()
+        fork = _make_engine(kind, translated, instance).fork()
+        fresh = NaiveApplicability(translated, instance)
+        assert fork.applicable() == fresh.applicable()
+        fact = Fact("House", ("h3", "n"))
+        fork.add_fact(fact)
+        fresh.add_fact(fact)
+        assert fork.applicable() == fresh.applicable()
+
+    def test_overlay_fork_is_delta_sized(self):
+        # The overlay must not copy the base engine's index: its delta
+        # starts empty no matter how large the closed instance is.
+        translated, instance = self._cascade()
+        base = IncrementalApplicability(translated, instance)
+        overlay = overlay_fork(base)
+        assert isinstance(overlay, OverlayApplicability)
+        assert len(overlay._delta) == 0
+        assert overlay._source.base is base.source
+        overlay.add_fact(Fact("House", ("h9", "n")))
+        assert len(overlay._delta) == 1
+        # Forking the overlay flattens onto the same frozen base.
+        grandchild = overlay.fork()
+        assert grandchild._source.base is base.source
+        assert len(grandchild._delta) == 1
+
+    def test_overlay_agrees_with_incremental_along_chase(self):
+        translated, instance = self._cascade()
+        base = IncrementalApplicability(translated, instance)
+        overlay = overlay_fork(base)
+        reference = IncrementalApplicability(translated, instance)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            a = overlay.applicable()
+            b = reference.applicable()
+            assert a == b
+            if not a:
+                break
+            new_fact = fire(translated, a[0], rng)
+            overlay.add_fact(new_fact)
+            reference.add_fact(new_fact)
+        else:
+            pytest.fail("chase did not terminate in 30 steps")
+        assert overlay.instance() == reference.instance()
+
+
+class TestPrebuiltSourceValidation:
+    """The prebuilt-source path validates *content*, not just count."""
+
+    def _translated(self):
+        return translate(Program.parse("R(x, Flip<0.5>) :- B(x)."))
+
+    def test_matching_source_accepted(self):
+        translated = self._translated()
+        instance = Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+        source = IndexedSource(instance.facts)
+        engine = IncrementalApplicability(translated, instance,
+                                          source=source)
+        assert len(engine.applicable()) == 2
+
+    def test_wrong_count_rejected(self):
+        translated = self._translated()
+        instance = Instance.of(Fact("B", (1,)))
+        source = IndexedSource([Fact("B", (1,)), Fact("B", (2,))])
+        with pytest.raises(ValueError):
+            IncrementalApplicability(translated, instance,
+                                     source=source)
+
+    def test_same_count_content_mismatch_rejected(self):
+        # The regression this pins: a same-size but content-mismatched
+        # source used to pass the count-only check and silently corrupt
+        # body matching.
+        translated = self._translated()
+        instance = Instance.of(Fact("B", (1,)), Fact("B", (2,)))
+        source = IndexedSource([Fact("B", (1,)), Fact("B", (99,))])
+        with pytest.raises(ValueError):
+            IncrementalApplicability(translated, instance,
+                                     source=source)
 
 
 class TestFiringObject:

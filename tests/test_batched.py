@@ -255,11 +255,23 @@ class TestBackendResolution:
         assert batched.pdb.worlds == scalar.pdb.worlds
         assert batched.pdb.truncated == scalar.pdb.truncated
 
-    def test_barany_semantics_falls_back_identically(self):
+    def test_barany_semantics_now_batches(self):
+        # The shared-Sample# fan-out is vectorized since the companion
+        # batching work; eligibility no longer excludes the Bárány
+        # translation (non-weak-acyclicity still declines, below).
         text = "R(Flip<0.5>) :- true.\nS(Flip<0.5>) :- true."
         compiled = repro.compile(text, semantics="barany")
         batched = compiled.on(seed=2).sample(30, backend="batched")
-        scalar = compiled.on(seed=2).sample(30, backend="scalar")
+        assert batched.backend == "batched"
+
+    def test_barany_non_weakly_acyclic_falls_back_identically(self):
+        compiled = repro.compile(continuous_feedback_program(),
+                                 semantics="barany")
+        instance = Instance.of(Fact("Seed", (0,)))
+        batched = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, backend="batched")
+        scalar = compiled.on(instance, seed=3, max_steps=40).sample(
+            6, backend="scalar")
         assert batched.backend == "scalar"
         assert batched.pdb.worlds == scalar.pdb.worlds
 
@@ -352,10 +364,14 @@ class TestBatchedMechanics:
             hits += hit in world.facts
         assert hits > 200  # ~90% of 300
 
-    def test_batched_chase_rejects_barany_translation(self):
+    def test_batched_chase_accepts_barany_translation(self):
         program = repro.Program.parse("R(Flip<0.5>) :- true.")
-        with pytest.raises(BatchUnsupported):
-            BatchedChase(program.translate_barany(), Instance.empty())
+        chase = BatchedChase(program.translate_barany(),
+                             Instance.empty())
+        assert len(chase.layer) == 1
+        (firing,) = chase.layer
+        assert firing.aux_relation.startswith("Sample#")
+        assert firing.heads == (("R", (None,), 0),)
 
     def test_deterministic_given_seed(self):
         session = repro.compile(example_3_4_program()).on(
@@ -580,10 +596,7 @@ class TestMultiRoundCascade:
                 sampled = column[index].item()
                 facts.append(Fact(firing.aux_relation,
                                   firing.prefix + (sampled,)))
-                head_args = list(firing.head_args)
-                head_args[firing.head_position] = sampled
-                facts.append(Fact(firing.head_relation,
-                                  tuple(head_args)))
+                facts.extend(firing.head_facts(sampled))
             for fact in facts:
                 state.add_fact(fact)
             current = chase.closed.add_all(facts)
@@ -600,6 +613,269 @@ class TestMultiRoundCascade:
             ChaseConfig(batch_min_group=0)
         with pytest.raises(ValidationError):
             ChaseConfig(batch_min_group=1.5)
+
+
+H_BARANY = "R(Flip<0.5>) :- true.\nS(Flip<0.5>) :- true."
+
+FANOUT_BARANY = "Out(x, Flip<0.5>) :- Item(x)."
+
+GROWABLE_REST_BARANY = """
+    A(Flip<0.5>) :- true.
+    Out(x, Flip<0.5>) :- A(x).
+"""
+
+STAGED_SLOTS = """
+    Stage(DiscreteUniform<0, 3>) :- true.
+    Next(k, Flip<0.5>) :- Stage(s), Slot(s, k).
+"""
+
+
+def _staged_instance(n_stages=4, slots=3):
+    return Instance(Fact("Slot", (s, f"slot-{s}-{k}"))
+                    for s in range(n_stages) for k in range(slots))
+
+
+class TestBaranyCompanionBatching:
+    """Shared-``Sample#`` fan-out vectorized (the §6.2 translation)."""
+
+    def test_shared_draw_fans_out_to_both_companions(self):
+        # H under [3]'s semantics: R and S share one Flip draw; the
+        # batch must emit both heads from a single column.
+        compiled = repro.compile(H_BARANY, semantics="barany")
+        result = compiled.on(seed=0).sample(400, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_layer_firings"] == 1
+        for world in result.pdb.worlds:
+            (r,) = world.facts_of("R")
+            (s,) = world.facts_of("S")
+            assert r.args == s.args  # perfectly correlated
+
+    def test_h_program_matches_exact_barany_law(self):
+        from repro.testing.oracles import (marginals_agree,
+                                           worlds_agree_chi_squared)
+        compiled = repro.compile(H_BARANY, semantics="barany")
+        exact = compiled.on().exact().pdb
+        result = compiled.on(seed=4).sample(3000, backend="batched")
+        assert result.backend == "batched"
+        assert marginals_agree(exact, result.pdb) is None
+        assert worlds_agree_chi_squared(exact, result.pdb) is None
+
+    def test_data_bound_fanout_shares_one_value(self):
+        # One (Flip, 0.5) key, three Item matches: a single draw must
+        # scatter into Out(a,v), Out(b,v), Out(c,v) with equal v.
+        compiled = repro.compile(FANOUT_BARANY, semantics="barany")
+        instance = Instance.of(Fact("Item", ("a",)),
+                               Fact("Item", ("b",)),
+                               Fact("Item", ("c",)))
+        result = compiled.on(instance, seed=1).sample(
+            300, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_layer_firings"] == 1
+        for world in result.pdb.worlds:
+            values = {fact.args[1] for fact in world.facts_of("Out")}
+            assert len(values) == 1
+            assert len(world.facts_of("Out")) == 3
+
+    def test_continuous_barany_ks_matches_scalar(self):
+        # Example 3.5 under the Bárány translation: heights are keyed
+        # by (mu, sigma2), so each country's persons share one draw.
+        compiled = repro.compile(example_3_5_program(),
+                                 semantics="barany")
+        instance = example_3_5_instance()
+
+        def heights(backend, seed):
+            pdb = compiled.on(instance, seed=seed).sample(
+                400, backend=backend).pdb
+            return [float(fact.args[1]) for world in pdb.worlds
+                    for fact in world.facts_of("PHeight")]
+
+        batched = heights("batched", 3)
+        scalar = heights("scalar", 4)
+        assert len(batched) == len(scalar) == 400 * 6
+        statistic = ks_two_sample(batched, scalar)
+        assert statistic <= 1.3 * ks_critical_value(
+            len(batched), len(scalar), 1e-4)
+        result = compiled.on(instance, seed=0).sample(
+            50, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_layer_firings"] == 2
+        assert result.diagnostics["n_split"] == 0
+        for world in result.pdb.worlds:
+            by_country: dict = {}
+            for fact in world.facts_of("PHeight"):
+                country = fact.args[0].split("-")[0]
+                by_country.setdefault(country, set()).add(fact.args[1])
+            assert all(len(values) == 1
+                       for values in by_country.values())
+
+    def test_growable_companion_rest_matches_exact_law(self):
+        # Out's companion rest joins A - a growable relation - so
+        # world-varying draws cannot stay columnar; every draw binds
+        # into the signature and the incremental engine derives the
+        # late companion heads.  The law must still match exact
+        # enumeration (both semantics share one Sample#Flip key here,
+        # so A(v) and Out(v, v) are fully correlated).
+        compiled = repro.compile(GROWABLE_REST_BARANY,
+                                 semantics="barany")
+        from repro.testing.oracles import (marginals_agree,
+                                           worlds_agree_chi_squared)
+        exact = compiled.on().exact().pdb
+        result = compiled.on(seed=6).sample(2000, backend="batched")
+        assert result.backend == "batched"
+        assert marginals_agree(exact, result.pdb) is None
+        assert worlds_agree_chi_squared(exact, result.pdb) is None
+        for world in result.pdb.worlds:
+            (a,) = world.facts_of("A")
+            (out,) = world.facts_of("Out")
+            assert out.args == (a.args[0], a.args[0])
+
+    def test_barany_cascade_trigger_groups(self):
+        # A pinned trigger downstream of a shared draw: Out(x, 1)
+        # worlds cascade to Boom per item, grouped (not split).
+        compiled = repro.compile("""
+            Out(x, Flip<0.9>) :- Item(x).
+            Boom(x) :- Out(x, 1).
+        """, semantics="barany")
+        instance = Instance.of(Fact("Item", ("a",)),
+                               Fact("Item", ("b",)))
+        result = compiled.on(instance, seed=2).sample(
+            300, backend="batched")
+        assert result.backend == "batched"
+        assert result.diagnostics["n_split"] == 0
+        assert result.diagnostics["n_groups"] == 2
+        for world in result.pdb.worlds:
+            hit = Fact("Out", ("a", 1)) in world.facts
+            assert (Fact("Boom", ("a",)) in world.facts) == hit
+            assert (Fact("Boom", ("b",)) in world.facts) == hit
+
+    def test_barany_columnar_marginals_match_materialized(self):
+        compiled = repro.compile(FANOUT_BARANY, semantics="barany")
+        instance = Instance.of(Fact("Item", ("a",)),
+                               Fact("Item", ("b",)))
+        result = compiled.on(instance, seed=9).sample(
+            500, backend="batched")
+        assert result.backend == "batched"
+        columnar = result.fact_marginals()
+        counts: dict = {}
+        for world in result.pdb.worlds:
+            for fact in world.facts:
+                counts[fact] = counts.get(fact, 0) + 1
+        assert columnar == {fact: count / 500
+                            for fact, count in counts.items()}
+        probe = Fact("Out", ("a", 1))
+        assert result.marginal(probe) == columnar[probe]
+
+
+class TestPooledDraws:
+    """Cross-round draw pooling: one sample_batch per key per round."""
+
+    def _run_batch(self, chase, n, seed, pool):
+        cfg = ChaseConfig(seed=seed)
+        return chase.run_batch(n, cfg.base_rng(),
+                               lambda: cfg.spawn_rngs(n),
+                               DEFAULT_POLICY, 10_000, 2, pool=pool)
+
+    def test_same_key_groups_share_one_call(self):
+        session = repro.compile(STAGED_SLOTS).on(
+            _staged_instance(), seed=0)
+        result = session.sample(400, backend="batched")
+        assert result.backend == "batched"
+        diag = result.diagnostics
+        assert diag["n_rounds"] == 2
+        assert diag["n_split"] == 0
+        # Round 1: one DiscreteUniform call.  Round 2: the four stage
+        # groups' Flip<0.5> firings (3 each) pool into a single call.
+        assert diag["n_draw_calls"] == 2
+        assert diag["n_pooled_draws"] > 0
+
+    def test_pool_off_issues_per_group_calls(self):
+        compiled = repro.compile(STAGED_SLOTS)
+        chase = BatchedChase(compiled.translated, _staged_instance())
+        pooled = self._run_batch(chase, 400, 7, pool=True)
+        unpooled = self._run_batch(chase, 400, 7, pool=False)
+        # 1 round-1 call either way; round 2 is 1 pooled call vs one
+        # per surviving stage group.
+        assert pooled.diagnostics["n_draw_calls"] == 2
+        assert unpooled.diagnostics["n_draw_calls"] > 2
+        assert pooled.diagnostics["n_pooled_draws"] \
+            > unpooled.diagnostics["n_pooled_draws"]
+
+    def test_pooled_law_matches_exact(self):
+        from repro.testing.oracles import (marginals_agree,
+                                           worlds_agree_chi_squared)
+        session = repro.compile(STAGED_SLOTS).on(
+            _staged_instance(), seed=5)
+        exact = session.exact().pdb
+        result = session.sample(2000, backend="batched")
+        assert result.diagnostics["n_pooled_draws"] > 0
+        assert marginals_agree(exact, result.pdb) is None
+        assert worlds_agree_chi_squared(exact, result.pdb) is None
+
+    def test_single_group_rounds_identical_pooled_or_not(self):
+        # Mandated draw identity: with no cross-group pooling possible
+        # (every wave has one task), the two schedules are the same
+        # schedule - outcomes must match bit-for-bit, scalar fallback
+        # runs included (split worlds draw from their own streams).
+        compiled = repro.compile(CONTINUOUS_CASCADE)
+        chase = BatchedChase(compiled.translated, Instance.empty())
+        first = self._run_batch(chase, 10, 13, pool=True)
+        second = self._run_batch(chase, 10, 13, pool=False)
+        # Single-group waves throughout - the structural condition
+        # under which the two schedules provably coincide.
+        assert first.diagnostics["n_group_rounds"] == \
+            first.diagnostics["n_rounds"]
+        assert first.diagnostics["n_draw_calls"] == \
+            second.diagnostics["n_draw_calls"]
+        runs_a = {world: run.instance for world, run in
+                  first.scalar_runs}
+        runs_b = {world: run.instance for world, run in
+                  second.scalar_runs}
+        assert runs_a == runs_b and len(runs_a) == 10
+
+
+class TestExactBudgetBoundary:
+    """Fallback runs ending precisely at the remaining step budget."""
+
+    def test_fallback_terminating_exactly_at_budget(self):
+        # The cascade needs exactly 4 steps per world (Level aux +
+        # head, Next aux + head).  Every world splits in round 1; the
+        # fallback's remaining budget is exactly 2 - just enough - so
+        # every run must terminate, same as the scalar backend.
+        session = repro.compile(CONTINUOUS_CASCADE).on(
+            seed=3, max_steps=4)
+        batched = session.sample(12, backend="batched")
+        scalar = session.sample(12, backend="scalar")
+        assert batched.backend == "batched"
+        assert batched.diagnostics["n_split"] == 12
+        assert batched.pdb.truncated == 0 == scalar.pdb.truncated
+        assert len(batched.pdb.worlds) == 12
+
+    def test_fallback_one_step_short_truncates_like_scalar(self):
+        session = repro.compile(CONTINUOUS_CASCADE).on(
+            seed=3, max_steps=3)
+        batched = session.sample(12, backend="batched")
+        scalar = session.sample(12, backend="scalar")
+        assert batched.backend == "batched"
+        assert batched.pdb.truncated == 12 == scalar.pdb.truncated
+
+    def test_fallback_steps_accounting_is_exact(self):
+        # The reconstructed prefix counts facts-added; a fallback run
+        # finishing at the budget must report steps == max_steps and
+        # terminated == True (the off-by-one this guards: treating
+        # "budget exhausted" and "finished on the last step" alike).
+        compiled = repro.compile(CONTINUOUS_CASCADE)
+        chase = BatchedChase(compiled.translated, Instance.empty())
+        cfg = ChaseConfig(seed=13)
+        outcome = chase.run_batch(4, cfg.base_rng(),
+                                  lambda: cfg.spawn_rngs(4),
+                                  DEFAULT_POLICY, 4, 2)
+        assert outcome is not None
+        assert len(outcome.scalar_runs) == 4
+        for _world, run in outcome.scalar_runs:
+            assert run.terminated
+            assert run.steps == 4
 
 
 class TestColumnarReads:

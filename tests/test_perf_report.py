@@ -128,6 +128,58 @@ class TestRegressionGate:
         assert verdict["regressions"] == []
 
 
+class TestDeltaTable:
+    def _verdict(self):
+        baseline = perf_report.baseline_from_report(
+            build({CALIBRATION: 0.01, "bench::slow": 0.05,
+                   "bench::fast": 0.05, "bench::same": 0.05,
+                   "bench::gone": 0.05}))
+        run = build({CALIBRATION: 0.01, "bench::slow": 0.09,
+                     "bench::fast": 0.02, "bench::same": 0.05,
+                     "bench::fresh": 0.01})
+        return perf_report.compare(run, baseline, threshold=0.25)
+
+    def test_table_lists_every_experiment_with_status(self):
+        table = perf_report.format_delta_table(self._verdict())
+        lines = table.splitlines()
+        assert lines[0].split() == ["STATUS", "EXPERIMENT",
+                                    "BASELINE", "CURRENT", "RATIO"]
+        by_id = {line.split()[1]: line for line in lines[2:-1]}
+        assert by_id["bench::slow"].startswith("REGRESSED")
+        assert by_id["bench::fast"].startswith("IMPROVED")
+        assert by_id["bench::same"].startswith("ok")
+        assert by_id["bench::fresh"].startswith("NEW")
+        assert by_id["bench::gone"].startswith("RETIRED")
+        assert "1.80x" in by_id["bench::slow"]
+        assert "limit 1.25x" in lines[-1]
+
+    def test_worst_ratio_sorts_first(self):
+        table = perf_report.format_delta_table(self._verdict())
+        body = [line for line in table.splitlines()[2:]
+                if line.split() and line.split()[0] in
+                ("REGRESSED", "IMPROVED", "ok")]
+        assert body[0].split()[1] == "bench::slow"
+        assert body[-1].split()[1] == "bench::fast"
+
+    def test_failing_gate_prints_the_table(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(raw_dump(
+            {CALIBRATION: 0.01, "bench::x": 0.05})))
+        assert perf_report.main([str(raw), "--sha", "a",
+                                 "--write-baseline",
+                                 str(baseline)]) == 0
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(raw_dump(
+            {CALIBRATION: 0.01, "bench::x": 0.09})))
+        assert perf_report.main([str(slow), "--sha", "b",
+                                 "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "bench::x" in out
+        assert "STATUS" in out and "RATIO" in out
+        assert "gate FAILED: 1 regression(s)" in out
+
+
 class TestCli:
     def _write_raw(self, tmp_path, medians):
         path = tmp_path / "raw.json"

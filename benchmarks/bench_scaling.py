@@ -1,9 +1,13 @@
-"""E14: scaling behaviour of the core pipelines.
+"""E14/E15: scaling behaviour of the core pipelines.
 
 Chase throughput vs instance size, exact-inference tree size vs
-branching, parallel-chase fan-out, and query evaluation on PDBs - all
+branching, parallel-chase fan-out, query evaluation on PDBs, sharded
+multi-process sampling scale-up, and program-server throughput - all
 driven through the compile-once facade.
 """
+
+import os
+import time
 
 import pytest
 
@@ -13,9 +17,12 @@ from repro.core.program import Program
 from repro.query.aggregates import Aggregate, agg_count
 from repro.query.lifted import aggregate_distribution
 from repro.query.relalg import scan
+from repro.serving import ProgramServer, ShardExecutor, sample_sharded
 from repro.workloads.generators import (bernoulli_grid_program,
                                         earthquake_city_instance,
-                                        items_instance)
+                                        items_instance,
+                                        staged_slots_instance,
+                                        staged_slots_program)
 from repro.workloads.paper import example_3_4_program
 
 
@@ -76,6 +83,108 @@ class TestE14SamplerScaling:
 
         small_n, large_n = benchmark(errors)
         assert large_n <= small_n + 0.02
+
+
+class TestE15ServingScaling:
+    """Sharded sampling scale-up + program-server throughput (E15).
+
+    The shard benchmarks reuse one warm :class:`ShardExecutor` across
+    rounds (the pool initializer's compile/bootstrap cost is paid
+    once, as in the server), so the timed region is the steady-state
+    per-batch cost the shard count is supposed to divide.
+    """
+
+    N_WORLDS = 256
+
+    @staticmethod
+    def _staged_session(seed: int = 0):
+        instance = staged_slots_instance(n_stages=6, slots_per_stage=6,
+                                         padding=200)
+        return compile_program(staged_slots_program(n_stages=6)).on(
+            instance, seed=seed)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shard_scaling(self, benchmark, shards):
+        session = self._staged_session()
+        cfg = session.config.replace(shards=shards)
+        with ShardExecutor(session.compiled.translated,
+                           session.instance, cfg,
+                           processes=shards) as executor:
+            # One un-timed call warms every pool worker.
+            sample_sharded(session, self.N_WORLDS, cfg,
+                           executor=executor)
+            result = benchmark(
+                lambda: sample_sharded(session, self.N_WORLDS, cfg,
+                                       executor=executor))
+        assert result.pdb.n_runs == self.N_WORLDS
+        assert result.backend == "sharded"
+        assert result.diagnostics["shards"] == shards
+
+    def test_shard_speedup_at_four(self):
+        # The acceptance-criterion assertion: 4 shards beat 1 shard
+        # by >1.5x on the staged-slots workload.  Only meaningful
+        # with real cores to spread over, so single/dual-core runners
+        # (this fixed container has one) skip rather than fake it.
+        if (os.cpu_count() or 1) < 4:
+            pytest.skip("shard speedup needs >= 4 cores "
+                        f"(have {os.cpu_count()})")
+        session = self._staged_session()
+        n = 4000
+        timings = {}
+        for shards in (1, 4):
+            cfg = session.config.replace(shards=shards)
+            with ShardExecutor(session.compiled.translated,
+                               session.instance, cfg,
+                               processes=shards) as executor:
+                sample_sharded(session, n, cfg, executor=executor)
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    sample_sharded(session, n, cfg, executor=executor)
+                    best = min(best, time.perf_counter() - start)
+            timings[shards] = best
+        speedup = timings[1] / timings[4]
+        assert speedup > 1.5, (
+            f"4-shard speedup {speedup:.2f}x <= 1.5x "
+            f"(1 shard {timings[1]:.3f}s, 4 shards {timings[4]:.3f}s)")
+
+    def test_server_request_throughput(self, benchmark):
+        # Mixed-workload requests/sec through the transport-free
+        # handler - the steady-state cost of a served request once
+        # the caches are warm.  Zero recompilation is asserted via
+        # the same counter the acceptance criterion names.
+        coin = "Heads(x, Flip<0.5>) :- Coin(x)."
+        cascade = ("Trig(x, Flip<0.6>) :- Site(x).\n"
+                   "Alarm(x, Flip<0.5>) :- Trig(x, 1).")
+        coins = {"Coin": [[0], [1]]}
+        sites = {"Site": [[0], [1], [2]]}
+        requests = [
+            {"op": "ping"},
+            {"op": "analyze", "program": coin},
+            {"op": "sample", "program": coin, "instance": coins,
+             "n": 100, "config": {"seed": 1}},
+            {"op": "marginal", "program": coin, "instance": coins,
+             "fact": ["Heads", [0, 1]], "n": 100,
+             "config": {"seed": 2}},
+            {"op": "sample", "program": cascade, "instance": sites,
+             "n": 100, "config": {"seed": 3}},
+        ]
+        server = ProgramServer()
+
+        def serve_mixed():
+            for request in requests:
+                reply = server.handle(request)
+                assert reply["ok"], reply
+            return server.stats["requests"]
+
+        serve_mixed()  # warm both program/session caches
+        benchmark(serve_mixed)
+        assert server.stats["programs_compiled"] == 2
+        assert server.stats["errors"] == 0
+        # 4 of every 5 requests reach the compile cache; only the
+        # first call's 2 compiles ever miss.
+        assert server.stats["program_cache_hits"] \
+            == server.stats["requests"] * 4 // 5 - 2
 
 
 class TestE14QueryScaling:

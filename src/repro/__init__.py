@@ -86,7 +86,7 @@ from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
                        relation)
 from repro.pdb.weighted import WeightedPDB
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Atom", "ChaseConfig", "ChaseError", "ChasePolicy", "ChaseRun",

@@ -84,6 +84,14 @@ class ChaseConfig:
     (useful for exercising the multi-round machinery), larger values
     trade batch coverage for fewer tiny ``sample_batch`` calls.  The
     sampled law is identical at every setting.
+
+    ``shards`` - split sampled batches across a process pool
+    (:mod:`repro.serving`).  ``None`` (default) and ``1`` keep the
+    existing single-process paths untouched; ``k >= 2`` partitions
+    the batch into ``k`` shards with per-world
+    :class:`~numpy.random.SeedSequence` child streams, so output is
+    law-exact and *invariant to the shard count* (requires the
+    ``"spawn"`` stream scheme and an int-or-None seed).
     """
 
     policy: ChasePolicy | None = None
@@ -98,6 +106,7 @@ class ChaseConfig:
     streams: str = "spawn"
     backend: str = "auto"
     batch_min_group: int = 2
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.policy is not None and \
@@ -135,6 +144,13 @@ class ChaseConfig:
             raise ValidationError(
                 f"batch_min_group must be a positive int, got "
                 f"{self.batch_min_group!r}")
+        if self.shards is not None and (
+                isinstance(self.shards, bool)
+                or not isinstance(self.shards, (int, np.integer))
+                or self.shards <= 0):
+            raise ValidationError(
+                f"shards must be a positive int or None, got "
+                f"{self.shards!r}")
         if self.seed is not None and not isinstance(
                 self.seed, (int, np.integer, np.random.Generator)):
             raise ValidationError(

@@ -40,6 +40,8 @@ import numpy as np
 
 from repro.api.config import DEFAULT_CONFIG, ChaseConfig
 from repro.api.results import InferenceResult
+from repro.core.applicability import (IncrementalApplicability,
+                                      overlay_fork)
 from repro.core.chase import (ChaseRun, make_engine,
                               run_chase_prepared)
 from repro.core.constraints import (ConstraintLike, _as_predicate,
@@ -309,7 +311,19 @@ class Session:
         return base
 
     def _fork_engine(self, engine: str):
-        return self._base_engine(engine).fork()
+        """A cheap independent engine for one run.
+
+        Incremental bases hand out copy-on-write overlays - O(delta
+        + |App|) instead of re-indexing the whole input instance per
+        run.  Safe because sessions never mutate a cached base engine
+        (the overlay contract: the parent stays frozen while forks
+        live); the overlay's ``applicable()`` order is identical to a
+        full fork's, so seeded scalar output is unchanged.
+        """
+        base = self._base_engine(engine)
+        if isinstance(base, IncrementalApplicability):
+            return overlay_fork(base)
+        return base.fork()
 
     def _one_run(self, cfg: ChaseConfig,
                  rng: np.random.Generator) -> ChaseRun:
@@ -338,6 +352,7 @@ class Session:
         return self._one_run(cfg, chase_rng)
 
     def sample(self, n: int = 1000, workers: int | None = None,
+               shards: int | None = None,
                **overrides) -> InferenceResult:
         """Monte-Carlo output SPDB from ``n`` independent chase runs.
 
@@ -358,8 +373,19 @@ class Session:
         threads (the batch is already vectorized) - though the
         ``workers > 1`` / ``streams="shared"`` combination is rejected
         up front regardless of backend, as invalid configuration.
+
+        ``shards`` (or ``cfg.shards``) ``>= 2`` splits the batch
+        across a process pool (:mod:`repro.serving`): per-world
+        SeedSequence child streams make the merged output law-exact
+        and bit-identical across shard counts.  ``shards=1`` and
+        ``None`` take the single-process paths above unchanged.
+        ``workers`` and ``shards`` are mutually exclusive - threads
+        parallelize the scalar loop, shards parallelize whole
+        sub-batches.
         """
         cfg = self.config.replace(**overrides)
+        if shards is not None:
+            cfg = cfg.replace(shards=shards)
         if n <= 0:
             raise ValidationError(f"need n >= 1 runs, got {n}")
         if workers is not None and workers > 1 \
@@ -367,6 +393,14 @@ class Session:
             raise ValidationError(
                 "workers > 1 requires streams='spawn'; the "
                 "'shared' scheme is inherently sequential")
+        if cfg.shards is not None and cfg.shards > 1:
+            if workers is not None and workers > 1:
+                raise ValidationError(
+                    "workers and shards are mutually exclusive; "
+                    "threads parallelize the scalar loop, shards "
+                    "parallelize whole sub-batches")
+            from repro.serving import sample_sharded
+            return sample_sharded(self, n, cfg)
         if self._resolve_backend(cfg, workers) == "batched":
             result = self._sample_batched(cfg, n)
             if result is not None:

@@ -12,7 +12,10 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
 * ``fuzz``      - differential fuzzing: generate random workloads and
   check every engine pair against each other
   (:mod:`repro.testing`); exit code 1 when a discrepancy
-  is found (shrunk reproducers go to ``--corpus``).
+  is found (shrunk reproducers go to ``--corpus``);
+* ``serve``     - long-lived program server (:mod:`repro.serving`):
+  JSON-lines requests over stdin/stdout or a TCP socket,
+  compiled programs cached across requests.
 
 Every subcommand accepts ``--json`` for machine-readable output (one
 JSON document on stdout).  Input instances come from
@@ -45,6 +48,8 @@ from repro.io import load_instance_args, load_program
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
 from repro.pdb.stats import fact_marginals
+from repro.serving.protocol import (analyze_payload, fact_payload,
+                                    json_default, sample_payload)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -129,6 +134,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", action="store_true",
                       help="machine-readable JSON output")
 
+    serve = subparsers.add_parser(
+        "serve", help="long-lived program server (JSON-lines)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve a TCP socket on this port (0 picks "
+                            "a free one; default: stdin/stdout)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port mode")
+    serve.add_argument("--max-programs", type=int, default=32,
+                       help="compiled-program LRU capacity")
+    serve.add_argument("--max-sessions", type=int, default=32,
+                       help="warm-session LRU capacity")
+
     return parser
 
 
@@ -139,20 +156,13 @@ def _load(args) -> tuple[CompiledProgram, Instance]:
     return compile_program(program, semantics=args.semantics), instance
 
 
-def _json_default(value):
-    """JSON fallback for numpy scalars and other odd fact values."""
-    if hasattr(value, "item"):
-        return value.item()
-    return str(value)
-
-
 def _emit_json(payload: dict, out) -> None:
-    print(json.dumps(payload, default=_json_default, sort_keys=True),
+    print(json.dumps(payload, default=json_default, sort_keys=True),
           file=out)
 
 
-def _fact_json(fact: Fact) -> dict:
-    return {"relation": fact.relation, "args": list(fact.args)}
+#: Shared with the server protocol - one fact encoding everywhere.
+_fact_json = fact_payload
 
 
 def _print_worlds(pdb, top: int, out) -> None:
@@ -204,23 +214,12 @@ def cmd_sample(args, out) -> int:
                           streams="shared", backend=args.backend)
     result = session.sample(args.n)
     pdb = result.pdb
+    if args.json:
+        # The same document a ProgramServer "sample" reply carries.
+        _emit_json(sample_payload(result), out)
+        return 0
     marginals = fact_marginals(pdb)
     ordered = sorted(marginals, key=lambda f: f.sort_key())
-    if args.json:
-        _emit_json({
-            "command": "sample",
-            "n_runs": pdb.n_runs,
-            "n_terminated": len(pdb.worlds),
-            "n_truncated": pdb.truncated,
-            "err_mass": pdb.err_mass(),
-            "elapsed_seconds": result.elapsed,
-            "backend": result.backend,
-            "marginals": [
-                {"fact": _fact_json(fact),
-                 "probability": marginals[fact]}
-                for fact in ordered],
-        }, out)
-        return 0
     print(f"# {len(pdb.worlds)} terminated runs, "
           f"{pdb.truncated} truncated (err "
           f"{pdb.err_mass():.4f})", file=out)
@@ -235,22 +234,8 @@ def cmd_analyze(args, out) -> int:
     program = compiled.program
     report = compiled.analyze()
     if args.json:
-        verdict = "terminating"
-        if not report.weakly_acyclic:
-            verdict = "almost-surely-non-terminating" \
-                if report.almost_surely_diverges() else "may-terminate"
-        _emit_json({
-            "command": "analyze",
-            "n_rules": len(program),
-            "n_random_rules": len(program.random_rules()),
-            "distributions": list(program.distributions_used()),
-            "extensional": sorted(program.extensional),
-            "discrete": program.is_discrete(),
-            "weakly_acyclic": report.weakly_acyclic,
-            "continuous_cycle": report.continuous_cycle,
-            "cyclic_distributions": list(report.cyclic_distributions),
-            "verdict": verdict,
-        }, out)
+        # The same document a ProgramServer "analyze" reply carries.
+        _emit_json(analyze_payload(compiled), out)
         return 0
     print(f"rules:            {len(program)}", file=out)
     print(f"random rules:     {len(program.random_rules())}", file=out)
@@ -362,12 +347,43 @@ def cmd_fuzz(args, out) -> int:
     return 0 if report.ok() else 1
 
 
+def cmd_serve(args, out) -> int:
+    """``repro serve``: run the long-lived program server.
+
+    Without ``--port``, speaks JSON-lines on stdin/stdout until EOF.
+    With ``--port`` (0 = pick a free port), binds a threading TCP
+    server, announces the bound address as one JSON line on stdout -
+    ``{"serving": {"host": ..., "port": ...}}`` - and serves until
+    interrupted.
+    """
+    from repro.serving import ProgramServer, serve_socket, serve_stdio
+    server = ProgramServer(max_programs=args.max_programs,
+                           max_sessions=args.max_sessions)
+    if args.port is None:
+        served = serve_stdio(server, sys.stdin, out)
+        print(f"# served {served} requests", file=sys.stderr)
+        return 0
+    tcp = serve_socket(server, args.host, args.port)
+    host, port = tcp.server_address[:2]
+    _emit_json({"serving": {"host": host, "port": port}}, out)
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        tcp.server_close()
+    return 0
+
+
 _COMMANDS = {
     "exact": cmd_exact,
     "sample": cmd_sample,
     "analyze": cmd_analyze,
     "translate": cmd_translate,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
 }
 
 

@@ -578,7 +578,8 @@ class BatchedChase:
     def run_batch(self, size: int, batch_rng: np.random.Generator,
                   world_rngs, policy: ChasePolicy, max_steps: int,
                   min_group: int = 2,
-                  pool: bool = True) -> BatchOutcome | None:
+                  pool: bool = True,
+                  per_world_rngs=None) -> BatchOutcome | None:
         """Sample ``size`` chase runs; None declines (budget too tight).
 
         ``world_rngs`` is a zero-argument callable producing the
@@ -591,6 +592,22 @@ class BatchedChase:
         ``sample_batch`` call (law-identical either way - the draws are
         iid, pooling only changes how the flat array is sliced; the
         knob exists so tests can pin the unpooled draws).
+
+        ``per_world_rngs`` switches the batch to the *per-world stream*
+        draw schedule used by sharded sampling (:mod:`repro.serving`):
+        a sequence of ``size`` generators, one per world, from which
+        world ``i``'s draws are taken in trigger/trajectory order - one
+        scalar draw per (firing, round) instead of one pooled
+        ``sample_batch`` call.  Under this schedule world ``i``'s
+        output is a function of ``(program, instance, config,
+        rngs[i])`` alone - independent of which other worlds share its
+        batch - which is exactly the shard-count invariance guarantee.
+        To keep that guarantee, ``min_group`` is forced to 1 (group
+        *size* thresholds would make the columnar/scalar decision
+        depend on co-membership) and ``batch_rng`` / ``world_rngs`` /
+        ``pool`` are ignored; scalar-fallback worlds (budget- or
+        structure-forced, both world-local conditions) continue their
+        own already-advanced generator.
         """
         layer = self.layer
         # Conservative budget bound: prefix facts + one auxiliary and
@@ -598,17 +615,27 @@ class BatchedChase:
         # exact truncation semantics from the scalar loop instead.
         if self.det_steps + self._layer_step_bound(layer) > max_steps:
             return None
+        if per_world_rngs is not None:
+            rngs = list(per_world_rngs)
+            if len(rngs) != size:
+                raise ChaseError(
+                    f"per_world_rngs must provide one generator per "
+                    f"world: got {len(rngs)} for batch size {size}")
+            min_group = 1
+        else:
+            rngs = None
         diagnostics = {"n_split": 0, "n_firings": len(layer),
                        "n_rounds": 0, "n_groups": 0,
                        "n_group_rounds": 0, "n_draw_calls": 0,
-                       "n_pooled_draws": 0}
+                       "n_pooled_draws": 0,
+                       "draw_mode": "pooled" if per_world_rngs is None
+                       else "per-world"}
         all_members = np.arange(size)
         if not layer:
             diagnostics["n_groups"] = 1
             group = _ColumnarGroup(all_members, self.closed, ())
             return BatchOutcome(size, (group,), (), diagnostics)
 
-        rngs = None
         groups: list[_ColumnarGroup] = []
         scalar_runs: list[tuple[int, ChaseRun]] = []
         # Rounds advance as breadth-first waves: every signature group
@@ -618,8 +645,12 @@ class BatchedChase:
                        ())]
         while wave:
             diagnostics["n_rounds"] += 1
-            wave_draws = self._draw_wave(wave, batch_rng, pool,
-                                         diagnostics)
+            if per_world_rngs is not None:
+                wave_draws = self._draw_wave_per_world(wave, rngs,
+                                                       diagnostics)
+            else:
+                wave_draws = self._draw_wave(wave, batch_rng, pool,
+                                             diagnostics)
             next_wave: list[_Round] = []
             for task, draws in zip(wave, wave_draws):
                 diagnostics["n_group_rounds"] += 1
@@ -836,6 +867,36 @@ class BatchedChase:
                 offset += count
             diagnostics["n_draw_calls"] += 1
             diagnostics["n_pooled_draws"] += len(members) - 1
+        return draws
+
+    def _draw_wave_per_world(self, wave: list, rngs: list,
+                             diagnostics: dict) -> list[list]:
+        """Per-task draw arrays for one wave under per-world streams.
+
+        Each world draws its round's values from *its own* generator,
+        layer firings in layer order - the schedule a scalar chase of
+        that world alone would follow, so a world's draw sequence is a
+        function of its trajectory and generator only, never of which
+        other worlds share the batch.  Sharded sampling
+        (:mod:`repro.serving`) relies on exactly that to make merged
+        output invariant to the shard count.  No pooling: pooled
+        ``sample_batch`` calls consume one shared stream in
+        batch-layout order, which is the co-membership dependence this
+        schedule exists to remove.
+        """
+        draws: list[list] = []
+        for task in wave:
+            infos = [self.translated.aux_info[firing.aux_relation]
+                     for firing in task.layer]
+            columns: list[list] = [[] for _ in task.layer]
+            for world in task.members.tolist():
+                rng = rngs[world]
+                for column, firing, info in zip(columns, task.layer,
+                                                infos):
+                    _ident, params = firing.distribution_key
+                    column.append(info.distribution.sample(params, rng))
+                    diagnostics["n_draw_calls"] += 1
+            draws.append([np.asarray(column) for column in columns])
         return draws
 
     def _draw_layer(self, layer: tuple, size: int,

@@ -54,6 +54,13 @@ class Fact:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Fact is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slotted + immutable: default unpickling would go through
+        # __setattr__; reconstruct through the constructor instead so
+        # facts cross process boundaries (the sharded sampling workers
+        # of repro.serving ship instances and columnar results back).
+        return (Fact, (self.relation, self.args))
+
     @property
     def arity(self) -> int:
         return len(self.args)

@@ -47,6 +47,12 @@ class Instance:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Instance is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slotted + immutable: reconstruct through the constructor
+        # (which rebuilds the per-relation index) so instances can
+        # cross process boundaries in sharded sampling payloads.
+        return (Instance, (tuple(self._facts),))
+
     # -- construction -----------------------------------------------------
 
     @classmethod

@@ -1,0 +1,46 @@
+"""Sharded multi-process sampling and a long-lived program server.
+
+The paper's Monte-Carlo semantics is embarrassingly parallel across
+possible worlds: ``n`` chase runs are ``n`` independent draws from the
+same chase-tree law (Section 4).  This package exploits that in two
+layers on top of :class:`repro.api.CompiledProgram`:
+
+* :mod:`repro.serving.sharding` / :mod:`repro.serving.merge` - split a
+  batch into shards, run each shard's worlds in a ``multiprocessing``
+  pool worker (vectorized :class:`repro.engine.batched.BatchedChase`
+  with scalar fallback), and concatenate the *columnar* shard results
+  into one :class:`repro.engine.batched.ColumnarMonteCarloPDB` without
+  materializing worlds.  Per-world
+  :class:`~numpy.random.SeedSequence` child streams make the merged
+  output law-exact and bit-identical across shard counts.
+* :mod:`repro.serving.server` / :mod:`repro.serving.client` - a
+  ``ProgramServer`` facade that caches compiled programs by source
+  hash (LRU, zero recompilation on the hot path) behind a JSON-lines
+  protocol (stdin/stdout or socket), exposed as ``repro serve``.
+
+Entry points: ``Session.sample(n, shards=k)`` routes through
+:func:`sample_sharded`; servers embed :class:`ProgramServer` directly.
+"""
+
+from repro.serving.merge import merge_shard_results
+from repro.serving.sharding import (ShardExecutor, ShardPlan,
+                                    ShardResult, ShardSpec,
+                                    sample_sharded, shard_plan,
+                                    shard_rngs)
+from repro.serving.server import ProgramServer, serve_socket, serve_stdio
+from repro.serving.client import ServingClient
+
+__all__ = [
+    "ProgramServer",
+    "ServingClient",
+    "ShardExecutor",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "merge_shard_results",
+    "sample_sharded",
+    "serve_socket",
+    "serve_stdio",
+    "shard_plan",
+    "shard_rngs",
+]

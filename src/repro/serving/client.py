@@ -1,0 +1,103 @@
+"""A small client for the ``repro serve`` JSON-lines socket protocol.
+
+One persistent connection per client, requests pipelined in order;
+thread-safe (a lock serializes round-trips on the shared socket).  For
+one-shot scripting, :func:`repro.serving.server.request_over_socket`
+avoids keeping a connection at all.
+
+>>> client = ServingClient("127.0.0.1", port)      # doctest: +SKIP
+>>> client.sample("R(Flip<0.5>) :- true.", n=500)  # doctest: +SKIP
+{'command': 'sample', ...}
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ReproError
+from repro.serving import protocol
+
+
+class ServingClient:
+    """A connected JSON-lines client for a running program server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._conn = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._conn.makefile("r", encoding="utf-8")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the raw response object."""
+        line = protocol.encode_line(payload) + "\n"
+        with self._lock:
+            self._conn.sendall(line.encode())
+            reply = self._reader.readline()
+        if not reply:
+            raise ReproError(
+                "server closed the connection without a reply")
+        return protocol.decode_line(reply)
+
+    def result(self, payload: dict) -> dict:
+        """Like :meth:`request`, but unwrap ``result`` or raise."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ReproError(
+                f"server error: {response.get('error', 'unknown')}")
+        return response.get("result", response)
+
+    def close(self) -> None:
+        self._reader.close()
+        self._conn.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- convenience verbs --------------------------------------------------
+
+    def ping(self) -> dict:
+        """Server liveness + cache statistics."""
+        return self.request({"op": "ping"})
+
+    def sample(self, program: str, n: int = 1000,
+               instance: dict | None = None,
+               semantics: str = "grohe", **config) -> dict:
+        """The ``repro sample --json`` document, served."""
+        return self.result({"op": "sample", "program": program,
+                            "semantics": semantics, "n": n,
+                            "instance": instance,
+                            "config": config or None})
+
+    def marginal(self, program: str, fact, n: int = 1000,
+                 instance: dict | None = None,
+                 semantics: str = "grohe", **config) -> float:
+        """Marginal probability of one output fact."""
+        result = self.result({"op": "marginal", "program": program,
+                              "semantics": semantics, "fact": fact,
+                              "n": n, "instance": instance,
+                              "config": config or None})
+        return result["probability"]
+
+    def analyze(self, program: str, semantics: str = "grohe") -> dict:
+        """The ``repro analyze --json`` document, served."""
+        return self.result({"op": "analyze", "program": program,
+                            "semantics": semantics})
+
+    def mass_report(self, program: str, budgets=None,
+                    instance: dict | None = None,
+                    semantics: str = "grohe") -> dict:
+        """Figure-1 mass accounting across depth budgets."""
+        payload = {"op": "mass_report", "program": program,
+                   "semantics": semantics, "instance": instance}
+        if budgets is not None:
+            payload["budgets"] = list(budgets)
+        return self.result(payload)

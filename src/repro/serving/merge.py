@@ -1,0 +1,124 @@
+"""Columnar merge of shard results into one inference result.
+
+Batched shards come back as shard-local
+:class:`~repro.engine.batched.BatchOutcome` values; merging re-bases
+their world indices (group ``members`` arrays and scalar-run indices
+shift by the shard's ``start``) and concatenates the group tuples into
+a single batch-wide outcome - sample arrays are *kept columnar*, no
+world is materialized here.  The merged outcome backs an ordinary
+:class:`~repro.engine.batched.ColumnarMonteCarloPDB`, so marginal
+queries read the concatenated columns exactly as they would a
+single-process batch's.
+
+Scalar shards return their world lists; concatenating them in shard
+order reproduces the single-process scalar world order (worlds are
+collected in world-index order inside each shard, and shards tile the
+index range contiguously).
+"""
+
+from __future__ import annotations
+
+from repro.api.config import ChaseConfig
+from repro.api.results import InferenceResult
+from repro.errors import ChaseError
+from repro.pdb.database import MonteCarloPDB
+from repro.serving.sharding import (_SUMMED_KEYS, ShardPlan,
+                                    ShardResult)
+
+
+def merge_shard_results(plan: ShardPlan, results: list[ShardResult],
+                        visible: tuple[str, ...], cfg: ChaseConfig,
+                        elapsed: float) -> InferenceResult:
+    """One :class:`InferenceResult` from a plan's shard results.
+
+    ``results`` must be in spec order and cover the plan exactly (the
+    executor guarantees both).  All shards share one mode - the
+    batched/scalar decision is a function of (program, instance,
+    config), never of shard size - and a mixed set is rejected as
+    corrupt rather than papered over.
+    """
+    if [result.spec for result in results] != list(plan.specs):
+        raise ChaseError("shard results do not match the plan")
+    modes = {result.mode for result in results}
+    if len(modes) != 1:
+        raise ChaseError(
+            f"shards disagree on execution mode ({sorted(modes)}); "
+            "the batched/scalar decision must be shard-invariant")
+    mode = modes.pop()
+    per_shard = [_shard_summary(result) for result in results]
+    if mode == "scalar":
+        worlds = [world for result in results
+                  for world in result.worlds]
+        truncated = sum(result.truncated for result in results)
+        pdb = MonteCarloPDB(worlds, truncated)
+        diagnostics = {"backend": "sharded", "mode": "scalar",
+                       "shards": len(results),
+                       "per_shard": per_shard}
+        return InferenceResult(pdb, "sample", elapsed, n_runs=plan.n,
+                               n_truncated=truncated,
+                               diagnostics=diagnostics)
+    outcome = merge_outcomes(plan, results)
+    from repro.engine.batched import ColumnarMonteCarloPDB
+    pdb = ColumnarMonteCarloPDB(outcome, visible,
+                                keep_aux=cfg.keep_aux)
+    info = outcome.diagnostics
+    diagnostics = {"backend": "sharded", "mode": "batched",
+                   "shards": len(results),
+                   "draw_mode": "per-world",
+                   "n_split": info["n_split"],
+                   "n_batched": plan.n - info["n_split"],
+                   "n_layer_firings": info["n_firings"],
+                   "n_rounds": info["n_rounds"],
+                   "n_groups": info["n_groups"],
+                   "n_draw_calls": info["n_draw_calls"],
+                   "per_shard": per_shard}
+    return InferenceResult(pdb, "sample", elapsed, n_runs=plan.n,
+                           n_truncated=pdb.truncated,
+                           diagnostics=diagnostics)
+
+
+def merge_outcomes(plan: ShardPlan, results: list[ShardResult]):
+    """Concatenate shard-local batch outcomes into one batch-wide one.
+
+    Groups stay per-shard (their ``members`` arrays shift to global
+    world indices); cross-shard groups are *not* coalesced - group
+    identity keys contain process-local distribution ids, and
+    coalescing would only save marginal-query constant factors, not
+    change any answer.
+    """
+    from repro.engine.batched import BatchOutcome, _ColumnarGroup
+    groups = []
+    scalar_runs = []
+    diagnostics: dict = {key: 0 for key in _SUMMED_KEYS}
+    diagnostics["n_rounds"] = 0
+    diagnostics["draw_mode"] = "per-world"
+    for result in results:
+        outcome = result.outcome
+        start = result.spec.start
+        for group in outcome.groups:
+            groups.append(_ColumnarGroup(group.members + start,
+                                         group.shared, group.columns))
+        for world, run in outcome.scalar_runs:
+            scalar_runs.append((world + start, run))
+        for key in _SUMMED_KEYS:
+            diagnostics[key] += outcome.diagnostics.get(key, 0)
+        diagnostics["n_rounds"] = max(diagnostics["n_rounds"],
+                                      outcome.diagnostics["n_rounds"])
+    return BatchOutcome(plan.n, tuple(groups), tuple(scalar_runs),
+                        diagnostics)
+
+
+def _shard_summary(result: ShardResult) -> dict:
+    summary = {"shard": result.spec.index,
+               "start": result.spec.start,
+               "size": result.spec.size,
+               "mode": result.mode,
+               "elapsed_seconds": result.elapsed}
+    if result.outcome is not None:
+        info = result.outcome.diagnostics
+        summary["n_split"] = info["n_split"]
+        summary["n_groups"] = info["n_groups"]
+        summary["n_rounds"] = info["n_rounds"]
+    else:
+        summary["n_truncated"] = result.truncated
+    return summary

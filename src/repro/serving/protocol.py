@@ -1,0 +1,167 @@
+"""The JSON contracts shared by the CLI's ``--json`` mode and the server.
+
+One fact/instance codec and one payload builder per query kind, so
+``repro sample --json`` output and a ``ProgramServer`` ``sample``
+reply are the *same* document (the CLI delegates here).  Wire framing
+is JSON-lines: one request object per line in, one response object per
+line out, ``sort_keys`` and a numpy-scalar-tolerant encoder so
+payloads are stable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.pdb.stats import fact_marginals
+
+
+# ---------------------------------------------------------------------------
+# Value / fact / instance codecs
+# ---------------------------------------------------------------------------
+
+
+def json_default(value: Any):
+    """JSON fallback for numpy scalars and other odd fact values."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def fact_payload(fact: Fact) -> dict:
+    return {"relation": fact.relation, "args": list(fact.args)}
+
+
+def parse_fact(payload) -> Fact:
+    """A fact from ``{"relation": .., "args": [..]}`` or ``["R", [..]]``."""
+    if isinstance(payload, dict):
+        if not isinstance(payload.get("relation"), str) \
+                or not isinstance(payload.get("args"), (list, tuple)):
+            raise ValidationError(
+                f"fact payload needs 'relation' and 'args': {payload!r}")
+        return Fact(payload["relation"], tuple(payload["args"]))
+    if isinstance(payload, (list, tuple)) and len(payload) == 2 \
+            and isinstance(payload[0], str) \
+            and isinstance(payload[1], (list, tuple)):
+        return Fact(payload[0], tuple(payload[1]))
+    raise ValidationError(f"cannot parse fact payload {payload!r}")
+
+
+def instance_payload(instance: Instance) -> dict:
+    """``{"R": [[args], ...], ...}`` with rows in canonical order."""
+    payload: dict[str, list] = {}
+    for fact in instance.sorted_facts():
+        payload.setdefault(fact.relation, []).append(list(fact.args))
+    return payload
+
+
+def parse_instance(payload) -> Instance:
+    """An instance from the relation->rows dict or a fact-payload list."""
+    if payload is None:
+        return Instance.empty()
+    if isinstance(payload, dict):
+        for relation, rows in payload.items():
+            if not isinstance(relation, str) \
+                    or not isinstance(rows, (list, tuple)) \
+                    or not all(isinstance(row, (list, tuple))
+                               for row in rows):
+                raise ValidationError(
+                    "instance payload must map relation names to "
+                    f"lists of argument rows; bad entry {relation!r}")
+        return Instance.from_dict(
+            {relation: [tuple(row) for row in rows]
+             for relation, rows in payload.items()})
+    if isinstance(payload, (list, tuple)):
+        return Instance(parse_fact(item) for item in payload)
+    raise ValidationError(
+        f"cannot parse instance payload {payload!r}")
+
+
+# ---------------------------------------------------------------------------
+# Result payloads (the CLI --json contracts)
+# ---------------------------------------------------------------------------
+
+
+def sample_payload(result) -> dict:
+    """The ``repro sample --json`` document for an InferenceResult.
+
+    ``n_terminated`` is derived as ``n_runs - n_truncated`` rather
+    than by counting materialized worlds, so columnar (batched or
+    sharded) results stay columnar - the value is identical, each
+    terminated run contributes exactly one world.
+    """
+    pdb = result.pdb
+    marginals = fact_marginals(pdb)
+    ordered = sorted(marginals, key=lambda fact: fact.sort_key())
+    return {
+        "command": "sample",
+        "n_runs": pdb.n_runs,
+        "n_terminated": pdb.n_runs - pdb.truncated,
+        "n_truncated": pdb.truncated,
+        "err_mass": pdb.err_mass(),
+        "elapsed_seconds": result.elapsed,
+        "backend": result.backend,
+        "marginals": [
+            {"fact": fact_payload(fact),
+             "probability": marginals[fact]}
+            for fact in ordered],
+    }
+
+
+def analyze_payload(compiled) -> dict:
+    """The ``repro analyze --json`` document for a compiled program."""
+    program = compiled.program
+    report = compiled.analyze()
+    verdict = "terminating"
+    if not report.weakly_acyclic:
+        verdict = "almost-surely-non-terminating" \
+            if report.almost_surely_diverges() else "may-terminate"
+    return {
+        "command": "analyze",
+        "n_rules": len(program),
+        "n_random_rules": len(program.random_rules()),
+        "distributions": list(program.distributions_used()),
+        "extensional": sorted(program.extensional),
+        "discrete": program.is_discrete(),
+        "weakly_acyclic": report.weakly_acyclic,
+        "continuous_cycle": report.continuous_cycle,
+        "cyclic_distributions": list(report.cyclic_distributions),
+        "verdict": verdict,
+    }
+
+
+def mass_report_payload(reports) -> dict:
+    """Figure-1 mass accounting across budgets, as one document."""
+    return {
+        "command": "mass_report",
+        "reports": [
+            {"budget": report.budget,
+             "instance_mass": report.instance_mass,
+             "err_mass": report.err_mass}
+            for report in reports],
+    }
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines framing
+# ---------------------------------------------------------------------------
+
+
+def encode_line(payload: dict) -> str:
+    """One stable JSON line (no trailing newline)."""
+    return json.dumps(payload, default=json_default, sort_keys=True)
+
+
+def decode_line(line: str) -> dict:
+    """Parse one request/response line into an object."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"bad JSON line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"request must be a JSON object, got {payload!r}")
+    return payload

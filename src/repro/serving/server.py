@@ -1,0 +1,282 @@
+"""A long-lived program server over the JSON-lines protocol.
+
+:class:`ProgramServer` is the transport-free core: it caches compiled
+programs by source hash (LRU) and warm sessions by (program, instance)
+so repeated requests hit zero recompilation and zero applicability
+re-bootstrap, and answers one request dict with one response dict.
+Two thin transports wrap it: :func:`serve_stdio` (one JSON object per
+stdin line, one per stdout line) and :func:`serve_socket` (a threading
+TCP server speaking the same lines over each connection).  Both are
+exposed as ``repro serve``.
+
+Request objects carry ``op`` plus op-specific fields::
+
+    {"op": "ping"}
+    {"op": "analyze", "program": "...", "semantics": "grohe"}
+    {"op": "sample", "program": "...", "instance": {"R": [[1]]},
+     "n": 1000, "config": {"seed": 7, "shards": 2}}
+    {"op": "marginal", "program": "...", "fact": ["R", [1]], "n": 500}
+    {"op": "mass_report", "program": "...", "budgets": [1, 2, 4]}
+
+Responses are ``{"ok": true, "result": ..., "program_sha": ...,
+"compile_cached": ...}`` or ``{"ok": false, "error": ...}`` - the
+``result`` of ``sample``/``analyze``/``mass_report`` is byte-for-byte
+the corresponding CLI ``--json`` document
+(:mod:`repro.serving.protocol`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import socketserver
+import threading
+from collections import OrderedDict
+
+from repro.api.session import CompiledProgram, Session
+from repro.api.session import compile as compile_program
+from repro.errors import ReproError, ValidationError
+from repro.serving import protocol
+
+#: Ops accepted by :meth:`ProgramServer.handle`.
+OPS = ("ping", "analyze", "sample", "marginal", "mass_report")
+
+
+def program_sha(source: str, semantics: str) -> str:
+    """The cache key: sha256 over semantics + program source."""
+    digest = hashlib.sha256()
+    digest.update(semantics.encode())
+    digest.update(b"\n")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+class ProgramServer:
+    """Transport-free request handler with compile and session caches.
+
+    ``max_programs`` / ``max_sessions`` bound the two LRUs (a session
+    holds its program's warm applicability engines and batched
+    sampler, so the session cache is the larger memory commitment).
+    ``handle`` is thread-safe; inference itself is serialized under
+    one lock - concurrency buys connection-level interleaving, not
+    parallel chases (shard requests parallelize *within* one request
+    via the process pool instead).
+    """
+
+    def __init__(self, max_programs: int = 32,
+                 max_sessions: int = 32):
+        if max_programs < 1 or max_sessions < 1:
+            raise ValidationError(
+                "max_programs and max_sessions must be >= 1")
+        self.max_programs = max_programs
+        self.max_sessions = max_sessions
+        self._programs: OrderedDict[str, CompiledProgram] = \
+            OrderedDict()
+        self._sessions: OrderedDict[tuple, Session] = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = {
+            "requests": 0,
+            "errors": 0,
+            "programs_compiled": 0,
+            "program_cache_hits": 0,
+            "sessions_created": 0,
+            "session_cache_hits": 0,
+        }
+
+    # -- caches -------------------------------------------------------------
+
+    def compiled_for(self, source: str,
+                     semantics: str = "grohe",
+                     ) -> tuple[str, CompiledProgram, bool]:
+        """(sha, compiled program, was-cache-hit) for program text."""
+        if not isinstance(source, str) or not source.strip():
+            raise ValidationError(
+                "request needs a non-empty 'program' string")
+        sha = program_sha(source, semantics)
+        with self._lock:
+            compiled = self._programs.get(sha)
+            if compiled is not None:
+                self._programs.move_to_end(sha)
+                self.stats["program_cache_hits"] += 1
+                return sha, compiled, True
+            compiled = compile_program(source, semantics=semantics)
+            # Translate eagerly: the point of the cache is that the
+            # hot path never pays compilation again.
+            compiled.translated
+            self._programs[sha] = compiled
+            self.stats["programs_compiled"] += 1
+            while len(self._programs) > self.max_programs:
+                self._programs.popitem(last=False)
+            return sha, compiled, False
+
+    def session_for(self, sha: str, compiled: CompiledProgram,
+                    instance) -> Session:
+        """The warm base session for (program, instance), LRU-cached.
+
+        Request-specific configs derive from the base via
+        ``Session.configure``, which *shares* the engine caches - so
+        a config change never discards the applicability bootstrap or
+        the batched sampler.
+        """
+        key = (sha, instance)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                self.stats["session_cache_hits"] += 1
+                return session
+            session = compiled.on(instance)
+            self._sessions[key] = session
+            self.stats["sessions_created"] += 1
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+            return session
+
+    # -- request handling ---------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """One response object for one request object (never raises)."""
+        with self._lock:
+            self.stats["requests"] += 1
+            try:
+                return self._dispatch(request)
+            except ReproError as error:
+                self.stats["errors"] += 1
+                return {"ok": False, "error": str(error)}
+            except Exception as error:  # noqa: BLE001 - server survives
+                self.stats["errors"] += 1
+                return {"ok": False,
+                        "error": f"{type(error).__name__}: {error}"}
+
+    def _dispatch(self, request: dict) -> dict:
+        if not isinstance(request, dict):
+            raise ValidationError(
+                f"request must be an object, got {request!r}")
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "stats": dict(self.stats)}
+        if op not in OPS:
+            raise ValidationError(
+                f"unknown op {op!r}; known ops: {', '.join(OPS)}")
+        semantics = request.get("semantics", "grohe")
+        sha, compiled, cached = self.compiled_for(
+            request.get("program"), semantics)
+        if op == "analyze":
+            result = protocol.analyze_payload(compiled)
+            return self._reply(op, sha, cached, result)
+        instance = protocol.parse_instance(request.get("instance"))
+        session = self.session_for(sha, compiled, instance)
+        overrides = request.get("config") or {}
+        if not isinstance(overrides, dict) \
+                or not all(isinstance(key, str) for key in overrides):
+            raise ValidationError(
+                "'config' must be an object of ChaseConfig fields")
+        if overrides:
+            session = session.configure(**overrides)
+        if op == "sample":
+            result = protocol.sample_payload(
+                session.sample(self._n(request)))
+            return self._reply(op, sha, cached, result)
+        if op == "marginal":
+            fact = protocol.parse_fact(request.get("fact"))
+            probability = session.marginal(fact, n=self._n(request))
+            result = {"command": "marginal",
+                      "fact": protocol.fact_payload(fact),
+                      "probability": probability}
+            return self._reply(op, sha, cached, result)
+        budgets = request.get("budgets", (1, 2, 4, 8, 16, 32))
+        if not isinstance(budgets, (list, tuple)) or not budgets \
+                or not all(isinstance(budget, int) and budget > 0
+                           for budget in budgets):
+            raise ValidationError(
+                "'budgets' must be a non-empty list of positive ints")
+        result = protocol.mass_report_payload(
+            session.mass_report(tuple(budgets)))
+        return self._reply(op, sha, cached, result)
+
+    @staticmethod
+    def _n(request: dict) -> int:
+        n = request.get("n", 1000)
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            raise ValidationError(f"'n' must be a positive int, got {n!r}")
+        return n
+
+    def _reply(self, op: str, sha: str, cached: bool,
+               result: dict) -> dict:
+        return {"ok": True, "op": op, "program_sha": sha,
+                "compile_cached": cached, "result": result}
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+def serve_stdio(server: ProgramServer, in_stream, out_stream) -> int:
+    """JSON-lines over stdio: one request line in, one response out.
+
+    Returns the number of requests served (EOF ends the loop; blank
+    lines are skipped; malformed lines get an error response rather
+    than killing the loop).
+    """
+    served = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            response = server.handle(protocol.decode_line(line))
+        except ValidationError as error:
+            response = {"ok": False, "error": str(error)}
+        print(protocol.encode_line(response), file=out_stream,
+              flush=True)
+        served += 1
+    return served
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                response = self.server.program_server.handle(
+                    protocol.decode_line(line))
+            except ValidationError as error:
+                response = {"ok": False, "error": str(error)}
+            self.wfile.write(
+                (protocol.encode_line(response) + "\n").encode())
+            self.wfile.flush()
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_socket(server: ProgramServer, host: str = "127.0.0.1",
+                 port: int = 0) -> _ThreadingServer:
+    """A threading TCP server speaking the JSON-lines protocol.
+
+    Binds immediately (``port=0`` picks a free port - read it from
+    ``returned.server_address``) but does not serve; call
+    ``serve_forever()`` (typically on a thread) and ``shutdown()`` /
+    ``server_close()`` to stop.  Each connection may pipeline any
+    number of request lines.
+    """
+    tcp = _ThreadingServer((host, port), _LineHandler)
+    tcp.program_server = server
+    return tcp
+
+
+def request_over_socket(host: str, port: int, payload: dict,
+                        timeout: float = 60.0) -> dict:
+    """One request/response round-trip on a fresh connection."""
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall((protocol.encode_line(payload) + "\n").encode())
+        with conn.makefile("r", encoding="utf-8") as reader:
+            line = reader.readline()
+    if not line:
+        raise ReproError("server closed the connection without a reply")
+    return protocol.decode_line(line)

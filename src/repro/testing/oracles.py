@@ -35,6 +35,11 @@ Each :class:`Oracle` here checks one such agreement on a generated
   coincide: no random rule carries a head variable and random rules
   use pairwise distinct distribution families, so no draw is shared
   under one semantics but independent under the other;
+* ``sharded-single`` - sharded sampling (:mod:`repro.serving`, inline
+  workers) vs the single-process paths: shard-count invariance is
+  draw-for-draw (2 vs 3 shards bit-identical), sharded scalar mode is
+  bit-identical to the single-process scalar loop, and the merged
+  ensemble agrees with the exact SPDB where enumeration is available;
 * ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
   truncated ones - the FDs hold on every *reachable* instance);
 * ``termination``    - the static analysis (Section 6.3) vs observed
@@ -615,6 +620,67 @@ class BaranyAgreementOracle(Oracle):
         return _ok()
 
 
+class ShardedVsSingleOracle(Oracle):
+    """Sharded sampling vs the single-process paths (repro.serving).
+
+    The sharded path's guarantees are *exact*, not statistical, so
+    this oracle checks identities: (a) shard-count invariance - the
+    same plan split two ways and three ways must be draw-for-draw
+    identical (per-world SeedSequence streams + the per-world draw
+    schedule make a world's outcome independent of its shard); (b) in
+    scalar mode, a sharded batch must be bit-identical to the
+    single-process scalar loop under ``streams="spawn"`` (same
+    streams, same code path per world); and (c) on exactable cases the
+    merged ensemble must agree with the exact SPDB (the law check).
+    Shards execute inline - the identical worker code path without the
+    process pool - keeping the always-on fuzz battery cheap.
+    """
+
+    name = "sharded-single"
+
+    def __init__(self, n_runs: int = 48):
+        self.n_runs = n_runs
+
+    def _sharded(self, session: Session, shards: int,
+                 **overrides):
+        from repro.serving import ShardExecutor, sample_sharded
+        cfg = session.config.replace(shards=shards, **overrides)
+        with ShardExecutor(session.compiled.translated,
+                           session.instance, cfg,
+                           inline=True) as executor:
+            return sample_sharded(session, self.n_runs, cfg,
+                                  executor=executor)
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        seed = case.seed & 0x7FFFFFFF
+        session = _session(case, seed=seed, max_steps=200)
+        two = self._sharded(session, 2)
+        three = self._sharded(session, 3)
+        if two.diagnostics["mode"] != three.diagnostics["mode"]:
+            return _fail(
+                f"shard count changed the execution mode: "
+                f"{two.diagnostics['mode']} vs "
+                f"{three.diagnostics['mode']} (the batched/scalar "
+                "decision must be shard-invariant)")
+        detail = compare_monte_carlo_pdbs(two.pdb, three.pdb)
+        if detail:
+            return _fail(f"2 vs 3 shards: {detail}")
+        sharded_scalar = self._sharded(session, 2, backend="scalar")
+        single_scalar = session.configure(
+            backend="scalar").sample(self.n_runs)
+        detail = compare_monte_carlo_pdbs(sharded_scalar.pdb,
+                                          single_scalar.pdb)
+        if detail:
+            return _fail(
+                f"sharded scalar vs single-process scalar: {detail}")
+        if _exactable(case):
+            detail = marginals_agree(session.exact().pdb, two.pdb,
+                                     slack=0.05)
+            if detail:
+                return _fail(f"sharded sampling law: {detail}")
+        return _ok()
+
+
 class InducedFDOracle(Oracle):
     """Lemma 3.10: induced FDs hold on every reachable instance."""
 
@@ -691,8 +757,8 @@ def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
             FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
-            BaranyAgreementOracle(), InducedFDOracle(),
-            TerminationOracle()]
+            BaranyAgreementOracle(), ShardedVsSingleOracle(),
+            InducedFDOracle(), TerminationOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

@@ -1,0 +1,332 @@
+"""ProgramServer: caches, dispatch, error replies, socket transport.
+
+Everything here runs in-process (the subprocess `repro serve` smoke
+lives in test_serving_cli.py): the transport-free ``handle`` contract,
+the zero-recompilation cache counters, LRU eviction, the protocol
+codecs, and the threading socket server with concurrent clients.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro.errors import ValidationError
+from repro.pdb.facts import Fact
+from repro.pdb.instances import Instance
+from repro.serving import (ProgramServer, ServingClient, serve_socket)
+from repro.serving.protocol import (decode_line, encode_line,
+                                    instance_payload, parse_fact,
+                                    parse_instance)
+from repro.serving.server import program_sha, request_over_socket
+
+COIN = "Heads(x, Flip<0.5>) :- Coin(x)."
+CASCADE = """
+Trig(x, Flip<0.6>) :- Site(x).
+Alarm(x, Flip<0.5>) :- Trig(x, 1).
+"""
+
+
+def _coins(k: int = 2) -> dict:
+    return {"Coin": [[i] for i in range(k)]}
+
+
+def _strip_elapsed(result: dict) -> dict:
+    """Sample documents modulo the only nondeterministic field."""
+    return {key: value for key, value in result.items()
+            if key != "elapsed_seconds"}
+
+
+# ---------------------------------------------------------------------------
+# Protocol codecs
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_fact_codec(self):
+        fact = Fact("R", (1, "x", 2.5))
+        assert parse_fact({"relation": "R", "args": [1, "x", 2.5]}) \
+            == fact
+        assert parse_fact(["R", [1, "x", 2.5]]) == fact
+        for bad in ("R", {"relation": "R"}, ["R"], ["R", [1], 2], 7):
+            with pytest.raises(ValidationError):
+                parse_fact(bad)
+
+    def test_instance_codec_roundtrip(self):
+        instance = Instance.from_dict(
+            {"A": [(1,), (2,)], "B": [("x", 3)]})
+        assert parse_instance(instance_payload(instance)) == instance
+        assert parse_instance(None) == Instance.empty()
+        assert parse_instance(
+            [{"relation": "A", "args": [1]}]) \
+            == Instance.from_dict({"A": [(1,)]})
+        with pytest.raises(ValidationError):
+            parse_instance({"A": "not-rows"})
+        with pytest.raises(ValidationError):
+            parse_instance(42)
+
+    def test_line_framing(self):
+        payload = {"op": "ping", "z": 1, "a": 2}
+        line = encode_line(payload)
+        assert "\n" not in line
+        assert decode_line(line) == payload
+        with pytest.raises(ValidationError, match="bad JSON"):
+            decode_line("{nope")
+        with pytest.raises(ValidationError, match="JSON object"):
+            decode_line("[1, 2]")
+
+    def test_program_sha_separates_semantics(self):
+        assert program_sha(COIN, "grohe") \
+            != program_sha(COIN, "barany")
+        assert program_sha(COIN, "grohe") == program_sha(COIN, "grohe")
+
+
+# ---------------------------------------------------------------------------
+# Dispatch + caching
+# ---------------------------------------------------------------------------
+
+
+class TestProgramServer:
+    def test_ping_reports_stats(self):
+        server = ProgramServer()
+        reply = server.handle({"op": "ping"})
+        assert reply["ok"] and reply["op"] == "ping"
+        assert reply["stats"]["requests"] == 1
+        assert reply["stats"]["programs_compiled"] == 0
+
+    def test_sample_matches_cli_contract_and_session(self):
+        server = ProgramServer()
+        reply = server.handle({"op": "sample", "program": COIN,
+                               "instance": _coins(), "n": 200,
+                               "config": {"seed": 7}})
+        assert reply["ok"] and not reply["compile_cached"]
+        result = reply["result"]
+        assert set(result) == {"command", "n_runs", "n_terminated",
+                               "n_truncated", "err_mass",
+                               "elapsed_seconds", "backend",
+                               "marginals"}
+        assert result["n_runs"] == 200 and result["n_truncated"] == 0
+        direct = repro.compile(COIN).on(
+            parse_instance(_coins()), seed=7).sample(200)
+        expect = {(m.relation, m.args): p
+                  for m, p in direct.fact_marginals().items()}
+        served = {(m["fact"]["relation"], tuple(m["fact"]["args"])):
+                  m["probability"] for m in result["marginals"]}
+        assert served == expect
+
+    def test_zero_recompilation_across_requests(self):
+        """The acceptance-criterion counter: one compile, then hits."""
+        server = ProgramServer()
+        first = server.handle({"op": "sample", "program": COIN,
+                               "instance": _coins(), "n": 50,
+                               "config": {"seed": 1}})
+        second = server.handle({"op": "sample", "program": COIN,
+                                "instance": _coins(), "n": 50,
+                                "config": {"seed": 1}})
+        third = server.handle({"op": "marginal", "program": COIN,
+                               "instance": _coins(), "n": 50,
+                               "fact": ["Heads", [0, 1]],
+                               "config": {"seed": 1}})
+        assert first["ok"] and second["ok"] and third["ok"]
+        assert not first["compile_cached"]
+        assert second["compile_cached"] and third["compile_cached"]
+        assert server.stats["programs_compiled"] == 1
+        assert server.stats["program_cache_hits"] == 2
+        assert server.stats["sessions_created"] == 1
+        assert server.stats["session_cache_hits"] == 2
+        assert _strip_elapsed(first["result"]) \
+            == _strip_elapsed(second["result"])
+
+    def test_configured_sessions_share_engines(self):
+        """configure() must derive, not rebuild, the warm session."""
+        server = ProgramServer()
+        server.handle({"op": "sample", "program": COIN,
+                       "instance": _coins(), "n": 20,
+                       "config": {"seed": 1}})
+        base = next(iter(server._sessions.values()))
+        engines_before = base._engines
+        server.handle({"op": "sample", "program": COIN,
+                       "instance": _coins(), "n": 20,
+                       "config": {"seed": 2, "keep_aux": True}})
+        assert next(iter(server._sessions.values()))._engines \
+            is engines_before
+        assert server.stats["sessions_created"] == 1
+
+    def test_program_lru_eviction(self):
+        server = ProgramServer(max_programs=1)
+        server.handle({"op": "analyze", "program": COIN})
+        server.handle({"op": "analyze", "program": CASCADE})
+        # COIN was evicted: compiling it again is a miss.
+        reply = server.handle({"op": "analyze", "program": COIN})
+        assert not reply["compile_cached"]
+        assert server.stats["programs_compiled"] == 3
+        assert len(server._programs) == 1
+
+    def test_session_lru_eviction(self):
+        server = ProgramServer(max_sessions=1)
+        for k in (1, 2, 1):
+            server.handle({"op": "sample", "program": COIN,
+                           "instance": _coins(k), "n": 10,
+                           "config": {"seed": 1}})
+        assert server.stats["sessions_created"] == 3
+        assert len(server._sessions) == 1
+
+    def test_analyze_and_mass_report_documents(self):
+        server = ProgramServer()
+        analyze = server.handle({"op": "analyze", "program": COIN})
+        assert analyze["result"]["verdict"] == "terminating"
+        assert analyze["result"]["discrete"] is True
+        mass = server.handle({"op": "mass_report", "program": COIN,
+                              "instance": _coins(1),
+                              "budgets": [1, 2]})
+        assert mass["ok"]
+        reports = mass["result"]["reports"]
+        assert [r["budget"] for r in reports] == [1, 2]
+        assert all(abs(r["instance_mass"] + r["err_mass"] - 1.0) < 1e-9
+                   for r in reports)
+
+    def test_marginal_matches_exact(self):
+        server = ProgramServer()
+        reply = server.handle({"op": "marginal", "program": COIN,
+                               "instance": _coins(1), "n": 4000,
+                               "fact": ["Heads", [0, 1]],
+                               "config": {"seed": 11}})
+        assert reply["ok"]
+        assert abs(reply["result"]["probability"] - 0.5) < 0.05
+
+    def test_sharded_request_through_server(self):
+        # Shard-count invariance holds end-to-end through the server:
+        # k=2 and k=4 produce the identical document (the per-world
+        # draw schedule is a function of world index alone).  The
+        # unsharded path uses pooled draws, so it is distributionally
+        # - not bitwise - equivalent and is not compared here.
+        server = ProgramServer()
+        two = server.handle({"op": "sample", "program": CASCADE,
+                             "instance": {"Site": [[0], [1]]},
+                             "n": 40,
+                             "config": {"seed": 3, "shards": 2}})
+        four = server.handle({"op": "sample", "program": CASCADE,
+                              "instance": {"Site": [[0], [1]]},
+                              "n": 40,
+                              "config": {"seed": 3, "shards": 4}})
+        assert two["ok"] and four["ok"]
+        assert two["result"]["backend"] == "sharded"
+        assert two["result"]["marginals"] == four["result"]["marginals"]
+
+    @pytest.mark.parametrize("request_payload,needle", [
+        ({"op": "nope"}, "unknown op"),
+        ({"op": "sample"}, "program"),
+        ({"op": "sample", "program": "  "}, "program"),
+        ({"op": "sample", "program": COIN, "n": 0}, "'n'"),
+        ({"op": "sample", "program": COIN, "n": True}, "'n'"),
+        ({"op": "sample", "program": COIN, "config": [1]}, "config"),
+        ({"op": "sample", "program": COIN,
+          "config": {"bogus_field": 1}}, "bogus_field"),
+        ({"op": "marginal", "program": COIN, "fact": "Heads"}, "fact"),
+        ({"op": "mass_report", "program": COIN, "budgets": []},
+         "budgets"),
+        ({"op": "sample", "program": "This is not datalog ((("},
+         "ok"),
+    ])
+    def test_errors_become_replies_not_exceptions(self, request_payload,
+                                                  needle):
+        server = ProgramServer()
+        reply = server.handle(request_payload)
+        assert reply["ok"] is False
+        if needle != "ok":
+            assert needle in reply["error"]
+        # The server survives and keeps serving.
+        assert server.handle({"op": "ping"})["ok"]
+        assert server.stats["errors"] >= 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            ProgramServer(max_programs=0)
+        with pytest.raises(ValidationError):
+            ProgramServer(max_sessions=0)
+
+
+# ---------------------------------------------------------------------------
+# Socket transport (in-process)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def running_server():
+    server = ProgramServer()
+    tcp = serve_socket(server, port=0)
+    thread = threading.Thread(target=tcp.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, tcp.server_address
+    finally:
+        tcp.shutdown()
+        tcp.server_close()
+        thread.join(timeout=5)
+
+
+class TestSocketTransport:
+    def test_request_over_socket(self, running_server):
+        _server, (host, port) = running_server
+        reply = request_over_socket(host, port, {"op": "ping"})
+        assert reply["ok"] and "stats" in reply
+
+    def test_client_verbs(self, running_server):
+        _server, (host, port) = running_server
+        with ServingClient(host, port) as client:
+            assert client.ping()["ok"]
+            document = client.sample(COIN, n=100, instance=_coins(),
+                                     seed=5)
+            assert document["command"] == "sample"
+            assert document["n_runs"] == 100
+            probability = client.marginal(COIN, ["Heads", [0, 1]],
+                                          n=100, instance=_coins(),
+                                          seed=5)
+            assert 0.0 <= probability <= 1.0
+            assert client.analyze(COIN)["verdict"] == "terminating"
+            reports = client.mass_report(COIN, budgets=[1, 2],
+                                         instance=_coins(1))["reports"]
+            assert len(reports) == 2
+
+    def test_client_raises_on_server_error(self, running_server):
+        _server, (host, port) = running_server
+        with ServingClient(host, port) as client:
+            with pytest.raises(repro.ReproError, match="unknown op"):
+                client.result({"op": "bogus"})
+
+    def test_malformed_line_gets_error_reply(self, running_server):
+        import socket as socket_module
+        _server, (host, port) = running_server
+        with socket_module.create_connection((host, port)) as conn:
+            conn.sendall(b"{not json\n")
+            with conn.makefile("r", encoding="utf-8") as reader:
+                reply = decode_line(reader.readline())
+        assert reply["ok"] is False and "bad JSON" in reply["error"]
+
+    def test_concurrent_clients_zero_recompilation(self, running_server):
+        server, (host, port) = running_server
+        documents: list = []
+        errors: list = []
+
+        def worker(seed: int) -> None:
+            try:
+                with ServingClient(host, port) as client:
+                    documents.append(client.sample(
+                        COIN, n=60, instance=_coins(), seed=seed))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in (1, 2, 3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(documents) == 3
+        assert all(doc["n_runs"] == 60 for doc in documents)
+        assert server.stats["programs_compiled"] == 1
+        assert server.stats["program_cache_hits"] == 2
+        assert server.stats["sessions_created"] == 1

@@ -33,7 +33,7 @@ class TestOracleBattery:
         assert set(oracles_by_name()) == {
             "fixpoint", "chase-order", "exact-vs-sample",
             "facade-legacy", "batched-scalar", "barany-agreement",
-            "induced-fds", "termination"}
+            "sharded-single", "induced-fds", "termination"}
 
 
 class TestSkipPreconditions:

@@ -13,7 +13,9 @@ import pytest
 
 from repro.api import compile as compile_program
 from repro.core.exact import exact_sequential_spdb
+from repro.core.observe import observe
 from repro.core.program import Program
+from repro.pdb.instances import Instance
 from repro.query.aggregates import Aggregate, agg_count
 from repro.query.lifted import aggregate_distribution
 from repro.query.relalg import scan
@@ -185,6 +187,81 @@ class TestE15ServingScaling:
         # first call's 2 compiles ever miss.
         assert server.stats["program_cache_hits"] \
             == server.stats["requests"] * 4 // 5 - 2
+
+
+class TestE16StreamingScaling:
+    """Streaming-posterior update cost vs the one-shot chase (E16).
+
+    The streaming contract: once the 10k-world batch is sampled, an
+    ``observe()`` is a handful of numpy passes over per-world weight
+    arrays - O(evidence), not O(program) - so an evidence update must
+    be far cheaper than re-running ``posterior(method="likelihood")``
+    from scratch over the same ensemble.
+    """
+
+    N_WORLDS = 10_000
+    N_CITIES = 20
+
+    @classmethod
+    def _session(cls, seed: int = 0):
+        instance = Instance.from_dict(
+            {"City": [(f"c{i}",) for i in range(cls.N_CITIES)]})
+        return compile_program(
+            "Temp(c, Normal<20.0, 4.0>) :- City(c).").on(instance,
+                                                         seed=seed)
+
+    def test_stream_observe_cycle(self, benchmark):
+        stream = self._session().stream(self.N_WORLDS)
+        evidence = observe("Temp", "c0", 21.5)
+
+        def cycle():
+            stream.retract(stream.observe(evidence))
+
+        benchmark(cycle)
+        assert stream.n_evidence == 0
+        assert stream.n_worlds == self.N_WORLDS
+
+    def test_stream_open(self, benchmark):
+        session = self._session()
+        stream = benchmark(lambda: session.stream(self.N_WORLDS))
+        assert stream.n_worlds == self.N_WORLDS
+
+    def test_observe_cheaper_than_fresh_posterior(self):
+        # The acceptance-criterion assertion: a per-observe update on
+        # the 10k-world stream is >= 10x cheaper than a fresh
+        # likelihood-weighted posterior.  The fresh side is timed on a
+        # 20x smaller run count - a strict lower bound on the full
+        # job (the scalar weighted chase is linear in n) - to keep
+        # the benchmark's wall clock in seconds, not minutes.
+        session = self._session()
+        evidence = observe("Temp", "c0", 21.5)
+        stream = session.stream(self.N_WORLDS)
+        conditioned = session.observe(evidence)
+
+        def observe_cycle():
+            stream.retract(stream.observe(evidence))
+
+        def fresh_posterior():
+            conditioned.posterior(method="likelihood",
+                                  n=self.N_WORLDS // 20)
+
+        observe_cycle()  # warm the mask/weight buffers
+        fresh_posterior()
+        per_observe = float("inf")
+        fresh_lower_bound = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            observe_cycle()
+            per_observe = min(per_observe,
+                              time.perf_counter() - start)
+            start = time.perf_counter()
+            fresh_posterior()
+            fresh_lower_bound = min(fresh_lower_bound,
+                                    time.perf_counter() - start)
+        assert fresh_lower_bound > 10 * per_observe, (
+            f"streaming observe ({per_observe * 1e3:.2f} ms) is not "
+            f">= 10x cheaper than a fresh posterior (>= "
+            f"{fresh_lower_bound * 1e3:.2f} ms at n/20)")
 
 
 class TestE14QueryScaling:

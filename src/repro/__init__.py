@@ -58,7 +58,8 @@ the command line).
 """
 
 from repro.api import (DEFAULT_CONFIG, ChaseConfig, CompiledProgram,
-                       InferenceResult, Session, compile)
+                       InferenceResult, Session, StreamingPosterior,
+                       compile)
 from repro.core import (Atom, ChasePolicy, ChaseRun,
                         ConstrainedProgram, Const, ExistentialProgram,
                         Firing, FirstPolicy, LastPolicy, PriorityPolicy,
@@ -79,21 +80,23 @@ from repro.distributions import (DEFAULT_REGISTRY, DistributionRegistry,
                                  ParameterizedDistribution)
 from repro.errors import (ChaseError, DistributionError, MeasureError,
                           ParseError, ReproError, SchemaError,
-                          UnsupportedProgramError, ValidationError)
+                          StreamingUnsupported, UnsupportedProgramError,
+                          ValidationError)
 from repro.measures import DiscreteMeasure, Kernel, MarkovProcess
 from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
                        Instance, Interval, MonteCarloPDB, Schema,
                        relation)
-from repro.pdb.weighted import WeightedPDB
+from repro.pdb.weighted import WeightedColumnarPDB, WeightedPDB
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Atom", "ChaseConfig", "ChaseError", "ChasePolicy", "ChaseRun",
     "CompiledProgram", "ConstrainedProgram", "Const", "DEFAULT_CONFIG",
     "InferenceResult", "RejectionResult", "Session", "compile",
     "condition_by_rejection", "condition_exact", "likelihood_weighting",
-    "observe", "program_to_source", "WeightedPDB",
+    "observe", "program_to_source", "StreamingPosterior",
+    "StreamingUnsupported", "WeightedColumnarPDB", "WeightedPDB",
     "CountingEvent", "DEFAULT_REGISTRY", "DiscreteMeasure", "DiscretePDB",
     "DistributionError", "DistributionRegistry", "Event",
     "ExistentialProgram", "Fact", "FactSet", "Firing", "FirstPolicy",

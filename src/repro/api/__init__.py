@@ -21,8 +21,10 @@ from repro.api.config import DEFAULT_CONFIG, ChaseConfig
 from repro.api.results import InferenceResult
 from repro.api.session import (CompiledProgram, Session, compile,
                                compiled_for)
+from repro.api.stream import StreamingPosterior
 
 __all__ = [
     "ChaseConfig", "CompiledProgram", "DEFAULT_CONFIG",
-    "InferenceResult", "Session", "compile", "compiled_for",
+    "InferenceResult", "Session", "StreamingPosterior", "compile",
+    "compiled_for",
 ]

@@ -92,6 +92,14 @@ class ChaseConfig:
     :class:`~numpy.random.SeedSequence` child streams, so output is
     law-exact and *invariant to the shard count* (requires the
     ``"spawn"`` stream scheme and an int-or-None seed).
+
+    ``resample_threshold`` - streaming-posterior resampling policy
+    (:meth:`repro.api.Session.stream`).  After each ``observe`` the
+    stream resamples its worlds systematically when the effective
+    sample size drops below ``threshold x live worlds``.  ``0.0``
+    (default) never resamples - streamed marginals then equal one-shot
+    likelihood weighting *exactly*; ``1.0`` resamples after every
+    weighted observation (particle-filter style).
     """
 
     policy: ChasePolicy | None = None
@@ -107,6 +115,7 @@ class ChaseConfig:
     backend: str = "auto"
     batch_min_group: int = 2
     shards: int | None = None
+    resample_threshold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.policy is not None and \
@@ -151,6 +160,13 @@ class ChaseConfig:
             raise ValidationError(
                 f"shards must be a positive int or None, got "
                 f"{self.shards!r}")
+        if isinstance(self.resample_threshold, bool) \
+                or not isinstance(self.resample_threshold,
+                                  (int, float)) \
+                or not 0.0 <= self.resample_threshold <= 1.0:
+            raise ValidationError(
+                f"resample_threshold must lie in [0, 1], got "
+                f"{self.resample_threshold!r}")
         if self.seed is not None and not isinstance(
                 self.seed, (int, np.integer, np.random.Generator)):
             raise ValidationError(

@@ -57,6 +57,21 @@ class InferenceResult:
         """
         return self.diagnostics.get("backend")
 
+    @property
+    def effective_sample_size(self) -> float | None:
+        """ESS of the importance weights, if this result carries any.
+
+        ``(Σw)² / Σw²`` for likelihood-weighted and streamed
+        posteriors - the number of equally-weighted samples the
+        estimate is worth.  None for unweighted results (exact,
+        plain sampling, rejection).
+        """
+        ess = self.diagnostics.get("effective_sample_size")
+        if ess is not None:
+            return ess
+        size = getattr(self.pdb, "effective_sample_size", None)
+        return size() if callable(size) else None
+
     # -- delegation to the wrapped PDB --------------------------------------
 
     def marginal(self, fact: Fact) -> float:

@@ -631,6 +631,27 @@ class Session:
 
     # -- conditioning -------------------------------------------------------
 
+    def stream(self, n: int = 1000, max_window: int | None = None,
+               **overrides):
+        """An incrementally-conditionable posterior over ``n`` worlds.
+
+        Samples the prior once through the batched backend and returns
+        a :class:`repro.api.stream.StreamingPosterior` whose
+        ``observe(evidence)`` updates the posterior in place -
+        O(evidence) per step instead of the O(program) of a fresh
+        :meth:`posterior` call.  Evidence already attached to this
+        session is applied to the stream up front.  ``max_window``
+        bounds the number of active evidence items (oldest
+        auto-retracted: a sliding window).  Raises
+        :class:`~repro.errors.StreamingUnsupported` when the program/
+        config is outside the batched backend's class or the evidence
+        cannot be applied exactly; fall back to
+        ``observe(...).posterior(method="likelihood")`` then.
+        """
+        from repro.api.stream import StreamingPosterior
+        cfg = self.config.replace(**overrides)
+        return StreamingPosterior(self, cfg, n, max_window)
+
     def posterior(self, method: str = "rejection", n: int = 1000,
                   **overrides) -> InferenceResult:
         """Posterior inference given the session's observed evidence.

@@ -6,6 +6,10 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
   ``probability  world`` lines (plus err mass);
 * ``sample``    - Monte-Carlo semantics: marginals of every output fact
   observed across ``n`` chases;
+* ``posterior`` - conditioned marginals given ``--observe`` evidence
+  (likelihood weighting, rejection, or exact conditioning) - the same
+  document a :class:`~repro.serving.ProgramServer` ``posterior`` reply
+  carries;
 * ``analyze``   - static report: translation summary, weak acyclicity,
   cycle classification (Theorem 6.3 / §6.3);
 * ``translate`` - print the associated existential Datalog program Ĝ;
@@ -96,6 +100,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "automatic selection (the CLI's shared "
                              "RNG stream keeps 'auto' on the scalar "
                              "path for seed-stable output)")
+
+    posterior = subparsers.add_parser(
+        "posterior", help="conditioned marginals given evidence")
+    add_common(posterior)
+    posterior.add_argument("--observe", action="append", default=[],
+                           metavar="REL,carried...,value|JSON",
+                           help="evidence (repeatable): a sample-level "
+                                "observation as comma-separated "
+                                "relation, carried args and observed "
+                                "value, or a JSON evidence payload "
+                                "({'relation': ...} or {'fact': ...})")
+    posterior.add_argument("--method",
+                           choices=("likelihood", "rejection", "exact"),
+                           default="likelihood")
+    posterior.add_argument("-n", type=int, default=1000,
+                           help="number of chase runs (sampling "
+                                "methods)")
+    posterior.add_argument("--seed", type=int, default=0)
+    posterior.add_argument("--max-steps", type=int, default=10_000)
 
     analyze = subparsers.add_parser(
         "analyze", help="static termination / structure report")
@@ -225,6 +248,75 @@ def cmd_sample(args, out) -> int:
           f"{pdb.err_mass():.4f})", file=out)
     for fact in ordered:
         print(f"{marginals[fact]:10.6f}  {fact!r}", file=out)
+    return 0
+
+
+def _parse_observe_arg(text: str):
+    """One ``--observe`` item -> an evidence wire payload (dict).
+
+    Accepts either a raw JSON payload (anything starting with ``{``)
+    or the compact ``REL,carried...,value`` form where each token is
+    parsed as JSON when possible (so ``0.5`` is a float) and kept as a
+    string otherwise.
+    """
+    from repro.errors import ValidationError
+    stripped = text.strip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"bad --observe JSON {text!r}: {error}") from None
+        return payload
+    tokens = [token.strip() for token in stripped.split(",")]
+    if len(tokens) < 2 or not tokens[0]:
+        raise ValidationError(
+            f"--observe needs at least 'REL,value', got {text!r}")
+
+    def coerce(token: str):
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError:
+            return token
+
+    return {"relation": tokens[0],
+            "carried": [coerce(token) for token in tokens[1:-1]],
+            "value": coerce(tokens[-1])}
+
+
+def cmd_posterior(args, out) -> int:
+    """``repro posterior``: conditioned marginals given evidence.
+
+    Shares the evidence wire codec and the response document with the
+    server's ``posterior`` op, so ``repro posterior --json`` output is
+    the same payload a :class:`~repro.serving.ProgramServer` reply
+    carries.
+    """
+    from repro.serving.protocol import parse_evidence, posterior_payload
+    from repro.serving.server import _FactEvent
+    compiled, instance = _load(args)
+    session = compiled.on(instance, seed=args.seed,
+                          max_steps=args.max_steps)
+    evidence = []
+    for item in args.observe:
+        parsed = parse_evidence(_parse_observe_arg(item))
+        evidence.append(_FactEvent(parsed) if isinstance(parsed, Fact)
+                        else parsed)
+    if evidence:
+        session = session.observe(*evidence)
+    result = session.posterior(method=args.method, n=args.n)
+    payload = posterior_payload(result)
+    if args.json:
+        _emit_json(payload, out)
+        return 0
+    ess = payload["effective_sample_size"]
+    print(f"# method {payload['method']}, {payload['n_runs']} runs, "
+          f"{payload['n_truncated']} truncated"
+          + (f", ess {ess:.1f}" if ess is not None else ""), file=out)
+    for entry in payload["marginals"]:
+        fact = Fact(entry["fact"]["relation"],
+                    tuple(entry["fact"]["args"]))
+        print(f"{entry['probability']:10.6f}  {fact!r}", file=out)
     return 0
 
 
@@ -380,6 +472,7 @@ def cmd_serve(args, out) -> int:
 _COMMANDS = {
     "exact": cmd_exact,
     "sample": cmd_sample,
+    "posterior": cmd_posterior,
     "analyze": cmd_analyze,
     "translate": cmd_translate,
     "fuzz": cmd_fuzz,

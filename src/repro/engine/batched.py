@@ -80,6 +80,7 @@ to the scalar loop.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -93,7 +94,8 @@ from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
                                   validate_params_in_theta)
 from repro.engine.matching import IndexedSource, body_holds, match_atoms
 from repro.engine.seminaive import seminaive_closure
-from repro.errors import ChaseError, DistributionError, ValidationError
+from repro.errors import (ChaseError, DistributionError,
+                          StreamingUnsupported, ValidationError)
 from repro.pdb.database import MonteCarloPDB
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
@@ -367,7 +369,12 @@ class BatchedChase:
         return _LayerFiring(
             aux_relation=firing.relation,
             prefix=prefix,
-            distribution_key=(id(info.distribution), params),
+            # Content-addressed: distribution names are unique within a
+            # program's registry, so (name, params) identifies the draw
+            # law across processes and pickling - equal-signature groups
+            # from different shards coalesce on it (repro.serving.merge),
+            # where a process-local id() could never match.
+            distribution_key=(info.distribution.name, params),
             heads=heads,
             trigger=trigger,
             pinned=pinned)
@@ -852,7 +859,7 @@ class BatchedChase:
                 requests[members[0]]
             firing = wave[task_index].layer[firing_index]
             info = self.translated.aux_info[firing.aux_relation]
-            _ident, params = firing.distribution_key
+            _name, params = firing.distribution_key
             total = sum(requests[member][3] for member in members)
             flat = np.asarray(info.distribution.sample_batch(
                 params, total, rng))
@@ -893,7 +900,7 @@ class BatchedChase:
                 rng = rngs[world]
                 for column, firing, info in zip(columns, task.layer,
                                                 infos):
-                    _ident, params = firing.distribution_key
+                    _name, params = firing.distribution_key
                     column.append(info.distribution.sample(params, rng))
                     diagnostics["n_draw_calls"] += 1
             draws.append([np.asarray(column) for column in columns])
@@ -943,7 +950,8 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         self.truncated = sum(1 for _, run in outcome.scalar_runs
                              if not run.terminated)
         self._cache: list[Instance] | None = None
-        self._scalar_worlds: list[Instance] | None = None
+        self._slots: list[Instance | None] | None = None
+        self._scalar_worlds: list[tuple[int, Instance]] | None = None
         self._group_views: dict[int, Instance] = {}
 
     # -- columnar plumbing --------------------------------------------------
@@ -964,11 +972,12 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
             self._group_views[index] = view
         return view
 
-    def _terminated_scalar_worlds(self) -> list[Instance]:
+    def _scalar_slots(self) -> list[tuple[int, Instance]]:
+        """(world index, output view) of every *terminated* scalar run."""
         if self._scalar_worlds is None:
             self._scalar_worlds = [
-                self._view(run.instance)
-                for _, run in self._outcome.scalar_runs
+                (index, self._view(run.instance))
+                for index, run in self._outcome.scalar_runs
                 if run.terminated]
         return self._scalar_worlds
 
@@ -984,10 +993,22 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
     @property
     def _worlds(self) -> list[Instance]:
         if self._cache is None:
-            self._cache = self._materialize()
+            self._cache = [slot for slot in self.world_slots()
+                           if slot is not None]
         return self._cache
 
-    def _materialize(self) -> list[Instance]:
+    def world_slots(self) -> list[Instance | None]:
+        """Output instance per *world index* (None = truncated).
+
+        The per-slot form of the lazy ``worlds`` list: slot ``i`` is
+        world ``i``'s output, so per-world weight/mask vectors (the
+        streaming layer's bookkeeping) align with it positionally.
+        """
+        if self._slots is None:
+            self._slots = self._materialize_slots()
+        return self._slots
+
+    def _materialize_slots(self) -> list[Instance | None]:
         outcome = self._outcome
         slots: list = [_PENDING] * outcome.size
         for index, run in outcome.scalar_runs:
@@ -1015,7 +1036,7 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         if missing:
             raise ChaseError(
                 f"batch outcome left {missing} worlds unaccounted for")
-        return [slot for slot in slots if slot is not None]
+        return slots
 
     # -- fast reads ---------------------------------------------------------
 
@@ -1027,35 +1048,79 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         return (self._outcome.size - self.truncated) \
             / self._outcome.size
 
+    def _group_fact_hits(self, group_index: int, f: Fact):
+        """How the group's members hold ``f``.
+
+        ``True`` - every member (the fact sits in the shared view);
+        a boolean array aligned with ``members`` - per-world, read off
+        the sample columns; ``None`` - no member can hold it.
+        """
+        if f in self._group_view(group_index):
+            return True
+        fact_args = f.args
+        mask = None
+        for firing, values in self._outcome.groups[group_index].columns:
+            for relation, args, position in \
+                    self._column_templates(firing):
+                if relation != f.relation \
+                        or len(args) != len(fact_args):
+                    continue
+                if any(expected is not None
+                       and expected != fact_args[index]
+                       for index, expected in enumerate(args)):
+                    continue
+                wanted = fact_args[position]
+                if not isinstance(wanted, (int, float)) \
+                        or isinstance(wanted, bool):
+                    continue
+                hits = values == wanted
+                mask = hits if mask is None else (mask | hits)
+        return mask
+
     def marginal(self, f: Fact) -> float:
         """Exact ensemble frequency of ``f``, straight off the columns."""
-        count = sum(1 for world in self._terminated_scalar_worlds()
-                    if f in world)
-        fact_args = f.args
+        return self.weighted_count(f, None) / self._outcome.size
+
+    def weighted_count(self, f: Fact, weights) -> float:
+        """Total weight of the worlds holding ``f`` (columnar).
+
+        ``weights`` is a per-world-index vector (length ``size``;
+        truncated slots must carry zero) or None for unit weights -
+        the ``None`` form backs :meth:`marginal`, the vector form backs
+        the streaming layer's weighted posterior reads.
+        """
+        count = 0
+        for index, world in self._scalar_slots():
+            if f in world:
+                count += 1 if weights is None else weights[index]
         for group_index, group in enumerate(self._outcome.groups):
-            if f in self._group_view(group_index):
-                count += len(group.members)
+            hits = self._group_fact_hits(group_index, f)
+            if hits is None:
                 continue
-            mask = None
-            for firing, values in group.columns:
-                for relation, args, position in \
-                        self._column_templates(firing):
-                    if relation != f.relation \
-                            or len(args) != len(fact_args):
-                        continue
-                    if any(expected is not None
-                           and expected != fact_args[index]
-                           for index, expected in enumerate(args)):
-                        continue
-                    wanted = fact_args[position]
-                    if not isinstance(wanted, (int, float)) \
-                            or isinstance(wanted, bool):
-                        continue
-                    hits = values == wanted
-                    mask = hits if mask is None else (mask | hits)
-            if mask is not None:
-                count += int(np.count_nonzero(mask))
-        return count / self._outcome.size
+            if weights is None:
+                count += len(group.members) if hits is True \
+                    else int(np.count_nonzero(hits))
+            else:
+                member_weights = weights[group.members]
+                count += float(member_weights.sum()) if hits is True \
+                    else float(member_weights[hits].sum())
+        return count
+
+    def fact_mask(self, f: Fact) -> np.ndarray:
+        """Boolean per-world-index membership of ``f`` (truncated False)."""
+        mask = np.zeros(self._outcome.size, dtype=bool)
+        for index, world in self._scalar_slots():
+            if f in world:
+                mask[index] = True
+        for group_index, group in enumerate(self._outcome.groups):
+            hits = self._group_fact_hits(group_index, f)
+            if hits is None:
+                continue
+            if hits is True:
+                mask[group.members] = True
+            else:
+                mask[group.members[hits]] = True
+        return mask
 
     def fact_marginals_columnar(self,
                                 relations: tuple[str, ...] | None = None,
@@ -1066,21 +1131,40 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         batch results answer complete marginal tables without
         materializing the ensemble.
         """
-        totals: dict[Fact, int] = {}
+        size = self._outcome.size
+        return {fact: count / size
+                for fact, count in
+                self.weighted_fact_totals(None, relations).items()}
+
+    def weighted_fact_totals(self, weights,
+                             relations: tuple[str, ...] | None = None,
+                             ) -> dict[Fact, float]:
+        """Total (weighted) count of every output fact, columnar.
+
+        ``weights`` as in :meth:`weighted_count`; with None the values
+        are the plain ensemble counts.  Callers normalize themselves
+        (by ``size`` for frequencies, by the total weight for
+        self-normalized posterior estimates).
+        """
+        totals: dict[Fact, float] = {}
 
         def admit(relation: str) -> bool:
             return relations is None or relation in relations
 
-        for world in self._terminated_scalar_worlds():
+        for index, world in self._scalar_slots():
+            weight = 1 if weights is None else weights[index]
             for fact in world.facts:
                 if admit(fact.relation):
-                    totals[fact] = totals.get(fact, 0) + 1
+                    totals[fact] = totals.get(fact, 0) + weight
         for group_index, group in enumerate(self._outcome.groups):
             shared = self._group_view(group_index)
-            weight = len(group.members)
+            member_weights = None if weights is None \
+                else weights[group.members]
+            group_weight = len(group.members) if weights is None \
+                else float(member_weights.sum())
             for fact in shared.facts:
                 if admit(fact.relation):
-                    totals[fact] = totals.get(fact, 0) + weight
+                    totals[fact] = totals.get(fact, 0) + group_weight
             by_template: dict[tuple, list[np.ndarray]] = {}
             for firing, values in group.columns:
                 for template in self._column_templates(firing):
@@ -1089,9 +1173,8 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
                             values)
             for collision in self._collision_classes(by_template):
                 self._count_columns(collision, by_template, shared,
-                                    totals)
-        size = self._outcome.size
-        return {fact: count / size for fact, count in totals.items()}
+                                    totals, member_weights)
+        return totals
 
     @staticmethod
     def _templates_may_collide(first: tuple, second: tuple) -> bool:
@@ -1133,7 +1216,8 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         return classes
 
     def _count_columns(self, templates: list[tuple], by_template: dict,
-                       shared: Instance, totals: dict) -> None:
+                       shared: Instance, totals: dict,
+                       member_weights=None) -> None:
         """Count per-world occurrences of the templates' emitted facts.
 
         Single-template classes count via ``np.unique``; collision
@@ -1141,12 +1225,17 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         two Trig rules sampling into the same head) count the per-value
         union masks so no world is counted twice.  Facts already in the
         group's shared instance were counted for every member and are
-        skipped.
+        skipped.  ``member_weights`` (aligned with the group's member
+        columns) switches integer counting to weighted totals.
         """
         if len(templates) == 1 and len(by_template[templates[0]]) == 1:
             relation, args, position = templates[0]
-            values, counts = np.unique(by_template[templates[0]][0],
-                                       return_counts=True)
+            column = by_template[templates[0]][0]
+            if member_weights is None:
+                values, counts = np.unique(column, return_counts=True)
+            else:
+                values, inverse = np.unique(column, return_inverse=True)
+                counts = np.bincount(inverse, weights=member_weights)
             for value, count in zip(values.tolist(), counts.tolist()):
                 fact = self._template_fact(templates[0], value)
                 if fact in shared:
@@ -1174,8 +1263,9 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
                 fact_masks[fact] = hits[row] if mask is None \
                     else (mask | hits[row])
         for fact, mask in fact_masks.items():
-            totals[fact] = totals.get(fact, 0) \
-                + int(np.count_nonzero(mask))
+            count = int(np.count_nonzero(mask)) if member_weights is None \
+                else float(member_weights[mask].sum())
+            totals[fact] = totals.get(fact, 0) + count
 
     @staticmethod
     def _template_fact(template: tuple, value) -> Fact:
@@ -1189,3 +1279,103 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
             else "columnar"
         return (f"ColumnarMonteCarloPDB(<{self.n_runs - self.truncated}"
                 f" worlds, {self.truncated} truncated, {state}>)")
+
+
+# ---------------------------------------------------------------------------
+# Observed-sample effects on a finished batch (streaming evidence)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ObservedColumn:
+    """One sample column an observation touches in a finished batch.
+
+    ``log_density`` is the per-member log importance factor
+    ``log ψ⟨ā⟩(v)`` (``-inf`` when the observed value has zero
+    density).  ``force`` says whether the column's sampled values must
+    be overwritten with the observed value to match what a
+    likelihood-weighted chase would have emitted; when False the
+    column already holds the observed value in every member (it was
+    bound into the group signature), so only the weight applies.
+    """
+
+    group_index: int
+    column_index: int
+    log_density: float
+    force: bool
+
+
+def observation_effects(outcome: BatchOutcome,
+                        translated: ExistentialProgram,
+                        aux_relation: str, carried: tuple,
+                        value) -> list[ObservedColumn]:
+    """Where (and whether) an observation lands on a finished batch.
+
+    This is the batched counterpart of :func:`repro.core.observe.
+    _fire_observed`: for each columnar group column whose firing
+    matches ``(aux_relation, carried)``, decide whether forcing the
+    observed ``value`` into the already-sampled worlds reproduces the
+    likelihood-weighted chase *exactly*.  It does iff the value's
+    trigger status matches what the worlds actually cascaded on:
+
+    * ``NEVER`` trigger - no sampled value ever enables a downstream
+      firing, so forcing is always exact;
+    * ``PINNED``, column unbound (sampled values outside the pin set)
+      and ``value`` also outside - forcing is exact; ``value`` inside
+      the pin set would have enabled firings these worlds never ran;
+    * ``PINNED``/``ALWAYS``, column bound into the signature - the
+      cascade already reflects the constant sampled value, so the
+      observation is exact iff it *equals* that value (weight-only).
+
+    Any other combination - and any terminated scalar-fallback world
+    that fired a matching auxiliary (its trajectory is opaque) -
+    raises :class:`StreamingUnsupported`; callers fall back to the
+    one-shot weighted chase.  Worlds in groups without a matching
+    column never fired the observation's sample and keep factor 1,
+    exactly like the scalar scheme.
+    """
+    info = translated.aux_info[aux_relation]
+    for _index, run in outcome.scalar_runs:
+        if not run.terminated:
+            continue
+        for fact in run.instance.facts_of(aux_relation):
+            if fact.args[:info.n_carried] == carried:
+                raise StreamingUnsupported(
+                    f"observation on {aux_relation!r}{carried!r} "
+                    "touches a scalar-fallback world; its draw "
+                    "cannot be re-weighted columnar")
+    effects: list[ObservedColumn] = []
+    for group_index, group in enumerate(outcome.groups):
+        for column_index, (firing, values) in enumerate(group.columns):
+            if firing.aux_relation != aux_relation \
+                    or firing.prefix[:info.n_carried] != carried:
+                continue
+            _name, params = firing.distribution_key
+            density = float(info.distribution.density(params, value))
+            log_density = math.log(density) if density > 0 \
+                else -math.inf
+            if firing.trigger == NEVER:
+                bound = False
+            elif firing.trigger == ALWAYS:
+                bound = True
+            else:
+                # Pinned columns are uniform by construction: a pinned
+                # sampled value is bound into the group signature, so
+                # either every member holds it (bound) or none does.
+                bound = values[0] in firing.pinned
+            if bound:
+                if value == values[0]:
+                    effects.append(ObservedColumn(
+                        group_index, column_index, log_density, False))
+                    continue
+                raise StreamingUnsupported(
+                    f"observed {aux_relation!r}{carried!r} = {value!r} "
+                    f"contradicts the signature-bound sample "
+                    f"{values[0]!r}; these worlds cascaded on it")
+            if firing.trigger == PINNED and value in firing.pinned:
+                raise StreamingUnsupported(
+                    f"observed {aux_relation!r}{carried!r} = {value!r} "
+                    "is a trigger value; forcing it would enable "
+                    "firings the sampled worlds never ran")
+            effects.append(ObservedColumn(
+                group_index, column_index, log_density, True))
+    return effects

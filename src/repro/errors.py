@@ -60,6 +60,19 @@ class UnsupportedProgramError(ReproError):
     """
 
 
+class StreamingUnsupported(UnsupportedProgramError):
+    """Streamed evidence cannot be applied exactly to this ensemble.
+
+    Raised by :class:`repro.api.stream.StreamingPosterior` when forcing
+    an observed sample into the pre-sampled prior worlds would *not*
+    reproduce one-shot likelihood weighting - e.g. the observed value
+    would have enabled downstream rule firings that the prior worlds
+    never ran.  The streaming layer declines rather than silently
+    approximating; fall back to
+    ``session.observe(...).posterior(method="likelihood")``.
+    """
+
+
 class ChaseError(ReproError):
     """An internal invariant of the chase was violated.
 

@@ -128,3 +128,115 @@ class WeightedPDB(PDBBase):
     def __repr__(self) -> str:
         return (f"WeightedPDB(<{self.n_worlds} worlds, ESS "
                 f"{self.effective_sample_size():.1f}>)")
+
+
+class WeightedColumnarPDB(PDBBase):
+    """Importance-weighted view over a *columnar* batch ensemble.
+
+    The streamed-evidence counterpart of :class:`WeightedPDB`: instead
+    of holding materialized worlds it wraps a
+    :class:`repro.engine.batched.ColumnarMonteCarloPDB` together with a
+    per-world-index weight vector (dead worlds - truncated, or masked
+    out by event evidence - carry weight zero).  Marginal and full
+    fact-table queries read the sample columns directly through the
+    columnar ensemble's weighted counters; nothing is materialized
+    unless a caller asks a per-world question (``prob`` /
+    ``expectation`` with an arbitrary predicate).
+    """
+
+    def __init__(self, columnar, weights):
+        import numpy as np
+
+        self._columnar = columnar
+        self._weights = np.asarray(weights, dtype=float)
+        if self._weights.shape != (columnar.n_runs,):
+            raise MeasureError(
+                f"weight vector shape {self._weights.shape} does not "
+                f"match the ensemble size ({columnar.n_runs})")
+        if np.any(self._weights < 0):
+            raise MeasureError("negative importance weight")
+        self._total = float(self._weights.sum())
+        if self._total <= 0.0:
+            raise MeasureError(
+                "all importance weights are zero - the evidence has "
+                "zero likelihood under the program")
+
+    @property
+    def n_worlds(self) -> int:
+        return self._columnar.n_runs
+
+    @property
+    def n_runs(self) -> int:
+        return self._columnar.n_runs
+
+    @property
+    def weights(self):
+        return self._weights
+
+    def total_weight(self) -> float:
+        return self._total
+
+    def effective_sample_size(self) -> float:
+        """``(Σw)² / Σw²`` - the importance-sampling quality measure."""
+        squared = float((self._weights * self._weights).sum())
+        if squared <= 0.0:
+            return 0.0
+        return self._total * self._total / squared
+
+    # -- PDBBase ------------------------------------------------------------
+
+    def marginal(self, f) -> float:
+        return self._columnar.weighted_count(f, self._weights) \
+            / self._total
+
+    def fact_marginals_columnar(self, relations=None):
+        """Posterior marginal of every output fact, computed columnar.
+
+        Duck-typed hook for :func:`repro.pdb.stats.fact_marginals`,
+        like the unweighted columnar ensemble's.
+        """
+        totals = self._columnar.weighted_fact_totals(self._weights,
+                                                     relations)
+        return {fact: count / self._total
+                for fact, count in totals.items()}
+
+    def prob(self, event: Event | Callable[[Instance], bool]) -> float:
+        test = event.contains if isinstance(event, Event) else event
+        hit = 0.0
+        for world, weight in self._iter_weighted():
+            if test(world):
+                hit += weight
+        return hit / self._total
+
+    def err_mass(self) -> float:
+        return 0.0  # posterior over surviving worlds by construction
+
+    def total_mass(self) -> float:
+        return 1.0
+
+    def map_worlds(self, transform: Callable[[Instance], Instance],
+                   ) -> "WeightedPDB":
+        worlds, weights = [], []
+        for world, weight in self._iter_weighted():
+            worlds.append(transform(world))
+            weights.append(weight)
+        return WeightedPDB(worlds, weights)
+
+    def expectation(self, statistic: Callable[[Instance], float],
+                    ) -> float:
+        weighted = math.fsum(weight * statistic(world)
+                             for world, weight in self._iter_weighted())
+        return weighted / self._total
+
+    def _iter_weighted(self):
+        """(world, weight) over live slots, materializing on demand."""
+        for index, world in enumerate(self._columnar.world_slots()):
+            if world is None:
+                continue
+            weight = float(self._weights[index])
+            if weight > 0.0:
+                yield world, weight
+
+    def __repr__(self) -> str:
+        return (f"WeightedColumnarPDB(<{self.n_worlds} worlds, ESS "
+                f"{self.effective_sample_size():.1f}>)")

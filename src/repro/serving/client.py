@@ -101,3 +101,65 @@ class ServingClient:
         if budgets is not None:
             payload["budgets"] = list(budgets)
         return self.result(payload)
+
+    # -- posteriors and streams ---------------------------------------------
+
+    @staticmethod
+    def _evidence_payloads(evidence) -> list:
+        return [item if isinstance(item, dict)
+                else protocol.evidence_payload(item)
+                for item in evidence]
+
+    def posterior(self, program: str, observe, n: int = 1000,
+                  method: str = "likelihood",
+                  instance: dict | None = None,
+                  semantics: str = "grohe", **config) -> dict:
+        """One-shot posterior document given evidence payloads.
+
+        ``observe`` is a list of evidence items - wire payloads
+        (dicts) or :class:`~repro.core.observe.Observation` /
+        :class:`~repro.pdb.facts.Fact` values, encoded transparently.
+        """
+        return self.result({"op": "posterior", "program": program,
+                            "semantics": semantics, "n": n,
+                            "method": method, "instance": instance,
+                            "observe": self._evidence_payloads(observe),
+                            "config": config or None})
+
+    def stream_open(self, program: str, n: int = 1000,
+                    instance: dict | None = None,
+                    semantics: str = "grohe",
+                    max_window: int | None = None, **config) -> dict:
+        """Open a server-side streaming posterior; returns its state.
+
+        The returned document carries the ``stream_id`` every
+        follow-up call addresses.
+        """
+        return self.result({"op": "stream_open", "program": program,
+                            "semantics": semantics, "n": n,
+                            "instance": instance,
+                            "max_window": max_window,
+                            "config": config or None})
+
+    def stream_observe(self, stream_id: str, evidence) -> dict:
+        """Apply one evidence item to an open stream; returns state."""
+        payload = evidence if isinstance(evidence, dict) \
+            else protocol.evidence_payload(evidence)
+        return self.result({"op": "stream_observe",
+                            "stream_id": stream_id,
+                            "observe": payload})
+
+    def stream_retract(self, stream_id: str, token: int) -> dict:
+        """Exactly undo one previously observed evidence item."""
+        return self.result({"op": "stream_observe",
+                            "stream_id": stream_id, "retract": token})
+
+    def stream_posterior(self, stream_id: str) -> dict:
+        """The stream's current posterior document."""
+        return self.result({"op": "stream_posterior",
+                            "stream_id": stream_id})
+
+    def stream_close(self, stream_id: str) -> dict:
+        """Release the server-side stream."""
+        return self.result({"op": "stream_close",
+                            "stream_id": stream_id})

@@ -80,14 +80,20 @@ def merge_shard_results(plan: ShardPlan, results: list[ShardResult],
 def merge_outcomes(plan: ShardPlan, results: list[ShardResult]):
     """Concatenate shard-local batch outcomes into one batch-wide one.
 
-    Groups stay per-shard (their ``members`` arrays shift to global
-    world indices); cross-shard groups are *not* coalesced - group
-    identity keys contain process-local distribution ids, and
-    coalescing would only save marginal-query constant factors, not
-    change any answer.
+    Groups with the same identity - same shared instance and the same
+    prepared layer firings, which is exactly the signature the batched
+    engine groups on (``distribution_key`` is content-addressed, so it
+    survives pickling across shard processes) - are *coalesced*: their
+    member index arrays and per-column sample arrays concatenate, so a
+    3-shard merge yields the same group structure a single-process
+    batch would, and per-group costs downstream (marginal scans,
+    streamed-evidence reweighting) stay O(groups), not
+    O(groups x shards).
     """
+    import numpy as np
+
     from repro.engine.batched import BatchOutcome, _ColumnarGroup
-    groups = []
+    merged: dict[tuple, tuple[list, list[list]]] = {}
     scalar_runs = []
     diagnostics: dict = {key: 0 for key in _SUMMED_KEYS}
     diagnostics["n_rounds"] = 0
@@ -96,14 +102,29 @@ def merge_outcomes(plan: ShardPlan, results: list[ShardResult]):
         outcome = result.outcome
         start = result.spec.start
         for group in outcome.groups:
-            groups.append(_ColumnarGroup(group.members + start,
-                                         group.shared, group.columns))
+            key = (group.shared,
+                   tuple(firing for firing, _values in group.columns))
+            members, columns = merged.setdefault(
+                key, ([], [[] for _ in group.columns]))
+            members.append(group.members + start)
+            for column, (_firing, values) in zip(columns,
+                                                 group.columns):
+                column.append(values)
         for world, run in outcome.scalar_runs:
             scalar_runs.append((world + start, run))
         for key in _SUMMED_KEYS:
             diagnostics[key] += outcome.diagnostics.get(key, 0)
         diagnostics["n_rounds"] = max(diagnostics["n_rounds"],
                                       outcome.diagnostics["n_rounds"])
+    groups = []
+    for (shared, firings), (members, columns) in merged.items():
+        groups.append(_ColumnarGroup(
+            np.concatenate(members), shared,
+            tuple((firing, np.concatenate(column))
+                  for firing, column in zip(firings, columns))))
+    # The per-shard counter summed shard-local group counts; after
+    # coalescing the merged outcome's own structure is authoritative.
+    diagnostics["n_groups"] = len(groups)
     return BatchOutcome(plan.n, tuple(groups), tuple(scalar_runs),
                         diagnostics)
 

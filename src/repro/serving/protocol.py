@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.core.observe import Observation
 from repro.errors import ValidationError
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
@@ -80,6 +81,45 @@ def parse_instance(payload) -> Instance:
         f"cannot parse instance payload {payload!r}")
 
 
+def evidence_payload(evidence) -> dict:
+    """The wire form of one evidence item (observation or fact)."""
+    if isinstance(evidence, Observation):
+        return {"relation": evidence.relation,
+                "carried": list(evidence.carried),
+                "value": evidence.value}
+    if isinstance(evidence, Fact):
+        return {"fact": fact_payload(evidence)}
+    raise ValidationError(
+        f"cannot encode evidence {evidence!r}; expected an "
+        "Observation or a Fact")
+
+
+def parse_evidence(payload) -> Observation | Fact:
+    """Evidence from ``{"relation", "carried", "value"}`` or ``{"fact"}``.
+
+    Sample-level observations condition by likelihood weighting; a
+    fact payload conditions on the fact *holding* in the world
+    (rejection-style masking on streams).
+    """
+    if isinstance(payload, dict):
+        if "fact" in payload:
+            return parse_fact(payload["fact"])
+        if "relation" in payload:
+            carried = payload.get("carried", [])
+            if not isinstance(payload["relation"], str) \
+                    or not isinstance(carried, (list, tuple)) \
+                    or "value" not in payload:
+                raise ValidationError(
+                    "observation payload needs 'relation', 'carried' "
+                    f"and 'value': {payload!r}")
+            return Observation(payload["relation"], tuple(carried),
+                               payload["value"])
+    raise ValidationError(
+        f"cannot parse evidence payload {payload!r}; expected "
+        "{'relation': .., 'carried': [..], 'value': ..} or "
+        "{'fact': ..}")
+
+
 # ---------------------------------------------------------------------------
 # Result payloads (the CLI --json contracts)
 # ---------------------------------------------------------------------------
@@ -104,6 +144,31 @@ def sample_payload(result) -> dict:
         "err_mass": pdb.err_mass(),
         "elapsed_seconds": result.elapsed,
         "backend": result.backend,
+        "marginals": [
+            {"fact": fact_payload(fact),
+             "probability": marginals[fact]}
+            for fact in ordered],
+    }
+
+
+def posterior_payload(result) -> dict:
+    """The posterior document (``posterior`` / ``stream_posterior``).
+
+    ``method`` echoes the result kind (``likelihood``, ``rejection``,
+    ``exact``, or ``stream``); ``effective_sample_size`` is null for
+    methods without importance weights.
+    """
+    pdb = result.pdb
+    marginals = fact_marginals(pdb)
+    ordered = sorted(marginals, key=lambda fact: fact.sort_key())
+    return {
+        "command": "posterior",
+        "method": result.kind,
+        "n_runs": result.n_runs,
+        "n_truncated": result.n_truncated,
+        "elapsed_seconds": result.elapsed,
+        "effective_sample_size": result.effective_sample_size,
+        "diagnostics": dict(result.diagnostics),
         "marginals": [
             {"fact": fact_payload(fact),
              "probability": marginals[fact]}

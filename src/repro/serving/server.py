@@ -28,6 +28,7 @@ the corresponding CLI ``--json`` document
 from __future__ import annotations
 
 import hashlib
+import os
 import socket
 import socketserver
 import threading
@@ -36,10 +37,30 @@ from collections import OrderedDict
 from repro.api.session import CompiledProgram, Session
 from repro.api.session import compile as compile_program
 from repro.errors import ReproError, ValidationError
+from repro.pdb.facts import Fact
 from repro.serving import protocol
+from repro.serving.sharding import ShardExecutor, sample_sharded
 
 #: Ops accepted by :meth:`ProgramServer.handle`.
-OPS = ("ping", "analyze", "sample", "marginal", "mass_report")
+OPS = ("ping", "analyze", "sample", "marginal", "mass_report",
+       "posterior", "stream_open", "stream_observe",
+       "stream_posterior", "stream_close")
+
+#: Ops addressed to an open stream (by ``stream_id``, no program text).
+_STREAM_OPS = ("stream_observe", "stream_posterior", "stream_close")
+
+
+class _FactEvent:
+    """Containment predicate for served fact evidence (printable)."""
+
+    def __init__(self, fact: Fact):
+        self.fact = fact
+
+    def __call__(self, instance) -> bool:
+        return self.fact in instance
+
+    def __repr__(self) -> str:
+        return f"contains({self.fact!r})"
 
 
 def program_sha(source: str, semantics: str) -> str:
@@ -57,22 +78,43 @@ class ProgramServer:
     ``max_programs`` / ``max_sessions`` bound the two LRUs (a session
     holds its program's warm applicability engines and batched
     sampler, so the session cache is the larger memory commitment).
-    ``handle`` is thread-safe; inference itself is serialized under
-    one lock - concurrency buys connection-level interleaving, not
-    parallel chases (shard requests parallelize *within* one request
-    via the process pool instead).
+    ``handle`` is thread-safe.  The global lock guards only cache and
+    stats mutation; inference runs under a per-(program, instance)
+    *session* lock, so concurrent clients working on distinct
+    programs/instances chase in parallel, and only requests racing on
+    the same warm session (whose engine caches are not thread-safe)
+    serialize against each other.
+
+    Sharded requests run on warm, LRU-cached
+    :class:`~repro.serving.sharding.ShardExecutor` pools
+    (``max_executors`` bound; spawning a process pool per request
+    would dominate the request cost) - evicted and
+    :meth:`close`-d executors shut their pools down.  Streaming
+    sessions (``stream_open`` ..) are held in a bounded registry
+    keyed by server-issued ``stream_id``.
     """
 
     def __init__(self, max_programs: int = 32,
-                 max_sessions: int = 32):
-        if max_programs < 1 or max_sessions < 1:
+                 max_sessions: int = 32,
+                 max_executors: int = 8,
+                 max_streams: int = 32):
+        if max_programs < 1 or max_sessions < 1 \
+                or max_executors < 1 or max_streams < 1:
             raise ValidationError(
-                "max_programs and max_sessions must be >= 1")
+                "max_programs, max_sessions, max_executors and "
+                "max_streams must be >= 1")
         self.max_programs = max_programs
         self.max_sessions = max_sessions
+        self.max_executors = max_executors
+        self.max_streams = max_streams
         self._programs: OrderedDict[str, CompiledProgram] = \
             OrderedDict()
         self._sessions: OrderedDict[tuple, Session] = OrderedDict()
+        self._session_locks: dict[tuple, threading.RLock] = {}
+        self._executors: OrderedDict[tuple, ShardExecutor] = \
+            OrderedDict()
+        self._streams: OrderedDict[str, tuple] = OrderedDict()
+        self._stream_counter = 0
         self._lock = threading.RLock()
         self.stats = {
             "requests": 0,
@@ -81,7 +123,19 @@ class ProgramServer:
             "program_cache_hits": 0,
             "sessions_created": 0,
             "session_cache_hits": 0,
+            "executors_created": 0,
+            "executor_cache_hits": 0,
+            "streams_opened": 0,
         }
+
+    def close(self) -> None:
+        """Shut down every cached shard executor and drop open streams."""
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+            self._streams.clear()
+        for executor in executors:
+            executor.close()
 
     # -- caches -------------------------------------------------------------
 
@@ -132,21 +186,66 @@ class ProgramServer:
                 self._sessions.popitem(last=False)
             return session
 
+    def session_lock(self, sha: str, instance) -> threading.RLock:
+        """The per-(program, instance) inference lock, get-or-create.
+
+        Locks are keyed like sessions but never evicted (a lock is a
+        few hundred bytes; evicting one while a thread holds it would
+        let a re-created twin run concurrently on the same session).
+        """
+        key = (sha, instance)
+        with self._lock:
+            lock = self._session_locks.get(key)
+            if lock is None:
+                lock = threading.RLock()
+                self._session_locks[key] = lock
+            return lock
+
+    def executor_for(self, sha: str, instance, compiled, cfg,
+                     ) -> ShardExecutor:
+        """A warm shard executor for (program, instance, config).
+
+        LRU-cached so the hot path reuses live pool workers instead of
+        spawning a ``mp.Pool`` per request; evicted executors shut
+        their pools down.  Construction itself is lazy-cheap (the pool
+        starts on first use), so it happens under the global lock.
+        """
+        key = (sha, instance, cfg)
+        evicted = []
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is not None:
+                self._executors.move_to_end(key)
+                self.stats["executor_cache_hits"] += 1
+                return executor
+            executor = ShardExecutor(
+                compiled.translated, instance, cfg,
+                processes=min(cfg.shards or 1, os.cpu_count() or 1))
+            self._executors[key] = executor
+            self.stats["executors_created"] += 1
+            while len(self._executors) > self.max_executors:
+                evicted.append(self._executors.popitem(last=False)[1])
+        for stale in evicted:
+            stale.close()
+        return executor
+
     # -- request handling ---------------------------------------------------
 
     def handle(self, request: dict) -> dict:
         """One response object for one request object (never raises)."""
         with self._lock:
             self.stats["requests"] += 1
-            try:
-                return self._dispatch(request)
-            except ReproError as error:
+        try:
+            return self._dispatch(request)
+        except ReproError as error:
+            with self._lock:
                 self.stats["errors"] += 1
-                return {"ok": False, "error": str(error)}
-            except Exception as error:  # noqa: BLE001 - server survives
+            return {"ok": False, "error": str(error)}
+        except Exception as error:  # noqa: BLE001 - server survives
+            with self._lock:
                 self.stats["errors"] += 1
-                return {"ok": False,
-                        "error": f"{type(error).__name__}: {error}"}
+            return {"ok": False,
+                    "error": f"{type(error).__name__}: {error}"}
 
     def _dispatch(self, request: dict) -> dict:
         if not isinstance(request, dict):
@@ -154,10 +253,14 @@ class ProgramServer:
                 f"request must be an object, got {request!r}")
         op = request.get("op")
         if op == "ping":
-            return {"ok": True, "op": "ping", "stats": dict(self.stats)}
+            with self._lock:
+                return {"ok": True, "op": "ping",
+                        "stats": dict(self.stats)}
         if op not in OPS:
             raise ValidationError(
                 f"unknown op {op!r}; known ops: {', '.join(OPS)}")
+        if op in _STREAM_OPS:
+            return self._dispatch_stream(op, request)
         semantics = request.get("semantics", "grohe")
         sha, compiled, cached = self.compiled_for(
             request.get("program"), semantics)
@@ -171,28 +274,131 @@ class ProgramServer:
                 or not all(isinstance(key, str) for key in overrides):
             raise ValidationError(
                 "'config' must be an object of ChaseConfig fields")
-        if overrides:
-            session = session.configure(**overrides)
+        with self.session_lock(sha, instance):
+            if overrides:
+                session = session.configure(**overrides)
+            result = self._run_session_op(op, request, sha, compiled,
+                                          instance, session)
+        return self._reply(op, sha, cached, result)
+
+    def _run_session_op(self, op: str, request: dict, sha: str,
+                        compiled, instance, session) -> dict:
+        """One session-bound op, under the caller-held session lock."""
         if op == "sample":
-            result = protocol.sample_payload(
-                session.sample(self._n(request)))
-            return self._reply(op, sha, cached, result)
+            cfg = session.config
+            if cfg.shards is not None and cfg.shards > 1:
+                executor = self.executor_for(sha, instance, compiled,
+                                             cfg)
+                sampled = sample_sharded(session, self._n(request),
+                                         cfg, executor=executor)
+            else:
+                sampled = session.sample(self._n(request))
+            return protocol.sample_payload(sampled)
         if op == "marginal":
             fact = protocol.parse_fact(request.get("fact"))
             probability = session.marginal(fact, n=self._n(request))
-            result = {"command": "marginal",
-                      "fact": protocol.fact_payload(fact),
-                      "probability": probability}
-            return self._reply(op, sha, cached, result)
+            return {"command": "marginal",
+                    "fact": protocol.fact_payload(fact),
+                    "probability": probability}
+        if op == "posterior":
+            evidence = self._evidence(request)
+            method = request.get("method", "likelihood")
+            result = session.observe(*evidence).posterior(
+                method=method, n=self._n(request))
+            return protocol.posterior_payload(result)
+        if op == "stream_open":
+            return self._open_stream(request, sha, instance, session)
         budgets = request.get("budgets", (1, 2, 4, 8, 16, 32))
         if not isinstance(budgets, (list, tuple)) or not budgets \
                 or not all(isinstance(budget, int) and budget > 0
                            for budget in budgets):
             raise ValidationError(
                 "'budgets' must be a non-empty list of positive ints")
-        result = protocol.mass_report_payload(
+        return protocol.mass_report_payload(
             session.mass_report(tuple(budgets)))
-        return self._reply(op, sha, cached, result)
+
+    @staticmethod
+    def _evidence(request: dict) -> list:
+        payloads = request.get("observe")
+        if not isinstance(payloads, (list, tuple)) or not payloads:
+            raise ValidationError(
+                "'observe' must be a non-empty list of evidence "
+                "payloads")
+        evidence = []
+        for payload in payloads:
+            item = protocol.parse_evidence(payload)
+            if isinstance(item, Fact):
+                # Session.observe takes events/predicates for facts;
+                # "the fact holds" is containment.
+                item = _FactEvent(item)
+            evidence.append(item)
+        return evidence
+
+    # -- streaming ----------------------------------------------------------
+
+    def _open_stream(self, request: dict, sha: str, instance,
+                     session) -> dict:
+        max_window = request.get("max_window")
+        stream = session.stream(self._n(request), max_window)
+        with self._lock:
+            self._stream_counter += 1
+            stream_id = f"s{self._stream_counter}"
+            self._streams[stream_id] = \
+                (stream, self.session_lock(sha, instance))
+            self.stats["streams_opened"] += 1
+            while len(self._streams) > self.max_streams:
+                self._streams.popitem(last=False)
+        return {"command": "stream_open", "stream_id": stream_id,
+                **self._stream_state(stream)}
+
+    def _dispatch_stream(self, op: str, request: dict) -> dict:
+        stream_id = request.get("stream_id")
+        with self._lock:
+            entry = self._streams.get(stream_id)
+            if entry is not None:
+                self._streams.move_to_end(stream_id)
+        if entry is None:
+            raise ValidationError(
+                f"unknown stream_id {stream_id!r}; it was never "
+                "opened, or was closed or evicted")
+        stream, lock = entry
+        if op == "stream_close":
+            with self._lock:
+                self._streams.pop(stream_id, None)
+            result = {"command": "stream_close", "closed": True}
+            return {"ok": True, "op": op, "stream_id": stream_id,
+                    "result": result}
+        with lock:
+            if op == "stream_posterior":
+                result = protocol.posterior_payload(stream.posterior())
+            elif "retract" in request:
+                token = request["retract"]
+                if isinstance(token, bool) \
+                        or not isinstance(token, int):
+                    raise ValidationError(
+                        f"'retract' must be an evidence token (int), "
+                        f"got {token!r}")
+                stream.retract(token)
+                result = {"command": "stream_observe",
+                          "retracted": token,
+                          **self._stream_state(stream)}
+            else:
+                evidence = protocol.parse_evidence(
+                    request.get("observe"))
+                token = stream.observe(evidence)
+                result = {"command": "stream_observe", "token": token,
+                          **self._stream_state(stream)}
+        return {"ok": True, "op": op, "stream_id": stream_id,
+                "result": result}
+
+    @staticmethod
+    def _stream_state(stream) -> dict:
+        return {"n_worlds": stream.n_worlds,
+                "n_alive": stream.n_alive,
+                "n_evidence": stream.n_evidence,
+                "resamples": stream.resamples,
+                "effective_sample_size":
+                    stream.effective_sample_size()}
 
     @staticmethod
     def _n(request: dict) -> int:

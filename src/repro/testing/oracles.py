@@ -70,6 +70,9 @@ from repro.api.session import CompiledProgram, Session, compile as \
 from repro.core.policies import (DEFAULT_POLICY, FirstPolicy,
                                  LastPolicy, RoundRobinPolicy)
 from repro.core.fd import check_all_fds, fd_violation_report, induced_fds
+from repro.core.observe import Observation
+from repro.errors import (MeasureError, StreamingUnsupported,
+                          ValidationError)
 from repro.core.program import Program
 from repro.core.semantics import exact_spdb, sample_spdb
 from repro.core.termination import weakly_acyclic
@@ -753,12 +756,83 @@ class TerminationOracle(Oracle):
         return _skip("may-terminate cycle: no sound assertion")
 
 
+class StreamingBatchOracle(Oracle):
+    """Streamed evidence vs the one-shot weighted chase (repro.api.stream).
+
+    A streaming posterior samples its columnar batch once and folds
+    evidence into per-world importance weights; the one-shot
+    ``posterior(method="likelihood")`` re-runs the weighted scalar
+    chase from scratch.  Both estimate the same disintegrated
+    posterior, so their marginals must agree within Monte-Carlo noise.
+    Evidence is drawn from the stream's own prior - an
+    actually-sampled ``(relation, carried, value)`` triple, so its
+    likelihood is never zero - and cases the streaming safety gate
+    declines (trigger-valued or signature-contradicting observations)
+    skip rather than fail.
+    """
+
+    name = "streaming-batch"
+
+    def __init__(self, n_runs: int = 300):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        positions = random_value_positions(case.program)
+        if not positions:
+            return _skip("no single-random-term heads to observe")
+        seed = case.seed & 0x7FFFFFFF
+        session = _session(case, seed=seed, max_steps=200)
+        try:
+            stream = session.stream(self.n_runs)
+            prior = fact_marginals(stream.posterior().pdb)
+        except (StreamingUnsupported, ValidationError,
+                MeasureError) as decline:
+            return _skip(f"stream declined: {decline}")
+        evidence = self._evidence_from_prior(prior, positions)
+        if evidence is None:
+            return _skip("prior sampled no observable fact")
+        try:
+            stream.observe(evidence)
+            streamed = stream.posterior()
+        except StreamingUnsupported as decline:
+            return _skip(f"observation declined: {decline}")
+        except MeasureError as degenerate:
+            return _skip(f"degenerate posterior: {degenerate}")
+        ess = streamed.effective_sample_size
+        if ess is not None and ess < 8:
+            return _skip(f"effective sample size too low ({ess:.1f})")
+        try:
+            one_shot = _session(case, seed=seed + 1, max_steps=200) \
+                .observe(evidence).posterior(method="likelihood",
+                                             n=self.n_runs)
+        except MeasureError as degenerate:
+            return _skip(f"degenerate one-shot posterior: {degenerate}")
+        detail = marginals_agree(one_shot.pdb, streamed.pdb,
+                                 slack=0.15)
+        if detail:
+            return _fail(f"streamed vs one-shot likelihood ({evidence!r}): "
+                         f"{detail}")
+        return _ok()
+
+    @staticmethod
+    def _evidence_from_prior(prior, positions) -> Observation | None:
+        for fact in sorted(prior, key=lambda fact: fact.sort_key()):
+            position = positions.get(fact.relation)
+            if position is None or position >= len(fact.args):
+                continue
+            carried = fact.args[:position] + fact.args[position + 1:]
+            return Observation(fact.relation, carried,
+                               fact.args[position])
+        return None
+
+
 def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
             FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
             BaranyAgreementOracle(), ShardedVsSingleOracle(),
-            InducedFDOracle(), TerminationOracle()]
+            InducedFDOracle(), TerminationOracle(),
+            StreamingBatchOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

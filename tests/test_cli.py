@@ -347,3 +347,49 @@ class TestFuzzCommand:
         assert len(written) == 1
         from pathlib import Path
         assert Path(written[0]).exists()
+
+
+class TestPosteriorCommand:
+    @pytest.fixture
+    def cascade_file(self, tmp_path):
+        path = tmp_path / "cascade.gdl"
+        path.write_text("Trig(x, Flip<0.6>) :- Site(x).\n"
+                        "Alarm(x, Flip<0.5>) :- Trig(x, 1).\n")
+        data = tmp_path / "sites.json"
+        data.write_text('{"Site": [["a"]]}')
+        return str(path), str(data)
+
+    def test_observation_shifts_marginals(self, cascade_file):
+        program, data = cascade_file
+        code, output = run_cli(
+            ["posterior", program, "--data", data,
+             "--observe", "Alarm,a,1", "-n", "3000", "--seed", "2"])
+        assert code == 0
+        assert "method likelihood" in output
+        line = next(line for line in output.splitlines()
+                    if "Trig('a', 1)" in line)
+        # P(Trig=1 | Alarm sample = 1) = 3/7.
+        assert abs(float(line.split()[0]) - 3 / 7) < 0.05
+
+    def test_json_document_matches_server_contract(self, cascade_file):
+        program, data = cascade_file
+        code, output = run_cli(
+            ["posterior", program, "--data", data, "--json",
+             "--observe",
+             '{"fact": {"relation": "Trig", "args": ["a", 1]}}',
+             "--method", "rejection", "-n", "500", "--seed", "4"])
+        assert code == 0
+        document = json.loads(output)
+        assert document["command"] == "posterior"
+        assert document["method"] == "rejection"
+        assert document["effective_sample_size"] is None
+        entry = next(m for m in document["marginals"]
+                     if m["fact"] == {"relation": "Trig",
+                                      "args": ["a", 1]})
+        assert entry["probability"] == 1.0
+
+    def test_bad_observe_spec_is_usage_error(self, cascade_file):
+        program, data = cascade_file
+        code, _output = run_cli(
+            ["posterior", program, "--data", data, "--observe", "Trig"])
+        assert code == 2

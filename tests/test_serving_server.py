@@ -330,3 +330,226 @@ class TestSocketTransport:
         assert server.stats["programs_compiled"] == 1
         assert server.stats["program_cache_hits"] == 2
         assert server.stats["sessions_created"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: per-session locks + warm executors
+# ---------------------------------------------------------------------------
+
+
+class TestServerConcurrency:
+    def test_sessions_do_not_serialize_each_other(self):
+        """Holding one program's session lock must not block others."""
+        server = ProgramServer()
+        coin = {"op": "sample", "program": COIN, "instance": _coins(),
+                "n": 10, "config": {"seed": 1}}
+        cascade = {"op": "sample", "program": CASCADE,
+                   "instance": {"Site": [[0]]}, "n": 10,
+                   "config": {"seed": 1}}
+        server.handle(dict(coin))
+        server.handle(dict(cascade))
+        lock = server.session_lock(program_sha(COIN, "grohe"),
+                                   parse_instance(_coins()))
+        done = threading.Event()
+        replies: list = []
+
+        def blocked_worker() -> None:
+            replies.append(server.handle(dict(coin)))
+            done.set()
+
+        lock.acquire()
+        try:
+            thread = threading.Thread(target=blocked_worker,
+                                      daemon=True)
+            thread.start()
+            # The COIN request is stuck behind its session lock ...
+            assert not done.wait(0.3)
+            # ... while a CASCADE request on this thread completes.
+            assert server.handle(dict(cascade))["ok"]
+        finally:
+            lock.release()
+        assert done.wait(10)
+        thread.join(timeout=10)
+        assert replies and replies[0]["ok"]
+
+    def test_sharded_requests_reuse_a_warm_executor(self):
+        """Zero pool spawns on the hot path: one executor, then hits."""
+        server = ProgramServer()
+        request = {"op": "sample", "program": CASCADE,
+                   "instance": {"Site": [[0], [1]]}, "n": 20,
+                   "config": {"seed": 3, "shards": 2}}
+        try:
+            first = server.handle(dict(request))
+            second = server.handle(dict(request))
+        finally:
+            server.close()
+        assert first["ok"] and second["ok"]
+        assert server.stats["executors_created"] == 1
+        assert server.stats["executor_cache_hits"] == 1
+        assert first["result"]["marginals"] \
+            == second["result"]["marginals"]
+
+    def test_executor_lru_eviction_closes_cold_pools(self):
+        server = ProgramServer(max_executors=1)
+        base = {"op": "sample", "program": CASCADE,
+                "instance": {"Site": [[0]]}, "n": 10}
+        try:
+            server.handle({**base, "config": {"seed": 1, "shards": 2}})
+            server.handle({**base, "config": {"seed": 2, "shards": 2}})
+        finally:
+            server.close()
+        assert server.stats["executors_created"] == 2
+        assert server.stats["executor_cache_hits"] == 0
+        assert len(server._executors) == 0
+
+
+# ---------------------------------------------------------------------------
+# Posterior + streaming ops
+# ---------------------------------------------------------------------------
+
+
+def _marginal_of(result: dict, relation: str, args: list) -> float:
+    return next(m["probability"] for m in result["marginals"]
+                if m["fact"] == {"relation": relation, "args": args})
+
+
+class TestPosteriorOp:
+    def test_likelihood_posterior_document(self):
+        server = ProgramServer()
+        reply = server.handle({
+            "op": "posterior", "program": CASCADE,
+            "instance": {"Site": [["a"]]}, "n": 3000,
+            "observe": [{"relation": "Alarm", "carried": ["a"],
+                         "value": 1}],
+            "config": {"seed": 2}})
+        assert reply["ok"]
+        result = reply["result"]
+        assert result["command"] == "posterior"
+        assert result["method"] == "likelihood"
+        assert result["n_runs"] == 3000
+        assert result["effective_sample_size"] > 0
+        # P(Trig=1 | Alarm sample = 1) = 3/7.
+        assert abs(_marginal_of(result, "Trig", ["a", 1]) - 3 / 7) \
+            < 0.05
+
+    def test_fact_evidence_conditions_by_rejection(self):
+        server = ProgramServer()
+        reply = server.handle({
+            "op": "posterior", "program": CASCADE,
+            "instance": {"Site": [["a"]]}, "n": 1500,
+            "method": "rejection",
+            "observe": [{"fact": {"relation": "Trig",
+                                  "args": ["a", 1]}}],
+            "config": {"seed": 4}})
+        assert reply["ok"]
+        result = reply["result"]
+        assert result["method"] == "rejection"
+        assert _marginal_of(result, "Trig", ["a", 1]) == 1.0
+
+    def test_missing_evidence_is_an_error_reply(self):
+        server = ProgramServer()
+        reply = server.handle({"op": "posterior", "program": CASCADE,
+                               "instance": {"Site": [["a"]]},
+                               "observe": []})
+        assert reply["ok"] is False
+        assert "observe" in reply["error"]
+
+
+class TestStreamOps:
+    def _open(self, server, n=1500, **extra):
+        return server.handle({"op": "stream_open", "program": CASCADE,
+                              "instance": {"Site": [["a"]]}, "n": n,
+                              "config": {"seed": 2}, **extra})
+
+    def test_stream_lifecycle(self):
+        server = ProgramServer()
+        opened = self._open(server)
+        assert opened["ok"]
+        state = opened["result"]
+        stream_id = state["stream_id"]
+        assert state["n_worlds"] == 1500 and state["n_evidence"] == 0
+        observed = server.handle({
+            "op": "stream_observe", "stream_id": stream_id,
+            "observe": {"relation": "Alarm", "carried": ["a"],
+                        "value": 1}})
+        assert observed["ok"]
+        assert observed["result"]["n_evidence"] == 1
+        token = observed["result"]["token"]
+        posterior = server.handle({"op": "stream_posterior",
+                                   "stream_id": stream_id})
+        assert posterior["ok"]
+        result = posterior["result"]
+        assert result["method"] == "stream"
+        assert abs(_marginal_of(result, "Trig", ["a", 1]) - 3 / 7) \
+            < 0.07
+        retracted = server.handle({"op": "stream_observe",
+                                   "stream_id": stream_id,
+                                   "retract": token})
+        assert retracted["ok"]
+        assert retracted["result"]["n_evidence"] == 0
+        closed = server.handle({"op": "stream_close",
+                                "stream_id": stream_id})
+        assert closed["ok"] and closed["result"]["closed"] is True
+        gone = server.handle({"op": "stream_posterior",
+                              "stream_id": stream_id})
+        assert gone["ok"] is False and "unknown stream_id" in gone["error"]
+
+    def test_fact_evidence_masks_stream_worlds(self):
+        server = ProgramServer()
+        stream_id = self._open(server)["result"]["stream_id"]
+        observed = server.handle({
+            "op": "stream_observe", "stream_id": stream_id,
+            "observe": {"fact": {"relation": "Trig",
+                                 "args": ["a", 1]}}})
+        assert observed["ok"]
+        assert observed["result"]["n_alive"] \
+            < observed["result"]["n_worlds"]
+
+    def test_unsupported_observation_is_an_error_reply(self):
+        server = ProgramServer()
+        stream_id = self._open(server)["result"]["stream_id"]
+        reply = server.handle({
+            "op": "stream_observe", "stream_id": stream_id,
+            "observe": {"relation": "Trig", "carried": ["a"],
+                        "value": 1}})
+        assert reply["ok"] is False
+        # The stream survives the declined observation.
+        assert server.handle({"op": "stream_posterior",
+                              "stream_id": stream_id})["ok"]
+
+    def test_stream_lru_eviction(self):
+        server = ProgramServer(max_streams=1)
+        first = self._open(server, n=100)["result"]["stream_id"]
+        second = self._open(server, n=100)["result"]["stream_id"]
+        assert server.handle({"op": "stream_posterior",
+                              "stream_id": first})["ok"] is False
+        assert server.handle({"op": "stream_posterior",
+                              "stream_id": second})["ok"]
+        assert server.stats["streams_opened"] == 2
+
+
+class TestClientStreamVerbs:
+    def test_posterior_and_stream_over_socket(self, running_server):
+        _server, (host, port) = running_server
+        evidence = {"relation": "Alarm", "carried": ["a"], "value": 1}
+        with ServingClient(host, port) as client:
+            document = client.posterior(
+                CASCADE, [evidence], n=2000,
+                instance={"Site": [["a"]]}, seed=2)
+            assert document["method"] == "likelihood"
+            assert abs(_marginal_of(document, "Trig", ["a", 1])
+                       - 3 / 7) < 0.06
+            state = client.stream_open(CASCADE, n=1200,
+                                       instance={"Site": [["a"]]},
+                                       seed=2)
+            stream_id = state["stream_id"]
+            observed = client.stream_observe(stream_id, evidence)
+            assert observed["n_evidence"] == 1
+            streamed = client.stream_posterior(stream_id)
+            assert streamed["method"] == "stream"
+            assert abs(_marginal_of(streamed, "Trig", ["a", 1])
+                       - 3 / 7) < 0.07
+            client.stream_retract(stream_id, observed["token"])
+            assert client.stream_posterior(stream_id)["diagnostics"][
+                "n_evidence"] == 0
+            assert client.stream_close(stream_id)["closed"] is True

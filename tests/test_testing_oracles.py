@@ -33,7 +33,8 @@ class TestOracleBattery:
         assert set(oracles_by_name()) == {
             "fixpoint", "chase-order", "exact-vs-sample",
             "facade-legacy", "batched-scalar", "barany-agreement",
-            "sharded-single", "induced-fds", "termination"}
+            "sharded-single", "induced-fds", "termination",
+            "streaming-batch"}
 
 
 class TestSkipPreconditions:
@@ -254,3 +255,22 @@ class TestColumnarConsistency:
         """, kind="exact")
         outcome = BatchedVsScalarOracle().check(case)
         assert outcome.status == "ok", outcome.detail
+
+
+class TestStreamingBatchOracle:
+    def _oracle(self):
+        from repro.testing.oracles import StreamingBatchOracle
+        return StreamingBatchOracle(n_runs=300)
+
+    def test_agrees_on_a_leaf_observation(self):
+        # Flip<0.5> leaves have no downstream triggers, so the stream
+        # accepts the observation and must match the one-shot answer.
+        outcome = self._oracle().check(_case(
+            "Out(x, Flip<0.5>) :- In(x).",
+            facts=(Fact("In", (1,)), Fact("In", (2,)))))
+        assert outcome.status == "ok", outcome.detail
+
+    def test_skips_without_random_heads(self):
+        outcome = self._oracle().check(_case(
+            "B(x) :- A(x).", facts=(Fact("A", (1,)),)))
+        assert outcome.status == "skip"

@@ -16,9 +16,8 @@ from repro.core.exact import exact_sequential_spdb
 from repro.core.observe import observe
 from repro.core.program import Program
 from repro.pdb.instances import Instance
-from repro.query.aggregates import Aggregate, agg_count
-from repro.query.lifted import aggregate_distribution
-from repro.query.relalg import scan
+from repro.query import (Aggregate, agg_count, aggregate_distribution,
+                         scan)
 from repro.serving import ProgramServer, ShardExecutor, sample_sharded
 from repro.workloads.generators import (bernoulli_grid_program,
                                         earthquake_city_instance,
@@ -275,3 +274,65 @@ class TestE14QueryScaling:
         distribution = benchmark(
             lambda: aggregate_distribution(pdb, query))
         assert distribution.total_mass() == pytest.approx(1.0)
+
+
+class TestE17ColumnarQueryPushdown:
+    """Compiled columnar plans vs the materializing path (E17).
+
+    The pushdown contract: a structural join+aggregate over a
+    10k-world columnar batch compiles to mask/reduction passes over
+    the sample arrays and never expands the grouped worlds, so it must
+    beat evaluating the same plan per materialized world by a wide
+    margin.  The materializing side is timed on a fresh columnar view
+    of the *same* batch outcome each round - re-materializing is that
+    path's real cost, exactly what the pushdown exists to avoid.
+    """
+
+    N_WORLDS = 10_000
+
+    def test_join_aggregate_speedup(self):
+        from repro.engine.batched import ColumnarMonteCarloPDB
+        from repro.measures.discrete import DiscreteMeasure
+        from repro.query.columnar import explain
+
+        instance = earthquake_city_instance(4, 4, seed=2)
+        session = compile_program(example_3_4_program()).on(instance,
+                                                            seed=1)
+        pdb = session.sample(self.N_WORLDS).pdb
+        assert isinstance(pdb, ColumnarMonteCarloPDB)
+        query = Aggregate(
+            scan("Alarm", "unit").join(scan("House", "unit", "city")),
+            (), {"n": agg_count()})
+        assert explain(pdb, query) == "columnar"
+        visible = session.compiled.visible_relations
+
+        def columnar():
+            return aggregate_distribution(pdb, query)
+
+        def materializing():
+            fresh = ColumnarMonteCarloPDB(pdb._outcome, visible)
+            counts = [next(iter(query.evaluate(world).rows))[0]
+                      for world in fresh.worlds]
+            return DiscreteMeasure.from_samples(counts).scale(
+                fresh.total_mass())
+
+        compiled_answer = columnar()  # warm (and correctness anchor)
+        assert pdb.materializations == 0, \
+            "the columnar plan expanded the grouped worlds"
+        assert materializing() == compiled_answer
+        pushdown = float("inf")
+        materialized = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            columnar()
+            pushdown = min(pushdown, time.perf_counter() - start)
+            start = time.perf_counter()
+            materializing()
+            materialized = min(materialized,
+                               time.perf_counter() - start)
+        assert pdb.materializations == 0
+        assert materialized > 5 * pushdown, (
+            f"columnar pushdown ({pushdown * 1e3:.1f} ms) is not "
+            f">= 5x faster than the materializing path "
+            f"({materialized * 1e3:.1f} ms) on "
+            f"{self.N_WORLDS} worlds")

@@ -88,7 +88,7 @@ from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
                        relation)
 from repro.pdb.weighted import WeightedColumnarPDB, WeightedPDB
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Atom", "ChaseConfig", "ChaseError", "ChasePolicy", "ChaseRun",

@@ -12,19 +12,22 @@ The primary public API of the reproduction:
 * :class:`ChaseConfig` - the single frozen configuration object
   replacing the historical scatter of keyword arguments;
 * :class:`InferenceResult` - the unified return type carrying the
-  produced PDB, err mass, run counts and timing diagnostics.
+  produced PDB, err mass, run counts and timing diagnostics;
+* :class:`QueryResult` - a relational plan bound to a produced PDB
+  (``Session.query(...)`` / ``InferenceResult.query(...)``), compiled
+  to numpy over columnar ensembles.
 
 See :mod:`repro.api.session` for the full tour.
 """
 
 from repro.api.config import DEFAULT_CONFIG, ChaseConfig
-from repro.api.results import InferenceResult
+from repro.api.results import InferenceResult, QueryResult
 from repro.api.session import (CompiledProgram, Session, compile,
                                compiled_for)
 from repro.api.stream import StreamingPosterior
 
 __all__ = [
     "ChaseConfig", "CompiledProgram", "DEFAULT_CONFIG",
-    "InferenceResult", "Session", "StreamingPosterior", "compile",
-    "compiled_for",
+    "InferenceResult", "QueryResult", "Session", "StreamingPosterior",
+    "compile", "compiled_for",
 ]

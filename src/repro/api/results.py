@@ -18,6 +18,7 @@ from repro.pdb.database import PDBBase
 from repro.pdb.events import Event
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance
+from repro.query.relalg import Query
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,16 @@ class InferenceResult:
         from repro.pdb.stats import fact_marginals
         return fact_marginals(self.pdb, relations=relations)
 
+    def query(self, query: Query) -> "QueryResult":
+        """Bind a relational-algebra plan to this result's PDB.
+
+        Returns a :class:`QueryResult` whose accessors push the plan
+        forward through whatever representation this result carries -
+        compiled to numpy over columnar ensembles, evaluated per world
+        or per exact branch otherwise.
+        """
+        return QueryResult(self.pdb, query, self)
+
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -122,3 +133,68 @@ class InferenceResult:
                 f"mass {self.total_mass():.6g}, "
                 f"err {self.err_mass():.6g}, "
                 f"{self.elapsed * 1e3:.1f} ms)")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A relational query bound to a produced PDB - every reading of it.
+
+    The single façade for query answers, independent of how inference
+    ran: the same accessors work over exact enumerations
+    (:class:`~repro.pdb.database.DiscretePDB`), sampled ensembles
+    (plain or columnar) and weighted posteriors (materialized or
+    streamed).  Over columnar ensembles the plan is compiled to numpy
+    by :mod:`repro.query.columnar` - including a lifted fast path when
+    the plan only reads stable relations - so no accessor here
+    materializes worlds unless the plan genuinely cannot be vectorized.
+    """
+
+    pdb: PDBBase
+    query: Query
+    #: The inference result that produced ``pdb``, when built through
+    #: the facade (``Session.query`` / ``InferenceResult.query``) -
+    #: carries run counts, timing and diagnostics for reporting.
+    result: "InferenceResult | None" = None
+
+    def distribution(self):
+        """Push-forward distribution of the full answer relation.
+
+        Points are canonical forms - ``(columns, sorted rows)`` tuples
+        (:meth:`~repro.query.relalg.Relation.canonical`).
+        """
+        from repro.query.columnar import query_distribution
+        return query_distribution(self.pdb, self.query)
+
+    def boolean_probability(self) -> float:
+        """Probability that the answer relation is non-empty."""
+        from repro.query.columnar import boolean_probability
+        return boolean_probability(self.pdb, self.query)
+
+    def expected_aggregate(self, column: str | None = None) -> float:
+        """Expected value of a numeric single-valued aggregate plan."""
+        from repro.query.columnar import expected_aggregate
+        return expected_aggregate(self.pdb, self.query, column)
+
+    def aggregate_distribution(self, column: str | None = None):
+        """Distribution of a single-valued aggregate plan's value."""
+        from repro.query.columnar import aggregate_distribution
+        return aggregate_distribution(self.pdb, self.query, column)
+
+    def answer_probabilities(self,
+                             column: str) -> "dict[Any, float]":
+        """P(value ∈ answer) for every value the column ever takes."""
+        from repro.query.columnar import answer_probabilities
+        return answer_probabilities(self.pdb, self.query, column)
+
+    def strategy(self) -> str:
+        """How the plan evaluates over this PDB (diagnostics).
+
+        One of ``"lifted"``, ``"columnar"``, ``"fallback"`` or
+        ``"worlds"`` - see :func:`repro.query.columnar.explain`.
+        """
+        from repro.query.columnar import explain
+        return explain(self.pdb, self.query)
+
+    def __repr__(self) -> str:
+        return (f"QueryResult({type(self.query).__name__} over "
+                f"{type(self.pdb).__name__}, {self.strategy()})")

@@ -629,6 +629,32 @@ class Session:
             return self.exact().marginal(fact)
         return self.sample(n or 1000).marginal(fact)
 
+    def query(self, query, n: int | None = None):
+        """Answer a relational-algebra plan under this session.
+
+        One entry point for every inference mode, following
+        :meth:`marginal`'s convention: exact enumeration for discrete
+        programs, Monte-Carlo sampling otherwise (``n`` runs, default
+        1000); with evidence attached, the plan is answered under the
+        posterior (method picked to match the evidence kind).  Returns
+        a :class:`~repro.api.results.QueryResult`; over the batched
+        backend's columnar ensembles the plan is compiled to numpy
+        (:mod:`repro.query.columnar`) instead of materializing worlds.
+        """
+        if self._evidence:
+            if all(isinstance(item, Observation)
+                   for item in self._evidence):
+                method = "likelihood"
+            elif self.compiled.is_discrete():
+                method = "exact"
+            else:
+                method = "rejection"
+            return self.posterior(method=method,
+                                  n=n or 1000).query(query)
+        if self.compiled.is_discrete():
+            return self.exact().query(query)
+        return self.sample(n or 1000).query(query)
+
     # -- conditioning -------------------------------------------------------
 
     def stream(self, n: int = 1000, max_window: int | None = None,

@@ -350,7 +350,8 @@ class StreamingPosterior:
                 group.members, group.shared, columns)
         self._outcome = BatchOutcome(
             self._outcome.size, tuple(groups),
-            self._outcome.scalar_runs, self._outcome.diagnostics)
+            self._outcome.scalar_runs, self._outcome.diagnostics,
+            base=self._outcome.base, growable=self._outcome.growable)
         self._pdb = self._wrap(self._outcome)
         self._refresh_masks()
 

@@ -6,6 +6,10 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
   ``probability  world`` lines (plus err mass);
 * ``sample``    - Monte-Carlo semantics: marginals of every output fact
   observed across ``n`` chases;
+* ``query``     - answer a relational-algebra plan (``--plan``, the
+  wire JSON of :func:`repro.serving.protocol.parse_plan`) over the
+  output PDB: exact for discrete programs, compiled to numpy over the
+  columnar ensemble otherwise, posterior with ``--observe``;
 * ``posterior`` - conditioned marginals given ``--observe`` evidence
   (likelihood weighting, rejection, or exact conditioning) - the same
   document a :class:`~repro.serving.ProgramServer` ``posterior`` reply
@@ -100,6 +104,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "automatic selection (the CLI's shared "
                              "RNG stream keeps 'auto' on the scalar "
                              "path for seed-stable output)")
+
+    query = subparsers.add_parser(
+        "query", help="answer a relational-algebra plan")
+    add_common(query)
+    query.add_argument("--plan", required=True,
+                       metavar="JSON|@FILE.json",
+                       help="the plan document (see "
+                            "repro.serving.protocol.parse_plan), "
+                            "inline or @file")
+    query.add_argument("-n", type=int, default=1000,
+                       help="number of chase runs (sampling programs)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--max-steps", type=int, default=10_000)
+    query.add_argument("--backend", choices=BACKENDS, default="auto",
+                       help="sampling backend (the batch engine "
+                            "answers plans columnar, without "
+                            "materializing worlds)")
+    query.add_argument("--observe", action="append", default=[],
+                       metavar="REL,carried...,value|JSON",
+                       help="evidence (repeatable; answers the plan "
+                            "under the posterior)")
 
     posterior = subparsers.add_parser(
         "posterior", help="conditioned marginals given evidence")
@@ -282,6 +307,67 @@ def _parse_observe_arg(text: str):
     return {"relation": tokens[0],
             "carried": [coerce(token) for token in tokens[1:-1]],
             "value": coerce(tokens[-1])}
+
+
+def _parse_plan_arg(text: str):
+    """``--plan`` -> a Query (inline JSON document or ``@file.json``)."""
+    from repro.errors import ValidationError
+    from repro.serving.protocol import parse_plan
+    stripped = text.strip()
+    if stripped.startswith("@"):
+        with open(stripped[1:], "r", encoding="utf-8") as handle:
+            stripped = handle.read()
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"bad --plan JSON {text!r}: {error}") from None
+    return parse_plan(payload)
+
+
+def cmd_query(args, out) -> int:
+    """``repro query``: answer a relational plan over the output PDB.
+
+    Follows the facade's :meth:`~repro.api.Session.query` convention
+    (exact for discrete programs, sampling otherwise, posterior with
+    ``--observe``); ``--json`` emits the same document a
+    :class:`~repro.serving.ProgramServer` ``query`` reply carries.
+    """
+    from repro.serving.protocol import parse_evidence, query_payload
+    from repro.serving.server import _FactEvent
+    compiled, instance = _load(args)
+    plan = _parse_plan_arg(args.plan)
+    session = compiled.on(instance, seed=args.seed,
+                          max_steps=args.max_steps,
+                          backend=args.backend)
+    evidence = []
+    for item in args.observe:
+        parsed = parse_evidence(_parse_observe_arg(item))
+        evidence.append(_FactEvent(parsed) if isinstance(parsed, Fact)
+                        else parsed)
+    if evidence:
+        session = session.observe(*evidence)
+    query_result = session.query(plan, n=args.n)
+    payload = query_payload(query_result)
+    if args.json:
+        _emit_json(payload, out)
+        return 0
+    runs = f"{payload['n_runs']} runs" if payload["n_runs"] is not None \
+        else "exact"
+    print(f"# {payload['kind']} ({runs}), "
+          f"strategy {payload['strategy']}", file=out)
+    for entry in payload["answers"]:
+        rows = "; ".join(
+            "(" + ", ".join(repr(value) for value in row) + ")"
+            for row in entry["rows"]) or "(empty)"
+        print(f"{entry['probability']:10.6f}  "
+              f"[{', '.join(entry['columns'])}] {rows}", file=out)
+    print(f"# P(non-empty) = {payload['boolean_probability']:.6f}",
+          file=out)
+    if "expected_aggregate" in payload:
+        print(f"# E[aggregate]  = {payload['expected_aggregate']:.6f}",
+              file=out)
+    return 0
 
 
 def cmd_posterior(args, out) -> int:
@@ -472,6 +558,7 @@ def cmd_serve(args, out) -> int:
 _COMMANDS = {
     "exact": cmd_exact,
     "sample": cmd_sample,
+    "query": cmd_query,
     "posterior": cmd_posterior,
     "analyze": cmd_analyze,
     "translate": cmd_translate,

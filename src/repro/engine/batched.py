@@ -182,12 +182,24 @@ class BatchOutcome:
     ``scalar_runs`` are ``(world index, ChaseRun)`` pairs for worlds
     that finished on the scalar engine.  Every world index in
     ``range(size)`` appears in exactly one of the two.
+
+    ``base``/``growable`` carry the chase's stable-relation analysis
+    (:meth:`BatchedChase._collect_growable`) forward to consumers: the
+    shared closed instance and the set of relations that may gain
+    facts after it.  Every relation *outside* ``growable`` holds
+    exactly ``base``'s facts in **every** terminated world - grouped,
+    scalar-fallback, single-process or sharded - which is what
+    licenses the columnar query planner's lifted fast path
+    (:mod:`repro.query.columnar`).  Both default to None (metadata
+    unavailable) so historical outcomes keep deserializing.
     """
 
     size: int
     groups: tuple
     scalar_runs: tuple
     diagnostics: dict
+    base: Instance | None = None
+    growable: frozenset | None = None
 
 
 @dataclass
@@ -641,7 +653,9 @@ class BatchedChase:
         if not layer:
             diagnostics["n_groups"] = 1
             group = _ColumnarGroup(all_members, self.closed, ())
-            return BatchOutcome(size, (group,), (), diagnostics)
+            return BatchOutcome(size, (group,), (), diagnostics,
+                                base=self.closed,
+                                growable=self._growable)
 
         groups: list[_ColumnarGroup] = []
         scalar_runs: list[tuple[int, ChaseRun]] = []
@@ -708,7 +722,8 @@ class BatchedChase:
                     diagnostics["n_split"] += len(positions)
             wave = next_wave
         return BatchOutcome(size, tuple(groups), tuple(scalar_runs),
-                            diagnostics)
+                            diagnostics, base=self.closed,
+                            growable=self._growable)
 
     def _next_round(self, task: _Round, sig: tuple,
                     sub_members: np.ndarray, sub_columns: tuple,
@@ -953,6 +968,11 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         self._slots: list[Instance | None] | None = None
         self._scalar_worlds: list[tuple[int, Instance]] | None = None
         self._group_views: dict[int, Instance] = {}
+        #: How many times the grouped worlds were expanded into per-world
+        #: instances.  A tripwire for "columnar" paths that secretly
+        #: materialize: stays 0 as long as only columnar reads (marginal
+        #: scans, compiled queries) touch this PDB.
+        self.materializations = 0
 
     # -- columnar plumbing --------------------------------------------------
 
@@ -960,6 +980,30 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
     def materialized(self) -> bool:
         """Whether the world list has been built (diagnostics/tests)."""
         return self._cache is not None
+
+    @property
+    def growable_relations(self) -> frozenset | None:
+        """Relations that may gain facts after the shared fixpoint.
+
+        None when the outcome carries no stable-relation metadata.
+        Relations outside this set hold exactly :meth:`stable_view`'s
+        facts in every terminated world, which is what the columnar
+        query planner's lifted fast path relies on.
+        """
+        return self._outcome.growable
+
+    def stable_view(self) -> Instance | None:
+        """The shared closed instance, restricted the way worlds are.
+
+        None when the outcome carries no base-instance metadata.  For
+        every relation outside :attr:`growable_relations`, this view's
+        facts equal that relation's facts in **every** terminated
+        world (grouped or scalar fallback): stable relations never
+        gain a fact after the shared fixpoint.
+        """
+        if self._outcome.base is None:
+            return None
+        return self._view(self._outcome.base)
 
     def _view(self, instance: Instance) -> Instance:
         return instance if self._keep_aux \
@@ -1009,6 +1053,7 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         return self._slots
 
     def _materialize_slots(self) -> list[Instance | None]:
+        self.materializations += 1
         outcome = self._outcome
         slots: list = [_PENDING] * outcome.size
         for index, run in outcome.scalar_runs:

@@ -48,7 +48,18 @@ def map_world(pdb: DiscretePDB) -> tuple[Instance, float]:
 
 
 def expected_size(pdb: PDBBase) -> float:
-    """Expected number of facts in a drawn world."""
+    """Expected number of facts in a drawn world.
+
+    Columnar ensembles answer from their per-fact ensemble counts:
+    ``Σ_D |D| = Σ_f count(f)``, and both sides are exact integers, so
+    the value is bit-identical to ``expectation(len)`` without
+    materializing any world.
+    """
+    from repro.engine.batched import ColumnarMonteCarloPDB
+    if isinstance(pdb, ColumnarMonteCarloPDB):
+        total = sum(int(count) for count
+                    in pdb.weighted_fact_totals(None).values())
+        return total / pdb.n_runs
     return pdb.expectation(len)
 
 

@@ -128,13 +128,13 @@ class Aggregate(Query):
         return Relation(out_columns, out_rows)
 
 
-def aggregate_value(query: Query, instance, column: str | None = None):
-    """Evaluate a (group-free) aggregate and return its single value.
+def aggregate_answer(relation: Relation, column: str | None = None):
+    """Extract the single value of a (group-free) aggregate answer.
 
-    ``column`` selects among multiple aggregate columns; defaults to the
-    only one.
+    The relation-level half of :func:`aggregate_value`, shared with the
+    columnar planner (:mod:`repro.query.columnar`), which produces the
+    answer relations without ever evaluating against an instance.
     """
-    relation = query.evaluate(instance)
     rows = list(relation.rows)
     if len(rows) != 1:
         raise SchemaError(
@@ -145,3 +145,12 @@ def aggregate_value(query: Query, instance, column: str | None = None):
                 f"ambiguous aggregate column among {relation.columns!r}")
         return rows[0][0]
     return rows[0][relation.column_index(column)]
+
+
+def aggregate_value(query: Query, instance, column: str | None = None):
+    """Evaluate a (group-free) aggregate and return its single value.
+
+    ``column`` selects among multiple aggregate columns; defaults to the
+    only one.
+    """
+    return aggregate_answer(query.evaluate(instance), column)

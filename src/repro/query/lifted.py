@@ -1,105 +1,75 @@
-"""Lifting queries to probabilistic databases (Fact 2.6, Remark 4.9).
+"""Deprecated: lifted query entry points (Fact 2.6, Remark 4.9).
 
-A measurable query ``q`` maps instances to answers; applied to a PDB it
-induces the push-forward measure ``P ∘ q⁻¹`` over answers.  For exact
-(discrete) PDBs the push-forward is computed exactly; for Monte-Carlo
-PDBs it is estimated per sampled world.
+The push-forward of a measurable query ``q`` along a PDB - ``P ∘ q⁻¹``
+over answers - now lives in :mod:`repro.query.columnar`, which compiles
+plans to numpy over columnar ensembles (and still evaluates per world
+or per exact branch everywhere else).  Results are identical to the
+historical implementations under a fixed seed; columnar ensembles are
+simply no longer materialized to answer them, and weighted columnar
+(streamed) posteriors - which this module used to reject - are now
+supported.
 
-The module also provides the common scalar conveniences: distribution
-of an aggregate value, probability of a Boolean query, and expected
-aggregate, each in exact and estimated form behind one interface.
+Every function here is a shim that emits a :class:`DeprecationWarning`
+and delegates.  Prefer :meth:`repro.api.Session.query` /
+:meth:`repro.api.results.InferenceResult.query`, or import the free
+functions from :mod:`repro.query`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable
 
 from repro.measures.discrete import DiscreteMeasure
-from repro.pdb.database import DiscretePDB, MonteCarloPDB, PDBBase
+from repro.pdb.database import PDBBase
 from repro.pdb.instances import Instance
-from repro.pdb.weighted import WeightedPDB
-from repro.query.aggregates import aggregate_value
-from repro.query.relalg import Query, Relation
+from repro.query import columnar as _columnar
+from repro.query.relalg import Query
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.query.lifted.{name} is deprecated; use "
+        f"Session.query(...) or repro.query.{name}",
+        DeprecationWarning, stacklevel=3)
 
 
 def query_distribution(pdb: PDBBase, query: Query) -> DiscreteMeasure:
-    """Push-forward distribution of a query's full answer relation.
-
-    Answer relations are reduced to hashable canonical forms.  For
-    sub-probabilistic inputs the result is sub-probabilistic with the
-    same deficit (the error event yields no answer).
-    """
-    def to_answer(instance: Instance):
-        return query.evaluate(instance).canonical()
-    return _push(pdb, to_answer)
+    """Deprecated shim for :func:`repro.query.columnar.query_distribution`."""
+    _deprecated("query_distribution")
+    return _columnar.query_distribution(pdb, query)
 
 
 def statistic_distribution(pdb: PDBBase,
                            statistic: Callable[[Instance], Any],
                            ) -> DiscreteMeasure:
-    """Push-forward distribution of an arbitrary world statistic."""
-    return _push(pdb, statistic)
+    """Deprecated shim for :func:`repro.query.columnar.statistic_distribution`."""
+    _deprecated("statistic_distribution")
+    return _columnar.statistic_distribution(pdb, statistic)
 
 
 def aggregate_distribution(pdb: PDBBase, query: Query,
                            column: str | None = None) -> DiscreteMeasure:
-    """Distribution of a single-valued aggregate query."""
-    return _push(pdb, lambda instance:
-                 aggregate_value(query, instance, column))
-
-
-def _push(pdb: PDBBase, f: Callable[[Instance], Any]) -> DiscreteMeasure:
-    if isinstance(pdb, DiscretePDB):
-        return pdb.push_distribution(f)
-    if isinstance(pdb, MonteCarloPDB):
-        if not pdb.worlds:
-            return DiscreteMeasure.zero()
-        empirical = DiscreteMeasure.from_samples(
-            [f(world) for world in pdb.worlds])
-        return empirical.scale(pdb.total_mass())
-    if isinstance(pdb, WeightedPDB):
-        masses: dict = {}
-        for world, weight in zip(pdb.worlds, pdb.weights):
-            image = f(world)
-            masses[image] = masses.get(image, 0.0) + weight
-        return DiscreteMeasure(
-            {point: mass / pdb.total_weight()
-             for point, mass in masses.items()})
-    raise TypeError(f"not a PDB: {pdb!r}")
+    """Deprecated shim for :func:`repro.query.columnar.aggregate_distribution`."""
+    _deprecated("aggregate_distribution")
+    return _columnar.aggregate_distribution(pdb, query, column)
 
 
 def boolean_probability(pdb: PDBBase, query: Query) -> float:
-    """Probability that a query returns a non-empty answer.
-
-    This is the standard Boolean-query semantics on PDBs: the measure
-    of ``{D : q(D) ≠ ∅}``.
-    """
-    return pdb.prob(lambda instance: len(query.evaluate(instance)) > 0)
+    """Deprecated shim for :func:`repro.query.columnar.boolean_probability`."""
+    _deprecated("boolean_probability")
+    return _columnar.boolean_probability(pdb, query)
 
 
 def expected_aggregate(pdb: PDBBase, query: Query,
                        column: str | None = None) -> float:
-    """Expected value of a numeric single-valued aggregate."""
-    return pdb.expectation(
-        lambda instance: float(aggregate_value(query, instance, column)))
+    """Deprecated shim for :func:`repro.query.columnar.expected_aggregate`."""
+    _deprecated("expected_aggregate")
+    return _columnar.expected_aggregate(pdb, query, column)
 
 
 def answer_probabilities(pdb: PDBBase, query: Query,
                          column: str) -> dict[Any, float]:
-    """Per-answer marginals: P(value ∈ q(D)) for each observed value.
-
-    The "certain/possible answer" view: for each value ever appearing
-    in the answer column, the probability that it appears.
-    """
-    values: set[Any] = set()
-
-    def column_values(instance: Instance) -> frozenset:
-        relation: Relation = query.evaluate(instance)
-        index = relation.column_index(column)
-        return frozenset(row[index] for row in relation.rows)
-
-    per_world = _push(pdb, column_values)
-    for answer_set in per_world:
-        values.update(answer_set)
-    return {value: per_world.measure_of(lambda s, v=value: v in s)
-            for value in sorted(values, key=repr)}
+    """Deprecated shim for :func:`repro.query.columnar.answer_probabilities`."""
+    _deprecated("answer_probabilities")
+    return _columnar.answer_probabilities(pdb, query, column)

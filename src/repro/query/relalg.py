@@ -90,11 +90,17 @@ class Query:
         return Select(self, predicate)
 
     def where(self, **equalities: Any) -> "Select":
-        """Select rows whose named columns equal the given constants."""
-        def predicate(row: dict) -> bool:
-            return all(row[name] == value
-                       for name, value in equalities.items())
-        return Select(self, predicate)
+        """Select rows whose named columns equal the given constants.
+
+        Unlike :meth:`select`, the column/value pairs are recorded
+        *structurally* on the returned :class:`Select` (its
+        ``equalities`` attribute), so the columnar planner
+        (:mod:`repro.query.columnar`) can compile them into boolean
+        masks over sample arrays instead of calling back into Python
+        per row.  Use :meth:`select` for predicates that genuinely
+        need arbitrary code.
+        """
+        return Select(self, None, equalities=dict(equalities))
 
     def project(self, *columns: str) -> "Project":
         return Project(self, columns)
@@ -134,16 +140,40 @@ class Scan(Query):
 
 
 class Select(Query):
-    """σ: keep rows satisfying a predicate over the named-row dict."""
+    """σ: keep rows satisfying a predicate over the named-row dict.
 
-    def __init__(self, source: Query, predicate: Callable[[dict], bool]):
+    Two flavours share this node:
+
+    * ``Select(source, predicate)`` - an opaque Python callable; the
+      honest escape hatch, evaluated row by row everywhere.
+    * ``Select(source, None, equalities={...})`` - a conjunction of
+      column == constant tests recorded structurally (what
+      :meth:`Query.where` builds); the columnar planner vectorizes
+      these, and :meth:`evaluate` applies them directly.
+    """
+
+    def __init__(self, source: Query,
+                 predicate: Callable[[dict], bool] | None,
+                 equalities: dict[str, Any] | None = None):
+        if (predicate is None) == (equalities is None):
+            raise SchemaError(
+                "Select needs exactly one of a predicate callable or "
+                "an equalities mapping")
         self.source = source
         self.predicate = predicate
+        self.equalities = dict(equalities) if equalities is not None \
+            else None
 
     def evaluate(self, instance: Instance) -> Relation:
         relation = self.source.evaluate(instance)
-        kept = [row for row in relation.rows
-                if self.predicate(dict(zip(relation.columns, row)))]
+        if self.equalities is not None:
+            indices = [(relation.column_index(name), value)
+                       for name, value in self.equalities.items()]
+            kept = [row for row in relation.rows
+                    if all(row[i] == value for i, value in indices)]
+        else:
+            kept = [row for row in relation.rows
+                    if self.predicate(dict(zip(relation.columns, row)))]
         return Relation(relation.columns, kept)
 
 

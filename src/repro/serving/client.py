@@ -87,6 +87,28 @@ class ServingClient:
                               "config": config or None})
         return result["probability"]
 
+    def query(self, program: str, plan, n: int = 1000,
+              instance: dict | None = None, observe=None,
+              semantics: str = "grohe", **config) -> dict:
+        """Serve a relational plan; the ``repro query --json`` document.
+
+        ``plan`` is a :class:`~repro.query.relalg.Query` (encoded
+        transparently; structural nodes only) or an already-encoded
+        wire plan dict.  With ``observe``, the plan is answered under
+        the posterior; with ``shards=k`` in the config, sampling fans
+        out across the server's shard executor and the plan compiles
+        over the merged columnar result.
+        """
+        payload = {"op": "query", "program": program,
+                   "semantics": semantics, "n": n,
+                   "instance": instance,
+                   "plan": plan if isinstance(plan, dict)
+                   else protocol.plan_payload(plan),
+                   "config": config or None}
+        if observe is not None:
+            payload["observe"] = self._evidence_payloads(observe)
+        return self.result(payload)
+
     def analyze(self, program: str, semantics: str = "grohe") -> dict:
         """The ``repro analyze --json`` document, served."""
         return self.result({"op": "analyze", "program": program,
@@ -158,6 +180,13 @@ class ServingClient:
         """The stream's current posterior document."""
         return self.result({"op": "stream_posterior",
                             "stream_id": stream_id})
+
+    def stream_query(self, stream_id: str, plan) -> dict:
+        """Answer a relational plan under the stream's posterior."""
+        return self.result({"op": "stream_query",
+                            "stream_id": stream_id,
+                            "plan": plan if isinstance(plan, dict)
+                            else protocol.plan_payload(plan)})
 
     def stream_close(self, stream_id: str) -> dict:
         """Release the server-side stream."""

@@ -125,8 +125,12 @@ def merge_outcomes(plan: ShardPlan, results: list[ShardResult]):
     # The per-shard counter summed shard-local group counts; after
     # coalescing the merged outcome's own structure is authoritative.
     diagnostics["n_groups"] = len(groups)
+    # Stable-relation metadata is a function of (program, instance)
+    # only, so every shard computed the same values - take the first.
+    first = results[0].outcome
     return BatchOutcome(plan.n, tuple(groups), tuple(scalar_runs),
-                        diagnostics)
+                        diagnostics, base=first.base,
+                        growable=first.growable)
 
 
 def _shard_summary(result: ShardResult) -> dict:

@@ -121,6 +121,143 @@ def parse_evidence(payload) -> Observation | Fact:
 
 
 # ---------------------------------------------------------------------------
+# Relational plan codec (the ``query`` op / ``repro query`` wire form)
+# ---------------------------------------------------------------------------
+
+
+_AGG_NEEDS_COLUMN = ("sum", "avg", "min", "max", "var")
+
+
+def plan_payload(query) -> dict:
+    """The wire form of a relational plan (structural nodes only).
+
+    Opaque Python callables - ``select(lambda ...)`` predicates,
+    :class:`~repro.query.relalg.Extend` computations - have no wire
+    form and raise :class:`ValidationError`; express selections with
+    ``where(column=value)`` to serve them.
+    """
+    from repro.query import aggregates as agg
+    from repro.query import relalg as ra
+    if isinstance(query, ra.Scan):
+        return {"op": "scan", "relation": query.relation,
+                "columns": list(query.columns)
+                if query.columns is not None else None}
+    if isinstance(query, ra.Select):
+        if query.equalities is None:
+            raise ValidationError(
+                "opaque select(callable) predicates cannot be served; "
+                "use where(column=value)")
+        return {"op": "where", "source": plan_payload(query.source),
+                "equalities": dict(query.equalities)}
+    if isinstance(query, ra.Project):
+        return {"op": "project", "source": plan_payload(query.source),
+                "columns": list(query.columns)}
+    if isinstance(query, ra.Rename):
+        return {"op": "rename", "source": plan_payload(query.source),
+                "mapping": dict(query.mapping)}
+    if isinstance(query, agg.Aggregate):
+        return {"op": "aggregate",
+                "source": plan_payload(query.source),
+                "group_by": list(query.group_by),
+                "aggregates": {
+                    out_name: {"fn": func.name, "column": func.column}
+                    for out_name, func in query.aggregates.items()}}
+    binary = {ra.NaturalJoin: "join", ra.Product: "product",
+              ra.Union: "union", ra.Difference: "difference",
+              ra.Intersection: "intersection"}
+    for node_type, op in binary.items():
+        if isinstance(query, node_type):
+            return {"op": op, "left": plan_payload(query.left),
+                    "right": plan_payload(query.right)}
+    raise ValidationError(
+        f"cannot encode plan node {type(query).__name__}")
+
+
+def parse_plan(payload):
+    """A :class:`~repro.query.relalg.Query` from its wire form."""
+    from repro.query import aggregates as agg
+    from repro.query import relalg as ra
+    if not isinstance(payload, dict) or "op" not in payload:
+        raise ValidationError(
+            f"plan payload needs an 'op' field: {payload!r}")
+    op = payload["op"]
+
+    def child(key: str):
+        if key not in payload:
+            raise ValidationError(f"plan op {op!r} needs {key!r}")
+        return parse_plan(payload[key])
+
+    if op == "scan":
+        relation = payload.get("relation")
+        if not isinstance(relation, str):
+            raise ValidationError(
+                f"scan needs a string 'relation': {payload!r}")
+        columns = payload.get("columns")
+        if columns is not None and (
+                not isinstance(columns, (list, tuple))
+                or not all(isinstance(c, str) for c in columns)):
+            raise ValidationError(
+                f"scan 'columns' must be a list of names: {payload!r}")
+        return ra.Scan(relation, columns)
+    if op == "where":
+        equalities = payload.get("equalities")
+        if not isinstance(equalities, dict) or not all(
+                isinstance(name, str) for name in equalities):
+            raise ValidationError(
+                f"where needs an 'equalities' object: {payload!r}")
+        return ra.Select(child("source"), None, equalities=equalities)
+    if op == "project":
+        columns = payload.get("columns")
+        if not isinstance(columns, (list, tuple)) or not all(
+                isinstance(c, str) for c in columns):
+            raise ValidationError(
+                f"project needs a 'columns' list: {payload!r}")
+        return ra.Project(child("source"), columns)
+    if op == "rename":
+        mapping = payload.get("mapping")
+        if not isinstance(mapping, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in mapping.items()):
+            raise ValidationError(
+                f"rename needs a name->name 'mapping': {payload!r}")
+        return ra.Rename(child("source"), mapping)
+    if op == "aggregate":
+        group_by = payload.get("group_by", [])
+        specs = payload.get("aggregates")
+        if not isinstance(group_by, (list, tuple)) or not all(
+                isinstance(c, str) for c in group_by):
+            raise ValidationError(
+                f"aggregate 'group_by' must be a list: {payload!r}")
+        if not isinstance(specs, dict) or not specs:
+            raise ValidationError(
+                "aggregate needs a non-empty 'aggregates' object: "
+                f"{payload!r}")
+        makers = {"count": agg.agg_count, "sum": agg.agg_sum,
+                  "avg": agg.agg_avg, "min": agg.agg_min,
+                  "max": agg.agg_max, "var": agg.agg_var}
+        functions = {}
+        for out_name, spec in specs.items():
+            if not isinstance(spec, dict) \
+                    or spec.get("fn") not in makers:
+                raise ValidationError(
+                    f"bad aggregate spec for {out_name!r}: {spec!r}; "
+                    f"'fn' must be one of {sorted(makers)}")
+            column = spec.get("column")
+            if spec["fn"] in _AGG_NEEDS_COLUMN \
+                    and not isinstance(column, str):
+                raise ValidationError(
+                    f"aggregate fn {spec['fn']!r} needs a 'column'")
+            functions[out_name] = makers[spec["fn"]](column)
+        return agg.Aggregate(child("source"), group_by, functions)
+    binary = {"join": ra.NaturalJoin, "product": ra.Product,
+              "union": ra.Union, "difference": ra.Difference,
+              "intersection": ra.Intersection}
+    if op in binary:
+        return binary[op](child("left"), child("right"))
+    raise ValidationError(f"unknown plan op {op!r}")
+
+
+# ---------------------------------------------------------------------------
 # Result payloads (the CLI --json contracts)
 # ---------------------------------------------------------------------------
 
@@ -174,6 +311,48 @@ def posterior_payload(result) -> dict:
              "probability": marginals[fact]}
             for fact in ordered],
     }
+
+
+def query_payload(query_result) -> dict:
+    """The ``repro query --json`` / server ``query`` op document.
+
+    ``answers`` lists every distinct answer relation with its
+    probability (canonical row order, deterministic across runs);
+    ``expected_aggregate`` is present only when the plan's root is a
+    group-free aggregate with a single numeric value.
+    """
+    from repro.errors import SchemaError
+    from repro.query.aggregates import Aggregate
+    result = query_result.result
+    distribution = query_result.distribution()
+    answers = []
+    for point in distribution.sorted_points():
+        columns, rows = point
+        answers.append({"columns": list(columns),
+                        "rows": [list(row) for row in rows],
+                        "probability": distribution.mass(point)})
+    payload = {
+        "command": "query",
+        "plan": plan_payload(query_result.query),
+        "strategy": query_result.strategy(),
+        "kind": result.kind if result is not None else None,
+        "n_runs": result.n_runs if result is not None else None,
+        "n_truncated": result.n_truncated
+        if result is not None else None,
+        "elapsed_seconds": result.elapsed
+        if result is not None else None,
+        "backend": result.backend if result is not None else None,
+        "boolean_probability": query_result.boolean_probability(),
+        "answers": answers,
+    }
+    if isinstance(query_result.query, Aggregate) \
+            and not query_result.query.group_by:
+        try:
+            payload["expected_aggregate"] = \
+                query_result.expected_aggregate()
+        except (SchemaError, TypeError, ValueError):
+            pass  # multi-column or non-numeric aggregate: omit
+    return payload
 
 
 def analyze_payload(compiled) -> dict:

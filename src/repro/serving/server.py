@@ -16,6 +16,10 @@ Request objects carry ``op`` plus op-specific fields::
     {"op": "sample", "program": "...", "instance": {"R": [[1]]},
      "n": 1000, "config": {"seed": 7, "shards": 2}}
     {"op": "marginal", "program": "...", "fact": ["R", [1]], "n": 500}
+    {"op": "query", "program": "...", "n": 500,
+     "plan": {"op": "aggregate", "group_by": [],
+              "aggregates": {"n": {"fn": "count", "column": null}},
+              "source": {"op": "scan", "relation": "R"}}}
     {"op": "mass_report", "program": "...", "budgets": [1, 2, 4]}
 
 Responses are ``{"ok": true, "result": ..., "program_sha": ...,
@@ -42,12 +46,13 @@ from repro.serving import protocol
 from repro.serving.sharding import ShardExecutor, sample_sharded
 
 #: Ops accepted by :meth:`ProgramServer.handle`.
-OPS = ("ping", "analyze", "sample", "marginal", "mass_report",
+OPS = ("ping", "analyze", "sample", "marginal", "query", "mass_report",
        "posterior", "stream_open", "stream_observe",
-       "stream_posterior", "stream_close")
+       "stream_posterior", "stream_query", "stream_close")
 
 #: Ops addressed to an open stream (by ``stream_id``, no program text).
-_STREAM_OPS = ("stream_observe", "stream_posterior", "stream_close")
+_STREAM_OPS = ("stream_observe", "stream_posterior", "stream_query",
+               "stream_close")
 
 
 class _FactEvent:
@@ -300,6 +305,24 @@ class ProgramServer:
             return {"command": "marginal",
                     "fact": protocol.fact_payload(fact),
                     "probability": probability}
+        if op == "query":
+            plan = protocol.parse_plan(request.get("plan"))
+            if "observe" in request:
+                session = session.observe(*self._evidence(request))
+            cfg = session.config
+            if cfg.shards is not None and cfg.shards > 1 \
+                    and not session.evidence \
+                    and not compiled.is_discrete():
+                # Same sharded fan-out as ``sample``; the plan then
+                # compiles over the merged columnar outcome, so no
+                # world is ever materialized end to end.
+                executor = self.executor_for(sha, instance, compiled,
+                                             cfg)
+                sampled = sample_sharded(session, self._n(request),
+                                         cfg, executor=executor)
+                return protocol.query_payload(sampled.query(plan))
+            return protocol.query_payload(
+                session.query(plan, n=self._n(request)))
         if op == "posterior":
             evidence = self._evidence(request)
             method = request.get("method", "likelihood")
@@ -371,6 +394,13 @@ class ProgramServer:
         with lock:
             if op == "stream_posterior":
                 result = protocol.posterior_payload(stream.posterior())
+            elif op == "stream_query":
+                # The streamed posterior stays a weighted *columnar*
+                # ensemble; the plan compiles over its arrays without
+                # collapsing the weights into materialized worlds.
+                plan = protocol.parse_plan(request.get("plan"))
+                result = protocol.query_payload(
+                    stream.posterior().query(plan))
             elif "retract" in request:
                 token = request["retract"]
                 if isinstance(token, bool) \

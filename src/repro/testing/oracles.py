@@ -32,9 +32,17 @@ Each :class:`Oracle` here checks one such agreement on a generated
   ensemble);
 * ``barany-agreement`` - the per-rule (Grohe) vs per-distribution
   (Bárány, Section 6.2) semantics on programs where the two provably
-  coincide: no random rule carries a head variable and random rules
-  use pairwise distinct distribution families, so no draw is shared
-  under one semantics but independent under the other;
+  coincide: no random rule carries a head variable, and random rules
+  either use pairwise distinct distribution families or share a family
+  only with provably disjoint ground parameter tuples, so no draw is
+  shared under one semantics but independent under the other;
+* ``columnar-query`` - the columnar query planner
+  (:mod:`repro.query.columnar`) vs naive per-world evaluation on
+  randomly generated relational plans: answers must be *identical*
+  per world slot (the planner is a compilation, not an estimate),
+  push-forward distributions must be bit-equal - over plain batched
+  ensembles and streamed importance-weighted posteriors alike - and
+  vectorizable plans must never materialize the grouped worlds;
 * ``sharded-single`` - sharded sampling (:mod:`repro.serving`, inline
   workers) vs the single-process paths: shard-count invariance is
   draw-for-draw (2 vs 3 shards bit-identical), sharded scalar mode is
@@ -60,6 +68,7 @@ disagreement" from Monte-Carlo noise.
 from __future__ import annotations
 
 import math
+import random
 import warnings
 from dataclasses import dataclass
 
@@ -563,11 +572,13 @@ class BaranyAgreementOracle(Oracle):
     terms (Example 1.1's ``G0``), or one rule fanning a parameter tuple
     over several carried values.  This oracle checks the complementary
     *agreement class*: every random rule's carried head terms are
-    ground (no variables) and random rules use pairwise distinct
-    distribution families.  There the auxiliary relations of the two
-    translations correspond one-to-one, so the output SPDBs must be
-    equal - pointwise for discrete programs, statistically (KS over the
-    sampled values) for continuous ones.
+    ground (no variables), and any two random rules either use
+    distinct distribution families or carry provably disjoint ground
+    parameter tuples (see :meth:`agreement_class`).  There the
+    auxiliary relations of the two translations correspond one-to-one,
+    so the output SPDBs must be equal - pointwise for discrete
+    programs, statistically (KS over the sampled values) for
+    continuous ones.
     """
 
     name = "barany-agreement"
@@ -577,11 +588,23 @@ class BaranyAgreementOracle(Oracle):
 
     @staticmethod
     def agreement_class(program: Program) -> bool:
-        """Whether the two semantics provably agree on ``program``."""
+        """Whether the two semantics provably agree on ``program``.
+
+        Rules of distinct distribution families never collide on a
+        Bárány key.  Rules *sharing* a family are admitted too when
+        every parameter of every such rule is a ground constant and
+        the parameter tuples are pairwise distinct: the Bárány keys
+        ``(family, parameters)`` are then provably disjoint across the
+        whole chase, so each rule still owns exactly one independent
+        draw under both translations.  A shared family with variable
+        parameters (or coinciding ground tuples) stays outside the
+        class - the ground parameter spaces could overlap at runtime.
+        """
+        from repro.core.terms import Const
         random_rules = program.random_rules()
         if not random_rules:
             return False
-        names = []
+        families: dict[str, list[tuple | None]] = {}
         for rule in random_rules:
             if not rule.is_normal_form():
                 return False
@@ -591,8 +614,19 @@ class BaranyAgreementOracle(Oracle):
             if any(True for term_ in carried
                    for _variable in term_.variables()):
                 return False
-            names.append(term.distribution.name)
-        return len(set(names)) == len(names)
+            params = tuple(param.value for param in term.params) \
+                if all(isinstance(param, Const)
+                       for param in term.params) else None
+            families.setdefault(term.distribution.name,
+                                []).append(params)
+        for parameter_tuples in families.values():
+            if len(parameter_tuples) == 1:
+                continue
+            if any(params is None for params in parameter_tuples):
+                return False
+            if len(set(parameter_tuples)) != len(parameter_tuples):
+                return False
+        return True
 
     def check(self, case: FuzzCase) -> OracleOutcome:
         if not self.agreement_class(case.program):
@@ -826,13 +860,236 @@ class StreamingBatchOracle(Oracle):
         return None
 
 
+class ColumnarQueryOracle(Oracle):
+    """The columnar query planner vs naive per-world evaluation.
+
+    :mod:`repro.query.columnar` *compiles* relational plans to mask
+    and reduction operations over the batched ensemble's sample
+    arrays; compilation is answer-preserving, not an approximation, so
+    every check here is an exact identity (no tolerances):
+
+    * per world slot, the planner's answer relation equals
+      ``plan.evaluate(world)`` on the materialized world;
+    * the push-forward answer distribution is bit-equal to the one
+      assembled naively from the per-world answers - over the plain
+      batched ensemble and, when the case supports streaming, over the
+      importance-weighted posterior of a stream that just observed
+      evidence drawn from its own prior;
+    * a vectorizable plan never materializes the grouped worlds
+      (``ColumnarMonteCarloPDB.materializations`` stays put while the
+      planner runs).
+
+    Plans are generated per case from the ensemble's own relations
+    and constants: scans with explicit columns, structural ``where``
+    selections, projections, renames, natural joins (shared-column
+    via rename), same-schema set operations and count aggregates
+    (grouped and global) - the structural fragment the planner
+    vectorizes.
+    """
+
+    name = "columnar-query"
+
+    def __init__(self, n_runs: int = 120, n_plans: int = 8):
+        self.n_runs = n_runs
+        self.n_plans = n_plans
+
+    # -- plan generation ----------------------------------------------------
+
+    @staticmethod
+    def _arities(pdb) -> dict[str, int]:
+        """Visible relations with one consistent arity in the batch."""
+        seen: dict[str, set[int]] = {}
+        for fact in pdb.weighted_fact_totals(None):
+            seen.setdefault(fact.relation, set()).add(len(fact.args))
+        return {relation: lengths.pop()
+                for relation, lengths in seen.items()
+                if len(lengths) == 1}
+
+    @staticmethod
+    def _constants(pdb, limit: int = 24) -> list:
+        """A pool of ground values the ensemble actually contains."""
+        values: list = []
+        for fact in sorted(pdb.weighted_fact_totals(None),
+                           key=lambda fact: fact.sort_key()):
+            values.extend(fact.args)
+            if len(values) >= limit:
+                break
+        return values[:limit]
+
+    @staticmethod
+    def _scan(rng: random.Random, arities: dict[str, int],
+              relation: str | None = None):
+        from repro.query.relalg import Scan
+        relation = relation or rng.choice(sorted(arities))
+        columns = tuple(f"{relation.lower()}{index}"
+                        for index in range(arities[relation]))
+        return Scan(relation, columns), relation, columns
+
+    def _random_plan(self, rng: random.Random,
+                     arities: dict[str, int], constants: list):
+        from repro.query.aggregates import Aggregate, agg_count
+        query, relation, columns = self._scan(rng, arities)
+        roll = rng.random()
+        if roll < 0.25:
+            # Same-schema set operation: a second scan of the same
+            # relation (identical column names) with its own filter.
+            other, _, _ = self._scan(rng, arities, relation)
+            if constants and rng.random() < 0.7:
+                other = other.where(**{rng.choice(columns):
+                                       rng.choice(constants)})
+            combine = rng.choice(("union", "difference", "intersect"))
+            query = getattr(query, combine)(other)
+        elif roll < 0.5:
+            other, other_relation, other_columns = \
+                self._scan(rng, arities)
+            if other_relation == relation:
+                # Self-join: rename one column so the join keys on
+                # the remaining shared ones.
+                victim = other_columns[-1]
+                renamed = victim + "x"
+            else:
+                # Cross-relation join: rename one column onto one of
+                # the left's so the join has a shared key.
+                victim = rng.choice(other_columns)
+                renamed = rng.choice(columns)
+            if renamed not in other_columns:
+                other = other.rename(**{victim: renamed})
+                other_columns = tuple(renamed if c == victim else c
+                                      for c in other_columns)
+            query = query.join(other)
+            columns = tuple(dict.fromkeys(columns + other_columns))
+        if constants and rng.random() < 0.6:
+            query = query.where(**{rng.choice(columns):
+                                   rng.choice(constants)})
+        if len(columns) > 1 and rng.random() < 0.4:
+            keep = tuple(column for column in columns
+                         if rng.random() < 0.7) or columns[:1]
+            query, columns = query.project(*keep), keep
+        if rng.random() < 0.35:
+            group_by = tuple(column for column in columns
+                             if rng.random() < 0.3)
+            return Aggregate(query, group_by, {"n": agg_count()})
+        return query
+
+    # -- exact identities ---------------------------------------------------
+
+    @staticmethod
+    def _naive_measure(answers, weights=None, total=None):
+        """The push-forward assembled without the planner.
+
+        Mirrors :func:`repro.query.columnar._push_query` arithmetic
+        exactly (same accumulation order, same divisions), so agreement
+        is required to be bit-level, not approximate.
+        """
+        from repro.measures.discrete import DiscreteMeasure
+        if weights is None:
+            images = [relation.canonical() for relation in answers
+                      if relation is not None]
+            if not images:
+                return DiscreteMeasure.zero()
+            return DiscreteMeasure.from_samples(images).scale(total)
+        masses: dict = {}
+        for relation, weight in zip(answers, weights):
+            if relation is None or weight <= 0.0:
+                continue
+            key = relation.canonical()
+            masses[key] = masses.get(key, 0.0) + weight
+        if not masses:
+            return DiscreteMeasure.zero()
+        return DiscreteMeasure({point: mass / total
+                                for point, mass in masses.items()})
+
+    def _check_plain(self, pdb, plans) -> str | None:
+        from repro.query.columnar import (plan_vectorizable,
+                                          query_answers,
+                                          query_distribution)
+        for number, plan in enumerate(plans):
+            before = pdb.materializations
+            compiled = query_answers(pdb, plan)
+            if plan_vectorizable(plan) \
+                    and pdb.materializations != before:
+                return (f"plan #{number} is vectorizable yet "
+                        "materialized the grouped worlds")
+            naive = [None if world is None else plan.evaluate(world)
+                     for world in pdb.world_slots()]
+            for slot, (left, right) in enumerate(zip(compiled, naive)):
+                if left != right:
+                    return (f"plan #{number} answer differs in world "
+                            f"{slot}: planner {left!r} vs naive "
+                            f"{right!r}")
+            columnar = query_distribution(pdb, plan)
+            reference = self._naive_measure(naive,
+                                            total=pdb.total_mass())
+            if columnar != reference:
+                return (f"plan #{number} push-forward differs: "
+                        f"{columnar!r} vs naive {reference!r}")
+        return None
+
+    def _check_weighted(self, case: FuzzCase, plans) -> str | None:
+        """Streamed importance-weighted posteriors answer identically."""
+        from repro.pdb.weighted import WeightedColumnarPDB
+        from repro.query.columnar import query_distribution
+        seed = (case.seed & 0x7FFFFFFF) ^ 0x2C9
+        session = _session(case, seed=seed, max_steps=200)
+        try:
+            stream = session.stream(self.n_runs)
+            prior = fact_marginals(stream.posterior().pdb)
+        except (StreamingUnsupported, ValidationError, MeasureError):
+            return None  # no streamed coverage for this case
+        positions = random_value_positions(case.program)
+        evidence = StreamingBatchOracle._evidence_from_prior(
+            prior, positions) if positions else None
+        if evidence is not None:
+            try:
+                stream.observe(evidence)
+            except (StreamingUnsupported, MeasureError):
+                pass
+        pdb = stream.posterior().pdb
+        if not isinstance(pdb, WeightedColumnarPDB):
+            return None
+        weights = [float(weight) for weight in pdb.weights]
+        for number, plan in enumerate(plans):
+            columnar = query_distribution(pdb, plan)
+            naive = [None if world is None else plan.evaluate(world)
+                     for world in pdb._columnar.world_slots()]
+            reference = self._naive_measure(
+                naive, weights=weights, total=pdb.total_weight())
+            if columnar != reference:
+                return (f"plan #{number} over the weighted posterior "
+                        f"differs: {columnar!r} vs naive "
+                        f"{reference!r}")
+        return None
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        session = _session(case, seed=case.seed, max_steps=200,
+                           backend="batched")
+        result = session.sample(self.n_runs)
+        if result.backend != "batched":
+            return _skip("batched backend declined this case")
+        pdb = result.pdb
+        arities = self._arities(pdb)
+        if not arities:
+            return _skip("ensemble produced no visible facts")
+        rng = random.Random(case.seed ^ 0xC01A)
+        constants = self._constants(pdb)
+        plans = [self._random_plan(rng, arities, constants)
+                 for _ in range(self.n_plans)]
+        detail = self._check_plain(pdb, plans)
+        if detail:
+            return _fail(detail)
+        detail = self._check_weighted(case, plans)
+        if detail:
+            return _fail(detail)
+        return _ok()
+
+
 def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
             FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
             BaranyAgreementOracle(), ShardedVsSingleOracle(),
             InducedFDOracle(), TerminationOracle(),
-            StreamingBatchOracle()]
+            StreamingBatchOracle(), ColumnarQueryOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

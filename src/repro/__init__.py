@@ -83,12 +83,12 @@ from repro.errors import (ChaseError, DistributionError, MeasureError,
                           StreamingUnsupported, UnsupportedProgramError,
                           ValidationError)
 from repro.measures import DiscreteMeasure, Kernel, MarkovProcess
-from repro.pdb import (CountingEvent, DiscretePDB, Event, Fact, FactSet,
-                       Instance, Interval, MonteCarloPDB, Schema,
-                       relation)
+from repro.pdb import (AtLeastEvent, ContainsFactEvent, CountingEvent,
+                       DiscretePDB, Event, Fact, FactSet, Instance,
+                       Interval, MonteCarloPDB, Schema, relation)
 from repro.pdb.weighted import WeightedColumnarPDB, WeightedPDB
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Atom", "ChaseConfig", "ChaseError", "ChasePolicy", "ChaseRun",
@@ -97,7 +97,8 @@ __all__ = [
     "condition_by_rejection", "condition_exact", "likelihood_weighting",
     "observe", "program_to_source", "StreamingPosterior",
     "StreamingUnsupported", "WeightedColumnarPDB", "WeightedPDB",
-    "CountingEvent", "DEFAULT_REGISTRY", "DiscreteMeasure", "DiscretePDB",
+    "AtLeastEvent", "ContainsFactEvent", "CountingEvent",
+    "DEFAULT_REGISTRY", "DiscreteMeasure", "DiscretePDB",
     "DistributionError", "DistributionRegistry", "Event",
     "ExistentialProgram", "Fact", "FactSet", "Firing", "FirstPolicy",
     "Instance", "Interval", "Kernel", "LastPolicy", "MarkovProcess",

@@ -57,12 +57,16 @@ from repro.core.semantics import MassReport
 from repro.core.termination import (TerminationReport,
                                     analyze_termination)
 from repro.core.translate import ExistentialProgram
-from repro.errors import MeasureError, ValidationError
+from repro.errors import DistributionError, MeasureError, ValidationError
 from repro.pdb.database import (DiscretePDB, MonteCarloPDB,
                                 mixture_pdb)
 from repro.pdb.events import Event
 from repro.pdb.instances import Instance
-from repro.pdb.weighted import WeightedPDB
+from repro.pdb.weighted import WeightedColumnarPDB, WeightedPDB
+
+#: ``posterior(method="auto")`` stays with plain rejection when a pilot
+#: run accepts at least this often; below it, escalate to guided.
+_AUTO_ACCEPTANCE_THRESHOLD = 0.1
 
 SEMANTICS = ("grohe", "barany")
 
@@ -688,7 +692,16 @@ class Session:
         :class:`Observation` evidence (sound for continuous,
         measure-zero observations);
         ``method="exact"`` - restrict-and-normalize the exact SPDB on
-        instance events (discrete programs).
+        instance events (discrete programs);
+        ``method="guided"`` - constraint-guided importance sampling:
+        propagate the evidence backwards through the deterministic
+        fragment to per-draw feasible regions, sample from the
+        truncated proposal through the batched backend and reweight
+        exactly (any evidence mix; falls back to likelihood/rejection
+        with a recorded diagnostic when the program is outside the
+        batched class);
+        ``method="auto"`` - rejection when a pilot run accepts often
+        enough, guided otherwise.
         """
         cfg = self.config.replace(**overrides)
         if not self._evidence:
@@ -706,17 +719,24 @@ class Session:
                     "Observations only; event evidence needs "
                     "method='rejection' or method='exact'")
             return self._posterior_likelihood(cfg, observations, n)
+        if method == "guided":
+            return self._posterior_guided(cfg, observations,
+                                          constraints, n)
+        if method == "auto":
+            return self._posterior_auto(cfg, observations,
+                                        constraints, n)
         if observations:
             raise ValidationError(
                 f"method={method!r} conditions on instance events; "
-                "Observation evidence needs method='likelihood'")
+                "Observation evidence needs method='likelihood', "
+                "'guided' or 'auto'")
         if method == "rejection":
             return self._posterior_rejection(cfg, constraints, n)
         if method == "exact":
             return self._posterior_exact(cfg, constraints)
         raise ValidationError(
             f"unknown posterior method {method!r}; use 'rejection', "
-            "'likelihood' or 'exact'")
+            "'likelihood', 'exact', 'guided' or 'auto'")
 
     def _posterior_rejection(self, cfg: ChaseConfig,
                              constraints: Sequence[ConstraintLike],
@@ -790,6 +810,169 @@ class Session:
                 "effective_sample_size":
                     posterior.effective_sample_size(),
             })
+
+    def _posterior_guided(self, cfg: ChaseConfig,
+                          observations: Sequence[Observation],
+                          constraints: Sequence[ConstraintLike],
+                          n: int) -> InferenceResult:
+        """Constraint-guided importance sampling (backward regions).
+
+        Derives per-draw feasible regions by walking the evidence
+        backwards through the deterministic fragment
+        (:func:`repro.core.backward.backward_plan`), samples the
+        batched chase from the region-truncated proposal, and corrects
+        with the exact per-draw importance weights the truncated
+        samplers report.  Regions are *necessary-condition*
+        over-approximations, so event evidence is still verified
+        post-hoc on each world (failing worlds get weight zero) -
+        the result is law-exact regardless of how precise the
+        backward walk managed to be.  Programs outside the batched
+        class fall back to likelihood weighting (observation
+        evidence) or rejection (event evidence) with the reason
+        recorded under ``diagnostics["fallback_reason"]``.
+        """
+        if not self._batch_eligible(cfg):
+            return self._guided_fallback(
+                cfg, observations, constraints, n,
+                "program/config is outside the batched backend's "
+                "class (needs weak acyclicity, no parallel chase, "
+                "no trace recording)")
+        batched = self._batched_chase()
+        if batched is None:
+            return self._guided_fallback(
+                cfg, observations, constraints, n,
+                "the batched engine declined the program")
+        from repro.core.backward import backward_plan
+        from repro.engine.batched import ColumnarMonteCarloPDB
+        plan = backward_plan(self.compiled.translated,
+                             batched.closed_source, batched.growable,
+                             observations, constraints)
+        if not plan.satisfiable:
+            raise MeasureError(
+                "the evidence is unreachable: backward propagation "
+                "proved that no chase world can satisfy it, so the "
+                "conditioning event has probability zero")
+        visible = self.compiled.visible_relations
+        start = time.perf_counter()
+        log_weights = np.zeros(n)
+        batch_rng = cfg.base_rng()
+
+        def world_rngs():
+            return cfg.spawn_rngs(n)
+
+        try:
+            outcome = batched.run_batch(
+                n, batch_rng, world_rngs, cfg.policy or DEFAULT_POLICY,
+                cfg.max_steps, min_group=1, regions=plan.regions,
+                log_weights=log_weights)
+        except DistributionError as err:
+            raise MeasureError(
+                f"evidence has zero prior mass under the program: "
+                f"{err}") from None
+        if outcome is None:
+            return self._guided_fallback(
+                cfg, observations, constraints, n,
+                "the batched cascade declined mid-run (a scalar "
+                "continuation would sample constrained draws "
+                "unconstrained)")
+        pdb = ColumnarMonteCarloPDB(outcome, visible,
+                                    keep_aux=cfg.keep_aux)
+        # Exact importance weights, max-normalized for stability; the
+        # regions were only necessary conditions, so event evidence is
+        # re-verified world by world and failures zero-weighted.
+        weights = np.exp(log_weights - log_weights.max())
+        n_accepted = n
+        if constraints:
+            satisfied = _conjunction(constraints)
+            mask = np.fromiter(
+                (world is not None and satisfied(world)
+                 for world in pdb.world_slots()),
+                dtype=bool, count=n)
+            weights = np.where(mask, weights, 0.0)
+            n_accepted = int(mask.sum())
+        elif pdb.truncated:
+            mask = np.fromiter(
+                (world is not None for world in pdb.world_slots()),
+                dtype=bool, count=n)
+            weights = np.where(mask, weights, 0.0)
+            n_accepted = int(mask.sum())
+        if not np.any(weights > 0.0):
+            raise MeasureError(
+                f"no worlds satisfied the evidence in {n} guided "
+                "proposals; the residual (non-propagated) part of "
+                "the evidence has (near-)zero probability")
+        posterior = WeightedColumnarPDB(pdb, weights)
+        elapsed = time.perf_counter() - start
+        info = outcome.diagnostics
+        return InferenceResult(
+            posterior, "guided", elapsed,
+            n_runs=n, n_truncated=pdb.truncated,
+            diagnostics={
+                "backend": "guided",
+                "n_proposed": n,
+                "n_accepted": n_accepted,
+                "acceptance_rate": n_accepted / n,
+                "n_pinned": plan.n_pinned,
+                "n_truncated": plan.n_truncated,
+                "n_guided_draws": info.get("n_guided_draws", 0),
+                "given_up": plan.given_up,
+                "mean_weight": float(weights.mean()),
+                "effective_sample_size":
+                    posterior.effective_sample_size(),
+            })
+
+    def _guided_fallback(self, cfg: ChaseConfig,
+                         observations: Sequence[Observation],
+                         constraints: Sequence[ConstraintLike],
+                         n: int, reason: str) -> InferenceResult:
+        """Law-preserving fallback when guided sampling is unavailable."""
+        if observations and constraints:
+            raise ValidationError(
+                f"guided conditioning is unavailable ({reason}) and "
+                "no single fallback handles mixed Observation + event "
+                "evidence; split the evidence across "
+                "method='likelihood' and method='rejection' calls")
+        if observations:
+            result = self._posterior_likelihood(cfg, observations, n)
+        else:
+            result = self._posterior_rejection(cfg, constraints, n)
+        result.diagnostics.update(fallback=result.kind,
+                                  fallback_reason=reason)
+        return result
+
+    def _posterior_auto(self, cfg: ChaseConfig,
+                        observations: Sequence[Observation],
+                        constraints: Sequence[ConstraintLike],
+                        n: int) -> InferenceResult:
+        """Rejection when it accepts often enough, guided otherwise.
+
+        Event-only evidence gets a small rejection pilot; if its
+        acceptance rate clears ``_AUTO_ACCEPTANCE_THRESHOLD`` the
+        full run stays with plain rejection (unweighted worlds are
+        simpler downstream), otherwise - and for any evidence mix
+        involving observations - the guided sampler takes over.
+        """
+        if observations or not constraints:
+            result = self._posterior_guided(cfg, observations,
+                                            constraints, n)
+            result.diagnostics.setdefault("auto", "guided")
+            return result
+        n_pilot = min(max(50, n // 20), n)
+        try:
+            pilot = self._posterior_rejection(cfg, constraints,
+                                              n_pilot)
+            pilot_rate = pilot.diagnostics["acceptance_rate"]
+        except MeasureError:
+            pilot_rate = 0.0
+        if pilot_rate >= _AUTO_ACCEPTANCE_THRESHOLD:
+            result = self._posterior_rejection(cfg, constraints, n)
+        else:
+            result = self._posterior_guided(cfg, observations,
+                                            constraints, n)
+        result.diagnostics.update(auto=result.kind,
+                                  pilot_acceptance=pilot_rate,
+                                  n_pilot=n_pilot)
+        return result
 
     def _posterior_exact(self, cfg: ChaseConfig,
                          constraints: Sequence[ConstraintLike],

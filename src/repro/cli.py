@@ -137,7 +137,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                 "value, or a JSON evidence payload "
                                 "({'relation': ...} or {'fact': ...})")
     posterior.add_argument("--method",
-                           choices=("likelihood", "rejection", "exact"),
+                           choices=("likelihood", "rejection", "exact",
+                                    "guided", "auto"),
                            default="likelihood")
     posterior.add_argument("-n", type=int, default=1000,
                            help="number of chase runs (sampling "

@@ -32,6 +32,60 @@ def _as_real(x: Any) -> float | None:
     return None
 
 
+_ERFC = np.vectorize(math.erfc)
+
+
+def _standard_normal_ppf(q: np.ndarray) -> np.ndarray:
+    """``Φ^{-1}(q)``: Acklam's rational approximation, Halley-polished.
+
+    The initial approximation is accurate to ~1.15e-9 relative error
+    over (0, 1); one Halley refinement against the exact ``erfc``-based
+    CDF brings it to machine precision, which is what lets truncated
+    normal draws (:meth:`Normal.sample_batch_truncated`) be treated as
+    exact inverse-CDF samples in the law tests.
+    """
+    q = np.asarray(q, dtype=float)
+    q = np.clip(q, 1e-300, 1.0 - 1e-16)
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    split = 0.02425
+    x = np.empty_like(q)
+    lower = q < split
+    upper = q > 1.0 - split
+    middle = ~(lower | upper)
+    if np.any(middle):
+        r = q[middle] - 0.5
+        s = r * r
+        x[middle] = ((((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s
+                       + a[4]) * s + a[5]) * r
+                     / (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s
+                         + b[4]) * s + 1.0))
+    if np.any(lower):
+        r = np.sqrt(-2.0 * np.log(q[lower]))
+        x[lower] = (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r
+                     + c[4]) * r + c[5]) \
+            / ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0)
+    if np.any(upper):
+        r = np.sqrt(-2.0 * np.log(1.0 - q[upper]))
+        x[upper] = -((((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r
+                       + c[4]) * r + c[5])
+                     / ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r
+                        + 1.0))
+    # One Halley step: e = Φ(x) − q, u = e / φ(x).
+    e = 0.5 * _ERFC(-x / math.sqrt(2.0)) - q
+    u = e * np.sqrt(2.0 * np.pi) * np.exp(x * x / 2.0)
+    return x - u / (1.0 + x * u / 2.0)
+
+
 class Normal(ParameterizedDistribution):
     """Normal distribution parameterized by mean and *variance*.
 
@@ -75,6 +129,10 @@ class Normal(ParameterizedDistribution):
     def cdf(self, params: Sequence[Any], x: float) -> float:
         mu, var = self.validate_params(params)
         return 0.5 * (1.0 + math.erf((x - mu) / math.sqrt(2.0 * var)))
+
+    def ppf(self, params: Sequence[Any], q: np.ndarray) -> np.ndarray:
+        mu, var = self.validate_params(params)
+        return mu + math.sqrt(var) * _standard_normal_ppf(q)
 
     def mean(self, params: Sequence[Any]) -> float:
         mu, _var = self.validate_params(params)
@@ -126,6 +184,10 @@ class LogNormal(ParameterizedDistribution):
             return 0.0
         return 0.5 * (1.0 + math.erf(
             (math.log(x) - mu) / math.sqrt(2.0 * var)))
+
+    def ppf(self, params: Sequence[Any], q: np.ndarray) -> np.ndarray:
+        mu, var = self.validate_params(params)
+        return np.exp(mu + math.sqrt(var) * _standard_normal_ppf(q))
 
     def mean(self, params: Sequence[Any]) -> float:
         mu, var = self.validate_params(params)
@@ -180,6 +242,10 @@ class Exponential(ParameterizedDistribution):
             return 0.0
         return 1.0 - math.exp(-rate * x)
 
+    def ppf(self, params: Sequence[Any], q: np.ndarray) -> np.ndarray:
+        (rate,) = self.validate_params(params)
+        return -np.log1p(-np.asarray(q, dtype=float)) / rate
+
     def mean(self, params: Sequence[Any]) -> float:
         (rate,) = self.validate_params(params)
         return 1.0 / rate
@@ -231,6 +297,10 @@ class Uniform(ParameterizedDistribution):
         if x >= high:
             return 1.0
         return (x - low) / (high - low)
+
+    def ppf(self, params: Sequence[Any], q: np.ndarray) -> np.ndarray:
+        low, high = self.validate_params(params)
+        return low + np.asarray(q, dtype=float) * (high - low)
 
     def mean(self, params: Sequence[Any]) -> float:
         low, high = self.validate_params(params)
@@ -366,6 +436,13 @@ class Laplace(ParameterizedDistribution):
         if x < loc:
             return 0.5 * math.exp((x - loc) / scale)
         return 1.0 - 0.5 * math.exp(-(x - loc) / scale)
+
+    def ppf(self, params: Sequence[Any], q: np.ndarray) -> np.ndarray:
+        loc, scale = self.validate_params(params)
+        q = np.clip(np.asarray(q, dtype=float), 1e-300, 1.0 - 1e-16)
+        return np.where(q < 0.5,
+                        loc + scale * np.log(2.0 * q),
+                        loc - scale * np.log(2.0 * (1.0 - q)))
 
     def mean(self, params: Sequence[Any]) -> float:
         loc, _scale = self.validate_params(params)

@@ -1,0 +1,219 @@
+"""Feasible regions for conditioned draws.
+
+The backward evidence pass (:mod:`repro.core.backward`) derives, for
+each sampled position that can reach an observed relation, a *feasible
+region*: the set of values the draw must land in for the evidence to
+have a chance of holding.  A :class:`Region` is the closed-under-
+intersection-and-union representation of such sets:
+
+* a finite **pin set** of exact values (discrete draws, or continuous
+  draws disintegrated at a point), and/or
+* a finite union of real **intervals** with configurable endpoint
+  closure (continuous truncations, or integer ranges for discrete
+  draws constrained through an :class:`repro.pdb.events.Interval`).
+
+Regions are frozen and hashable so the batched engine can use them as
+part of a draw-pooling key (all worlds sharing ``(distribution,
+params, region)`` draw from one truncated ``sample_batch_truncated``
+call).  Soundness of guided conditioning only needs regions to be
+*over*-approximations of the feasible set - intersections and unions
+here are exact, and every constructor keeps the invariant that the
+represented set is exactly ``points ∪ intervals``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.pdb.facts import normalize_value
+
+_INF = float("inf")
+
+
+def _point_sort_key(value: Any) -> tuple:
+    """Total order over mixed-type pin values (numbers first)."""
+    if isinstance(value, bool):
+        return (1, "", str(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (2, "", str(value))
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _interval_contains(interval: tuple, value: Any) -> bool:
+    if not _is_number(value):
+        return False
+    low, high, closed_left, closed_right = interval
+    x = float(value)
+    if x < low or (x == low and not closed_left):
+        return False
+    if x > high or (x == high and not closed_right):
+        return False
+    return True
+
+
+def _intersect_pair(first: tuple, second: tuple) -> tuple | None:
+    """Intersection of two intervals (None when empty)."""
+    a_low, a_high, a_cl, a_cr = first
+    b_low, b_high, b_cl, b_cr = second
+    if a_low > b_low:
+        low, closed_left = a_low, a_cl
+    elif b_low > a_low:
+        low, closed_left = b_low, b_cl
+    else:
+        low, closed_left = a_low, a_cl and b_cl
+    if a_high < b_high:
+        high, closed_right = a_high, a_cr
+    elif b_high < a_high:
+        high, closed_right = b_high, b_cr
+    else:
+        high, closed_right = a_high, a_cr and b_cr
+    if low > high:
+        return None
+    if low == high and not (closed_left and closed_right):
+        return None
+    return (low, high, closed_left, closed_right)
+
+
+def _merge_intervals(intervals: Iterable[tuple]) -> tuple[tuple, ...]:
+    """Sorted union of intervals, overlapping/touching runs merged."""
+    pending = sorted(intervals,
+                     key=lambda iv: (iv[0], not iv[2], iv[1], not iv[3]))
+    merged: list[list] = []
+    for low, high, closed_left, closed_right in pending:
+        if merged:
+            last = merged[-1]
+            touches = low < last[1] or (
+                low == last[1] and (closed_left or last[3]))
+            if touches:
+                if low == last[0]:
+                    last[2] = last[2] or closed_left
+                if high > last[1]:
+                    last[1], last[3] = high, closed_right
+                elif high == last[1]:
+                    last[3] = last[3] or closed_right
+                continue
+        merged.append([low, high, closed_left, closed_right])
+    return tuple(tuple(entry) for entry in merged)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A pin set plus a union of intervals; the set is their union."""
+
+    points: tuple = ()
+    intervals: tuple = ()
+
+    def __post_init__(self):
+        intervals = []
+        points = [normalize_value(p) for p in self.points]
+        for interval in self.intervals:
+            low, high, closed_left, closed_right = interval
+            low, high = float(low), float(high)
+            if low > high:
+                continue
+            if low == high:
+                if closed_left and closed_right:
+                    points.append(normalize_value(low))
+                continue
+            intervals.append((low, high, bool(closed_left),
+                              bool(closed_right)))
+        merged = _merge_intervals(intervals)
+        unique: list = []
+        for point in points:
+            if point in unique:
+                continue
+            if any(_interval_contains(iv, point) for iv in merged):
+                continue
+            unique.append(point)
+        unique.sort(key=_point_sort_key)
+        object.__setattr__(self, "points", tuple(unique))
+        object.__setattr__(self, "intervals", merged)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def pins(cls, values: Iterable[Any]) -> "Region":
+        """The finite pin set ``{values...}``."""
+        return cls(points=tuple(values))
+
+    @classmethod
+    def point(cls, value: Any) -> "Region":
+        """The singleton ``{value}``."""
+        return cls(points=(value,))
+
+    @classmethod
+    def interval(cls, low: float = -_INF, high: float = _INF,
+                 closed_left: bool = True,
+                 closed_right: bool = True) -> "Region":
+        """One real interval (infinite endpoints give rays)."""
+        return cls(intervals=((low, high, closed_left, closed_right),))
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.points and not self.intervals
+
+    def single_point(self) -> tuple | None:
+        """``(value,)`` when the region is one exact pin, else None."""
+        if len(self.points) == 1 and not self.intervals:
+            return (self.points[0],)
+        return None
+
+    def contains(self, value: Any) -> bool:
+        value = normalize_value(value)
+        if any(point == value for point in self.points):
+            return True
+        return any(_interval_contains(iv, value) for iv in self.intervals)
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership over a numeric sample column."""
+        values = np.asarray(values)
+        if values.dtype == object:
+            return np.fromiter(
+                (self.contains(v) for v in values.tolist()),
+                dtype=bool, count=values.shape[0])
+        out = np.zeros(values.shape, dtype=bool)
+        numeric = [float(p) for p in self.points if _is_number(p)]
+        if numeric:
+            out |= np.isin(values, np.asarray(numeric))
+        for low, high, closed_left, closed_right in self.intervals:
+            left = values >= low if closed_left else values > low
+            right = values <= high if closed_right else values < high
+            out |= left & right
+        return out
+
+    # -- algebra -------------------------------------------------------------
+
+    def intersect(self, other: "Region") -> "Region":
+        points = [p for p in self.points if other.contains(p)]
+        points += [p for p in other.points if self.contains(p)]
+        intervals = []
+        for first in self.intervals:
+            for second in other.intervals:
+                met = _intersect_pair(first, second)
+                if met is not None:
+                    intervals.append(met)
+        return Region(points=tuple(points), intervals=tuple(intervals))
+
+    def union(self, other: "Region") -> "Region":
+        return Region(points=self.points + other.points,
+                      intervals=self.intervals + other.intervals)
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.points:
+            parts.append("{" + ", ".join(repr(p) for p in self.points)
+                         + "}")
+        for low, high, closed_left, closed_right in self.intervals:
+            left = "[" if closed_left else "("
+            right = "]" if closed_right else ")"
+            parts.append(f"{left}{low}, {high}{right}")
+        return "Region(" + (" ∪ ".join(parts) or "∅") + ")"

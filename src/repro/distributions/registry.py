@@ -110,6 +110,12 @@ class AliasedDistribution(ParameterizedDistribution):
     def cdf(self, params, x):
         return self._inner.cdf(params, x)
 
+    def ppf(self, params, q):
+        return self._inner.ppf(params, q)
+
+    def sample_batch_truncated(self, params, region, size, rng):
+        return self._inner.sample_batch_truncated(params, region, size, rng)
+
     def mean(self, params):
         return self._inner.mean(params)
 

@@ -94,7 +94,7 @@ from repro.core.translate import (DetRule, ExistentialProgram, ExtRule,
                                   validate_params_in_theta)
 from repro.engine.matching import IndexedSource, body_holds, match_atoms
 from repro.engine.seminaive import seminaive_closure
-from repro.errors import (ChaseError, DistributionError,
+from repro.errors import (ChaseError, DistributionError, MeasureError,
                           StreamingUnsupported, ValidationError)
 from repro.pdb.database import MonteCarloPDB
 from repro.pdb.facts import Fact
@@ -263,6 +263,21 @@ class BatchedChase:
                            for firing in self._engine.applicable())
 
     # -- preparation --------------------------------------------------------
+
+    @property
+    def closed_source(self):
+        """The fact source mirroring the shared closed instance.
+
+        Public for the backward evidence pass
+        (:func:`repro.core.backward.backward_plan`), which semi-joins
+        stable relations against it exactly like the trigger analysis.
+        """
+        return self._closed_source
+
+    @property
+    def growable(self) -> frozenset:
+        """Relations that may gain facts after the shared fixpoint."""
+        return self._growable
 
     def _collect_companions(self) -> dict:
         """aux relation -> [(companion DetRule, its aux body atom), ...].
@@ -598,7 +613,9 @@ class BatchedChase:
                   world_rngs, policy: ChasePolicy, max_steps: int,
                   min_group: int = 2,
                   pool: bool = True,
-                  per_world_rngs=None) -> BatchOutcome | None:
+                  per_world_rngs=None,
+                  regions: dict | None = None,
+                  log_weights=None) -> BatchOutcome | None:
         """Sample ``size`` chase runs; None declines (budget too tight).
 
         ``world_rngs`` is a zero-argument callable producing the
@@ -627,8 +644,34 @@ class BatchedChase:
         ``pool`` are ignored; scalar-fallback worlds (budget- or
         structure-forced, both world-local conditions) continue their
         own already-advanced generator.
+
+        ``regions`` switches the batch to *guided conditioning*: a
+        mapping from ``(aux relation, full prefix)`` and/or ``(aux
+        relation, carried prefix)`` keys to feasible
+        :class:`~repro.distributions.regions.Region` objects (the
+        backward evidence pass's output).  Matching firings draw from
+        the region-truncated law via ``sample_batch_truncated`` - one
+        pooled call per (distribution, params, region) - and each
+        world's accumulated log importance weight (log prior mass of
+        its constrained draws' regions) is added into ``log_weights``,
+        a caller-allocated float array of length ``size``.  Guided
+        batches never fall back to the scalar engine: a world that
+        left the vectorized path would sample constrained firings
+        unconstrained, silently changing the proposal law, so the
+        whole batch *declines* (returns None) instead and the caller
+        picks a different method.  Contradictory region intersections
+        raise :class:`~repro.errors.MeasureError` (evidence with zero
+        prior mass).
         """
         layer = self.layer
+        if regions and per_world_rngs is not None:
+            raise ChaseError(
+                "guided regions are incompatible with per-world "
+                "draw streams")
+        if regions and log_weights is None:
+            raise ChaseError(
+                "guided regions need a caller-allocated log_weights "
+                "array")
         # Conservative budget bound: prefix facts + one auxiliary and
         # the head templates per firing.  Tighter-budget callers get
         # exact truncation semantics from the scalar loop instead.
@@ -671,7 +714,8 @@ class BatchedChase:
                                                        diagnostics)
             else:
                 wave_draws = self._draw_wave(wave, batch_rng, pool,
-                                             diagnostics)
+                                             diagnostics, regions,
+                                             log_weights)
             next_wave: list[_Round] = []
             for task, draws in zip(wave, wave_draws):
                 diagnostics["n_group_rounds"] += 1
@@ -710,6 +754,12 @@ class BatchedChase:
                         continue
                     # Residual group: finish each member on the scalar
                     # engine from a fork of the group state.
+                    if regions:
+                        # A scalar continuation would sample any
+                        # still-constrained firing unconstrained,
+                        # silently changing the guided proposal law -
+                        # decline the whole batch instead.
+                        return None
                     if rngs is None:
                         rngs = world_rngs()
                     for position in positions:
@@ -839,8 +889,35 @@ class BatchedChase:
                                    for value in listed])
         return list(zip(*components))
 
+    def _firing_region(self, firing: _LayerFiring, regions: dict | None):
+        """The feasible region constraining one firing's draw (or None).
+
+        Event-derived regions are keyed by the full ground prefix
+        (identifying exactly one draw per world); observation pins by
+        the carried prefix (forcing every matching firing, mirroring
+        likelihood weighting).  Both apply at once by intersection; an
+        empty intersection means the evidence items contradict each
+        other on this draw, so no world has positive posterior mass.
+        """
+        if not regions:
+            return None
+        region = regions.get((firing.aux_relation, firing.prefix))
+        info = self.translated.aux_info[firing.aux_relation]
+        carried = firing.prefix[:info.n_carried]
+        pin = regions.get((firing.aux_relation, carried))
+        if pin is not None and pin is not region:
+            region = pin if region is None else region.intersect(pin)
+            if region.is_empty:
+                raise MeasureError(
+                    f"evidence items contradict each other on the "
+                    f"draw of {firing.aux_relation!r} with prefix "
+                    f"{firing.prefix!r}: the feasible region is empty")
+        return region
+
     def _draw_wave(self, wave: list, rng: np.random.Generator,
-                   pool: bool, diagnostics: dict) -> list[list]:
+                   pool: bool, diagnostics: dict,
+                   regions: dict | None = None,
+                   log_weights=None) -> list[list]:
         """Per-task draw arrays for one wave, same-key calls pooled.
 
         Each (firing, signature group) of the wave is one draw
@@ -854,17 +931,28 @@ class BatchedChase:
         grouping key is additionally the task, reproducing the
         one-call-per-(group, distribution, params) schedule.
 
+        With ``regions``, constrained requests pool on (distribution,
+        params, region) and draw via ``sample_batch_truncated``; the
+        call's per-draw log importance weight is accumulated into
+        ``log_weights`` for every member world (iid given the key, so
+        the pooled slicing argument carries over unchanged).
+
         ``diagnostics`` gains ``n_draw_calls`` (``sample_batch``
         invocations) and ``n_pooled_draws`` (requests merged into a
         call they would not have had to themselves).
         """
         requests: list[tuple[int, int, tuple, int]] = []
+        firing_regions: list = []
         for task_index, task in enumerate(wave):
             count = len(task.members)
             for firing_index, firing in enumerate(task.layer):
+                region = self._firing_region(firing, regions)
                 key = firing.distribution_key if pool \
                     else (task_index,) + firing.distribution_key
+                if region is not None:
+                    key = key + (region,)
                 requests.append((task_index, firing_index, key, count))
+                firing_regions.append(region)
         by_key: dict[tuple, list[int]] = {}
         for request_index, (_t, _f, key, _c) in enumerate(requests):
             by_key.setdefault(key, []).append(request_index)
@@ -873,11 +961,20 @@ class BatchedChase:
             task_index, firing_index, _key, _count = \
                 requests[members[0]]
             firing = wave[task_index].layer[firing_index]
+            region = firing_regions[members[0]]
             info = self.translated.aux_info[firing.aux_relation]
             _name, params = firing.distribution_key
             total = sum(requests[member][3] for member in members)
-            flat = np.asarray(info.distribution.sample_batch(
-                params, total, rng))
+            if region is None:
+                flat = np.asarray(info.distribution.sample_batch(
+                    params, total, rng))
+                log_w = None
+            else:
+                flat, log_w = info.distribution.sample_batch_truncated(
+                    params, region, total, rng)
+                flat = np.asarray(flat)
+                diagnostics["n_guided_draws"] = \
+                    diagnostics.get("n_guided_draws", 0) + total
             if flat.shape != (total,):
                 raise ChaseError(
                     f"{info.distribution.name}.sample_batch returned "
@@ -887,6 +984,8 @@ class BatchedChase:
                 t_index, f_index, _k, count = requests[member]
                 draws[t_index][f_index] = flat[offset:offset + count]
                 offset += count
+                if log_w is not None:
+                    log_weights[wave[t_index].members] += log_w
             diagnostics["n_draw_calls"] += 1
             diagnostics["n_pooled_draws"] += len(members) - 1
         return draws
@@ -961,6 +1060,7 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         # lazy property here.
         self._outcome = outcome
         self._visible = tuple(visible)
+        self._visible_set = frozenset(visible)
         self._keep_aux = bool(keep_aux)
         self.truncated = sum(1 for _, run in outcome.scalar_runs
                              if not run.terminated)
@@ -1026,13 +1126,21 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
         return self._scalar_worlds
 
     def _column_templates(self, firing: _LayerFiring) -> list[tuple]:
-        """(relation, args-with-None, sample position) fact templates."""
-        templates = list(firing.heads)
+        """(relation, args-with-None, sample position) fact templates.
+
+        Restricted to the visible schema unless auxiliaries are kept:
+        companion heads of *normalized* multi-random-term rules are
+        ``Split#`` helper relations, which are implementation detail
+        exactly like the ``Result#`` auxiliaries.
+        """
         if self._keep_aux:
+            templates = list(firing.heads)
             templates.append((firing.aux_relation,
                               firing.prefix + (None,),
                               len(firing.prefix)))
-        return templates
+            return templates
+        return [template for template in firing.heads
+                if template[0] in self._visible_set]
 
     @property
     def _worlds(self) -> list[Instance]:
@@ -1075,7 +1183,11 @@ class ColumnarMonteCarloPDB(MonteCarloPDB):
                     if self._keep_aux:
                         facts.append(Fact(firing.aux_relation,
                                           firing.prefix + (sampled,)))
-                    facts.extend(firing.head_facts(sampled))
+                        facts.extend(firing.head_facts(sampled))
+                    else:
+                        facts.extend(
+                            f for f in firing.head_facts(sampled)
+                            if f.relation in self._visible_set)
                 slots[world] = base.add_all(facts)
         missing = sum(1 for slot in slots if slot is _PENDING)
         if missing:

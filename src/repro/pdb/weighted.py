@@ -59,6 +59,11 @@ class WeightedPDB(PDBBase):
     def n_worlds(self) -> int:
         return len(self._worlds)
 
+    @property
+    def n_runs(self) -> int:
+        """Alias of ``n_worlds`` (ensemble-size duck type)."""
+        return len(self._worlds)
+
     def total_weight(self) -> float:
         return self._total
 

@@ -34,7 +34,7 @@ reproducers as plain text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -100,19 +100,27 @@ DEFAULT_FUZZ_CONFIG = FuzzConfig()
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """One generated workload: a program, its input, and provenance."""
+    """One generated workload: a program, its input, and provenance.
+
+    ``input_pdb`` is an optional probabilistic *input* database over
+    subsets of the instance (tuple-independent, small support); cases
+    carrying one exercise the ``apply_to_pdb`` mixture semantics
+    (Theorem 4.8) in addition to the plain single-instance chase.
+    """
 
     seed: int
     kind: str
     program: Program
     instance: Instance
+    input_pdb: Any = None
 
     def describe(self) -> str:
         """One-line summary used in reports and discrepancy details."""
+        pdb = " pdb-input" if self.input_pdb is not None else ""
         return (f"seed={self.seed} kind={self.kind} "
                 f"rules={len(self.program)} "
                 f"random={len(self.program.random_rules())} "
-                f"facts={len(self.instance)}")
+                f"facts={len(self.instance)}{pdb}")
 
 
 def case_seed(root_seed: int, index: int) -> int:
@@ -145,7 +153,45 @@ def generate_case(seed: int, config: FuzzConfig | None = None,
         program, instance = _generate_cyclic(rng, config)
     else:
         program, instance = _generate_layered(rng, config, kind)
-    return FuzzCase(int(seed), kind, program, instance)
+    input_pdb = None
+    if kind == "exact" and len(instance) and rng.random() < 0.3:
+        input_pdb = random_input_pdb(instance, rng)
+    return FuzzCase(int(seed), kind, program, instance, input_pdb)
+
+
+def random_input_pdb(instance: Instance, rng: np.random.Generator):
+    """A small tuple-independent input PDB over the instance's facts.
+
+    Each fact is kept independently with a probability drawn from
+    ``{0.5, 0.75, 1.0}`` (exact dyadic values so world probabilities
+    round-trip through text); the support is capped at 8 worlds by
+    treating at most three facts as uncertain.  Used by the
+    ``apply_to_pdb`` mixture checks (Theorem 4.8).
+    """
+    from repro.measures.discrete import DiscreteMeasure
+    from repro.pdb.database import DiscretePDB
+
+    facts = sorted(instance.facts, key=lambda f: f.sort_key())
+    uncertain = facts[:3]
+    certain = tuple(facts[3:])
+    probabilities = [float(rng.choice((0.5, 0.75, 1.0)))
+                     for _ in uncertain]
+    worlds: dict = {}
+    for mask in range(1 << len(uncertain)):
+        weight = 1.0
+        included = list(certain)
+        for index, (fact, p) in enumerate(zip(uncertain,
+                                              probabilities)):
+            if mask >> index & 1:
+                weight *= p
+                included.append(fact)
+            else:
+                weight *= 1.0 - p
+        if weight <= 0.0:
+            continue
+        world = Instance(included)
+        worlds[world] = worlds.get(world, 0.0) + weight
+    return DiscretePDB(DiscreteMeasure(worlds))
 
 
 # ---------------------------------------------------------------------------
@@ -404,6 +450,16 @@ def _add_random_rules(builder: _Builder, minimum: int) -> None:
         position = int(rng.integers(0, n_carried + 1))
         head_terms = carried[:position] + [random_term] \
             + carried[position:]
+        if rng.random() < 0.15:
+            # Multi-random-term head: exercises the normalize path
+            # (Split# relations + recombination, core.normalize).
+            second_name = str(names[int(rng.integers(len(names)))])
+            second = RandomTerm(
+                config.registry[second_name],
+                tuple(Const(v) for v in
+                      distribution_parameters(second_name, rng)))
+            head_terms.insert(int(rng.integers(0, len(head_terms) + 1)),
+                              second)
         head_name = builder.fresh_relation("R", len(head_terms))
         builder.rules.append(Rule(Atom(head_name, head_terms), body))
         builder.det_body_pool.append(head_name)
@@ -503,6 +559,8 @@ def case_features(case: FuzzCase) -> frozenset:
 
     features = {f"kind:{case.kind}",
                 f"facts:{min(len(case.instance), 3)}"}
+    if case.input_pdb is not None:
+        features.add("shape:pdb-input")
     program = case.program
     rules = list(program.rules)
     if len(rules) != len(set(rules)):
@@ -561,7 +619,7 @@ class CoverageTracker:
 
 def generate_case_guided(seed: int, tracker: CoverageTracker,
                          config: FuzzConfig | None = None,
-                         n_candidates: int = 4) -> FuzzCase:
+                         n_candidates: int = 6) -> FuzzCase:
     """One workload biased toward not-yet-covered feature buckets.
 
     Proposes ``n_candidates`` candidates - each from its own derived
@@ -603,7 +661,10 @@ def rebuild_case(case: FuzzCase, rules: Sequence[Rule] | None = None,
     program = case.program if rules is None \
         else Program(rules, registry=case.program.registry)
     instance = case.instance if facts is None else Instance(facts)
-    return FuzzCase(case.seed, case.kind, program, instance)
+    # The input PDB (a distribution over fact subsets) is dropped when
+    # the fact set changes - its support would no longer be subsets.
+    input_pdb = case.input_pdb if facts is None else None
+    return FuzzCase(case.seed, case.kind, program, instance, input_pdb)
 
 
 def random_value_positions(program: Program) -> dict[str, int]:

@@ -48,6 +48,14 @@ Each :class:`Oracle` here checks one such agreement on a generated
   draw-for-draw (2 vs 3 shards bit-identical), sharded scalar mode is
   bit-identical to the single-process scalar loop, and the merged
   ensemble agrees with the exact SPDB where enumeration is available;
+* ``conditioning``   - constraint-guided conditioning
+  (:mod:`repro.core.backward` + truncated batch proposals) vs the
+  established posterior paths on self-sampled evidence: guided vs
+  likelihood weighting on observation pins, guided vs the exact
+  conditioned SPDB (marginal identity within binomial sigmas) on
+  enumerable event evidence, and guided vs rejection - with a KS test
+  of the value columns where the importance weights are uniform -
+  elsewhere;
 * ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
   truncated ones - the FDs hold on every *reachable* instance);
 * ``termination``    - the static analysis (Section 6.3) vs observed
@@ -83,11 +91,13 @@ from repro.core.observe import Observation
 from repro.errors import (MeasureError, StreamingUnsupported,
                           ValidationError)
 from repro.core.program import Program
-from repro.core.semantics import exact_spdb, sample_spdb
+from repro.core.semantics import (apply_to_pdb as legacy_apply_to_pdb,
+                                  exact_spdb, sample_spdb)
 from repro.core.termination import weakly_acyclic
 from repro.engine.seminaive import naive_fixpoint, seminaive_fixpoint
 from repro.measures.empirical import ks_critical_value, ks_two_sample
 from repro.pdb.database import DiscretePDB, MonteCarloPDB
+from repro.pdb.events import ContainsFactEvent
 from repro.pdb.stats import fact_marginals
 from repro.testing.fuzz import FuzzCase, random_value_positions
 
@@ -390,6 +400,15 @@ class FacadeVsLegacyOracle(Oracle):
                                                legacy_exact)
                 if detail:
                     return _fail(f"exact path: {detail}")
+                if case.input_pdb is not None:
+                    facade_mix = _compiled(case) \
+                        .apply_to_pdb(case.input_pdb).pdb
+                    legacy_mix = legacy_apply_to_pdb(case.program,
+                                                     case.input_pdb)
+                    detail = compare_discrete_pdbs(facade_mix,
+                                                   legacy_mix)
+                    if detail:
+                        return _fail(f"apply_to_pdb path: {detail}")
         return _ok()
 
 
@@ -860,6 +879,189 @@ class StreamingBatchOracle(Oracle):
         return None
 
 
+class ConditioningOracle(Oracle):
+    """Guided conditioning vs likelihood / rejection / exact.
+
+    Evidence is synthesized from the case's *own prior* (a sampled
+    observation triple or an actually-produced output fact), so it
+    always has positive probability and never trips the measure-zero
+    guard.  Per case, up to two differential sub-checks run:
+
+    * **observation path** - a sampled ``(relation, carried, value)``
+      triple becomes an :class:`Observation`;
+      ``posterior(method="guided")`` (single-point pin regions with
+      truncated batch proposals) and ``posterior(method="likelihood")``
+      (the weighted scalar chase) estimate the same disintegrated
+      posterior, so their marginals must agree within Monte-Carlo
+      noise;
+    * **event path** - a ``ContainsFactEvent`` on a sampled
+      random-head output fact; where exact enumeration is available
+      the guided posterior must match the restrict-and-normalize SPDB
+      marginal-for-marginal (binomial sigma bounds), elsewhere it is
+      compared against plain rejection - including a KS test of the
+      sampled value columns whenever the guided weights are uniform
+      (then the guided ensemble is an unweighted posterior sample and
+      the two-sample statistic applies directly).
+
+    Cases where guided internally falls back (not weakly acyclic,
+    batched engine declined) still run - the fallback must agree with
+    the reference too - and the outcome detail records whether the
+    guided proposal was actually exercised.
+    """
+
+    name = "conditioning"
+
+    def __init__(self, n_runs: int = 300):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        positions = random_value_positions(case.program)
+        if not positions:
+            return _skip("no single-random-term heads to condition on")
+        seed = case.seed & 0x7FFFFFFF
+        try:
+            prior = _session(case, seed=seed, max_steps=200) \
+                .sample(96).pdb
+        except (ValidationError, MeasureError) as err:
+            return _skip(f"prior sampling declined: {err}")
+        prior_marginals = fact_marginals(prior)
+        exercised: list[str] = []
+        detail = self._check_observation(case, seed, prior_marginals,
+                                         positions, exercised)
+        if detail:
+            return _fail(detail)
+        detail = self._check_event(case, seed, prior_marginals,
+                                   positions, exercised)
+        if detail:
+            return _fail(detail)
+        if not exercised:
+            return _skip("prior produced no usable evidence")
+        return OracleOutcome(OK, " ".join(exercised))
+
+    def _check_observation(self, case, seed, prior_marginals,
+                           positions, exercised) -> str | None:
+        evidence = StreamingBatchOracle._evidence_from_prior(
+            prior_marginals, positions)
+        if evidence is None:
+            return None
+        try:
+            guided = _session(case, seed=seed + 1, max_steps=200) \
+                .observe(evidence).posterior(method="guided",
+                                             n=self.n_runs)
+        except (MeasureError, ValidationError) as degenerate:
+            exercised.append(f"obs:declined({degenerate})")
+            return None
+        try:
+            reference = _session(case, seed=seed + 2, max_steps=200) \
+                .observe(evidence).posterior(method="likelihood",
+                                             n=self.n_runs)
+        except (MeasureError, ValidationError):
+            exercised.append("obs:no-reference")
+            return None
+        exercised.append(f"obs:{guided.kind}")
+        ess = guided.effective_sample_size
+        ref_ess = reference.effective_sample_size
+        if (ess is not None and ess < 8) \
+                or (ref_ess is not None and ref_ess < 8):
+            exercised[-1] += ":low-ess"
+            return None
+        detail = marginals_agree(reference.pdb, guided.pdb,
+                                 slack=0.15)
+        if detail:
+            return (f"guided vs likelihood ({evidence!r}): {detail} "
+                    f"[{case.describe()}]")
+        return None
+
+    def _check_event(self, case, seed, prior_marginals, positions,
+                     exercised) -> str | None:
+        f = self._event_fact(prior_marginals, positions)
+        if f is None:
+            return None
+        evidence = ContainsFactEvent(f)
+        try:
+            guided = _session(case, seed=seed + 3, max_steps=200) \
+                .observe(evidence).posterior(method="guided",
+                                             n=self.n_runs)
+        except (MeasureError, ValidationError) as degenerate:
+            exercised.append(f"event:declined({degenerate})")
+            return None
+        exercised.append(f"event:{guided.kind}")
+        if guided.marginal(f) < 1.0 - 1e-9:
+            return (f"guided posterior violates its own evidence: "
+                    f"P({f!r}) = {guided.marginal(f)} "
+                    f"[{case.describe()}]")
+        if _exactable(case):
+            try:
+                exact = _session(case).observe(evidence) \
+                    .posterior(method="exact")
+            except MeasureError:
+                return None
+            detail = marginals_agree(exact.pdb, guided.pdb)
+            if detail:
+                return (f"guided vs exact ({f!r}): {detail} "
+                        f"[{case.describe()}]")
+            return None
+        try:
+            rejection = _session(case, seed=seed + 4, max_steps=200) \
+                .observe(evidence).posterior(method="rejection",
+                                             n=self.n_runs)
+        except MeasureError:
+            return None
+        detail = self._continuous_agreement(guided, rejection,
+                                            positions)
+        if detail:
+            return (f"guided vs rejection ({f!r}): {detail} "
+                    f"[{case.describe()}]")
+        return None
+
+    @staticmethod
+    def _event_fact(prior_marginals, positions):
+        """A random-head output fact to condition on (rarest first).
+
+        Prefers the least likely fact with marginal >= 0.1 - rare
+        enough to exercise guidance, frequent enough that the
+        rejection reference still accepts a comparable sample.
+        """
+        candidates = sorted(
+            ((probability, fact)
+             for fact, probability in prior_marginals.items()
+             if fact.relation in positions and probability > 0.0),
+            key=lambda pair: (pair[0], pair[1].sort_key()))
+        for probability, fact in candidates:
+            if probability >= 0.1:
+                return fact
+        return candidates[-1][1] if candidates else None
+
+    @staticmethod
+    def _continuous_agreement(guided, rejection, positions,
+                              ) -> str | None:
+        """KS of the value columns when guided weights are uniform."""
+        weights = getattr(guided.pdb, "weights", None)
+        if weights is None:
+            # Guided fell back to plain rejection: two *independent*
+            # rejection ensembles of the same posterior - compare
+            # statistically, not draw-for-draw.
+            detail = marginals_agree(rejection.pdb, guided.pdb,
+                                     slack=0.15)
+            if detail:
+                return detail
+            return ks_agreement(
+                sampled_values(guided.pdb, positions),
+                sampled_values(rejection.pdb, positions))
+        live = weights[weights > 0]
+        if live.size and (live.max() - live.min()) > 1e-9 * live.max():
+            return None  # non-uniform weights: KS does not apply
+        guided_values = [
+            value for world, _w in guided.pdb._iter_weighted()
+            for relation, position in positions.items()
+            for fact in sorted(world.facts_of(relation),
+                               key=lambda f: f.sort_key())
+            if isinstance((value := fact.args[position]), (int, float))]
+        reference_values = sampled_values(rejection.pdb, positions)
+        return ks_agreement([float(v) for v in guided_values],
+                            reference_values)
+
+
 class ColumnarQueryOracle(Oracle):
     """The columnar query planner vs naive per-world evaluation.
 
@@ -1089,7 +1291,8 @@ def default_oracles() -> list[Oracle]:
             FacadeVsLegacyOracle(), BatchedVsScalarOracle(),
             BaranyAgreementOracle(), ShardedVsSingleOracle(),
             InducedFDOracle(), TerminationOracle(),
-            StreamingBatchOracle(), ColumnarQueryOracle()]
+            StreamingBatchOracle(), ColumnarQueryOracle(),
+            ConditioningOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

@@ -34,7 +34,7 @@ class TestOracleBattery:
             "fixpoint", "chase-order", "exact-vs-sample",
             "facade-legacy", "batched-scalar", "barany-agreement",
             "sharded-single", "induced-fds", "termination",
-            "streaming-batch", "columnar-query"}
+            "streaming-batch", "columnar-query", "conditioning"}
 
 
 class TestSkipPreconditions:

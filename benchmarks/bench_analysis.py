@@ -1,0 +1,67 @@
+"""Static-analyzer micro-benchmarks (repro.analysis).
+
+The deep report is a *pre-flight* check - the server computes it on
+every program compile and ``repro lint`` runs it interactively - so it
+must stay far below interactive latency.  The budget asserted here is
+100 ms on the largest workload-generator program (a 100-rule chain)
+and on Example 3.4 at scale; the typical cost is well under 10 ms.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import deep_analyze
+from repro.api import compile as compile_program
+from repro.workloads import paper
+from repro.workloads.generators import (chain_instance, chain_program,
+                                        earthquake_city_instance,
+                                        staged_slots_instance,
+                                        staged_slots_program)
+
+#: The interactive-latency budget for one deep analysis (seconds).
+BUDGET_SECONDS = 0.100
+
+
+def deep_report(compiled, instance):
+    return deep_analyze(compiled.translated, instance=instance,
+                        termination=compiled.analyze())
+
+
+class TestAnalysisLatency:
+    def test_chain_100_rules_under_budget(self, benchmark):
+        """The largest generator program: a 100-rule chain."""
+        compiled = compile_program(chain_program(100))
+        instance = chain_instance(50)
+        report = benchmark(lambda: deep_report(compiled, instance))
+        assert report.ok()
+        assert not report.capabilities.growable_relations
+        start = time.perf_counter()
+        deep_report(compiled, instance)
+        assert time.perf_counter() - start < BUDGET_SECONDS
+
+    def test_example_3_4_at_scale_under_budget(self, benchmark):
+        compiled = compile_program(paper.example_3_4_program())
+        instance = earthquake_city_instance(50, 4, seed=1)
+        report = benchmark(lambda: deep_report(compiled, instance))
+        assert report.capabilities.batched.eligible
+        start = time.perf_counter()
+        deep_report(compiled, instance)
+        assert time.perf_counter() - start < BUDGET_SECONDS
+
+    def test_staged_slots_under_budget(self, benchmark):
+        compiled = compile_program(staged_slots_program(n_stages=16))
+        instance = staged_slots_instance(n_stages=16,
+                                         slots_per_stage=8)
+        report = benchmark(lambda: deep_report(compiled, instance))
+        assert report.capabilities.batched.eligible
+        start = time.perf_counter()
+        deep_report(compiled, instance)
+        assert time.perf_counter() - start < BUDGET_SECONDS
+
+    def test_cached_deep_analyze_is_free(self, benchmark):
+        """``CompiledProgram.analyze(deep=True)`` memoizes the report."""
+        compiled = compile_program(paper.example_3_4_program())
+        first = compiled.analyze(deep=True)
+        again = benchmark(lambda: compiled.analyze(deep=True))
+        assert again is first

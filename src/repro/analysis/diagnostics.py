@@ -1,0 +1,136 @@
+"""The diagnostic vocabulary of the static analyzer.
+
+A :class:`Diagnostic` is one finding of the linter
+(:mod:`repro.analysis.lint`): a stable machine code, a severity, the
+rule/atom span it anchors to, a human message and a fix hint.  A
+:class:`LintReport` is an ordered collection of them with the
+severity-threshold logic the ``repro lint --fail-on`` flag exposes.
+
+Severities form a strict order (``error`` > ``warning`` > ``info``):
+
+* ``error``   - the program is outside the semantics' well-defined
+  class (invalid parameters against Θ, a continuous special cycle -
+  almost surely non-terminating per Section 6.3);
+* ``warning`` - the program is runnable but something is very likely
+  not what the author meant (unreachable rules, discrete special
+  cycles, duplicated rules);
+* ``info``    - stylistic or optimization opportunities (write-only
+  relations, constant-foldable parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR, WARNING, INFO = "error", "warning", "info"
+
+#: Severities, most severe first; index = rank.
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+def severity_rank(severity: str) -> int:
+    """0 for ``error``, 1 for ``warning``, 2 for ``info``."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(f"unknown severity {severity!r}; "
+                         f"use one of {SEVERITIES}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a rule (and optionally a subject).
+
+    ``rule_index`` is the index into the *source* program's rule list
+    (None for program-level findings); ``subject`` names the variable,
+    relation or atom the finding is about.  ``witness_cycle`` is only
+    populated by the weak-acyclicity check: the explicit cycle of
+    (relation, position) nodes whose first edge is the special edge -
+    replayable against :func:`repro.core.termination.position_graph`.
+    """
+
+    code: str
+    severity: str
+    message: str
+    rule_index: int | None = None
+    subject: str | None = None
+    fix_hint: str = ""
+    witness_cycle: tuple = field(default=())
+
+    def __post_init__(self):
+        severity_rank(self.severity)  # validates
+
+    def at_least(self, severity: str) -> bool:
+        """Whether this finding is at or above the given severity."""
+        return severity_rank(self.severity) <= severity_rank(severity)
+
+    def to_json(self) -> dict:
+        payload = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "rule": self.rule_index,
+            "subject": self.subject,
+            "fix_hint": self.fix_hint,
+        }
+        if self.witness_cycle:
+            payload["witness_cycle"] = [
+                [relation, position]
+                for relation, position in self.witness_cycle]
+        return payload
+
+    def __str__(self) -> str:
+        where = f"rule {self.rule_index}" \
+            if self.rule_index is not None else "program"
+        subject = f" ({self.subject})" if self.subject else ""
+        hint = f"  [hint: {self.fix_hint}]" if self.fix_hint else ""
+        return (f"{self.severity}[{self.code}] {where}{subject}: "
+                f"{self.message}{hint}")
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Every diagnostic of one lint pass, ordered by severity."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity == WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity == INFO)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def counts(self) -> dict[str, int]:
+        return {severity: sum(1 for d in self.diagnostics
+                              if d.severity == severity)
+                for severity in SEVERITIES}
+
+    def ok(self, fail_on: str = ERROR) -> bool:
+        """True when no diagnostic reaches the ``fail_on`` severity."""
+        return not any(d.at_least(fail_on) for d in self.diagnostics)
+
+    def to_json(self) -> dict:
+        return {
+            "counts": self.counts(),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def summary(self) -> str:
+        counts = self.counts()
+        if not self.diagnostics:
+            return "lint: clean"
+        parts = [f"{count} {severity}{'s' if count != 1 else ''}"
+                 for severity, count in counts.items() if count]
+        return f"lint: {', '.join(parts)}"

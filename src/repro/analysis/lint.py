@@ -1,0 +1,523 @@
+"""The lint checks of the static analyzer.
+
+:func:`lint_program` runs ten structural checks over a source program
+(and, when given, its translation and an input instance) and returns a
+:class:`~repro.analysis.diagnostics.LintReport`:
+
+====================================  ========  =======================
+code                                  severity  anchored to
+====================================  ========  =======================
+``invalid-distribution-params``       error     random term with
+                                                constant parameters
+                                                outside the family's Θ
+``weak-acyclicity-violation``         error /   special edge on a cycle
+                                      warning   (error when the cycle
+                                                feeds a *continuous*
+                                                distribution - §6.3)
+``empty-relation``                    warning   body relation that is
+                                                neither extensional nor
+                                                derivable
+``unreachable-rule``                  warning   rule whose body can
+                                                never be satisfied
+``unused-variable``                   warning   body variable used
+                                                exactly once
+``duplicate-rule``                    warning   rule alpha-equivalent
+                                                to an earlier one
+``subsumed-rule``                     info      rule whose body extends
+                                                an identical-headed
+                                                earlier rule
+``duplicate-body-atom``               info      atom repeated within
+                                                one body
+``write-only-relation``               info      derived relation never
+                                                read by any body
+``constant-foldable-param``           info      variable parameter that
+                                                is single-valued over
+                                                the input instance
+====================================  ========  =======================
+
+Two checks are *instance-aware* and only run when an instance is
+supplied: ``unreachable-rule`` additionally semi-joins each rule
+body's stable sub-conjunction against the deterministic closure of the
+instance (the same stability argument that licenses the batched
+engine's trigger pruning: a stable subquery unsatisfiable on the
+closed instance stays unsatisfiable through every cascade round), and
+``constant-foldable-param`` inspects the observed column values.
+
+Lint-cleanliness at the ``error`` level is the admission condition the
+``static-dynamic`` fuzz oracle verifies: an error-free program must
+compile and chase without raising a program error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.analysis.diagnostics import (ERROR, INFO, WARNING,
+                                        Diagnostic, LintReport)
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.termination import position_graph
+from repro.core.terms import Const, RandomTerm, Var
+from repro.core.translate import ExistentialProgram, translate
+from repro.engine.matching import IndexedSource, match_atoms
+from repro.engine.seminaive import seminaive_closure
+from repro.errors import DistributionError
+from repro.pdb.instances import Instance
+
+#: Codes whose presence makes a program statically *invalid* (the
+#: fuzz runner rejects such generated cases before chasing them).
+FATAL_CODES = frozenset({"invalid-distribution-params"})
+
+
+def lint_program(program: Program,
+                 semantics: str = "grohe",
+                 instance: Instance | None = None,
+                 translated: ExistentialProgram | None = None,
+                 ) -> LintReport:
+    """Run every lint check; instance-aware ones need ``instance``.
+
+    ``translated`` short-circuits re-translation when the caller (a
+    :class:`~repro.api.session.CompiledProgram`) already has ``Ĝ``.
+
+    >>> report = lint_program(Program.parse("R(Flip<0.5>) :- true."))
+    >>> report.ok()
+    True
+    """
+    if translated is None:
+        translated = translate(program) if semantics == "grohe" \
+            else program.translate_barany()
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(check_distribution_params(program))
+    diagnostics.extend(check_weak_acyclicity(translated))
+    derivable, empty = _derivable_relations(program, instance)
+    diagnostics.extend(empty)
+    diagnostics.extend(check_unused_variables(program))
+    diagnostics.extend(check_duplicate_rules(program))
+    diagnostics.extend(check_duplicate_body_atoms(program))
+    diagnostics.extend(check_write_only_relations(program))
+    unreachable: set[int] = set()
+    diagnostics.extend(
+        check_unreachable_static(program, derivable, unreachable))
+    if instance is not None:
+        diagnostics.extend(check_unreachable_on_instance(
+            program, instance, unreachable))
+        diagnostics.extend(
+            check_constant_foldable(program, instance))
+    order = {ERROR: 0, WARNING: 1, INFO: 2}
+    diagnostics.sort(key=lambda d: (order[d.severity], d.code,
+                                    d.rule_index
+                                    if d.rule_index is not None else -1))
+    return LintReport(tuple(diagnostics))
+
+
+def fatal_diagnostics(program: Program) -> tuple[Diagnostic, ...]:
+    """The cheap statically-fatal subset (no translation needed).
+
+    This is the fuzz runner's admission filter: programs carrying one
+    of these cannot be chased meaningfully under any engine, so
+    generated cases are rejected (``lint_rejected``) before any oracle
+    runs.  Deliberately *excludes* weak-acyclicity violations - the
+    non-terminating program class is a legitimate fuzz subject
+    (TerminationOracle tests it).
+    """
+    return tuple(check_distribution_params(program))
+
+
+# ---------------------------------------------------------------------------
+# Parameter checks
+# ---------------------------------------------------------------------------
+
+def check_distribution_params(program: Program,
+                              ) -> Iterable[Diagnostic]:
+    """Constant parameter tuples validated against each family's Θ."""
+    for index, rule in enumerate(program.rules):
+        for term in rule.head.terms:
+            if not isinstance(term, RandomTerm):
+                continue
+            if not all(isinstance(p, Const) for p in term.params):
+                continue
+            values = tuple(p.value for p in term.params)
+            try:
+                term.distribution.validate_params(values)
+            except DistributionError as invalid:
+                yield Diagnostic(
+                    "invalid-distribution-params", ERROR,
+                    str(invalid), rule_index=index,
+                    subject=term.distribution.name,
+                    fix_hint="adjust the constant parameters to the "
+                             "family's parameter domain Θ")
+                continue
+            if any(isinstance(v, float)
+                   and (v != v or v in (float("inf"), float("-inf")))
+                   for v in values):
+                yield Diagnostic(
+                    "invalid-distribution-params", ERROR,
+                    f"non-finite parameter in {values!r}",
+                    rule_index=index,
+                    subject=term.distribution.name,
+                    fix_hint="parameters must be finite numbers")
+
+
+def check_constant_foldable(program: Program, instance: Instance,
+                            ) -> Iterable[Diagnostic]:
+    """Variable parameters that are single-valued over the instance.
+
+    A parameter variable bound at exactly one body position, over an
+    *extensional* relation whose instance column holds a single
+    distinct value, always evaluates to that value - the program would
+    read identically (and translate to fewer distinct draw signatures)
+    with the constant folded in.
+    """
+    columns: dict[tuple[str, int], set] = {}
+    for fact in instance.facts:
+        for position, value in enumerate(fact.args):
+            columns.setdefault((fact.relation, position),
+                               set()).add(value)
+    for index, rule in enumerate(program.rules):
+        param_vars = {param
+                      for term in rule.head.terms
+                      if isinstance(term, RandomTerm)
+                      for param in term.params
+                      if isinstance(param, Var)}
+        if not param_vars:
+            continue
+        positions: dict[Var, list[tuple[str, int]]] = {}
+        for atom in rule.body:
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Var) and term in param_vars:
+                    positions.setdefault(term, []).append(
+                        (atom.relation, position))
+        for variable, spots in sorted(positions.items(),
+                                      key=lambda kv: kv[0].name):
+            if len(spots) != 1:
+                continue  # joined: folding would change the relation
+            relation, position = spots[0]
+            if relation not in program.extensional:
+                continue
+            values = columns.get((relation, position))
+            if values is not None and len(values) == 1:
+                value = next(iter(values))
+                yield Diagnostic(
+                    "constant-foldable-param", INFO,
+                    f"parameter variable {variable.name!r} always "
+                    f"evaluates to {value!r} on this instance "
+                    f"(single-valued column {relation}.{position})",
+                    rule_index=index, subject=variable.name,
+                    fix_hint=f"fold the constant {value!r} into the "
+                             "distribution parameters")
+
+
+# ---------------------------------------------------------------------------
+# Weak acyclicity with witness cycles
+# ---------------------------------------------------------------------------
+
+def check_weak_acyclicity(translated: ExistentialProgram,
+                          ) -> Iterable[Diagnostic]:
+    """Every bad special edge, with an explicit witness cycle.
+
+    The witness is the node path ``(source, target, ..., source)``:
+    its first edge is the special edge itself, every following edge is
+    a regular/special edge of the position graph, and it closes back
+    at the special edge's source - exactly the cycle through a special
+    edge that refutes weak acyclicity.  Continuous cycles are errors
+    (almost surely non-terminating, Section 6.3); discrete ones
+    warnings (termination with positive probability remains possible).
+    """
+    graph = position_graph(translated)
+    plain = nx.DiGraph()
+    plain.add_nodes_from(graph.nodes)
+    special: dict[tuple, int] = {}
+    for source, target, data in graph.edges(data=True):
+        plain.add_edge(source, target)
+        if data.get("special"):
+            special.setdefault((source, target), data.get("rule", -1))
+    for (source, target), rule_index in sorted(special.items()):
+        if not nx.has_path(plain, target, source):
+            continue
+        witness = (source,) + tuple(
+            nx.shortest_path(plain, target, source))
+        aux_relation = target[0]
+        info = translated.aux_info.get(aux_relation)
+        continuous = info is not None \
+            and not info.distribution.is_discrete
+        rendering = " -> ".join(f"{rel}.{pos}"
+                                for rel, pos in witness)
+        rule = translated.rules[rule_index] \
+            if 0 <= rule_index < len(translated.rules) else None
+        origin = _origin_index(translated, getattr(rule, "origin",
+                                                   None))
+        yield Diagnostic(
+            "weak-acyclicity-violation",
+            ERROR if continuous else WARNING,
+            f"special edge {source[0]}.{source[1]} => "
+            f"{target[0]}.{target[1]} lies on a cycle: {rendering}"
+            + (" (continuous distribution: almost surely "
+               "non-terminating)" if continuous
+               else " (discrete distribution: may terminate)"),
+            rule_index=origin,
+            subject=f"{target[0]}.{target[1]}",
+            fix_hint="break the recursion through the sampled "
+                     "position or stratify it with a bounded relation",
+            witness_cycle=witness)
+
+
+def _origin_index(translated: ExistentialProgram,
+                  origin: Rule | None) -> int | None:
+    """The source-program index of a translated rule's origin."""
+    if origin is None:
+        return None
+    for index, rule in enumerate(translated.source.rules):
+        if rule is origin or rule == origin:
+            return index
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Relation-level checks
+# ---------------------------------------------------------------------------
+
+def _derivable_relations(program: Program,
+                         instance: Instance | None = None,
+                         ) -> tuple[frozenset, list[Diagnostic]]:
+    """(derivable relations, ``empty-relation`` diagnostics).
+
+    Derivable = extensional (or populated by the given instance -
+    inputs may legitimately seed intensional relations), or the head
+    of a rule all of whose body relations are derivable (empty bodies
+    count).  Anything read by a body but not derivable is provably
+    empty in every chase world.
+    """
+    derivable = set(program.extensional)
+    if instance is not None:
+        derivable.update(fact.relation for fact in instance.facts)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            head = rule.head.relation
+            if head in derivable:
+                continue
+            if all(atom.relation in derivable for atom in rule.body):
+                derivable.add(head)
+                changed = True
+    read = {atom.relation for rule in program.rules
+            for atom in rule.body}
+    diagnostics = [
+        Diagnostic(
+            "empty-relation", WARNING,
+            f"relation {relation!r} is read but neither extensional "
+            "nor derivable by any rule: it is empty in every world",
+            subject=relation,
+            fix_hint="declare it extensional or add a rule "
+                     "deriving it")
+        for relation in sorted(read - derivable)]
+    return frozenset(derivable), diagnostics
+
+
+def check_write_only_relations(program: Program,
+                               ) -> Iterable[Diagnostic]:
+    """Derived relations no body ever reads (outputs, presumably)."""
+    read = {atom.relation for rule in program.rules
+            for atom in rule.body}
+    heads = sorted({rule.head.relation for rule in program.rules})
+    for relation in heads:
+        if relation not in read:
+            yield Diagnostic(
+                "write-only-relation", INFO,
+                f"relation {relation!r} is derived but never read by "
+                "any rule body (output relation, or dead derivation)",
+                subject=relation,
+                fix_hint="fine for outputs; otherwise drop the "
+                         "deriving rules")
+
+
+# ---------------------------------------------------------------------------
+# Rule-level checks
+# ---------------------------------------------------------------------------
+
+def check_unreachable_static(program: Program, derivable: frozenset,
+                             out_unreachable: set[int],
+                             ) -> Iterable[Diagnostic]:
+    """Rules reading a provably-empty relation can never fire."""
+    for index, rule in enumerate(program.rules):
+        missing = sorted(atom.relation for atom in rule.body
+                         if atom.relation not in derivable)
+        if missing:
+            out_unreachable.add(index)
+            yield Diagnostic(
+                "unreachable-rule", WARNING,
+                f"body reads empty relation(s) "
+                f"{', '.join(sorted(set(missing)))}: the rule can "
+                "never fire",
+                rule_index=index, subject=rule.head.relation,
+                fix_hint="derive the missing relations or remove "
+                         "the rule")
+
+
+def check_unreachable_on_instance(program: Program,
+                                  instance: Instance,
+                                  already: set[int],
+                                  ) -> Iterable[Diagnostic]:
+    """Semi-join the stable sub-body against the closed instance.
+
+    Stable relations (those not reachable from any random head) have
+    the same content in every chase world: their deterministic closure
+    over the input.  A rule whose stable body projection has no
+    solution there can therefore never fire, in any world - the same
+    argument the batched engine's trigger analysis pins on
+    (:meth:`repro.engine.batched.BatchedChase._atom_pin`).
+    """
+    growable = set(rule.head.relation for rule in program.rules
+                   if rule.is_random())
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            head = rule.head.relation
+            if head in growable:
+                continue
+            if any(atom.relation in growable for atom in rule.body):
+                growable.add(head)
+                changed = True
+    stable_rules = [rule for rule in program.deterministic_rules()
+                    if rule.head.relation not in growable]
+    if stable_rules:
+        closed, source = seminaive_closure(stable_rules, instance)
+    else:
+        closed, source = instance, IndexedSource(instance.facts)
+    del closed
+    for index, rule in enumerate(program.rules):
+        if index in already:
+            continue
+        stable_atoms = [atom for atom in rule.body
+                        if atom.relation not in growable]
+        if not stable_atoms:
+            continue
+        if next(match_atoms(stable_atoms, source, {}), None) is None:
+            yield Diagnostic(
+                "unreachable-rule", WARNING,
+                "the stable part of the body ("
+                + ", ".join(repr(a) for a in stable_atoms)
+                + ") has no solution over the closed input instance: "
+                  "the rule can never fire in any world",
+                rule_index=index, subject=rule.head.relation,
+                fix_hint="check the input data or the join "
+                         "conditions")
+
+
+def check_unused_variables(program: Program) -> Iterable[Diagnostic]:
+    """Body variables used exactly once (no join, filter or output)."""
+    for index, rule in enumerate(program.rules):
+        occurrences: dict[Var, int] = {}
+        for atom in rule.body:
+            for term in atom.terms:
+                if isinstance(term, Var):
+                    occurrences[term] = occurrences.get(term, 0) + 1
+        for term in rule.head.terms:
+            if isinstance(term, Var):
+                occurrences[term] = occurrences.get(term, 0) + 1
+            elif isinstance(term, RandomTerm):
+                for param in term.params:
+                    if isinstance(param, Var):
+                        occurrences[param] = \
+                            occurrences.get(param, 0) + 1
+        head_vars = set()
+        for term in rule.head.terms:
+            if isinstance(term, Var):
+                head_vars.add(term)
+            elif isinstance(term, RandomTerm):
+                head_vars.update(p for p in term.params
+                                 if isinstance(p, Var))
+        for variable in sorted(occurrences, key=lambda v: v.name):
+            if occurrences[variable] == 1 \
+                    and variable not in head_vars:
+                yield Diagnostic(
+                    "unused-variable", WARNING,
+                    f"variable {variable.name!r} occurs exactly once "
+                    "in the body: it joins and filters nothing",
+                    rule_index=index, subject=variable.name,
+                    fix_hint="use it in the head, join it, or accept "
+                             "it as an intentional wildcard")
+
+
+def _canonical_rule(rule: Rule) -> tuple:
+    """An alpha-invariant rendering: variables by first occurrence."""
+    names: dict[Var, str] = {}
+
+    def render(term):
+        if isinstance(term, Var):
+            if term not in names:
+                names[term] = f"v{len(names)}"
+            return ("var", names[term])
+        if isinstance(term, Const):
+            return ("const", repr(term.value))
+        if isinstance(term, RandomTerm):
+            return ("random", term.distribution.name,
+                    tuple(render(p) for p in term.params))
+        return ("term", repr(term))
+
+    head = (rule.head.relation,
+            tuple(render(t) for t in rule.head.terms))
+    body = tuple(sorted(
+        (atom.relation, tuple(render(t) for t in atom.terms))
+        for atom in rule.body))
+    return (head, body)
+
+
+def check_duplicate_rules(program: Program) -> Iterable[Diagnostic]:
+    """Alpha-equivalent duplicates, and body-superset subsumption.
+
+    Duplicates compare canonical (variable-renamed) forms, so
+    ``R(x) :- E(x).`` and ``R(y) :- E(y).`` are flagged.  Subsumption
+    is the syntactic special case only: identical head and a body that
+    is a strict superset of an earlier rule's (under the original
+    variable names) - the earlier rule already derives everything the
+    later one can.
+    """
+    seen: dict[tuple, int] = {}
+    literal: list[tuple[int, Rule, frozenset]] = []
+    for index, rule in enumerate(program.rules):
+        canonical = _canonical_rule(rule)
+        earlier = seen.get(canonical)
+        if earlier is not None:
+            yield Diagnostic(
+                "duplicate-rule", WARNING,
+                f"rule is alpha-equivalent to rule {earlier}",
+                rule_index=index, subject=rule.head.relation,
+                fix_hint="remove the duplicate (it never adds a "
+                         "fact; under random heads it *doubles* "
+                         "the draws)")
+            continue
+        seen[canonical] = index
+        body = frozenset((atom.relation, tuple(atom.terms))
+                         for atom in rule.body)
+        for other_index, other, other_body in literal:
+            if other.head == rule.head and other_body < body:
+                yield Diagnostic(
+                    "subsumed-rule", INFO,
+                    f"body strictly extends rule {other_index} with "
+                    "the same head: every firing is already covered",
+                    rule_index=index, subject=rule.head.relation,
+                    fix_hint="drop the broader rule or differentiate "
+                             "the heads")
+                break
+        literal.append((index, rule, body))
+
+
+def check_duplicate_body_atoms(program: Program,
+                               ) -> Iterable[Diagnostic]:
+    """The same atom listed twice in one body."""
+    for index, rule in enumerate(program.rules):
+        seen: set = set()
+        for atom in rule.body:
+            key = (atom.relation, tuple(atom.terms))
+            if key in seen:
+                yield Diagnostic(
+                    "duplicate-body-atom", INFO,
+                    f"atom {atom!r} is repeated in the body",
+                    rule_index=index, subject=atom.relation,
+                    fix_hint="drop the repeated atom")
+                break
+            seen.add(key)

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -155,6 +155,7 @@ class CompiledProgram:
         self._translated: ExistentialProgram | None = None
         self._visible: tuple[str, ...] | None = None
         self._report: TerminationReport | None = None
+        self._deep_report = None
 
     # -- cached artifacts ---------------------------------------------------
 
@@ -179,11 +180,26 @@ class CompiledProgram:
         """Whether exact chase-tree enumeration is available."""
         return self.translated.is_discrete()
 
-    def analyze(self) -> TerminationReport:
-        """The static termination report (Section 6.3), cached."""
+    def analyze(self, deep: bool = False):
+        """The static analysis report, cached.
+
+        Plain (default): the termination report of Section 6.3.
+        ``deep=True``: the full :class:`~repro.analysis.report.
+        DeepReport` - termination plus the lint diagnostics and the
+        static capability predictions of :mod:`repro.analysis`
+        (which fast paths this program can take, and why it would
+        fall back).  Instance-aware lint checks need an instance;
+        use :meth:`Session.analyze` for those.
+        """
         if self._report is None:
             self._report = analyze_termination(self.translated)
-        return self._report
+        if not deep:
+            return self._report
+        if self._deep_report is None:
+            from repro.analysis import deep_analyze
+            self._deep_report = deep_analyze(
+                self.translated, termination=self._report)
+        return self._deep_report
 
     # -- sessions -----------------------------------------------------------
 
@@ -992,9 +1008,26 @@ class Session:
 
     # -- analysis -----------------------------------------------------------
 
-    def analyze(self) -> TerminationReport:
-        """Static termination report (cached on the compiled program)."""
-        return self.compiled.analyze()
+    def analyze(self, deep: bool = False):
+        """Static analysis report (cached on the compiled program).
+
+        ``deep=True`` returns the combined
+        :class:`~repro.analysis.report.DeepReport` and additionally
+        runs the *instance-aware* lint checks (semi-join
+        unreachability over the session's input, constant-foldable
+        parameters), so it is cached per session rather than on the
+        compiled program.
+        """
+        if not deep:
+            return self.compiled.analyze()
+        cached = self._engines.get("deep_analysis")
+        if cached is None:
+            from repro.analysis import deep_analyze
+            cached = deep_analyze(self.compiled.translated,
+                                  instance=self.instance,
+                                  termination=self.compiled.analyze())
+            self._engines["deep_analysis"] = cached
+        return cached
 
     def mass_report(self,
                     budgets: Sequence[int] = (1, 2, 4, 8, 16, 32),

@@ -15,7 +15,12 @@ Subcommands (``python -m repro <command>`` or the ``repro`` script):
   document a :class:`~repro.serving.ProgramServer` ``posterior`` reply
   carries;
 * ``analyze``   - static report: translation summary, weak acyclicity,
-  cycle classification (Theorem 6.3 / §6.3);
+  cycle classification (Theorem 6.3 / §6.3); ``--deep`` adds the lint
+  diagnostics and capability predictions of :mod:`repro.analysis`;
+* ``lint``      - static diagnostics (:mod:`repro.analysis`): unused
+  variables, unreachable rules, invalid distribution parameters,
+  weak-acyclicity witness cycles, plus the engine-capability
+  predictions; exit code 1 when a diagnostic reaches ``--fail-on``;
 * ``translate`` - print the associated existential Datalog program Ĝ;
 * ``fuzz``      - differential fuzzing: generate random workloads and
   check every engine pair against each other
@@ -149,6 +154,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     analyze = subparsers.add_parser(
         "analyze", help="static termination / structure report")
     add_common(analyze)
+    analyze.add_argument("--deep", action="store_true",
+                         help="include lint diagnostics and engine "
+                              "capability predictions "
+                              "(repro.analysis)")
+
+    lint = subparsers.add_parser(
+        "lint", help="static diagnostics and capability predictions")
+    add_common(lint)
+    lint.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error", dest="fail_on",
+                      help="lowest severity that fails the run "
+                           "(default: error)")
 
     translate = subparsers.add_parser(
         "translate", help="print the existential Datalog program")
@@ -414,7 +431,7 @@ def cmd_analyze(args, out) -> int:
     report = compiled.analyze()
     if args.json:
         # The same document a ProgramServer "analyze" reply carries.
-        _emit_json(analyze_payload(compiled), out)
+        _emit_json(analyze_payload(compiled, deep=args.deep), out)
         return 0
     print(f"rules:            {len(program)}", file=out)
     print(f"random rules:     {len(program.random_rules())}", file=out)
@@ -437,7 +454,50 @@ def cmd_analyze(args, out) -> int:
     else:
         print("verdict:          terminating on every input "
               "(Theorem 6.3)", file=out)
+    if args.deep:
+        deep = compiled.analyze(deep=True)
+        print(deep.lint.summary(), file=out)
+        for diagnostic in deep.lint.diagnostics:
+            print(f"  {diagnostic}", file=out)
+        print(deep.capabilities.summary(), file=out)
     return 0
+
+
+def cmd_lint(args, out) -> int:
+    """``repro lint``: static diagnostics + capability predictions.
+
+    Exit code 0 when no diagnostic reaches the ``--fail-on`` severity
+    (default: ``error``), 1 otherwise, 2 on usage errors.  ``--json``
+    emits one document with the documented keys ``command``, ``ok``,
+    ``fail_on``, ``semantics``, ``n_rules``, ``counts``,
+    ``diagnostics`` and ``capabilities``.
+    """
+    from repro.analysis import deep_analyze
+    compiled, instance = _load(args)
+    # Instance-dependent checks (rule reachability over the closed
+    # input) only make sense when input data was actually supplied.
+    report = deep_analyze(compiled.translated,
+                          instance=instance if args.data else None,
+                          termination=compiled.analyze())
+    lint = report.lint
+    ok = lint.ok(args.fail_on)
+    if args.json:
+        _emit_json({
+            "command": "lint",
+            "ok": ok,
+            "fail_on": args.fail_on,
+            "semantics": args.semantics,
+            "n_rules": len(compiled.program),
+            "counts": lint.counts(),
+            "diagnostics": [d.to_json() for d in lint.diagnostics],
+            "capabilities": report.capabilities.to_json(),
+        }, out)
+        return 0 if ok else 1
+    print(f"# {lint.summary()} (fail on {args.fail_on})", file=out)
+    for diagnostic in lint.diagnostics:
+        print(str(diagnostic), file=out)
+    print(f"# {report.capabilities.summary()}", file=out)
+    return 0 if ok else 1
 
 
 def cmd_translate(args, out) -> int:
@@ -562,6 +622,7 @@ _COMMANDS = {
     "query": cmd_query,
     "posterior": cmd_posterior,
     "analyze": cmd_analyze,
+    "lint": cmd_lint,
     "translate": cmd_translate,
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,

@@ -37,7 +37,6 @@ from repro.core.exact import DEFAULT_MAX_DEPTH, DEFAULT_SUPPORT_TOLERANCE
 from repro.core.policies import ChasePolicy
 from repro.core.program import Program
 from repro.core.translate import ExistentialProgram
-from repro.errors import MeasureError
 from repro.pdb.database import DiscretePDB, MonteCarloPDB
 from repro.pdb.events import Event
 from repro.pdb.instances import Instance

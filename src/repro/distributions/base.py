@@ -28,7 +28,7 @@ keying samples by parameter values.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 

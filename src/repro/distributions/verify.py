@@ -20,7 +20,6 @@ All verifiers return booleans (within tolerances);
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.atoms import Atom
 from repro.core.program import Program
 from repro.core.rules import Rule
 from repro.engine.matching import (IndexedSource, match_atoms,

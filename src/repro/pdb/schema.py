@@ -15,7 +15,7 @@ extension without mutating the original.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.pdb.domains import ANY, Domain

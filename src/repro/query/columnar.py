@@ -773,8 +773,14 @@ def answer_probabilities(pdb: PDBBase, query: Query,
         return frozenset(row[index] for row in relation.rows)
 
     per_world = _push_query(pdb, query, column_values)
-    values: set[Any] = set()
-    for answer_set in per_world:
-        values.update(answer_set)
-    return {value: per_world.measure_of(lambda s, v=value: v in s)
-            for value in sorted(values, key=repr)}
+    # One pass over the pushed-forward measure instead of one
+    # ``measure_of`` scan per distinct value: each support point (an
+    # answer set) contributes its mass to every value it contains.
+    # Per-value masses are gathered in support order and fsum'd, so
+    # the result is bit-identical to the per-value scans.
+    contributions: dict[Any, list[float]] = {}
+    for answer_set, mass in per_world.items():
+        for value in answer_set:
+            contributions.setdefault(value, []).append(mass)
+    return {value: math.fsum(contributions[value])
+            for value in sorted(contributions, key=repr)}

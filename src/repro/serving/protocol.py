@@ -355,15 +355,22 @@ def query_payload(query_result) -> dict:
     return payload
 
 
-def analyze_payload(compiled) -> dict:
-    """The ``repro analyze --json`` document for a compiled program."""
+def analyze_payload(compiled, deep: bool = False) -> dict:
+    """The ``repro analyze --json`` document for a compiled program.
+
+    ``deep=True`` extends the termination summary with the static
+    analyzer's layers (:mod:`repro.analysis`): the lint diagnostics
+    and the per-capability eligibility predictions, exactly as the
+    :class:`~repro.serving.server.ProgramServer` pre-flight hook
+    caches them by program sha.
+    """
     program = compiled.program
     report = compiled.analyze()
     verdict = "terminating"
     if not report.weakly_acyclic:
         verdict = "almost-surely-non-terminating" \
             if report.almost_surely_diverges() else "may-terminate"
-    return {
+    payload = {
         "command": "analyze",
         "n_rules": len(program),
         "n_random_rules": len(program.random_rules()),
@@ -375,6 +382,13 @@ def analyze_payload(compiled) -> dict:
         "cyclic_distributions": list(report.cyclic_distributions),
         "verdict": verdict,
     }
+    if deep:
+        deep_report = compiled.analyze(deep=True)
+        payload["deep"] = True
+        payload["lint"] = deep_report.lint.to_json()
+        payload["capabilities"] = \
+            deep_report.capabilities.to_json()
+    return payload
 
 
 def mass_report_payload(reports) -> dict:

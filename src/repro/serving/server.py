@@ -119,6 +119,9 @@ class ProgramServer:
         self._executors: OrderedDict[tuple, ShardExecutor] = \
             OrderedDict()
         self._streams: OrderedDict[str, tuple] = OrderedDict()
+        #: Pre-flight deep-analysis payloads, keyed by program sha
+        #: alongside the compile cache (same LRU lifetime).
+        self._analyses: dict[str, dict] = {}
         self._stream_counter = 0
         self._lock = threading.RLock()
         self.stats = {
@@ -131,6 +134,7 @@ class ProgramServer:
             "executors_created": 0,
             "executor_cache_hits": 0,
             "streams_opened": 0,
+            "analyses_precomputed": 0,
         }
 
     def close(self) -> None:
@@ -160,13 +164,37 @@ class ProgramServer:
                 return sha, compiled, True
             compiled = compile_program(source, semantics=semantics)
             # Translate eagerly: the point of the cache is that the
-            # hot path never pays compilation again.
+            # hot path never pays compilation again.  The pre-flight
+            # static analysis (lint + capability predictions) rides
+            # along: it is cheap, cached by the same sha, and lets an
+            # "analyze" op (or an operator's dashboard) explain a
+            # program's fallbacks before any sampling request runs.
             compiled.translated
+            self._analyses[sha] = protocol.analyze_payload(
+                compiled, deep=True)
             self._programs[sha] = compiled
             self.stats["programs_compiled"] += 1
+            self.stats["analyses_precomputed"] += 1
             while len(self._programs) > self.max_programs:
-                self._programs.popitem(last=False)
+                dropped, _ = self._programs.popitem(last=False)
+                self._analyses.pop(dropped, None)
             return sha, compiled, False
+
+    def analysis_for(self, sha: str,
+                     compiled: CompiledProgram) -> dict:
+        """The pre-flight deep-analysis payload for a cached program.
+
+        Normally already present (``compiled_for`` computes it on
+        compile); recomputed only if the entry was evicted between
+        the compile and this lookup.
+        """
+        with self._lock:
+            payload = self._analyses.get(sha)
+            if payload is None:
+                payload = protocol.analyze_payload(compiled,
+                                                   deep=True)
+                self._analyses[sha] = payload
+            return payload
 
     def session_for(self, sha: str, compiled: CompiledProgram,
                     instance) -> Session:
@@ -270,7 +298,10 @@ class ProgramServer:
         sha, compiled, cached = self.compiled_for(
             request.get("program"), semantics)
         if op == "analyze":
-            result = protocol.analyze_payload(compiled)
+            if request.get("deep"):
+                result = self.analysis_for(sha, compiled)
+            else:
+                result = protocol.analyze_payload(compiled)
             return self._reply(op, sha, cached, result)
         instance = protocol.parse_instance(request.get("instance"))
         session = self.session_for(sha, compiled, instance)

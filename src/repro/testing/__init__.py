@@ -48,7 +48,8 @@ from repro.testing.oracles import (BaranyAgreementOracle,
                                    ChaseOrderOracle, ExactVsSampleOracle,
                                    FacadeVsLegacyOracle, FixpointOracle,
                                    InducedFDOracle, Oracle,
-                                   OracleOutcome, TerminationOracle,
+                                   OracleOutcome, StaticDynamicOracle,
+                                   TerminationOracle,
                                    default_oracles, oracles_by_name)
 from repro.testing.runner import (Discrepancy, FuzzReport, OracleStats,
                                   evaluate, run_fuzz)
@@ -62,6 +63,7 @@ __all__ = [
     "FacadeVsLegacyOracle", "FixpointOracle", "FuzzCase", "FuzzConfig",
     "FuzzReport", "INFINITE_DISCRETE", "InducedFDOracle", "KINDS",
     "Oracle", "OracleOutcome", "OracleStats", "ReplayResult",
+    "StaticDynamicOracle",
     "TerminationOracle", "CoverageTracker", "case_features",
     "case_rank", "case_seed", "case_size",
     "case_to_payload", "literal_cost", "relation_count",

@@ -59,7 +59,14 @@ Each :class:`Oracle` here checks one such agreement on a generated
 * ``induced-fds``    - Lemma 3.10 on sampled chase runs (including
   truncated ones - the FDs hold on every *reachable* instance);
 * ``termination``    - the static analysis (Section 6.3) vs observed
-  chase behaviour.
+  chase behaviour;
+* ``static-dynamic`` - the :mod:`repro.analysis` lint and capability
+  predictions vs the engines: predicted batch-eligible programs must
+  not fall back to the scalar loop, predicted-stable relations must
+  never grow in any sampled world, predicted streaming-safe
+  observations must not raise ``StreamingUnsupported``, and
+  lint-clean programs must compile and sample without a program
+  error.
 
 Oracles return ``"skip"`` when a case is outside their precondition
 (e.g. exact enumeration of a continuous program); the fuzz runner
@@ -80,21 +87,22 @@ import random
 import warnings
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.analysis import deep_analyze
 from repro.api.session import CompiledProgram, Session, compile as \
     _compile
 from repro.core.policies import (DEFAULT_POLICY, FirstPolicy,
                                  LastPolicy, RoundRobinPolicy)
 from repro.core.fd import check_all_fds, fd_violation_report, induced_fds
 from repro.core.observe import Observation
-from repro.errors import (MeasureError, StreamingUnsupported,
-                          ValidationError)
+from repro.core.terms import Const, RandomTerm
+from repro.errors import (DistributionError, MeasureError, ReproError,
+                          StreamingUnsupported, ValidationError)
 from repro.core.program import Program
 from repro.core.semantics import (apply_to_pdb as legacy_apply_to_pdb,
                                   exact_spdb, sample_spdb)
 from repro.core.termination import weakly_acyclic
-from repro.engine.seminaive import naive_fixpoint, seminaive_fixpoint
+from repro.engine.seminaive import (naive_fixpoint, seminaive_closure,
+                                    seminaive_fixpoint)
 from repro.measures.empirical import ks_critical_value, ks_two_sample
 from repro.pdb.database import DiscretePDB, MonteCarloPDB
 from repro.pdb.events import ContainsFactEvent
@@ -1285,6 +1293,167 @@ class ColumnarQueryOracle(Oracle):
         return _ok()
 
 
+class StaticDynamicOracle(Oracle):
+    """Static predictions (:mod:`repro.analysis`) vs engine behaviour.
+
+    The analyzer's capability report is *conservative eligibility*: a
+    capability predicted eligible must be honoured by the engines,
+    while an ineligible verdict makes no runtime claim (the engines
+    may still succeed on cases the static approximation declined).
+    Four soundness directions are differentially checked per case:
+
+    * **lint-clean** - a program with no error-severity lint
+      diagnostic must compile and sample without raising a
+      :class:`~repro.errors.ReproError` (data-driven ``Θ`` escapes
+      through variable distribution parameters are outside the static
+      claim and skip instead);
+    * **batched** - predicted batch-eligible programs must not fall
+      back to the scalar loop for structural reasons; a step-budget
+      decline is retried with a generous budget before it counts;
+    * **stable** - relations the columnar-lift analysis classifies as
+      stable must never grow: in every sampled world their fact set
+      stays inside the deterministic closure of the stable rules
+      (subset, not equality - truncated worlds may carry fewer
+      facts);
+    * **streaming** - on predicted streaming-safe programs, observing
+      evidence drawn from the stream's own prior must not raise
+      :class:`~repro.errors.StreamingUnsupported` (worlds that fell
+      to the scalar path within the batch are a budget artifact the
+      analysis does not model, and skip).
+
+    Each sub-check reports whether its precondition held; a case
+    where no prediction was exercisable skips rather than reporting a
+    hollow pass.
+    """
+
+    name = "static-dynamic"
+
+    def __init__(self, n_runs: int = 80):
+        self.n_runs = n_runs
+
+    def check(self, case: FuzzCase) -> OracleOutcome:
+        compiled = _compiled(case)
+        report = deep_analyze(compiled.translated,
+                              instance=case.instance,
+                              termination=compiled.analyze())
+        failures: list[str] = []
+        claims = 0
+        for checker in (self._lint_clean, self._batched_honoured,
+                        self._stable_never_grow, self._streaming_safe):
+            verdict = checker(case, report)
+            if verdict is None:
+                continue
+            claimed, detail = verdict
+            claims += claimed
+            if detail:
+                failures.append(detail)
+        if failures:
+            return _fail("; ".join(failures))
+        if not claims:
+            return _skip("no static claim applies to this case")
+        return _ok()
+
+    @staticmethod
+    def _data_bound_parameters(case: FuzzCase) -> bool:
+        for rule in case.program.rules:
+            for arg in rule.head.args:
+                if isinstance(arg, RandomTerm) and any(
+                        not isinstance(param, Const)
+                        for param in arg.params):
+                    return True
+        return False
+
+    def _lint_clean(self, case: FuzzCase, report):
+        if report.lint.errors:
+            return None
+        try:
+            _session(case, seed=case.seed & 0x7FFFFFFF,
+                     max_steps=200).sample(20)
+        except DistributionError:
+            if self._data_bound_parameters(case):
+                return 0, ""  # a data-driven Θ escape - not a static claim
+            return 1, ("lint-clean program with constant parameters "
+                       "raised DistributionError at sampling time")
+        except ReproError as err:
+            return 1, ("lint-clean program failed to sample: "
+                       f"{type(err).__name__}: {err}")
+        return 1, ""
+
+    def _batched_honoured(self, case: FuzzCase, report):
+        if not report.capabilities.batched.eligible:
+            return None
+        seed = case.seed & 0x7FFFFFFF
+        session = _session(case, seed=seed, max_steps=500,
+                           backend="batched")
+        if session._batched_chase() is None:
+            return 1, ("predicted batch-eligible but BatchedChase "
+                       "construction declined")
+        if session.sample(self.n_runs).backend == "batched":
+            return 1, ""
+        # The only remaining decline is the step budget, which the
+        # static analysis does not model; confirm with a generous one.
+        retry = _session(case, seed=seed, max_steps=5000,
+                         backend="batched").sample(self.n_runs)
+        if retry.backend != "batched":
+            return 1, ("predicted batch-eligible but sampling fell "
+                       "back to the scalar loop")
+        return 0, ""
+
+    @staticmethod
+    def _stable_never_grow(case: FuzzCase, report):
+        stable = set(report.capabilities.stable_relations)
+        if not stable:
+            return None
+        stable_rules = [rule for rule in case.program.rules
+                        if not rule.is_random()
+                        and rule.head.relation in stable]
+        closure, _ = seminaive_closure(stable_rules, case.instance)
+        allowed = set(closure.facts)
+        pdb = _session(case, seed=case.seed & 0x7FFFFFFF,
+                       max_steps=200).sample(25).pdb
+        for index, world in enumerate(pdb.worlds):
+            grown = sorted(repr(fact) for fact in world.facts
+                           if fact.relation in stable
+                           and fact not in allowed)
+            if grown:
+                return 1, ("predicted-stable relations grew in world "
+                           f"{index}: {grown[:3]}")
+        return 1, ""
+
+    def _streaming_safe(self, case: FuzzCase, report):
+        if not report.capabilities.streaming_observations.eligible:
+            return None
+        positions = random_value_positions(case.program)
+        if not positions:
+            return None
+        seed = case.seed & 0x7FFFFFFF
+        session = _session(case, seed=seed, max_steps=500)
+        try:
+            stream = session.stream(max(self.n_runs, 40))
+        except StreamingUnsupported:
+            if session._batched_chase() is None:
+                return 1, ("predicted streaming-safe but the batched "
+                           "backend declined structurally")
+            return 0, ""  # step-budget decline of the batch itself
+        if stream._outcome.diagnostics.get("n_split", 0):
+            return 0, ""  # scalar fallback worlds: budget artifact
+        try:
+            prior = fact_marginals(stream.posterior().pdb)
+        except MeasureError:
+            return 0, ""
+        evidence = StreamingBatchOracle._evidence_from_prior(
+            prior, positions)
+        if evidence is None:
+            return 0, ""
+        try:
+            stream.observe(evidence)
+        except StreamingUnsupported as err:
+            return 1, ("predicted streaming-safe but observing "
+                       f"{evidence!r} raised StreamingUnsupported: "
+                       f"{err}")
+        return 1, ""
+
+
 def default_oracles() -> list[Oracle]:
     """The standard oracle battery, cheapest first."""
     return [FixpointOracle(), ChaseOrderOracle(), ExactVsSampleOracle(),
@@ -1292,7 +1461,7 @@ def default_oracles() -> list[Oracle]:
             BaranyAgreementOracle(), ShardedVsSingleOracle(),
             InducedFDOracle(), TerminationOracle(),
             StreamingBatchOracle(), ColumnarQueryOracle(),
-            ConditioningOracle()]
+            ConditioningOracle(), StaticDynamicOracle()]
 
 
 def oracles_by_name() -> dict[str, Oracle]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis import fatal_diagnostics
 from repro.testing.corpus import save_reproducer
 from repro.testing.fuzz import (CoverageTracker, FuzzCase, FuzzConfig,
                                 case_seed, generate_case,
@@ -100,6 +101,9 @@ class FuzzReport:
     budget: int
     seed: int
     n_cases: int = 0
+    #: Cases the linter refused to hand to the oracles (fatal
+    #: diagnostics - e.g. statically-invalid distribution parameters).
+    lint_rejected: int = 0
     kinds: dict = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
     discrepancies: list = field(default_factory=list)
@@ -118,6 +122,7 @@ class FuzzReport:
             "budget": self.budget,
             "seed": self.seed,
             "n_cases": self.n_cases,
+            "lint_rejected": self.lint_rejected,
             "n_discrepancies": len(self.discrepancies),
             "kinds": dict(sorted(self.kinds.items())),
             "oracles": {name: stats.to_json()
@@ -194,6 +199,12 @@ def run_fuzz(budget: int = 100, seed: int = 0, *,
         report.kinds[case.kind] = report.kinds.get(case.kind, 0) + 1
         if on_case is not None:
             on_case(index, case)
+        if fatal_diagnostics(case.program):
+            # A statically-invalid case (e.g. constant parameters
+            # outside Θ) would only measure how engines crash, not
+            # whether they agree; count it and move on.
+            report.lint_rejected += 1
+            continue
         for oracle in battery:
             oracle_start = time.perf_counter()
             outcome = evaluate(oracle, case)

@@ -34,7 +34,7 @@ from typing import Callable, Iterator
 
 from repro.core.atoms import Atom
 from repro.core.rules import Rule, iter_constants
-from repro.core.terms import Const, RandomTerm, Term, Var
+from repro.core.terms import Const, RandomTerm, Term
 from repro.errors import ReproError
 from repro.pdb.facts import Fact
 from repro.testing.fuzz import FuzzCase, rebuild_case

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import numpy as np
-
 from repro.core.program import Program
 from repro.pdb.facts import Fact
 from repro.pdb.instances import Instance

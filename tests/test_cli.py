@@ -232,7 +232,7 @@ DOCUMENTED_JSON_KEYS = {
                 "cyclic_distributions", "verdict"},
     "translate": {"command", "semantics", "n_rules", "aux_relations",
                   "rules"},
-    "fuzz": {"command", "budget", "seed", "n_cases",
+    "fuzz": {"command", "budget", "seed", "n_cases", "lint_rejected",
              "n_discrepancies", "kinds", "oracles", "discrepancies",
              "corpus_written", "elapsed_seconds"},
 }

@@ -34,7 +34,8 @@ class TestOracleBattery:
             "fixpoint", "chase-order", "exact-vs-sample",
             "facade-legacy", "batched-scalar", "barany-agreement",
             "sharded-single", "induced-fds", "termination",
-            "streaming-batch", "columnar-query", "conditioning"}
+            "streaming-batch", "columnar-query", "conditioning",
+            "static-dynamic"}
 
 
 class TestSkipPreconditions:
